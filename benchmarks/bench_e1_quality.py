@@ -1,0 +1,40 @@
+"""E1 — repair quality table (precision / recall / F1 per domain and method).
+
+Reconstructs the paper's headline quality table: GRR repair (fast and naive,
+identical quality) versus the relational-FD baseline, greedy deletion, and
+detection-only, on all three synthetic domains with injected errors.
+Expected shape: GRR dominates every baseline on F1 for every error class;
+detect-only has zero repair recall; FD repair only helps on functional
+conflicts and duplicate edges; greedy deletion trades recall for precision.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import defaults, run_e1_quality
+from repro.metrics import format_table
+
+COLUMNS = ("domain", "method", "precision", "recall", "f1",
+           "recall_incompleteness", "recall_conflict", "recall_redundancy",
+           "repairs_applied", "remaining_violations", "seconds")
+
+
+def test_e1_repair_quality(run_once, save_table):
+    config = defaults()
+    rows = run_once(run_e1_quality, config=config)
+    save_table("e1_quality", format_table(
+        rows, columns=[c for c in COLUMNS if any(c in row for row in rows)],
+        title="E1 — repair quality per domain and method "
+              f"(scale={config.quality_scale}, error rate={config.quality_error_rate})"))
+
+    by_key = {(row["domain"], row["method"]): row for row in rows}
+    for domain in config.quality_domains:
+        grr = by_key[(domain, "grr-fast")]
+        assert grr["f1"] > 0.9, f"GRR repair should score highly on {domain}"
+        for baseline in ("fd-relational", "detect-only", "greedy-delete"):
+            if (domain, baseline) in by_key:
+                assert grr["f1"] >= by_key[(domain, baseline)]["f1"], \
+                    f"GRR must dominate {baseline} on {domain}"
+        if (domain, "detect-only") in by_key:
+            assert by_key[(domain, "detect-only")]["recall"] == 0.0
+        if (domain, "grr-naive") in by_key:
+            assert abs(grr["f1"] - by_key[(domain, "grr-naive")]["f1"]) < 1e-9

@@ -1,0 +1,36 @@
+"""E2 — repair runtime versus graph size (figure).
+
+Reconstructs the scalability-in-|G| figure: total repair time of the naive
+algorithm (full re-detection every round, unoptimised matching) versus the
+fast algorithm (candidate index + decomposition + incremental maintenance) on
+knowledge graphs of growing size with a fixed error rate.  Expected shape:
+both grow super-linearly, the fast algorithm wins by a factor that widens
+with graph size.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import defaults, run_e2_graph_size
+from repro.metrics import format_table
+
+COLUMNS = ("scale", "nodes", "edges", "method", "seconds",
+           "repairs_applied", "violations_detected")
+
+
+def test_e2_runtime_vs_graph_size(run_once, save_table):
+    config = defaults()
+    rows = run_once(run_e2_graph_size, config=config)
+    save_table("e2_graph_size", format_table(
+        rows, columns=list(COLUMNS),
+        title=f"E2 — repair runtime vs graph size (domain={config.size_domain}, "
+              f"error rate={config.size_error_rate})"))
+
+    fast = {row["scale"]: row["seconds"] for row in rows if row["method"] == "grr-fast"}
+    naive = {row["scale"]: row["seconds"] for row in rows if row["method"] == "grr-naive"}
+    largest = max(fast)
+    smallest = min(fast)
+    # runtime grows with scale for both methods
+    assert fast[largest] > fast[smallest]
+    assert naive[largest] > naive[smallest]
+    # the fast algorithm wins at the largest size
+    assert naive[largest] > fast[largest]

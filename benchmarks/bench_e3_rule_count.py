@@ -1,0 +1,34 @@
+"""E3 — repair runtime versus number of rules (figure).
+
+Reconstructs the scalability-in-|R| figure: rule sets of growing size are
+generated from the data graph's schema (functional-conflict, duplicate-edge,
+and path-incompleteness rules) and both repair algorithms run on the same
+corrupted graph.  Expected shape: naive runtime grows roughly linearly with
+the number of rules (every rule is fully re-matched every round); the fast
+algorithm grows more slowly because the shared candidate index and the
+affected-area re-matching amortise the per-rule cost.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import defaults, run_e3_rule_count
+from repro.metrics import format_table
+
+COLUMNS = ("num_rules", "method", "seconds", "repairs_applied",
+           "violations_detected", "matches_enumerated")
+
+
+def test_e3_runtime_vs_rule_count(run_once, save_table):
+    config = defaults()
+    rows = run_once(run_e3_rule_count, config=config)
+    save_table("e3_rule_count", format_table(
+        rows, columns=list(COLUMNS),
+        title=f"E3 — repair runtime vs number of generated rules "
+              f"(domain={config.rules_domain}, scale={config.rules_scale})"))
+
+    fast = {row["num_rules"]: row["seconds"] for row in rows if row["method"] == "grr-fast"}
+    naive = {row["num_rules"]: row["seconds"] for row in rows if row["method"] == "grr-naive"}
+    most, fewest = max(fast), min(fast)
+    # more rules cost more for both methods, and fast stays ahead at the top end
+    assert naive[most] > naive[fewest]
+    assert naive[most] >= fast[most]

@@ -1,0 +1,38 @@
+"""E4 — repair quality and runtime versus injected error rate (figure).
+
+Reconstructs the robustness figure: the same knowledge graph is corrupted at
+increasing error rates and repaired with both algorithms.  Expected shape:
+runtime grows with the error rate (more violations, more repairs); F1 stays
+high and degrades gracefully; the two algorithms' quality is identical
+because they share the same fixpoint semantics.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import defaults, run_e4_error_rate
+from repro.metrics import format_table
+
+COLUMNS = ("error_rate", "injected_errors", "method", "seconds",
+           "repairs_applied", "precision", "recall", "f1")
+
+
+def test_e4_quality_and_runtime_vs_error_rate(run_once, save_table):
+    config = defaults()
+    rows = run_once(run_e4_error_rate, config=config)
+    save_table("e4_error_rate", format_table(
+        rows, columns=list(COLUMNS),
+        title=f"E4 — quality and runtime vs error rate "
+              f"(domain={config.error_domain}, scale={config.error_scale})"))
+
+    fast_rows = [row for row in rows if row["method"] == "grr-fast"]
+    assert all(row["f1"] > 0.85 for row in fast_rows), "quality must degrade gracefully"
+    lowest = min(fast_rows, key=lambda row: row["error_rate"])
+    highest = max(fast_rows, key=lambda row: row["error_rate"])
+    assert highest["repairs_applied"] > lowest["repairs_applied"]
+    # identical quality across algorithms at every rate
+    by_rate_fast = {row["error_rate"]: row["f1"] for row in rows
+                    if row["method"] == "grr-fast"}
+    by_rate_naive = {row["error_rate"]: row["f1"] for row in rows
+                     if row["method"] == "grr-naive"}
+    for rate, f1 in by_rate_naive.items():
+        assert abs(f1 - by_rate_fast[rate]) < 1e-9

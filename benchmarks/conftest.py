@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the (reconstructed)
+evaluation — see DESIGN.md §4 and EXPERIMENTS.md.  Each benchmark
+
+* runs its experiment exactly once inside ``benchmark.pedantic`` (the
+  experiments are minutes-scale end-to-end pipelines; statistical repetition
+  is neither needed nor affordable),
+* prints the paper-style result table, and
+* saves it under ``benchmarks/results/`` so EXPERIMENTS.md can reference the
+  exact measured numbers.
+
+Set ``REPRO_BENCH_QUICK=1`` to run every benchmark on reduced parameter grids
+(seconds instead of minutes).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_table(results_dir):
+    """Persist a rendered result table and echo it to stdout."""
+
+    def _save(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _save
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,76 @@
+"""Movie-catalogue curation: extend a canned rule library with a custom DSL rule.
+
+Run with::
+
+    python examples/movie_catalog_repair.py [scale]
+
+The example corrupts the synthetic movie catalogue with a mix of all three
+error classes, extends the built-in movie rule library with a custom rule
+written in the textual DSL (every movie produced by a studio headquartered in
+the catalogue must credit at least its director — a business rule a curator
+would add), and shows the per-error-class breakdown of the repair.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import parse_rules, repair_quality
+from repro.datasets import build_workload
+from repro.metrics import format_table
+from repro.repair import EngineConfig, RepairEngine, detect_violations
+
+
+CUSTOM_RULE = """
+RULE sequel-studio-consistency CONFLICT PRIORITY 2
+  # a sequel produced by a different studio than the original is suspicious
+  # when the original's studio also produced the sequel's other instalments;
+  # here we simply flag parallel duplicate sequelOf edges as the repairable case
+  MATCH (m1:Movie)-[e1:sequelOf]->(m2:Movie)
+  MATCH (m1)-[e2:sequelOf]->(m3:Movie)
+  REPAIR DELETE_EDGE e2
+"""
+
+
+def main(scale: int = 200) -> None:
+    print(f"Building 'movies' workload (scale={scale}) ...")
+    workload = build_workload("movies", scale=scale, error_rate=0.06, seed=5)
+
+    rules = workload.rules.merged_with(parse_rules(CUSTOM_RULE, name="custom"),
+                                       name="movie-rules+custom")
+    print(f"Rule set: {rules.names()}")
+
+    detection = detect_violations(workload.dirty, rules)
+    print(f"\nViolations on the dirty catalogue: {len(detection)} "
+          f"{detection.per_semantics()}")
+
+    engine = RepairEngine(EngineConfig.fast())
+    repaired, report = engine.repair_copy(workload.dirty, rules)
+    quality = repair_quality(workload.clean, workload.dirty, repaired,
+                             workload.ground_truth)
+
+    print("\n== repair report ==")
+    print(report.describe())
+    print("\n== quality ==")
+    print(quality.describe())
+
+    rows = []
+    injected = workload.ground_truth.counts_by_kind()
+    repaired_counts = report.repairs_per_semantics()
+    detected = detection.per_semantics()
+    for kind in ("incompleteness", "conflict", "redundancy"):
+        rows.append({
+            "error class": kind,
+            "injected": injected.get(kind, 0),
+            "violations detected": detected.get(kind, 0),
+            "repairs applied": repaired_counts.get(kind, 0),
+            "recall": quality.recall_by_kind.get(kind, float("nan")),
+        })
+    print("\n== per-error-class breakdown ==")
+    print(format_table(rows))
+
+    print(f"\nViolations remaining: {len(detect_violations(repaired, rules))}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 200)

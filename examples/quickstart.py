@@ -1,0 +1,120 @@
+"""Quickstart: define a small dirty graph, a few graph repairing rules, and fix it.
+
+Run with::
+
+    python examples/quickstart.py
+
+The example builds a miniature people/geography knowledge graph containing one
+error of each class (a missing nationality, a contradictory birthplace, a
+duplicate person, and a duplicated edge), writes three repairing rules — one
+per error class — using both the fluent builder and the textual DSL, and runs
+the repair engine.
+"""
+
+from __future__ import annotations
+
+from repro import PropertyGraph, detect_violations, parse_rules, repair_graph
+from repro.rules import RuleSet, incompleteness_rule
+
+
+def build_dirty_graph() -> PropertyGraph:
+    """A tiny knowledge graph with one error of each class."""
+    graph = PropertyGraph(name="quickstart")
+
+    france = graph.add_node("Country", {"name": "France"})
+    uk = graph.add_node("Country", {"name": "UK"})
+    paris = graph.add_node("City", {"name": "Paris"})
+    london = graph.add_node("City", {"name": "London"})
+    graph.add_edge(paris.id, france.id, "inCountry", {"confidence": 1.0})
+    graph.add_edge(london.id, uk.id, "inCountry", {"confidence": 1.0})
+
+    # Ada: fine, except she appears twice (redundancy) and has a duplicated edge.
+    ada = graph.add_node("Person", {"name": "Ada Lovelace"})
+    graph.add_edge(ada.id, london.id, "bornIn", {"confidence": 1.0})
+    graph.add_edge(ada.id, uk.id, "nationality", {"confidence": 1.0})
+    graph.add_edge(ada.id, london.id, "livesIn", {"confidence": 1.0})
+    graph.add_edge(ada.id, london.id, "livesIn", {"confidence": 1.0})   # duplicate edge
+
+    ada_dup = graph.add_node("Person", {"name": "Ada Lovelace"})        # duplicate entity
+    graph.add_edge(ada_dup.id, london.id, "bornIn", {"confidence": 1.0})
+
+    # Bob: two birthplaces (conflict), the second from an unreliable source.
+    bob = graph.add_node("Person", {"name": "Bob"})
+    graph.add_edge(bob.id, paris.id, "bornIn", {"confidence": 1.0})
+    graph.add_edge(bob.id, london.id, "bornIn", {"confidence": 0.4})
+    graph.add_edge(bob.id, france.id, "nationality", {"confidence": 1.0})
+
+    # Carol: no nationality although her birthplace determines it (incompleteness).
+    carol = graph.add_node("Person", {"name": "Carol"})
+    graph.add_edge(carol.id, paris.id, "bornIn", {"confidence": 1.0})
+
+    return graph
+
+
+def build_rules() -> RuleSet:
+    """Three rules — one per error class — using the DSL and the builder."""
+    dsl_rules = parse_rules("""
+RULE single-birthplace CONFLICT PRIORITY 8
+  # bornIn is functional; keep the more trusted edge
+  MATCH (p:Person)-[e1:bornIn]->(c1:City)
+  MATCH (p)-[e2:bornIn]->(c2:City)
+  WHERE e1.confidence >= e2.confidence
+  REPAIR DELETE_EDGE e2
+
+RULE dedup-person REDUNDANCY PRIORITY 6
+  MATCH (a:Person)-[:bornIn]->(c:City)<-[:bornIn]-(b:Person)
+  WHERE a.name == b.name
+  REPAIR MERGE b INTO a
+
+RULE dedup-lives-in REDUNDANCY PRIORITY 3
+  MATCH (p:Person)-[e1:livesIn]->(c:City)
+  MATCH (p)-[e2:livesIn]->(c)
+  REPAIR DELETE_EDGE e2
+""", name="quickstart-dsl")
+
+    add_nationality = (incompleteness_rule("add-nationality")
+                       .node("p", "Person").node("c", "City").node("k", "Country")
+                       .edge("p", "c", "bornIn").edge("c", "k", "inCountry")
+                       .missing_edge("p", "k", "nationality")
+                       .add_edge("p", "k", "nationality")
+                       .priority(5)
+                       .described_as("a person born in a city has that country's nationality")
+                       .build())
+
+    rules = RuleSet(dsl_rules.rules(), name="quickstart-rules")
+    rules.add(add_nationality)
+    return rules
+
+
+def main() -> None:
+    graph = build_dirty_graph()
+    rules = build_rules()
+
+    print("== rules ==")
+    print(rules.describe())
+
+    print("\n== violations before repair ==")
+    detection = detect_violations(graph, rules)
+    for violation in detection:
+        print(" ", violation.describe())
+
+    repaired, report = repair_graph(graph, rules, method="fast")
+
+    print("\n== repair report ==")
+    print(report.describe())
+
+    print("\n== applied repairs (provenance) ==")
+    print(report.log.describe(limit=None))
+
+    print("\n== violations after repair ==")
+    print(f"  {len(detect_violations(repaired, rules))} remaining")
+
+    print("\n== repaired graph ==")
+    for node in repaired.nodes():
+        print(f"  {node}")
+    for edge in repaired.edges():
+        print(f"  {edge.source} -[{edge.label}]-> {edge.target}")
+
+
+if __name__ == "__main__":
+    main()

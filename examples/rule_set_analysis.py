@@ -1,0 +1,73 @@
+"""Static analysis of rule sets: dependencies, consistency, termination, redundancy.
+
+Run with::
+
+    python examples/rule_set_analysis.py
+
+The example analyses the built-in knowledge-graph rule library (whose
+nationality rules trip the conservative syntactic checks but are proven
+harmless by the bounded chase), then plants a genuinely inconsistent rule pair
+and shows that both analysis layers catch it, and finally runs the redundancy
+analysis after deliberately duplicating one rule.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    analyze_redundancy,
+    analyze_termination,
+    build_dependency_graph,
+    check_consistency,
+)
+from repro.datasets import RuleGenConfig, generate_rules, load_dataset
+from repro.rules import RuleSet, knowledge_graph_rules
+
+
+def analyse(rules, exact: bool = True) -> None:
+    print(f"\n##### {rules.name} ({len(rules)} rules) #####")
+    dependency = build_dependency_graph(rules)
+    print(dependency.describe())
+    print()
+    print(analyze_termination(rules, dependency).describe())
+    print()
+    print("Sufficient conditions:")
+    print(check_consistency(rules, dependency_graph=dependency).describe())
+    if exact:
+        print("Bounded-chase (exact) check:")
+        print(check_consistency(rules, exact=True, dependency_graph=dependency).describe())
+
+
+def main() -> None:
+    # 1. the hand-written KG library: syntactic false alarm, refuted by the chase
+    kg = knowledge_graph_rules()
+    analyse(kg)
+
+    # 2. a generated rule set with a planted oscillating pair
+    dataset = load_dataset("kg", scale=120, seed=3)
+    planted = generate_rules(dataset.clean,
+                             RuleGenConfig(num_rules=6, plant_inconsistent_pair=True,
+                                           seed=3),
+                             name="generated-with-planted-inconsistency")
+    analyse(planted)
+
+    # 3. redundancy analysis: duplicate one rule and watch it get flagged
+    rules = list(kg.rules())
+    clone = knowledge_graph_rules().get("kg-dedup-lives-in")
+    duplicated = RuleSet(rules, name="kg-rules-with-clone")
+    # re-register the same logic under a new name via the builder API
+    from repro.rules import redundancy_rule
+
+    duplicated.add(redundancy_rule("kg-dedup-lives-in-clone")
+                   .node("p", "Person").node("c", "City")
+                   .edge("p", "c", "livesIn", variable="e1")
+                   .edge("p", "c", "livesIn", variable="e2")
+                   .delete_edge(edge_variable="e2")
+                   .described_as("deliberate duplicate of kg-dedup-lives-in")
+                   .build())
+    print(f"\n##### redundancy analysis on {duplicated.name} #####")
+    print(analyze_redundancy(duplicated).describe())
+    assert clone is not None  # silence linters about the unused lookup
+
+
+if __name__ == "__main__":
+    main()

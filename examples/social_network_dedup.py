@@ -1,0 +1,70 @@
+"""Duplicate-account cleanup in a social network (redundancy semantics).
+
+Run with::
+
+    python examples/social_network_dedup.py [scale]
+
+The example corrupts a synthetic social network with *redundancy errors only*
+(duplicated user accounts and duplicated ``likes`` edges), repairs it with the
+social rule library, and then uses the provenance log to answer the question a
+trust & safety engineer would actually ask: *which accounts were merged, and
+why?*
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import repair_quality
+from repro.datasets import load_dataset
+from repro.errors import ErrorInjector, InjectionConfig
+from repro.metrics import format_table
+from repro.repair import EngineConfig, RepairEngine, detect_violations
+from repro.rules import Semantics
+
+
+def main(scale: int = 200) -> None:
+    print(f"Generating social network (scale={scale}) ...")
+    dataset = load_dataset("social", scale=scale, seed=7)
+
+    injector = ErrorInjector(dataset.error_profile,
+                             InjectionConfig(error_rate=0.06,
+                                             mix={"redundancy": 1.0}, seed=13))
+    dirty, truth = injector.corrupt(dataset.clean)
+    print(f"Injected {len(truth)} redundancy errors "
+          f"({sum(1 for e in truth if 'duplicate-node' in e.details.get('strategy', ''))} "
+          f"duplicated accounts).")
+
+    detection = detect_violations(dirty, dataset.rules)
+    print(f"Violations detected on the dirty graph: {len(detection)} "
+          f"({detection.per_semantics()})")
+
+    engine = RepairEngine(EngineConfig.fast())
+    repaired, report = engine.repair_copy(dirty, dataset.rules)
+    print("\n== repair report ==")
+    print(report.describe())
+
+    quality = repair_quality(dataset.clean, dirty, repaired, truth)
+    print("\n== quality against ground truth ==")
+    print(quality.describe())
+
+    merges = [action for action in report.log
+              if action.semantics is Semantics.REDUNDANCY and
+              "merge_nodes" in action.change_counts]
+    rows = []
+    for action in merges[:15]:
+        kept = action.node_bindings.get("a", "?")
+        merged = action.node_bindings.get("b", "?")
+        username = (repaired.node(kept).get("username")
+                    if repaired.has_node(kept) else "?")
+        rows.append({"rule": action.rule_name, "kept": kept, "merged": merged,
+                     "username": username, "changes": action.total_changes})
+    print("\n== merged accounts (provenance) ==")
+    print(format_table(rows, title=f"{len(merges)} account merges (first 15 shown)"))
+
+    remaining = detect_violations(repaired, dataset.rules)
+    print(f"\nViolations remaining after repair: {len(remaining)}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 200)

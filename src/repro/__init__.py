@@ -1,0 +1,101 @@
+"""repro — rule-based graph repairing.
+
+A from-scratch Python reproduction of the system described in *"Rule-Based
+Graph Repairing: Semantic and Efficient Repairing Methods"* (Cheng, Chen,
+Yuan, Wang — ICDE 2018): graph repairing rules (GRRs) over property graphs
+with incompleteness / conflict / redundancy semantics, static analysis of
+rule sets, and efficient repairing algorithms, together with the synthetic
+datasets, error injection, baselines, and experiment harness used to
+reproduce the paper's evaluation (see DESIGN.md and EXPERIMENTS.md).
+
+Quick start
+-----------
+::
+
+    from repro import build_workload, repair_graph, repair_quality
+
+    workload = build_workload("kg", scale=500, error_rate=0.05, seed=0)
+    repaired, report = repair_graph(workload.dirty, workload.rules, method="fast")
+    quality = repair_quality(workload.clean, workload.dirty, repaired,
+                             workload.ground_truth)
+    print(report.describe())
+    print(quality.describe())
+
+The most frequently used names are re-exported here; each subpackage
+(`repro.graph`, `repro.matching`, `repro.rules`, `repro.analysis`,
+`repro.repair`, `repro.errors`, `repro.datasets`, `repro.baselines`,
+`repro.metrics`, `repro.experiments`) exposes its full API.
+"""
+
+from repro.analysis import analyze_redundancy, analyze_termination, check_consistency
+from repro.datasets import build_workload, generate_rules, load_dataset
+from repro.errors import ErrorInjector, ErrorProfile, inject_errors
+from repro.graph import PropertyGraph
+from repro.matching import Matcher, MatcherConfig, Pattern, PatternEdge, PatternNode
+from repro.metrics import change_summary, repair_quality
+from repro.repair import (
+    EngineConfig,
+    RepairEngine,
+    RepairReport,
+    detect_violations,
+    repair_graph,
+)
+from repro.rules import (
+    GraphRepairingRule,
+    RuleBuilder,
+    RuleSet,
+    Semantics,
+    conflict_rule,
+    incompleteness_rule,
+    knowledge_graph_rules,
+    movie_rules,
+    parse_rules,
+    redundancy_rule,
+    social_rules,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    # graph
+    "PropertyGraph",
+    # matching
+    "Pattern",
+    "PatternNode",
+    "PatternEdge",
+    "Matcher",
+    "MatcherConfig",
+    # rules
+    "GraphRepairingRule",
+    "RuleSet",
+    "RuleBuilder",
+    "Semantics",
+    "incompleteness_rule",
+    "conflict_rule",
+    "redundancy_rule",
+    "parse_rules",
+    "knowledge_graph_rules",
+    "movie_rules",
+    "social_rules",
+    # analysis
+    "check_consistency",
+    "analyze_termination",
+    "analyze_redundancy",
+    # repair
+    "RepairEngine",
+    "EngineConfig",
+    "RepairReport",
+    "repair_graph",
+    "detect_violations",
+    # errors & datasets
+    "ErrorProfile",
+    "ErrorInjector",
+    "inject_errors",
+    "build_workload",
+    "load_dataset",
+    "generate_rules",
+    # metrics
+    "repair_quality",
+    "change_summary",
+]

@@ -1,0 +1,48 @@
+"""Static analysis of rule sets: dependencies, consistency, termination, and
+redundancy (system S4 in DESIGN.md)."""
+
+from repro.analysis.consistency import (
+    ConsistencyReport,
+    ConsistencyVerdict,
+    check_consistency,
+)
+from repro.analysis.dependency import (
+    DependencyGraph,
+    RuleRelation,
+    build_dependency_graph,
+)
+from repro.analysis.implication import (
+    ImplicationResult,
+    RedundancyReport,
+    analyze_redundancy,
+    is_rule_redundant,
+)
+from repro.analysis.termination import (
+    TerminationReport,
+    TerminationVerdict,
+    analyze_termination,
+)
+from repro.analysis.witness import (
+    materialize_pattern,
+    witness_for_rule,
+    witness_violation_count,
+)
+
+__all__ = [
+    "DependencyGraph",
+    "RuleRelation",
+    "build_dependency_graph",
+    "ConsistencyReport",
+    "ConsistencyVerdict",
+    "check_consistency",
+    "TerminationReport",
+    "TerminationVerdict",
+    "analyze_termination",
+    "ImplicationResult",
+    "RedundancyReport",
+    "analyze_redundancy",
+    "is_rule_redundant",
+    "materialize_pattern",
+    "witness_for_rule",
+    "witness_violation_count",
+]

@@ -1,0 +1,202 @@
+"""Rule dependency analysis: which rules can trigger, disable, or undo which.
+
+All three relations are derived *syntactically* from each rule's pattern
+requirements and repair-effect summaries (see
+:meth:`repro.rules.grr.GraphRepairingRule.effects`), so they are safe
+over-approximations: if the analysis says "r1 cannot trigger r2" that is
+guaranteed; if it says "may trigger" the rules might still never interact on
+real data.  The consistency and termination checkers build on these
+over-approximations, which is exactly why their positive verdicts are sound
+and their negative verdicts are only warnings (or, in exact mode, backed by a
+chase witness).
+
+Relations
+---------
+``r1 may trigger r2``
+    r1's repair can create structure r2's violation needs: it adds labels
+    r2's evidence pattern requires, or removes / rewrites structure that
+    r2's *missing* pattern needs (for incompleteness rules, destroying the
+    required extension creates a violation).
+
+``r1 may disable r2``
+    r1's repair can destroy structure r2's evidence needs, or supply r2's
+    missing extension.
+
+``r1 may undo r2`` (conflict pair)
+    r1 deletes the kind of structure r2 adds, or vice versa — the raw
+    material of repair oscillation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.rules.grr import GraphRepairingRule, RuleSet
+from repro.rules.semantics import Semantics
+
+WILDCARD = "*"
+
+
+def _labels_overlap(first: set[str], second: set[str]) -> bool:
+    """Label-set overlap where the wildcard ``"*"`` matches anything (if the
+    other side is non-empty)."""
+    if not first or not second:
+        return False
+    if WILDCARD in first or WILDCARD in second:
+        return True
+    return bool(first & second)
+
+
+@dataclass(frozen=True)
+class RuleRelation:
+    """One directed relation between two rules, with a human-readable reason."""
+
+    source: str
+    target: str
+    kind: str  # "triggers" | "disables" | "undoes"
+    reason: str
+
+
+@dataclass
+class DependencyGraph:
+    """All pairwise relations of a rule set."""
+
+    rules: RuleSet
+    relations: list[RuleRelation] = field(default_factory=list)
+
+    def triggers(self) -> list[RuleRelation]:
+        return [relation for relation in self.relations if relation.kind == "triggers"]
+
+    def disables(self) -> list[RuleRelation]:
+        return [relation for relation in self.relations if relation.kind == "disables"]
+
+    def undoes(self) -> list[RuleRelation]:
+        return [relation for relation in self.relations if relation.kind == "undoes"]
+
+    def trigger_adjacency(self) -> dict[str, set[str]]:
+        adjacency: dict[str, set[str]] = {name: set() for name in self.rules.names()}
+        for relation in self.triggers():
+            adjacency[relation.source].add(relation.target)
+        return adjacency
+
+    def trigger_cycles(self) -> list[list[str]]:
+        """Elementary cycles of the trigger graph (via simple DFS enumeration)."""
+        adjacency = self.trigger_adjacency()
+        cycles: list[list[str]] = []
+        seen_cycle_keys: set[tuple] = set()
+
+        def dfs(start: str, current: str, path: list[str], visited: set[str]) -> None:
+            for successor in sorted(adjacency.get(current, ())):
+                if successor == start:
+                    cycle = path[:]
+                    key = tuple(sorted(cycle))
+                    if key not in seen_cycle_keys:
+                        seen_cycle_keys.add(key)
+                        cycles.append(cycle)
+                elif successor not in visited and successor > start:
+                    # restrict to successors > start so each cycle is found from
+                    # its smallest node only
+                    visited.add(successor)
+                    dfs(start, successor, path + [successor], visited)
+                    visited.discard(successor)
+
+        for name in sorted(adjacency):
+            dfs(name, name, [name], {name})
+        return cycles
+
+    def relations_between(self, first: str, second: str) -> list[RuleRelation]:
+        return [relation for relation in self.relations
+                if {relation.source, relation.target} == {first, second}
+                or (relation.source == first and relation.target == second)]
+
+    def describe(self) -> str:
+        lines = [f"DependencyGraph over {len(self.rules)} rules: "
+                 f"{len(self.triggers())} trigger, {len(self.disables())} disable, "
+                 f"{len(self.undoes())} undo relations"]
+        for relation in self.relations:
+            lines.append(f"  {relation.source} --{relation.kind}--> {relation.target}"
+                         f"  ({relation.reason})")
+        return "\n".join(lines)
+
+    def __iter__(self) -> Iterator[RuleRelation]:
+        return iter(self.relations)
+
+
+def _may_trigger(first: GraphRepairingRule, second: GraphRepairingRule) -> str | None:
+    """Reason string if ``first``'s repair may create a violation of ``second``."""
+    effects = first.effects()
+    # Adding evidence structure second's pattern requires.
+    if _labels_overlap(effects.added_edge_labels, second.required_edge_labels()):
+        return "adds edge labels the target's evidence pattern requires"
+    if _labels_overlap(effects.added_node_labels, second.required_node_labels()):
+        return "adds node labels the target's evidence pattern requires"
+    if _labels_overlap(effects.updated_node_labels, second.required_node_labels()):
+        return "updates nodes of labels the target's evidence pattern constrains"
+    # For incompleteness targets: destroying the required extension creates violations.
+    if second.semantics is Semantics.INCOMPLETENESS:
+        if _labels_overlap(effects.removed_edge_labels, second.forbidden_edge_labels()):
+            return "removes edges the target's missing pattern requires"
+        if _labels_overlap(effects.removed_node_labels,
+                           set(second.missing.node_labels()) if second.missing else set()):
+            return "removes nodes the target's missing pattern requires"
+    return None
+
+
+def _may_disable(first: GraphRepairingRule, second: GraphRepairingRule) -> str | None:
+    """Reason string if ``first``'s repair may remove a violation of ``second``."""
+    effects = first.effects()
+    if _labels_overlap(effects.removed_edge_labels, second.required_edge_labels()):
+        return "removes edge labels the target's evidence pattern requires"
+    if _labels_overlap(effects.removed_node_labels, second.required_node_labels()):
+        return "removes node labels the target's evidence pattern requires"
+    if second.semantics is Semantics.INCOMPLETENESS:
+        if _labels_overlap(effects.added_edge_labels, second.forbidden_edge_labels()):
+            return "adds the edges the target's missing pattern asks for"
+    return None
+
+
+def _may_undo(first: GraphRepairingRule, second: GraphRepairingRule) -> str | None:
+    """Reason string if the two rules' repairs work against each other (either
+    direction: what one adds, the other deletes)."""
+    first_effects = first.effects()
+    second_effects = second.effects()
+    if _labels_overlap(first_effects.removed_edge_labels, second_effects.added_edge_labels) \
+            or _labels_overlap(second_effects.removed_edge_labels,
+                               first_effects.added_edge_labels):
+        return "one rule deletes edge labels the other adds"
+    if _labels_overlap(first_effects.removed_node_labels, second_effects.added_node_labels) \
+            or _labels_overlap(second_effects.removed_node_labels,
+                               first_effects.added_node_labels):
+        return "one rule deletes node labels the other adds"
+    return None
+
+
+def build_dependency_graph(rules: RuleSet) -> DependencyGraph:
+    """Compute all pairwise relations of ``rules``."""
+    graph = DependencyGraph(rules=rules)
+    rule_list = rules.rules()
+    for first in rule_list:
+        for second in rule_list:
+            if first.name == second.name:
+                # self-triggering is possible for additive rules whose output
+                # matches their own evidence; record it so cycle detection sees it.
+                reason = _may_trigger(first, second)
+                if reason is not None:
+                    graph.relations.append(RuleRelation(first.name, second.name,
+                                                        "triggers", reason))
+                continue
+            trigger_reason = _may_trigger(first, second)
+            if trigger_reason is not None:
+                graph.relations.append(RuleRelation(first.name, second.name,
+                                                    "triggers", trigger_reason))
+            disable_reason = _may_disable(first, second)
+            if disable_reason is not None:
+                graph.relations.append(RuleRelation(first.name, second.name,
+                                                    "disables", disable_reason))
+            if first.name < second.name:
+                undo_reason = _may_undo(first, second)
+                if undo_reason is not None:
+                    graph.relations.append(RuleRelation(first.name, second.name,
+                                                        "undoes", undo_reason))
+    return graph

@@ -1,0 +1,87 @@
+"""Termination analysis of rule sets.
+
+A repairing run terminates if it cannot apply repairs forever.  The exact
+question is undecidable in general (repairs can grow the graph), so this
+module implements the standard sufficient conditions over the syntactic
+trigger graph (see :mod:`repro.analysis.dependency`):
+
+* if the trigger graph is **acyclic**, every repair cascade has bounded
+  length — the rule set terminates;
+* if every trigger cycle consists solely of **subtractive** rules (rules that
+  only delete / merge), the cascade strictly shrinks the graph on every lap of
+  the cycle and therefore terminates;
+* a cycle containing an **additive** rule is a potential source of
+  non-termination; the verdict is *unknown* (it may still terminate on all
+  real graphs, which is why the repair engine keeps an iteration budget as a
+  backstop).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.analysis.dependency import DependencyGraph, build_dependency_graph
+from repro.rules.grr import GraphRepairingRule, RuleSet
+
+
+class TerminationVerdict(enum.Enum):
+    TERMINATING = "terminating"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class TerminationReport:
+    """Outcome of the termination analysis."""
+
+    verdict: TerminationVerdict
+    trigger_cycles: list[list[str]] = field(default_factory=list)
+    risky_cycles: list[list[str]] = field(default_factory=list)
+    reasons: list[str] = field(default_factory=list)
+
+    @property
+    def is_terminating(self) -> bool:
+        return self.verdict is TerminationVerdict.TERMINATING
+
+    def describe(self) -> str:
+        lines = [f"Termination: {self.verdict.value}"]
+        lines.extend(f"  - {reason}" for reason in self.reasons)
+        for cycle in self.risky_cycles:
+            lines.append(f"  risky cycle: {' -> '.join(cycle + [cycle[0]])}")
+        return "\n".join(lines)
+
+
+def _is_additive(rule: GraphRepairingRule) -> bool:
+    return rule.effects().is_additive
+
+
+def analyze_termination(rules: RuleSet,
+                        dependency_graph: DependencyGraph | None = None) -> TerminationReport:
+    """Run the sufficient-condition termination analysis."""
+    dependency_graph = dependency_graph or build_dependency_graph(rules)
+    cycles = dependency_graph.trigger_cycles()
+
+    if not cycles:
+        return TerminationReport(
+            verdict=TerminationVerdict.TERMINATING,
+            reasons=["the trigger graph is acyclic: repair cascades have bounded length"])
+
+    risky = []
+    for cycle in cycles:
+        if any(_is_additive(rules.get(name)) for name in cycle):
+            risky.append(cycle)
+
+    if not risky:
+        return TerminationReport(
+            verdict=TerminationVerdict.TERMINATING,
+            trigger_cycles=cycles,
+            reasons=["all trigger cycles consist of subtractive rules only; every lap "
+                     "of a cycle strictly shrinks the graph"])
+
+    return TerminationReport(
+        verdict=TerminationVerdict.UNKNOWN,
+        trigger_cycles=cycles,
+        risky_cycles=risky,
+        reasons=[f"{len(risky)} trigger cycle(s) contain additive rules; the analysis "
+                 "cannot guarantee termination (the repair engine's iteration budget "
+                 "still bounds every run)"])

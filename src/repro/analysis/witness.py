@@ -1,0 +1,141 @@
+"""Canonical witness graphs for rules.
+
+The static analysis reasons about small *witness graphs*: a concrete graph
+that exhibits exactly one violation of one rule.  The witness is obtained by
+materialising the rule's evidence pattern (variables become nodes, pattern
+edges become edges) and choosing property values so that the rule's unary
+predicates and cross-variable comparisons hold:
+
+* ``exists(key)`` / ``eq(key, v)`` predicates set the property;
+* ``same_value(x.k, y.k)`` comparisons give both sides the same synthetic
+  value;
+* ``different_value(x.k, y.k)`` comparisons give them distinct values;
+* ordered comparisons pick numerically ordered values.
+
+For incompleteness rules the witness deliberately omits the missing pattern,
+so the materialised match *is* a violation; for conflict and redundancy rules
+any evidence match is a violation by definition.
+"""
+
+from __future__ import annotations
+
+from repro.graph.property_graph import PropertyGraph
+from repro.matching.pattern import Pattern
+from repro.matching.predicates import Comparison, ComparisonOp, PredicateOp
+from repro.rules.grr import GraphRepairingRule
+
+
+def _apply_unary_predicates(graph: PropertyGraph, pattern: Pattern) -> None:
+    """Give witness nodes properties satisfying EXISTS / EQ / ordered predicates."""
+    for node in pattern.nodes:
+        for predicate in node.predicates:
+            if predicate.op is PredicateOp.MISSING:
+                continue
+            if predicate.op is PredicateOp.EXISTS:
+                graph.update_node(node.variable, {predicate.key: f"value-{predicate.key}"})
+            elif predicate.op is PredicateOp.EQ:
+                graph.update_node(node.variable, {predicate.key: predicate.value})
+            elif predicate.op in (PredicateOp.GT, PredicateOp.GE):
+                base = predicate.value if isinstance(predicate.value, (int, float)) else 0
+                graph.update_node(node.variable, {predicate.key: base + 1})
+            elif predicate.op in (PredicateOp.LT, PredicateOp.LE):
+                base = predicate.value if isinstance(predicate.value, (int, float)) else 2
+                graph.update_node(node.variable, {predicate.key: base - 1})
+            elif predicate.op is PredicateOp.IN and predicate.value:
+                graph.update_node(node.variable, {predicate.key: list(predicate.value)[0]})
+
+
+def _apply_comparisons(graph: PropertyGraph, comparisons: tuple[Comparison, ...]) -> None:
+    """Choose property values that satisfy the cross-variable comparisons.
+
+    Works for node *and* edge variables: the materialised witness names its
+    edges after the pattern's edge variables, so confidence-style policies on
+    edges (e.g. ``e1.confidence >= e2.confidence``) are satisfiable too.
+    """
+    fresh = [100]
+
+    def next_value() -> int:
+        fresh[0] += 1
+        return fresh[0]
+
+    def has_element(variable: str) -> bool:
+        return graph.has_node(variable) or graph.has_edge(variable)
+
+    def get_property(variable: str, key: str):
+        if graph.has_node(variable):
+            return graph.node(variable).properties.get(key)
+        if graph.has_edge(variable):
+            return graph.edge(variable).properties.get(key)
+        return None
+
+    def set_property(variable: str, key: str, value) -> None:
+        if graph.has_node(variable):
+            graph.update_node(variable, {key: value})
+        elif graph.has_edge(variable):
+            graph.update_edge(variable, {key: value})
+
+    for comparison in comparisons:
+        left_var, left_key = comparison.left
+        if not has_element(left_var):
+            continue
+        if comparison.right_literal:
+            if comparison.op in (ComparisonOp.EQ, ComparisonOp.GE, ComparisonOp.LE):
+                set_property(left_var, left_key, comparison.right_value)
+            elif comparison.op is ComparisonOp.NE:
+                set_property(left_var, left_key, f"not-{comparison.right_value}")
+            elif comparison.op is ComparisonOp.GT and isinstance(comparison.right_value, (int, float)):
+                set_property(left_var, left_key, comparison.right_value + 1)
+            elif comparison.op is ComparisonOp.LT and isinstance(comparison.right_value, (int, float)):
+                set_property(left_var, left_key, comparison.right_value - 1)
+            continue
+        if comparison.right is None:
+            continue
+        right_var, right_key = comparison.right
+        if not has_element(right_var):
+            continue
+        if comparison.op in (ComparisonOp.EQ, ComparisonOp.GE, ComparisonOp.LE):
+            shared = get_property(left_var, left_key)
+            if shared is None:
+                shared = get_property(right_var, right_key)
+            if shared is None:
+                shared = next_value()
+            set_property(left_var, left_key, shared)
+            set_property(right_var, right_key, shared)
+        elif comparison.op is ComparisonOp.NE:
+            set_property(left_var, left_key, next_value())
+            set_property(right_var, right_key, next_value())
+        elif comparison.op is ComparisonOp.GT:
+            high, low = next_value(), fresh[0] - 10
+            set_property(left_var, left_key, high)
+            set_property(right_var, right_key, low)
+        elif comparison.op is ComparisonOp.LT:
+            low, high = next_value(), fresh[0] + 10
+            set_property(left_var, left_key, low)
+            set_property(right_var, right_key, high)
+
+
+def materialize_pattern(pattern: Pattern, name: str | None = None,
+                        wildcard_label: str = "Thing") -> PropertyGraph:
+    """Materialise a pattern into a concrete graph whose nodes are the variables."""
+    graph = PropertyGraph(name=name or f"witness-{pattern.name}")
+    for node in pattern.nodes:
+        graph.add_node(node.label or wildcard_label, node_id=node.variable)
+    for edge in pattern.edges:
+        graph.add_edge(edge.source, edge.target, edge.label or "related",
+                       edge_id=edge.variable or None)
+    _apply_unary_predicates(graph, pattern)
+    _apply_comparisons(graph, pattern.comparisons)
+    return graph
+
+
+def witness_for_rule(rule: GraphRepairingRule) -> PropertyGraph:
+    """A small graph containing exactly one violation of ``rule``."""
+    return materialize_pattern(rule.pattern, name=f"witness-{rule.name}")
+
+
+def witness_violation_count(rule: GraphRepairingRule, graph: PropertyGraph) -> int:
+    """Number of violations of ``rule`` on ``graph`` (used to verify witnesses)."""
+    from repro.repair.detector import detect_violations
+    from repro.rules.grr import RuleSet
+
+    return len(detect_violations(graph, RuleSet([rule], name="witness-check")))

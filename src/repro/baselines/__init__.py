@@ -1,0 +1,14 @@
+"""Comparison baselines: detection-only, relational FD repair, greedy deletion
+(system S8 in DESIGN.md)."""
+
+from repro.baselines.detect_only import BaselineReport, DetectOnlyBaseline
+from repro.baselines.fd_relational import FDRelationalBaseline
+from repro.baselines.greedy import GreedyConfig, GreedyDeleteBaseline
+
+__all__ = [
+    "BaselineReport",
+    "DetectOnlyBaseline",
+    "FDRelationalBaseline",
+    "GreedyDeleteBaseline",
+    "GreedyConfig",
+]

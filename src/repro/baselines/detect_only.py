@@ -1,0 +1,59 @@
+"""Detection-only baseline.
+
+Error-*detection* systems (GFD-based detection, constraint validation
+dashboards) find violations but leave fixing them to a human.  As a repair
+method this is the floor: it changes nothing, so its repair precision is
+vacuously perfect and its repair recall is zero.  The paper's evaluation uses
+such a baseline to quantify how much of the cleaning work the GRR repairs
+automate; experiment E1 includes it for the same reason.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.graph.property_graph import PropertyGraph
+from repro.repair.detector import detect_violations
+from repro.rules.grr import RuleSet
+
+
+@dataclass
+class BaselineReport:
+    """Uniform result record shared by all baselines."""
+
+    method: str
+    elapsed_seconds: float = 0.0
+    violations_detected: int = 0
+    changes_applied: int = 0
+    details: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "elapsed_seconds": self.elapsed_seconds,
+            "violations_detected": self.violations_detected,
+            "changes_applied": self.changes_applied,
+            **self.details,
+        }
+
+
+class DetectOnlyBaseline:
+    """Runs GRR violation detection and applies no repair."""
+
+    name = "detect-only"
+
+    def repair(self, graph: PropertyGraph,
+               rules: RuleSet) -> tuple[PropertyGraph, BaselineReport]:
+        """Return an untouched copy of ``graph`` plus the detection statistics."""
+        started = time.perf_counter()
+        detection = detect_violations(graph, rules)
+        untouched = graph.copy(name=f"{graph.name}-detect-only")
+        report = BaselineReport(
+            method=self.name,
+            elapsed_seconds=time.perf_counter() - started,
+            violations_detected=len(detection),
+            changes_applied=0,
+            details={"per_semantics": detection.per_semantics()},
+        )
+        return untouched, report

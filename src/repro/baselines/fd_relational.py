@@ -1,0 +1,108 @@
+"""Relational (FD/CFD-style) repair baseline over the triplified graph.
+
+The classical data-repair toolbox works on relations: functional dependencies
+say "for this key there must be a single value", and violations are repaired
+by keeping the most reliable tuple and dropping the rest; exact duplicate
+tuples are eliminated.  To compare against it, this baseline flattens the
+property graph into a subject–predicate–object view and applies exactly those
+two mechanisms:
+
+* for every *functional predicate* (either given explicitly or mined from the
+  data with :func:`repro.graph.statistics.functional_predicate_candidates`),
+  a subject with multiple objects keeps only the highest-confidence edge
+  (ties: the first by id) and the other edges are deleted;
+* exact duplicate triples (parallel edges with the same label and endpoints)
+  are collapsed to one.
+
+What it structurally cannot do — and what experiment E1 makes visible — is
+add missing facts (incompleteness) or merge duplicate *entities*
+(redundancy beyond exact duplicate edges): neither has a relational analogue
+without a graph-aware rule language.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable
+
+from repro.baselines.detect_only import BaselineReport
+from repro.graph.property_graph import PropertyGraph
+from repro.graph.statistics import functional_predicate_candidates
+from repro.rules.grr import RuleSet
+
+
+class FDRelationalBaseline:
+    """FD-style repair on the triple view of the graph."""
+
+    name = "fd-relational"
+
+    def __init__(self, functional_predicates: Iterable[str] | None = None,
+                 mine_functional_predicates: bool = True,
+                 functional_tolerance: float = 0.1) -> None:
+        self.functional_predicates = (tuple(functional_predicates)
+                                      if functional_predicates is not None else None)
+        self.mine_functional_predicates = mine_functional_predicates
+        self.functional_tolerance = functional_tolerance
+
+    # ------------------------------------------------------------------
+
+    def _predicates_for(self, graph: PropertyGraph) -> set[str]:
+        if self.functional_predicates is not None:
+            return set(self.functional_predicates)
+        if self.mine_functional_predicates:
+            return functional_predicate_candidates(graph, self.functional_tolerance)
+        return set()
+
+    def repair(self, graph: PropertyGraph,
+               rules: RuleSet | None = None) -> tuple[PropertyGraph, BaselineReport]:
+        """Repair a copy of ``graph``.  ``rules`` is accepted for interface
+        uniformity but ignored — this baseline does not understand GRRs."""
+        started = time.perf_counter()
+        repaired = graph.copy(name=f"{graph.name}-fd-repaired")
+        functional = self._predicates_for(graph)
+
+        deleted_conflicts = 0
+        deleted_duplicates = 0
+        violations = 0
+
+        # 1. Functional-dependency enforcement per predicate and subject.
+        for predicate in sorted(functional):
+            by_subject: dict[str, list] = {}
+            for edge in repaired.edges_with_label(predicate):
+                by_subject.setdefault(edge.source, []).append(edge)
+            for edges in by_subject.values():
+                distinct_objects = {edge.target for edge in edges}
+                if len(distinct_objects) <= 1:
+                    continue
+                violations += 1
+                keeper = max(edges, key=lambda edge: (edge.get("confidence", 0.0),
+                                                      edge.id), default=None)
+                for edge in edges:
+                    if keeper is not None and edge.target != keeper.target:
+                        if repaired.has_edge(edge.id):
+                            repaired.remove_edge(edge.id)
+                            deleted_conflicts += 1
+
+        # 2. Exact duplicate-triple elimination.
+        seen: set[tuple[str, str, str]] = set()
+        for edge in list(repaired.edges()):
+            key = (edge.source, edge.label, edge.target)
+            if key in seen:
+                repaired.remove_edge(edge.id)
+                deleted_duplicates += 1
+                violations += 1
+            else:
+                seen.add(key)
+
+        report = BaselineReport(
+            method=self.name,
+            elapsed_seconds=time.perf_counter() - started,
+            violations_detected=violations,
+            changes_applied=deleted_conflicts + deleted_duplicates,
+            details={
+                "functional_predicates": sorted(functional),
+                "deleted_conflicting_edges": deleted_conflicts,
+                "deleted_duplicate_edges": deleted_duplicates,
+            },
+        )
+        return repaired, report

@@ -1,0 +1,108 @@
+"""Greedy deletion baseline.
+
+Denial-constraint-style repair treats every rule pattern purely as a
+forbidden configuration and restores consistency by deleting something from
+each violating match — it never adds facts and never merges entities.  This
+baseline applies exactly that policy to the GRR patterns:
+
+* for conflict and redundancy violations it deletes one matched edge
+  (an edge bound to an edge variable if the pattern has one, otherwise the
+  last pattern edge's witness);
+* incompleteness violations cannot be repaired by deletion of the *missing*
+  part (it is not there), so — in true denial-constraint spirit — it deletes
+  an evidence edge instead, which silences the violation at the cost of
+  destroying correct data.
+
+The result is a method that does reach a violation-free graph but with poor
+precision (it deletes good facts) and poor recall on incompleteness and
+entity-duplication errors — the qualitative behaviour experiment E1 contrasts
+with GRR repair.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.baselines.detect_only import BaselineReport
+from repro.graph.property_graph import PropertyGraph
+from repro.matching.matcher import Matcher, MatcherConfig
+from repro.repair.detector import ViolationDetector
+from repro.rules.grr import RuleSet
+
+
+@dataclass
+class GreedyConfig:
+    max_rounds: int = 50
+    max_deletions: int | None = None
+
+
+class GreedyDeleteBaseline:
+    """Repairs every violation by deleting one involved edge."""
+
+    name = "greedy-delete"
+
+    def __init__(self, config: GreedyConfig | None = None) -> None:
+        self.config = config or GreedyConfig()
+
+    def _edge_to_delete(self, graph: PropertyGraph, violation) -> str | None:
+        """Pick the edge this baseline deletes for one violation."""
+        for edge_id in sorted(violation.match.edge_bindings.values()):
+            if graph.has_edge(edge_id):
+                return edge_id
+        # No edge variable: fall back to a witness of the last pattern edge.
+        pattern = violation.rule.pattern
+        for edge in reversed(pattern.edges):
+            source = violation.match.node_bindings.get(edge.source)
+            target = violation.match.node_bindings.get(edge.target)
+            if source is None or target is None:
+                continue
+            if not (graph.has_node(source) and graph.has_node(target)):
+                continue
+            witnesses = graph.edges_between(source, target, edge.label)
+            if witnesses:
+                return witnesses[0].id
+        return None
+
+    def repair(self, graph: PropertyGraph,
+               rules: RuleSet) -> tuple[PropertyGraph, BaselineReport]:
+        """Repair a copy of ``graph`` by greedy deletion."""
+        started = time.perf_counter()
+        repaired = graph.copy(name=f"{graph.name}-greedy-repaired")
+        deletions = 0
+        violations_seen = 0
+
+        for _round in range(self.config.max_rounds):
+            matcher = Matcher(repaired, MatcherConfig.optimized())
+            detection = ViolationDetector(repaired, rules, matcher=matcher).detect()
+            matcher.close()
+            if not detection.violations:
+                break
+            violations_seen += len(detection.violations)
+            progressed = False
+            for violation in detection.violations:
+                if self.config.max_deletions is not None and \
+                        deletions >= self.config.max_deletions:
+                    break
+                if not violation.match.is_valid(repaired):
+                    continue
+                edge_id = self._edge_to_delete(repaired, violation)
+                if edge_id is None:
+                    continue
+                repaired.remove_edge(edge_id)
+                deletions += 1
+                progressed = True
+            if not progressed:
+                break
+            if self.config.max_deletions is not None and \
+                    deletions >= self.config.max_deletions:
+                break
+
+        report = BaselineReport(
+            method=self.name,
+            elapsed_seconds=time.perf_counter() - started,
+            violations_detected=violations_seen,
+            changes_applied=deletions,
+            details={"deleted_edges": deletions},
+        )
+        return repaired, report

@@ -1,0 +1,43 @@
+"""Synthetic evaluation datasets and workload construction (system S7 in
+DESIGN.md)."""
+
+from repro.datasets.knowledge_graph import (
+    KGConfig,
+    generate_knowledge_graph,
+    knowledge_graph_error_profile,
+)
+from repro.datasets.movies import MovieConfig, generate_movie_graph, movie_error_profile
+from repro.datasets.registry import (
+    DOMAINS,
+    DatasetInstance,
+    Domain,
+    Workload,
+    available_domains,
+    build_workload,
+    get_domain,
+    load_dataset,
+)
+from repro.datasets.rulegen import RuleGenConfig, generate_rules
+from repro.datasets.social import SocialConfig, generate_social_graph, social_error_profile
+
+__all__ = [
+    "KGConfig",
+    "generate_knowledge_graph",
+    "knowledge_graph_error_profile",
+    "MovieConfig",
+    "generate_movie_graph",
+    "movie_error_profile",
+    "SocialConfig",
+    "generate_social_graph",
+    "social_error_profile",
+    "RuleGenConfig",
+    "generate_rules",
+    "Domain",
+    "DOMAINS",
+    "DatasetInstance",
+    "Workload",
+    "available_domains",
+    "get_domain",
+    "load_dataset",
+    "build_workload",
+]

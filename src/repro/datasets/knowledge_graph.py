@@ -1,0 +1,137 @@
+"""Synthetic people/geography knowledge graph.
+
+This generator stands in for the real knowledge-graph dumps (YAGO / DBpedia)
+the paper evaluates on — see the substitution table in DESIGN.md.  It
+produces a *clean* property graph that satisfies every rule of
+:func:`repro.rules.library.knowledge_graph_rules`:
+
+* ``Country`` nodes, each with exactly one capital (``capitalOf``);
+* ``City`` nodes with an ``inCountry`` edge;
+* ``Person`` nodes with exactly one ``bornIn`` city, one ``livesIn`` city,
+  and a ``nationality`` edge to the birth city's country (so the
+  incompleteness rule is satisfied and the conflict rule has nothing to
+  complain about);
+* ``Organization`` nodes headquartered in a city and ``basedIn`` its country,
+  with people working for them.
+
+Degree skew follows real KGs: persons are attached to cities with Zipfian
+preference, so a few cities become hubs.  Every edge is stamped with
+``confidence = 1.0`` — the conflict-resolution policy of the rule library
+compares confidences, and error injection marks its less-trustworthy facts
+with a lower value.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors.injector import ErrorProfile
+from repro.graph.property_graph import PropertyGraph
+from repro.rules.library import KG
+from repro.utils.rng import ensure_rng, zipf_weights
+
+CLEAN_CONFIDENCE = 1.0
+
+CONTINENTS = ("Europe", "Asia", "Africa", "Americas", "Oceania")
+GIVEN_NAMES = ("Ada", "Alan", "Grace", "Edsger", "Barbara", "Donald", "Edgar", "John",
+               "Leslie", "Tim", "Margaret", "Dennis", "Ken", "Radia", "Frances", "Niklaus")
+FAMILY_NAMES = ("Lovelace", "Turing", "Hopper", "Dijkstra", "Liskov", "Knuth", "Codd",
+                "Backus", "Lamport", "Berners-Lee", "Hamilton", "Ritchie", "Thompson",
+                "Perlman", "Allen", "Wirth")
+
+
+@dataclass(frozen=True)
+class KGConfig:
+    """Size knobs of the knowledge-graph generator."""
+
+    num_persons: int = 200
+    num_countries: int = 8
+    cities_per_country: int = 4
+    num_organizations: int = 20
+    employment_probability: float = 0.6
+    seed: int | random.Random | None = 0
+
+    @classmethod
+    def scaled(cls, num_persons: int, seed: int | random.Random | None = 0) -> "KGConfig":
+        """A config whose secondary sizes grow sub-linearly with ``num_persons``."""
+        num_countries = max(3, min(40, num_persons // 25))
+        cities_per_country = max(2, min(8, num_persons // (num_countries * 8) + 2))
+        num_organizations = max(3, num_persons // 10)
+        return cls(num_persons=num_persons, num_countries=num_countries,
+                   cities_per_country=cities_per_country,
+                   num_organizations=num_organizations, seed=seed)
+
+
+def generate_knowledge_graph(config: KGConfig | None = None) -> PropertyGraph:
+    """Generate the clean knowledge graph described in the module docstring."""
+    config = config or KGConfig()
+    rng = ensure_rng(config.seed)
+    graph = PropertyGraph(name="synthetic-kg")
+
+    def edge(source: str, target: str, label: str) -> None:
+        graph.add_edge(source, target, label, {"confidence": CLEAN_CONFIDENCE})
+
+    # Countries and cities -------------------------------------------------
+    country_ids: list[str] = []
+    city_ids: list[str] = []
+    city_country: dict[str, str] = {}
+    for country_index in range(config.num_countries):
+        country = graph.add_node(KG["COUNTRY"], {
+            "name": f"Country-{country_index}",
+            "continent": CONTINENTS[country_index % len(CONTINENTS)],
+        })
+        country_ids.append(country.id)
+        for city_index in range(config.cities_per_country):
+            city = graph.add_node(KG["CITY"], {
+                "name": f"City-{country_index}-{city_index}",
+                "population": int(10_000 * (1 + rng.random() * 500)),
+            })
+            city_ids.append(city.id)
+            city_country[city.id] = country.id
+            edge(city.id, country.id, KG["IN_COUNTRY"])
+            if city_index == 0:
+                edge(city.id, country.id, KG["CAPITAL_OF"])
+
+    # Organizations ---------------------------------------------------------
+    organization_ids: list[str] = []
+    for org_index in range(config.num_organizations):
+        organization = graph.add_node(KG["ORG"], {
+            "name": f"Org-{org_index}",
+            "founded": 1900 + rng.randrange(0, 120),
+        })
+        organization_ids.append(organization.id)
+        headquarters = rng.choice(city_ids)
+        edge(organization.id, headquarters, KG["HQ_IN"])
+        edge(organization.id, city_country[headquarters], KG["BASED_IN"])
+
+    # Persons ---------------------------------------------------------------
+    city_weights = zipf_weights(len(city_ids), 0.9)
+    for person_index in range(config.num_persons):
+        given = GIVEN_NAMES[person_index % len(GIVEN_NAMES)]
+        family = FAMILY_NAMES[(person_index // len(GIVEN_NAMES)) % len(FAMILY_NAMES)]
+        person = graph.add_node(KG["PERSON"], {
+            "name": f"{given} {family} {person_index}",
+            "birthYear": 1900 + rng.randrange(0, 105),
+        })
+        birth_city = rng.choices(city_ids, weights=city_weights, k=1)[0]
+        edge(person.id, birth_city, KG["BORN_IN"])
+        edge(person.id, city_country[birth_city], KG["NATIONALITY"])
+        residence_city = rng.choices(city_ids, weights=city_weights, k=1)[0]
+        edge(person.id, residence_city, KG["LIVES_IN"])
+        if organization_ids and rng.random() < config.employment_probability:
+            edge(person.id, rng.choice(organization_ids), KG["WORKS_FOR"])
+
+    return graph
+
+
+def knowledge_graph_error_profile() -> ErrorProfile:
+    """Where errors can be injected so the KG rule library can repair them."""
+    return ErrorProfile(
+        removable_edge_labels=(KG["NATIONALITY"], KG["BASED_IN"]),
+        functional_edge_labels=((KG["BORN_IN"], KG["CITY"]),),
+        inverse_functional_edge_labels=((KG["CAPITAL_OF"], KG["CITY"]),),
+        self_loop_forbidden_labels=(),
+        duplicatable_node_labels=((KG["PERSON"], KG["BORN_IN"]),),
+        duplicatable_edge_labels=(KG["LIVES_IN"],),
+    )

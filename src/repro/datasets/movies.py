@@ -1,0 +1,141 @@
+"""Synthetic movie-catalogue graph.
+
+A second evaluation domain (the paper's intro motivates cleaning of
+entity-centric catalogues as well as encyclopedic KGs).  The clean graph
+satisfies every rule of :func:`repro.rules.library.movie_rules`:
+
+* every ``Movie`` is produced by exactly one ``Studio`` and released in
+  exactly one ``Year``;
+* every director has both a ``directed`` and a ``workedOn`` edge to their
+  movie (actors only get ``actedIn``, so every ``workedOn`` edge in the clean
+  graph is derivable from ``directed`` — which is what makes deleting one a
+  repairable incompleteness error);
+* sequels (``sequelOf``) carry every genre of the movie they continue;
+* titles are unique, so the duplicate-movie redundancy rule is quiet on clean
+  data.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors.injector import ErrorProfile
+from repro.graph.property_graph import PropertyGraph
+from repro.rules.library import MOVIES
+from repro.utils.rng import ensure_rng, zipf_weights
+
+CLEAN_CONFIDENCE = 1.0
+
+GENRE_NAMES = ("Drama", "Comedy", "Action", "SciFi", "Documentary", "Horror",
+               "Romance", "Thriller", "Animation", "Western")
+
+
+@dataclass(frozen=True)
+class MovieConfig:
+    """Size knobs of the movie-catalogue generator."""
+
+    num_movies: int = 150
+    num_people: int = 120
+    num_studios: int = 10
+    num_genres: int = 8
+    first_year: int = 1970
+    last_year: int = 2025
+    sequel_probability: float = 0.2
+    actors_per_movie: tuple[int, int] = (2, 5)
+    genres_per_movie: tuple[int, int] = (1, 3)
+    seed: int | random.Random | None = 0
+
+    @classmethod
+    def scaled(cls, num_movies: int, seed: int | random.Random | None = 0) -> "MovieConfig":
+        return cls(num_movies=num_movies,
+                   num_people=max(10, int(num_movies * 0.8)),
+                   num_studios=max(3, num_movies // 15),
+                   num_genres=min(len(GENRE_NAMES), max(4, num_movies // 20)),
+                   seed=seed)
+
+
+def generate_movie_graph(config: MovieConfig | None = None) -> PropertyGraph:
+    """Generate the clean movie catalogue described in the module docstring."""
+    config = config or MovieConfig()
+    rng = ensure_rng(config.seed)
+    graph = PropertyGraph(name="synthetic-movies")
+
+    def edge(source: str, target: str, label: str) -> None:
+        graph.add_edge(source, target, label, {"confidence": CLEAN_CONFIDENCE})
+
+    studio_ids = [graph.add_node(MOVIES["STUDIO"], {"name": f"Studio-{index}"}).id
+                  for index in range(config.num_studios)]
+    genre_ids = [graph.add_node(MOVIES["GENRE"],
+                                {"name": GENRE_NAMES[index % len(GENRE_NAMES)]
+                                 + ("" if index < len(GENRE_NAMES) else f"-{index}")}).id
+                 for index in range(config.num_genres)]
+    year_ids = {year: graph.add_node(MOVIES["YEAR"], {"value": year}).id
+                for year in range(config.first_year, config.last_year + 1)}
+    person_ids = [graph.add_node(MOVIES["PERSON"], {"name": f"Filmmaker-{index}"}).id
+                  for index in range(config.num_people)]
+
+    studio_weights = zipf_weights(len(studio_ids), 1.0)
+    person_weights = zipf_weights(len(person_ids), 0.7)
+
+    movie_records: list[tuple[str, list[str]]] = []  # (movie id, genre ids)
+    for movie_index in range(config.num_movies):
+        movie = graph.add_node(MOVIES["MOVIE"], {
+            "title": f"Movie-{movie_index}",
+            "runtime": 80 + rng.randrange(0, 100),
+        })
+        studio = rng.choices(studio_ids, weights=studio_weights, k=1)[0]
+        edge(movie.id, studio, MOVIES["PRODUCED_BY"])
+        year = rng.randrange(config.first_year, config.last_year + 1)
+        edge(movie.id, year_ids[year], MOVIES["RELEASED_IN"])
+
+        # Genres: either fresh, or (for sequels) a superset of the base movie's.
+        genre_count = rng.randint(*config.genres_per_movie)
+        genres = set(rng.sample(genre_ids, min(genre_count, len(genre_ids))))
+        if movie_records and rng.random() < config.sequel_probability:
+            base_id, base_genres = rng.choice(movie_records)
+            edge(movie.id, base_id, MOVIES["SEQUEL_OF"])
+            genres.update(base_genres)
+        for genre in sorted(genres):
+            edge(movie.id, genre, MOVIES["HAS_GENRE"])
+
+        # Director gets both credits; actors only actedIn.
+        director = rng.choices(person_ids, weights=person_weights, k=1)[0]
+        edge(director, movie.id, MOVIES["DIRECTED"])
+        edge(director, movie.id, MOVIES["WORKED_ON"])
+        actor_count = rng.randint(*config.actors_per_movie)
+        for actor in rng.sample(person_ids, min(actor_count, len(person_ids))):
+            if actor != director:
+                edge(actor, movie.id, MOVIES["ACTED_IN"])
+
+        movie_records.append((movie.id, sorted(genres)))
+
+    return graph
+
+
+def _removable_movie_edge(graph: PropertyGraph, edge) -> bool:
+    """Restrict incompleteness injection to edges the movie rules can re-derive."""
+    if edge.label == MOVIES["WORKED_ON"]:
+        # re-derivable iff the person also directed the movie
+        return graph.has_edge_between(edge.source, edge.target, MOVIES["DIRECTED"])
+    if edge.label == MOVIES["HAS_GENRE"]:
+        # re-derivable iff the movie is a sequel of a movie with the same genre
+        for sequel_edge in graph.out_edges_with_label(edge.source, MOVIES["SEQUEL_OF"]):
+            if graph.has_edge_between(sequel_edge.target, edge.target, MOVIES["HAS_GENRE"]):
+                return True
+        return False
+    return True
+
+
+def movie_error_profile() -> ErrorProfile:
+    """Where errors can be injected so the movie rule library can repair them."""
+    return ErrorProfile(
+        removable_edge_labels=(MOVIES["WORKED_ON"], MOVIES["HAS_GENRE"]),
+        functional_edge_labels=((MOVIES["RELEASED_IN"], MOVIES["YEAR"]),
+                                (MOVIES["PRODUCED_BY"], MOVIES["STUDIO"])),
+        inverse_functional_edge_labels=(),
+        self_loop_forbidden_labels=(),
+        duplicatable_node_labels=((MOVIES["MOVIE"], MOVIES["PRODUCED_BY"]),),
+        duplicatable_edge_labels=(MOVIES["HAS_GENRE"],),
+        removable_edge_filter=_removable_movie_edge,
+    )

@@ -1,0 +1,130 @@
+"""Dataset registry: one place the experiments and examples load workloads from.
+
+A *domain* bundles a clean-graph generator, the matching canned rule library,
+and the error profile the injector needs.  ``load_dataset("kg", scale=1000)``
+returns everything an experiment needs to build a workload: the clean graph,
+the rules, and the profile; ``build_workload`` additionally runs the error
+injector and returns the dirty graph plus ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors.ground_truth import GroundTruth
+from repro.errors.injector import ErrorProfile, inject_errors
+from repro.exceptions import DatasetError
+from repro.graph.property_graph import PropertyGraph
+from repro.rules.grr import RuleSet
+from repro.rules.library import knowledge_graph_rules, movie_rules, social_rules
+from repro.datasets.knowledge_graph import KGConfig, generate_knowledge_graph, \
+    knowledge_graph_error_profile
+from repro.datasets.movies import MovieConfig, generate_movie_graph, movie_error_profile
+from repro.datasets.social import SocialConfig, generate_social_graph, social_error_profile
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A registered evaluation domain."""
+
+    name: str
+    description: str
+    generate: Callable[[int, int | random.Random | None], PropertyGraph]
+    rules: Callable[[], RuleSet]
+    error_profile: Callable[[], ErrorProfile]
+
+
+def _generate_kg(scale: int, seed) -> PropertyGraph:
+    return generate_knowledge_graph(KGConfig.scaled(scale, seed=seed))
+
+
+def _generate_movies(scale: int, seed) -> PropertyGraph:
+    return generate_movie_graph(MovieConfig.scaled(scale, seed=seed))
+
+
+def _generate_social(scale: int, seed) -> PropertyGraph:
+    return generate_social_graph(SocialConfig.scaled(scale, seed=seed))
+
+
+DOMAINS: dict[str, Domain] = {
+    "kg": Domain(
+        name="kg",
+        description="people/geography knowledge graph (stands in for YAGO/DBpedia)",
+        generate=_generate_kg,
+        rules=knowledge_graph_rules,
+        error_profile=knowledge_graph_error_profile,
+    ),
+    "movies": Domain(
+        name="movies",
+        description="movie catalogue (entity-centric curation workload)",
+        generate=_generate_movies,
+        rules=movie_rules,
+        error_profile=movie_error_profile,
+    ),
+    "social": Domain(
+        name="social",
+        description="social network with duplicate accounts",
+        generate=_generate_social,
+        rules=social_rules,
+        error_profile=social_error_profile,
+    ),
+}
+
+
+@dataclass
+class DatasetInstance:
+    """A clean graph plus the rules and error profile of its domain."""
+
+    domain: str
+    clean: PropertyGraph
+    rules: RuleSet
+    error_profile: ErrorProfile
+
+
+@dataclass
+class Workload:
+    """A full evaluation workload: clean graph, dirty graph, and ground truth."""
+
+    domain: str
+    clean: PropertyGraph
+    dirty: PropertyGraph
+    ground_truth: GroundTruth
+    rules: RuleSet
+    error_profile: ErrorProfile
+    error_rate: float
+    scale: int
+    seed: int
+
+
+def available_domains() -> list[str]:
+    return sorted(DOMAINS)
+
+
+def get_domain(name: str) -> Domain:
+    try:
+        return DOMAINS[name]
+    except KeyError:
+        raise DatasetError(f"unknown domain {name!r}; available: {available_domains()}") from None
+
+
+def load_dataset(domain: str, scale: int = 200, seed: int = 0) -> DatasetInstance:
+    """Generate the clean graph of ``domain`` at the given scale."""
+    spec = get_domain(domain)
+    clean = spec.generate(scale, seed)
+    return DatasetInstance(domain=domain, clean=clean, rules=spec.rules(),
+                           error_profile=spec.error_profile())
+
+
+def build_workload(domain: str, scale: int = 200, error_rate: float = 0.05,
+                   seed: int = 0,
+                   mix: dict[str, float] | None = None) -> Workload:
+    """Generate a clean graph, corrupt it, and return the full workload."""
+    instance = load_dataset(domain, scale=scale, seed=seed)
+    dirty, truth = inject_errors(instance.clean, instance.error_profile,
+                                 error_rate=error_rate, mix=mix, seed=seed + 1)
+    return Workload(domain=domain, clean=instance.clean, dirty=dirty,
+                    ground_truth=truth, rules=instance.rules,
+                    error_profile=instance.error_profile, error_rate=error_rate,
+                    scale=scale, seed=seed)

@@ -1,0 +1,174 @@
+"""Random rule-set generation.
+
+Two experiments need rule sets of controlled size rather than the hand-written
+libraries: the #rules scalability sweep (E3) and the rule-set analysis
+benchmark (E6).  The generator derives rules from the *implicit schema* of a
+given data graph (its (source label, edge label, target label) histogram), so
+generated patterns actually have candidates on that graph:
+
+* **functional-conflict rules** — two same-label edges from one source to two
+  distinct targets ⇒ delete one;
+* **duplicate-edge redundancy rules** — two parallel same-label edges between
+  the same endpoints ⇒ delete one;
+* **path-incompleteness rules** — for schema triangles ``A -r-> B -s-> C``
+  with an existing shortcut ``A -t-> C``, require the shortcut and add it when
+  missing (only emitted when such a triangle exists in the data, so the rule
+  is satisfiable rather than firing on every 2-path).
+
+For E6 the generator can additionally *plant* an inconsistent pair: an
+incompleteness rule that adds edges with a fresh label and a conflict rule
+that deletes every edge with that label — the canonical repair oscillation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.graph.property_graph import PropertyGraph
+from repro.graph.statistics import functional_predicate_candidates, label_pair_histogram
+from repro.rules.builder import conflict_rule, incompleteness_rule, redundancy_rule
+from repro.rules.grr import GraphRepairingRule, RuleSet
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class RuleGenConfig:
+    """Knobs of the random rule generator."""
+
+    num_rules: int = 8
+    conflict_share: float = 0.4
+    redundancy_share: float = 0.4
+    incompleteness_share: float = 0.2
+    plant_inconsistent_pair: bool = False
+    seed: int | random.Random | None = 0
+
+
+def _schema_triples(graph: PropertyGraph) -> list[tuple[str, str, str]]:
+    histogram = label_pair_histogram(graph)
+    return sorted(histogram, key=lambda key: -histogram[key])
+
+
+def _schema_triangles(graph: PropertyGraph,
+                      triples: list[tuple[str, str, str]]) -> list[tuple]:
+    """Triangles ``A -r-> B -s-> C`` with a shortcut ``A -t-> C`` in the schema."""
+    by_source: dict[str, list[tuple[str, str, str]]] = {}
+    for source_label, edge_label, target_label in triples:
+        by_source.setdefault(source_label, []).append((source_label, edge_label, target_label))
+    triangles = []
+    for first in triples:
+        source_label, first_edge, middle_label = first
+        for second in by_source.get(middle_label, ()):
+            _, second_edge, final_label = second
+            for shortcut in by_source.get(source_label, ()):
+                _, shortcut_edge, shortcut_target = shortcut
+                if shortcut_target == final_label and shortcut_edge not in (first_edge,
+                                                                            second_edge):
+                    triangles.append((source_label, first_edge, middle_label,
+                                      second_edge, final_label, shortcut_edge))
+    return triangles
+
+
+def _make_conflict_rule(index: int, triple: tuple[str, str, str]) -> GraphRepairingRule:
+    source_label, edge_label, target_label = triple
+    return (conflict_rule(f"gen-conflict-{index}")
+            .node("x", source_label).node("y1", target_label).node("y2", target_label)
+            .edge("x", "y1", edge_label, variable="e1")
+            .edge("x", "y2", edge_label, variable="e2")
+            .delete_edge(edge_variable="e2")
+            .priority(5)
+            .described_as(f"generated: {edge_label} from {source_label} is functional")
+            .build())
+
+
+def _make_redundancy_rule(index: int, triple: tuple[str, str, str]) -> GraphRepairingRule:
+    source_label, edge_label, target_label = triple
+    return (redundancy_rule(f"gen-redundancy-{index}")
+            .node("x", source_label).node("y", target_label)
+            .edge("x", "y", edge_label, variable="e1")
+            .edge("x", "y", edge_label, variable="e2")
+            .delete_edge(edge_variable="e2")
+            .priority(3)
+            .described_as(f"generated: parallel duplicate {edge_label} edges are redundant")
+            .build())
+
+
+def _make_incompleteness_rule(index: int, triangle: tuple) -> GraphRepairingRule:
+    source_label, first_edge, middle_label, second_edge, final_label, shortcut_edge = triangle
+    return (incompleteness_rule(f"gen-incompleteness-{index}")
+            .node("a", source_label).node("b", middle_label).node("c", final_label)
+            .edge("a", "b", first_edge).edge("b", "c", second_edge)
+            .missing_edge("a", "c", shortcut_edge)
+            .add_edge("a", "c", shortcut_edge)
+            .priority(4)
+            .described_as(f"generated: {first_edge}∘{second_edge} implies {shortcut_edge}")
+            .build())
+
+
+def _make_inconsistent_pair(index: int, triple: tuple[str, str, str]) -> list[GraphRepairingRule]:
+    """An incompleteness rule adding a fresh-label edge and a conflict rule that
+    deletes every edge with that label — they repair-trigger each other forever."""
+    source_label, edge_label, target_label = triple
+    fresh_label = f"planted-{index}"
+    adder = (incompleteness_rule(f"gen-planted-add-{index}")
+             .node("x", source_label).node("y", target_label)
+             .edge("x", "y", edge_label)
+             .missing_edge("x", "y", fresh_label)
+             .add_edge("x", "y", fresh_label)
+             .priority(2)
+             .described_as("planted inconsistency: always wants the edge present")
+             .build())
+    deleter = (conflict_rule(f"gen-planted-delete-{index}")
+               .node("x", source_label).node("y", target_label)
+               .edge("x", "y", fresh_label, variable="e")
+               .delete_edge(edge_variable="e")
+               .priority(2)
+               .described_as("planted inconsistency: always wants the edge absent")
+               .build())
+    return [adder, deleter]
+
+
+def generate_rules(graph: PropertyGraph, config: RuleGenConfig | None = None,
+                   name: str = "generated-rules") -> RuleSet:
+    """Generate a rule set of ``config.num_rules`` rules grounded in ``graph``'s schema."""
+    config = config or RuleGenConfig()
+    rng = ensure_rng(config.seed)
+    triples = _schema_triples(graph)
+    if not triples:
+        raise ValueError("cannot generate rules for a graph with no edges")
+    triangles = _schema_triangles(graph, triples)
+    # Conflict rules only make sense on predicates that behave functionally in
+    # the data; otherwise a generated rule would "repair" perfectly valid facts.
+    functional_labels = functional_predicate_candidates(graph)
+    functional_triples = [triple for triple in triples if triple[1] in functional_labels]
+
+    rules: list[GraphRepairingRule] = []
+    if config.plant_inconsistent_pair:
+        rules.extend(_make_inconsistent_pair(0, rng.choice(triples)))
+
+    kinds = ["conflict", "redundancy", "incompleteness"]
+    weights = [config.conflict_share, config.redundancy_share,
+               config.incompleteness_share]
+    index = 0
+    attempts = 0
+    while len(rules) < config.num_rules and attempts < 20 * config.num_rules:
+        attempts += 1
+        kind = rng.choices(kinds, weights=weights, k=1)[0]
+        if kind == "conflict" and not functional_triples:
+            kind = "redundancy"
+        try:
+            if kind == "conflict":
+                rule = _make_conflict_rule(index, rng.choice(functional_triples))
+            elif kind == "redundancy":
+                rule = _make_redundancy_rule(index, rng.choice(triples))
+            else:
+                if not triangles:
+                    continue
+                rule = _make_incompleteness_rule(index, rng.choice(triangles))
+        except Exception:
+            continue
+        index += 1
+        rules.append(rule)
+
+    return RuleSet(rules[:max(config.num_rules,
+                              2 if config.plant_inconsistent_pair else 0)], name=name)

@@ -1,0 +1,134 @@
+"""Synthetic social-network graph.
+
+The third evaluation domain: user accounts, groups, posts, likes, and
+follower relationships, with the duplicate-account problem the redundancy
+semantics targets.  The clean graph satisfies every rule of
+:func:`repro.rules.library.social_rules`:
+
+* every ``Post`` has exactly one author;
+* nobody follows themselves;
+* whenever a user likes somebody else's post, they also follow the author
+  (so the like-implies-follow incompleteness rule is satisfied, and deleting
+  such a ``follows`` edge is a repairable error);
+* usernames and e-mail addresses are unique, so the duplicate-account rule is
+  quiet on clean data.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors.injector import ErrorProfile
+from repro.graph.property_graph import PropertyGraph
+from repro.rules.library import SOCIAL
+from repro.utils.rng import ensure_rng, zipf_weights
+
+CLEAN_CONFIDENCE = 1.0
+
+
+@dataclass(frozen=True)
+class SocialConfig:
+    """Size knobs of the social-network generator."""
+
+    num_users: int = 150
+    num_groups: int = 12
+    posts_per_user: tuple[int, int] = (0, 3)
+    likes_per_user: tuple[int, int] = (1, 6)
+    extra_follows_per_user: tuple[int, int] = (0, 3)
+    groups_per_user: tuple[int, int] = (1, 3)
+    seed: int | random.Random | None = 0
+
+    @classmethod
+    def scaled(cls, num_users: int, seed: int | random.Random | None = 0) -> "SocialConfig":
+        return cls(num_users=num_users, num_groups=max(3, num_users // 12), seed=seed)
+
+
+def generate_social_graph(config: SocialConfig | None = None) -> PropertyGraph:
+    """Generate the clean social network described in the module docstring."""
+    config = config or SocialConfig()
+    rng = ensure_rng(config.seed)
+    graph = PropertyGraph(name="synthetic-social")
+
+    def edge(source: str, target: str, label: str) -> None:
+        graph.add_edge(source, target, label, {"confidence": CLEAN_CONFIDENCE})
+
+    group_ids = [graph.add_node(SOCIAL["GROUP"], {"name": f"Group-{index}"}).id
+                 for index in range(config.num_groups)]
+
+    user_ids: list[str] = []
+    for user_index in range(config.num_users):
+        user = graph.add_node(SOCIAL["USER"], {
+            "username": f"user{user_index}",
+            "email": f"user{user_index}@example.org",
+        })
+        user_ids.append(user.id)
+        for group in rng.sample(group_ids,
+                                min(rng.randint(*config.groups_per_user), len(group_ids))):
+            edge(user.id, group, SOCIAL["MEMBER_OF"])
+
+    # Posts ------------------------------------------------------------------
+    post_author: dict[str, str] = {}
+    post_ids: list[str] = []
+    post_counter = 0
+    for user_id in user_ids:
+        for _ in range(rng.randint(*config.posts_per_user)):
+            post = graph.add_node(SOCIAL["POST"], {
+                "post_id": f"post-{post_counter}",
+                "length": rng.randrange(10, 500),
+            })
+            post_counter += 1
+            post_ids.append(post.id)
+            post_author[post.id] = user_id
+            edge(user_id, post.id, SOCIAL["AUTHORED"])
+
+    # Likes, and the follows edges they imply ---------------------------------
+    follows: set[tuple[str, str]] = set()
+    if post_ids:
+        popularity = zipf_weights(len(post_ids), 1.0)
+        for user_id in user_ids:
+            liked = set()
+            for _ in range(rng.randint(*config.likes_per_user)):
+                post = rng.choices(post_ids, weights=popularity, k=1)[0]
+                if post in liked:
+                    continue
+                liked.add(post)
+                edge(user_id, post, SOCIAL["LIKES"])
+                author = post_author[post]
+                if author != user_id and (user_id, author) not in follows:
+                    follows.add((user_id, author))
+                    edge(user_id, author, SOCIAL["FOLLOWS"])
+
+    # Extra organic follows (not implied by likes, never self-follows) --------
+    for user_id in user_ids:
+        for _ in range(rng.randint(*config.extra_follows_per_user)):
+            other = rng.choice(user_ids)
+            if other == user_id or (user_id, other) in follows:
+                continue
+            follows.add((user_id, other))
+            edge(user_id, other, SOCIAL["FOLLOWS"])
+
+    return graph
+
+
+def _removable_social_edge(graph: PropertyGraph, edge) -> bool:
+    """A ``follows`` edge is re-derivable iff the follower likes a post of the followee."""
+    if edge.label != SOCIAL["FOLLOWS"]:
+        return True
+    for like in graph.out_edges_with_label(edge.source, SOCIAL["LIKES"]):
+        if graph.has_edge_between(edge.target, like.target, SOCIAL["AUTHORED"]):
+            return True
+    return False
+
+
+def social_error_profile() -> ErrorProfile:
+    """Where errors can be injected so the social rule library can repair them."""
+    return ErrorProfile(
+        removable_edge_labels=(SOCIAL["FOLLOWS"],),
+        functional_edge_labels=(),
+        inverse_functional_edge_labels=((SOCIAL["AUTHORED"], SOCIAL["USER"]),),
+        self_loop_forbidden_labels=(SOCIAL["FOLLOWS"],),
+        duplicatable_node_labels=((SOCIAL["USER"], SOCIAL["MEMBER_OF"]),),
+        duplicatable_edge_labels=(SOCIAL["LIKES"],),
+        removable_edge_filter=_removable_social_edge,
+    )

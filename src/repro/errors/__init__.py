@@ -1,0 +1,22 @@
+"""Error injection and ground-truth tracking (system S6 in DESIGN.md)."""
+
+from repro.errors.ground_truth import Fact, GroundTruth, InjectedError, merge_ground_truths
+from repro.errors.injector import (
+    INJECTED_CONFIDENCE,
+    ErrorInjector,
+    ErrorProfile,
+    InjectionConfig,
+    inject_errors,
+)
+
+__all__ = [
+    "Fact",
+    "GroundTruth",
+    "InjectedError",
+    "merge_ground_truths",
+    "ErrorProfile",
+    "ErrorInjector",
+    "InjectionConfig",
+    "inject_errors",
+    "INJECTED_CONFIDENCE",
+]

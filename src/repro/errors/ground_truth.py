@@ -1,0 +1,99 @@
+"""Ground truth for injected errors.
+
+The evaluation methodology (standard for data-cleaning papers when manual
+annotations are unavailable) is: start from a *clean* graph, corrupt it with
+known errors, repair the corrupted graph, and score the repairs against the
+record of what was corrupted.  This module defines the record format.
+
+Facts are described at the *semantic* level (entity keys rather than internal
+node ids — see :mod:`repro.metrics.quality`), so that repairs which express
+the same correction with different element ids (e.g. merging the duplicate
+into the original versus the original into the duplicate) score identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.rules.semantics import Semantics
+
+# A fact is a hashable tuple, one of:
+#   ("node", entity_key, label)
+#   ("prop", entity_key, property_key, value)
+#   ("edge", source_key, edge_label, target_key)
+Fact = tuple
+
+
+@dataclass
+class InjectedError:
+    """One deliberately introduced error.
+
+    ``added_facts`` are facts present in the dirty graph but not the clean one
+    (a correct repair removes them); ``removed_facts`` are facts the clean
+    graph had but the dirty one lacks (a correct repair restores them).
+    """
+
+    kind: Semantics
+    description: str
+    added_facts: tuple[Fact, ...] = ()
+    removed_facts: tuple[Fact, ...] = ()
+    details: dict = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.added_facts) + len(self.removed_facts)
+
+
+@dataclass
+class GroundTruth:
+    """The full record of an injection run."""
+
+    errors: list[InjectedError] = field(default_factory=list)
+
+    def record(self, error: InjectedError) -> None:
+        self.errors.append(error)
+
+    def __len__(self) -> int:
+        return len(self.errors)
+
+    def __iter__(self):
+        return iter(self.errors)
+
+    def by_kind(self, kind: Semantics) -> list[InjectedError]:
+        return [error for error in self.errors if error.kind is kind]
+
+    def counts_by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for error in self.errors:
+            counts[error.kind.value] = counts.get(error.kind.value, 0) + 1
+        return counts
+
+    def all_added_facts(self) -> list[Fact]:
+        facts: list[Fact] = []
+        for error in self.errors:
+            facts.extend(error.added_facts)
+        return facts
+
+    def all_removed_facts(self) -> list[Fact]:
+        facts: list[Fact] = []
+        for error in self.errors:
+            facts.extend(error.removed_facts)
+        return facts
+
+    def describe(self) -> str:
+        lines = [f"GroundTruth: {len(self.errors)} injected errors "
+                 f"({self.counts_by_kind()})"]
+        for error in self.errors[:15]:
+            lines.append(f"  [{error.kind.value}] {error.description}")
+        if len(self.errors) > 15:
+            lines.append(f"  ... and {len(self.errors) - 15} more")
+        return "\n".join(lines)
+
+
+def merge_ground_truths(parts: Iterable[GroundTruth]) -> GroundTruth:
+    """Concatenate several injection records (e.g. per-error-class passes)."""
+    merged = GroundTruth()
+    for part in parts:
+        merged.errors.extend(part.errors)
+    return merged

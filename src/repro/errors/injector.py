@@ -1,0 +1,313 @@
+"""Error injection: corrupt a clean graph while recording the ground truth.
+
+The injector produces the evaluation workloads (experiments E1, E4, E8): it
+takes a clean domain graph and an :class:`ErrorProfile` describing where each
+class of error can plausibly occur in that domain, and introduces
+
+* **incompleteness** errors by deleting edges whose labels the domain's rules
+  can re-derive (e.g. dropping a ``nationality`` edge that follows from
+  ``bornIn`` + ``inCountry``);
+* **conflict** errors by adding a second, contradictory edge for a functional
+  predicate (a second birthplace, a second release year), a wrong-target edge,
+  or a forbidden self-loop — injected edges carry a lower ``confidence`` than
+  clean edges, modelling the less-reliable source such facts typically come
+  from;
+* **redundancy** errors by duplicating an entity node (copying its identifying
+  properties and its hub edge) or by duplicating an existing edge.
+
+Every injection is recorded as an :class:`~repro.errors.ground_truth.InjectedError`
+holding the exact fact-level delta, so precision/recall of any repair method
+can be computed afterwards.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.graph.property_graph import PropertyGraph
+from repro.errors.ground_truth import GroundTruth, InjectedError
+from repro.metrics.facts import edge_fact, entity_key, node_fact, property_facts
+from repro.rules.semantics import Semantics
+from repro.utils.rng import ensure_rng
+
+INJECTED_CONFIDENCE = 0.5
+
+
+@dataclass(frozen=True)
+class ErrorProfile:
+    """Where each error class can be injected in a domain.
+
+    Attributes
+    ----------
+    removable_edge_labels:
+        Edge labels whose deletion creates a repairable incompleteness error
+        (the domain's rules can re-derive them).
+    functional_edge_labels:
+        ``(edge label, target node label)`` pairs treated as functional from
+        the source: injecting a second such edge creates a conflict.
+    inverse_functional_edge_labels:
+        ``(edge label, source node label)`` pairs functional towards the
+        target (e.g. ``capitalOf``): injecting a second incoming edge creates
+        a conflict.
+    self_loop_forbidden_labels:
+        Edge labels for which a self-loop is contradictory (e.g. ``follows``).
+    duplicatable_node_labels:
+        ``(node label, hub edge label)`` pairs: duplicating such a node and
+        copying its hub edge creates a redundancy error the domain's
+        merge rule can detect.
+    duplicatable_edge_labels:
+        Edge labels whose exact duplication creates a redundancy error.
+    removable_edge_filter:
+        Optional predicate ``(graph, edge) -> bool`` restricting incompleteness
+        injection to edges the domain's rules can actually re-derive (e.g.
+        only ``follows`` edges whose follower likes a post of the followee).
+    key_properties:
+        Identifying property per label (defaults to the global table).
+    """
+
+    removable_edge_labels: tuple[str, ...] = ()
+    functional_edge_labels: tuple[tuple[str, str], ...] = ()
+    inverse_functional_edge_labels: tuple[tuple[str, str], ...] = ()
+    self_loop_forbidden_labels: tuple[str, ...] = ()
+    duplicatable_node_labels: tuple[tuple[str, str], ...] = ()
+    duplicatable_edge_labels: tuple[str, ...] = ()
+    removable_edge_filter: Callable[[PropertyGraph, object], bool] | None = None
+    key_properties: dict[str, str] | None = None
+
+
+@dataclass
+class InjectionConfig:
+    """How many errors to inject.
+
+    ``error_rate`` is interpreted relative to the number of edges in the clean
+    graph; ``mix`` gives the relative share of each error class.
+    """
+
+    error_rate: float = 0.05
+    mix: dict[str, float] = field(default_factory=lambda: {
+        "incompleteness": 1.0, "conflict": 1.0, "redundancy": 1.0})
+    seed: int | random.Random | None = 0
+
+    def counts_for(self, num_edges: int) -> dict[str, int]:
+        total_errors = max(1, int(round(self.error_rate * num_edges)))
+        weight_sum = sum(self.mix.values()) or 1.0
+        counts = {}
+        for kind, weight in self.mix.items():
+            counts[kind] = int(round(total_errors * weight / weight_sum))
+        return counts
+
+
+class ErrorInjector:
+    """Injects errors into a copy of a clean graph."""
+
+    def __init__(self, profile: ErrorProfile, config: InjectionConfig | None = None) -> None:
+        self.profile = profile
+        self.config = config or InjectionConfig()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def corrupt(self, clean: PropertyGraph,
+                in_place: bool = False) -> tuple[PropertyGraph, GroundTruth]:
+        """Return ``(dirty graph, ground truth)``.
+
+        With ``in_place=False`` (default) the clean graph is copied first.
+        """
+        graph = clean if in_place else clean.copy(name=f"{clean.name}-dirty")
+        rng = ensure_rng(self.config.seed)
+        truth = GroundTruth()
+        counts = self.config.counts_for(graph.num_edges)
+
+        injectors = {
+            "incompleteness": self._inject_incompleteness,
+            "conflict": self._inject_conflict,
+            "redundancy": self._inject_redundancy,
+        }
+        for kind, count in counts.items():
+            injector = injectors.get(kind)
+            if injector is None:
+                raise ValueError(f"unknown error kind {kind!r}")
+            for _ in range(count):
+                error = injector(graph, rng)
+                if error is not None:
+                    truth.record(error)
+        return graph, truth
+
+    # ------------------------------------------------------------------
+    # incompleteness
+    # ------------------------------------------------------------------
+
+    def _inject_incompleteness(self, graph: PropertyGraph,
+                               rng: random.Random) -> InjectedError | None:
+        candidates = []
+        for label in self.profile.removable_edge_labels:
+            candidates.extend(graph.edges_with_label(label))
+        if self.profile.removable_edge_filter is not None:
+            candidates = [edge for edge in candidates
+                          if self.profile.removable_edge_filter(graph, edge)]
+        if not candidates:
+            return None
+        edge = rng.choice(candidates)
+        fact = edge_fact(graph, edge, self.profile.key_properties)
+        graph.remove_edge(edge.id)
+        return InjectedError(
+            kind=Semantics.INCOMPLETENESS,
+            description=f"removed {edge.label} edge {edge.source}->{edge.target}",
+            removed_facts=(fact,),
+            details={"edge_label": edge.label})
+
+    # ------------------------------------------------------------------
+    # conflicts
+    # ------------------------------------------------------------------
+
+    def _inject_conflict(self, graph: PropertyGraph,
+                         rng: random.Random) -> InjectedError | None:
+        choices = []
+        if self.profile.functional_edge_labels:
+            choices.append("functional")
+        if self.profile.inverse_functional_edge_labels:
+            choices.append("inverse")
+        if self.profile.self_loop_forbidden_labels:
+            choices.append("self-loop")
+        if not choices:
+            return None
+        strategy = rng.choice(choices)
+        if strategy == "functional":
+            return self._conflict_functional(graph, rng)
+        if strategy == "inverse":
+            return self._conflict_inverse_functional(graph, rng)
+        return self._conflict_self_loop(graph, rng)
+
+    def _conflict_functional(self, graph: PropertyGraph,
+                             rng: random.Random) -> InjectedError | None:
+        label, target_label = rng.choice(list(self.profile.functional_edge_labels))
+        existing = graph.edges_with_label(label)
+        if not existing:
+            return None
+        edge = rng.choice(existing)
+        targets = [node for node in graph.nodes_with_label(target_label)
+                   if node.id != edge.target]
+        if not targets:
+            return None
+        wrong_target = rng.choice(targets)
+        new_edge = graph.add_edge(edge.source, wrong_target.id, label,
+                                  {"confidence": INJECTED_CONFIDENCE})
+        return InjectedError(
+            kind=Semantics.CONFLICT,
+            description=f"added conflicting {label} edge {edge.source}->{wrong_target.id}",
+            added_facts=(edge_fact(graph, new_edge, self.profile.key_properties),),
+            details={"edge_label": label, "strategy": "functional"})
+
+    def _conflict_inverse_functional(self, graph: PropertyGraph,
+                                     rng: random.Random) -> InjectedError | None:
+        label, source_label = rng.choice(list(self.profile.inverse_functional_edge_labels))
+        existing = graph.edges_with_label(label)
+        if not existing:
+            return None
+        edge = rng.choice(existing)
+        sources = [node for node in graph.nodes_with_label(source_label)
+                   if node.id != edge.source]
+        if not sources:
+            return None
+        wrong_source = rng.choice(sources)
+        new_edge = graph.add_edge(wrong_source.id, edge.target, label,
+                                  {"confidence": INJECTED_CONFIDENCE})
+        return InjectedError(
+            kind=Semantics.CONFLICT,
+            description=f"added conflicting {label} edge {wrong_source.id}->{edge.target}",
+            added_facts=(edge_fact(graph, new_edge, self.profile.key_properties),),
+            details={"edge_label": label, "strategy": "inverse-functional"})
+
+    def _conflict_self_loop(self, graph: PropertyGraph,
+                            rng: random.Random) -> InjectedError | None:
+        label = rng.choice(list(self.profile.self_loop_forbidden_labels))
+        existing = graph.edges_with_label(label)
+        if not existing:
+            return None
+        edge = rng.choice(existing)
+        new_edge = graph.add_edge(edge.source, edge.source, label,
+                                  {"confidence": INJECTED_CONFIDENCE})
+        return InjectedError(
+            kind=Semantics.CONFLICT,
+            description=f"added forbidden self-loop {label} on {edge.source}",
+            added_facts=(edge_fact(graph, new_edge, self.profile.key_properties),),
+            details={"edge_label": label, "strategy": "self-loop"})
+
+    # ------------------------------------------------------------------
+    # redundancy
+    # ------------------------------------------------------------------
+
+    def _inject_redundancy(self, graph: PropertyGraph,
+                           rng: random.Random) -> InjectedError | None:
+        choices = []
+        if self.profile.duplicatable_node_labels:
+            choices.append("node")
+        if self.profile.duplicatable_edge_labels:
+            choices.append("edge")
+        if not choices:
+            return None
+        if rng.choice(choices) == "node":
+            return self._redundancy_duplicate_node(graph, rng)
+        return self._redundancy_duplicate_edge(graph, rng)
+
+    def _redundancy_duplicate_node(self, graph: PropertyGraph,
+                                   rng: random.Random) -> InjectedError | None:
+        node_label, hub_edge_label = rng.choice(list(self.profile.duplicatable_node_labels))
+        candidates = [node for node in graph.nodes_with_label(node_label)
+                      if graph.out_edges_with_label(node.id, hub_edge_label)]
+        if not candidates:
+            return None
+        original = rng.choice(candidates)
+        duplicate = graph.add_node(original.label, dict(original.properties))
+        added_facts = [node_fact(duplicate, self.profile.key_properties)]
+        added_facts.extend(property_facts(duplicate, self.profile.key_properties))
+        # Copy the hub edge (required by the dedup rule's pattern) plus a random
+        # subset of the remaining outgoing edges, as partial duplicates occur in
+        # practice.
+        hub_edges = graph.out_edges_with_label(original.id, hub_edge_label)
+        copied_edges = [rng.choice(hub_edges)]
+        other_edges = [edge for edge in graph.out_edges(original.id)
+                       if edge.id != copied_edges[0].id]
+        for edge in other_edges:
+            if rng.random() < 0.5:
+                copied_edges.append(edge)
+        for edge in copied_edges:
+            new_edge = graph.add_edge(duplicate.id, edge.target, edge.label,
+                                      dict(edge.properties))
+            added_facts.append(edge_fact(graph, new_edge, self.profile.key_properties))
+        return InjectedError(
+            kind=Semantics.REDUNDANCY,
+            description=f"duplicated {node_label} node {original.id} as {duplicate.id}",
+            added_facts=tuple(added_facts),
+            details={"original": original.id, "duplicate": duplicate.id,
+                     "strategy": "duplicate-node"})
+
+    def _redundancy_duplicate_edge(self, graph: PropertyGraph,
+                                   rng: random.Random) -> InjectedError | None:
+        label = rng.choice(list(self.profile.duplicatable_edge_labels))
+        existing = graph.edges_with_label(label)
+        if not existing:
+            return None
+        edge = rng.choice(existing)
+        new_edge = graph.add_edge(edge.source, edge.target, edge.label,
+                                  dict(edge.properties))
+        return InjectedError(
+            kind=Semantics.REDUNDANCY,
+            description=f"duplicated {label} edge {edge.source}->{edge.target}",
+            added_facts=(edge_fact(graph, new_edge, self.profile.key_properties),),
+            details={"edge_label": label, "strategy": "duplicate-edge"})
+
+
+def inject_errors(clean: PropertyGraph, profile: ErrorProfile,
+                  error_rate: float = 0.05,
+                  mix: dict[str, float] | None = None,
+                  seed: int | random.Random | None = 0) -> tuple[PropertyGraph, GroundTruth]:
+    """One-call corruption helper used by the experiments and examples."""
+    config = InjectionConfig(error_rate=error_rate,
+                             mix=mix or {"incompleteness": 1.0, "conflict": 1.0,
+                                         "redundancy": 1.0},
+                             seed=seed)
+    return ErrorInjector(profile, config).corrupt(clean)

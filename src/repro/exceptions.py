@@ -1,0 +1,157 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so that
+callers embedding the repair engine can catch a single base class.  More
+specific subclasses distinguish graph-level problems (missing nodes, invalid
+mutations), pattern/rule definition problems, analysis failures, and repair
+execution failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Graph layer
+# ---------------------------------------------------------------------------
+
+
+class GraphError(ReproError):
+    """Base class for property-graph errors."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A node id was referenced that does not exist in the graph."""
+
+    def __init__(self, node_id: object) -> None:
+        super().__init__(f"node {node_id!r} does not exist")
+        self.node_id = node_id
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """An edge id was referenced that does not exist in the graph."""
+
+    def __init__(self, edge_id: object) -> None:
+        super().__init__(f"edge {edge_id!r} does not exist")
+        self.edge_id = edge_id
+
+
+class DuplicateElementError(GraphError, ValueError):
+    """A node or edge with an already-used id was added to the graph."""
+
+
+class GraphMutationError(GraphError):
+    """A graph mutation could not be performed (e.g. merging a node into itself)."""
+
+
+class SerializationError(GraphError):
+    """Raised when a graph cannot be (de)serialised."""
+
+
+# ---------------------------------------------------------------------------
+# Pattern / matching layer
+# ---------------------------------------------------------------------------
+
+
+class PatternError(ReproError):
+    """Base class for pattern-definition errors."""
+
+
+class InvalidPatternError(PatternError, ValueError):
+    """The pattern is structurally invalid (empty, disconnected, bad variable refs)."""
+
+
+class MatchingError(ReproError):
+    """Base class for errors raised while matching a pattern against a graph."""
+
+
+class MatchLimitExceeded(MatchingError):
+    """The matcher found more matches than the configured hard limit."""
+
+    def __init__(self, limit: int) -> None:
+        super().__init__(f"match enumeration exceeded the limit of {limit} matches")
+        self.limit = limit
+
+
+class MatchTimeout(MatchingError):
+    """The matcher exceeded its time budget."""
+
+    def __init__(self, budget_seconds: float) -> None:
+        super().__init__(f"matching exceeded the time budget of {budget_seconds}s")
+        self.budget_seconds = budget_seconds
+
+
+# ---------------------------------------------------------------------------
+# Rule layer
+# ---------------------------------------------------------------------------
+
+
+class RuleError(ReproError):
+    """Base class for rule-definition errors."""
+
+
+class InvalidRuleError(RuleError, ValueError):
+    """The rule definition is invalid (unknown variables, illegal operation mix)."""
+
+
+class RuleParseError(RuleError, ValueError):
+    """The textual GRR DSL could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        location = f" (line {line})" if line is not None else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+
+
+# ---------------------------------------------------------------------------
+# Analysis layer
+# ---------------------------------------------------------------------------
+
+
+class AnalysisError(ReproError):
+    """Base class for rule-set static-analysis errors."""
+
+
+class InconsistentRuleSetError(AnalysisError):
+    """Raised when an operation requires a consistent rule set but analysis says no."""
+
+    def __init__(self, message: str, evidence: object = None) -> None:
+        super().__init__(message)
+        self.evidence = evidence
+
+
+# ---------------------------------------------------------------------------
+# Repair layer
+# ---------------------------------------------------------------------------
+
+
+class RepairError(ReproError):
+    """Base class for errors raised during repair planning or execution."""
+
+
+class RepairExecutionError(RepairError):
+    """A repair operation failed to apply to the graph."""
+
+
+class RepairBudgetExceeded(RepairError):
+    """The repair loop hit its iteration or time budget before reaching a fixpoint."""
+
+    def __init__(self, message: str, iterations: int | None = None) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+
+
+# ---------------------------------------------------------------------------
+# Experiment / dataset layer
+# ---------------------------------------------------------------------------
+
+
+class DatasetError(ReproError):
+    """Base class for dataset-generation errors."""
+
+
+class ExperimentError(ReproError):
+    """Base class for experiment-harness errors."""

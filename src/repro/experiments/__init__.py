@@ -1,0 +1,47 @@
+"""Experiment harness reproducing the paper's evaluation (system S10 in
+DESIGN.md); one runner per table/figure E1–E8."""
+
+from repro.experiments.config import (
+    FULL_DEFAULTS,
+    QUICK_DEFAULTS,
+    ExperimentDefaults,
+    defaults,
+    quick_mode_enabled,
+)
+from repro.experiments.harness import METHODS, MethodResult, evaluate_method, get_method
+from repro.experiments.runners import (
+    ABLATION_VARIANTS,
+    ALL_RUNNERS,
+    MATCHER_VARIANTS,
+    run_e1_quality,
+    run_e2_graph_size,
+    run_e3_rule_count,
+    run_e4_error_rate,
+    run_e5_ablation,
+    run_e6_analysis,
+    run_e7_pattern_size,
+    run_e8_semantics,
+)
+
+__all__ = [
+    "ExperimentDefaults",
+    "FULL_DEFAULTS",
+    "QUICK_DEFAULTS",
+    "defaults",
+    "quick_mode_enabled",
+    "METHODS",
+    "MethodResult",
+    "evaluate_method",
+    "get_method",
+    "ALL_RUNNERS",
+    "ABLATION_VARIANTS",
+    "MATCHER_VARIANTS",
+    "run_e1_quality",
+    "run_e2_graph_size",
+    "run_e3_rule_count",
+    "run_e4_error_rate",
+    "run_e5_ablation",
+    "run_e6_analysis",
+    "run_e7_pattern_size",
+    "run_e8_semantics",
+]

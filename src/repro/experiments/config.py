@@ -1,0 +1,82 @@
+"""Experiment configuration: default parameter grids and the quick/full switch.
+
+All experiment runners accept explicit parameters; the defaults below define
+the *full* grids used by the benchmark harness and the *quick* grids used by
+integration tests and smoke runs.  The environment variable
+``REPRO_BENCH_QUICK=1`` switches the benchmark files to the quick grids so
+they finish in seconds instead of minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+
+def quick_mode_enabled() -> bool:
+    """True if the environment requests the reduced parameter grids."""
+    return os.environ.get("REPRO_BENCH_QUICK", "").strip() in {"1", "true", "yes"}
+
+
+@dataclass(frozen=True)
+class ExperimentDefaults:
+    """Parameter grids for one mode (quick or full)."""
+
+    # E1 / E8 — quality per domain
+    quality_scale: int = 300
+    quality_error_rate: float = 0.05
+    quality_domains: tuple[str, ...] = ("kg", "movies", "social")
+    quality_methods: tuple[str, ...] = ("grr-fast", "grr-naive", "fd-relational",
+                                        "greedy-delete", "detect-only")
+    # E2 — graph-size sweep
+    size_domain: str = "kg"
+    size_scales: tuple[int, ...] = (100, 200, 400, 800)
+    size_error_rate: float = 0.05
+    size_methods: tuple[str, ...] = ("grr-fast", "grr-naive")
+    # E3 — rule-count sweep
+    rules_domain: str = "kg"
+    rules_scale: int = 400
+    rules_counts: tuple[int, ...] = (2, 4, 8, 16, 32)
+    # E4 — error-rate sweep
+    error_domain: str = "kg"
+    error_scale: int = 300
+    error_rates: tuple[float, ...] = (0.01, 0.02, 0.05, 0.10, 0.20)
+    # E5 — ablation
+    ablation_domain: str = "kg"
+    ablation_scale: int = 400
+    ablation_error_rate: float = 0.05
+    # E6 — rule-set analysis
+    analysis_rule_counts: tuple[int, ...] = (4, 8, 16, 32)
+    analysis_exact_limit: int = 16
+    # E7 — pattern-size sweep
+    pattern_scale: int = 300
+    pattern_sizes: tuple[int, ...] = (2, 3, 4, 5, 6)
+    # shared
+    seed: int = 0
+    repeats: int = 1
+
+
+FULL_DEFAULTS = ExperimentDefaults()
+
+QUICK_DEFAULTS = ExperimentDefaults(
+    quality_scale=80,
+    quality_domains=("kg", "movies"),
+    quality_methods=("grr-fast", "grr-naive", "fd-relational", "detect-only"),
+    size_scales=(50, 100, 200),
+    rules_scale=120,
+    rules_counts=(2, 4, 8),
+    error_scale=100,
+    error_rates=(0.02, 0.05, 0.10),
+    ablation_scale=120,
+    analysis_rule_counts=(4, 8),
+    analysis_exact_limit=8,
+    pattern_scale=100,
+    pattern_sizes=(2, 3, 4),
+)
+
+
+def defaults(quick: bool | None = None) -> ExperimentDefaults:
+    """The parameter grid for the requested (or environment-selected) mode."""
+    if quick is None:
+        quick = quick_mode_enabled()
+    return QUICK_DEFAULTS if quick else FULL_DEFAULTS

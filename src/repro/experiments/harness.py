@@ -1,0 +1,155 @@
+"""Shared experiment machinery: run one repair method on one workload.
+
+Every experiment reduces to "build a workload, run a method, collect a row";
+this module provides the method registry (the two GRR algorithms, the three
+baselines, and the E5 ablation variants) and the row construction (timing,
+repair statistics, quality against ground truth) so the per-experiment
+runners in :mod:`repro.experiments.runners` stay small.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.baselines import DetectOnlyBaseline, FDRelationalBaseline, GreedyDeleteBaseline
+from repro.datasets.registry import Workload
+from repro.graph.property_graph import PropertyGraph
+from repro.metrics.quality import repair_quality
+from repro.repair.engine import EngineConfig, RepairEngine
+from repro.rules.grr import RuleSet
+
+
+@dataclass
+class MethodResult:
+    """Everything one method produced on one workload."""
+
+    method: str
+    repaired: PropertyGraph
+    elapsed_seconds: float
+    repairs_applied: int = 0
+    violations_detected: int = 0
+    remaining_violations: int = 0
+    matches_enumerated: int = 0
+    extra: dict[str, Any] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.extra is None:
+            self.extra = {}
+
+
+MethodRunner = Callable[[PropertyGraph, RuleSet], MethodResult]
+
+
+def _run_engine(method_label: str, config: EngineConfig,
+                graph: PropertyGraph, rules: RuleSet) -> MethodResult:
+    engine = RepairEngine(config)
+    started = time.perf_counter()
+    repaired, report = engine.repair_copy(graph, rules)
+    elapsed = time.perf_counter() - started
+    return MethodResult(
+        method=method_label,
+        repaired=repaired,
+        elapsed_seconds=elapsed,
+        repairs_applied=report.repairs_applied,
+        violations_detected=report.violations_detected,
+        remaining_violations=report.remaining_violations,
+        matches_enumerated=report.matches_enumerated,
+        extra={"report": report},
+    )
+
+
+def run_grr_fast(graph: PropertyGraph, rules: RuleSet) -> MethodResult:
+    return _run_engine("grr-fast", EngineConfig.fast(), graph, rules)
+
+
+def run_grr_naive(graph: PropertyGraph, rules: RuleSet) -> MethodResult:
+    return _run_engine("grr-naive", EngineConfig.naive(), graph, rules)
+
+
+def run_ablation(variant: str) -> MethodRunner:
+    """A runner for one E5 ablation variant (``none`` / ``index`` /
+    ``decomposition`` / ``incremental`` — the name of the *disabled* part)."""
+
+    def runner(graph: PropertyGraph, rules: RuleSet) -> MethodResult:
+        label = "grr-fast" if variant == "none" else f"grr-fast-no-{variant}"
+        return _run_engine(label, EngineConfig.ablation(variant), graph, rules)
+
+    return runner
+
+
+def run_detect_only(graph: PropertyGraph, rules: RuleSet) -> MethodResult:
+    baseline = DetectOnlyBaseline()
+    repaired, report = baseline.repair(graph, rules)
+    return MethodResult(method=baseline.name, repaired=repaired,
+                        elapsed_seconds=report.elapsed_seconds,
+                        violations_detected=report.violations_detected,
+                        extra=report.as_dict())
+
+
+def run_fd_relational(graph: PropertyGraph, rules: RuleSet) -> MethodResult:
+    baseline = FDRelationalBaseline()
+    repaired, report = baseline.repair(graph, rules)
+    return MethodResult(method=baseline.name, repaired=repaired,
+                        elapsed_seconds=report.elapsed_seconds,
+                        repairs_applied=report.changes_applied,
+                        violations_detected=report.violations_detected,
+                        extra=report.as_dict())
+
+
+def run_greedy(graph: PropertyGraph, rules: RuleSet) -> MethodResult:
+    baseline = GreedyDeleteBaseline()
+    repaired, report = baseline.repair(graph, rules)
+    return MethodResult(method=baseline.name, repaired=repaired,
+                        elapsed_seconds=report.elapsed_seconds,
+                        repairs_applied=report.changes_applied,
+                        violations_detected=report.violations_detected,
+                        extra=report.as_dict())
+
+
+METHODS: dict[str, MethodRunner] = {
+    "grr-fast": run_grr_fast,
+    "grr-naive": run_grr_naive,
+    "detect-only": run_detect_only,
+    "fd-relational": run_fd_relational,
+    "greedy-delete": run_greedy,
+}
+
+
+def get_method(name: str) -> MethodRunner:
+    try:
+        return METHODS[name]
+    except KeyError:
+        raise KeyError(f"unknown method {name!r}; available: {sorted(METHODS)}") from None
+
+
+def evaluate_method(method: str | MethodRunner, workload: Workload,
+                    include_quality: bool = True) -> dict[str, Any]:
+    """Run one method on one workload and return a flat result row."""
+    runner = get_method(method) if isinstance(method, str) else method
+    result = runner(workload.dirty, workload.rules)
+    row: dict[str, Any] = {
+        "domain": workload.domain,
+        "scale": workload.scale,
+        "nodes": workload.dirty.num_nodes,
+        "edges": workload.dirty.num_edges,
+        "error_rate": workload.error_rate,
+        "injected_errors": len(workload.ground_truth),
+        "method": result.method,
+        "seconds": result.elapsed_seconds,
+        "repairs_applied": result.repairs_applied,
+        "violations_detected": result.violations_detected,
+        "remaining_violations": result.remaining_violations,
+    }
+    if include_quality:
+        quality = repair_quality(workload.clean, workload.dirty, result.repaired,
+                                 workload.ground_truth)
+        row.update({
+            "precision": quality.precision,
+            "recall": quality.recall,
+            "f1": quality.f1,
+        })
+        for kind, value in quality.recall_by_kind.items():
+            row[f"recall_{kind}"] = value
+    return row

@@ -1,0 +1,80 @@
+"""Property-graph substrate: data model, change tracking, I/O, statistics,
+generators, isomorphism, and edit distance (system S1 in DESIGN.md)."""
+
+from repro.graph.delta import ChangeKind, ChangeRecorder, GraphChange, GraphDelta
+from repro.graph.edit_distance import (
+    EditCosts,
+    EditDistanceResult,
+    approximate_edit_distance,
+    labeled_edit_distance,
+)
+from repro.graph.elements import Edge, Node
+from repro.graph.generators import (
+    community_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    preferential_attachment_graph,
+    star_graph,
+)
+from repro.graph.io import (
+    Triple,
+    dump_json,
+    dumps_json,
+    graph_from_dict,
+    graph_to_dict,
+    graph_to_triples,
+    load_json,
+    loads_json,
+    read_edge_list,
+    triples_to_graph,
+    write_edge_list,
+)
+from repro.graph.isomorphism import are_isomorphic, contains_subgraph, find_subgraph_embedding
+from repro.graph.property_graph import PropertyGraph
+from repro.graph.statistics import (
+    GraphStatistics,
+    compute_statistics,
+    degree_histogram,
+    functional_predicate_candidates,
+    label_pair_histogram,
+)
+
+__all__ = [
+    "PropertyGraph",
+    "Node",
+    "Edge",
+    "GraphChange",
+    "GraphDelta",
+    "ChangeKind",
+    "ChangeRecorder",
+    "EditCosts",
+    "EditDistanceResult",
+    "labeled_edit_distance",
+    "approximate_edit_distance",
+    "Triple",
+    "graph_to_dict",
+    "graph_from_dict",
+    "dump_json",
+    "load_json",
+    "dumps_json",
+    "loads_json",
+    "graph_to_triples",
+    "triples_to_graph",
+    "write_edge_list",
+    "read_edge_list",
+    "are_isomorphic",
+    "contains_subgraph",
+    "find_subgraph_embedding",
+    "GraphStatistics",
+    "compute_statistics",
+    "degree_histogram",
+    "label_pair_histogram",
+    "functional_predicate_candidates",
+    "erdos_renyi_graph",
+    "preferential_attachment_graph",
+    "community_graph",
+    "path_graph",
+    "star_graph",
+    "cycle_graph",
+]

@@ -1,0 +1,209 @@
+"""Change tracking for property graphs.
+
+Every mutation of a :class:`~repro.graph.property_graph.PropertyGraph` emits a
+:class:`GraphChange` record.  Consumers (the candidate index, the incremental
+matcher, the provenance log) subscribe to a graph's change feed, or collect
+changes into a :class:`GraphDelta` covering a span of mutations.
+
+The delta abstraction is what makes the *fast* repair algorithm fast: after a
+repair is applied, only the graph region named by the delta needs to be
+re-examined for new or destroyed pattern matches.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.graph.elements import EdgeId, NodeId
+
+
+class ChangeKind(enum.Enum):
+    """The kind of elementary mutation applied to a graph."""
+
+    ADD_NODE = "add_node"
+    REMOVE_NODE = "remove_node"
+    ADD_EDGE = "add_edge"
+    REMOVE_EDGE = "remove_edge"
+    UPDATE_NODE = "update_node"
+    UPDATE_EDGE = "update_edge"
+    RELABEL_NODE = "relabel_node"
+    RELABEL_EDGE = "relabel_edge"
+    MERGE_NODES = "merge_nodes"
+
+
+# Changes that can create new pattern matches (additive effects).
+ADDITIVE_KINDS = frozenset(
+    {
+        ChangeKind.ADD_NODE,
+        ChangeKind.ADD_EDGE,
+        ChangeKind.UPDATE_NODE,
+        ChangeKind.UPDATE_EDGE,
+        ChangeKind.RELABEL_NODE,
+        ChangeKind.RELABEL_EDGE,
+        ChangeKind.MERGE_NODES,
+    }
+)
+
+# Changes that can destroy existing pattern matches (subtractive effects).
+SUBTRACTIVE_KINDS = frozenset(
+    {
+        ChangeKind.REMOVE_NODE,
+        ChangeKind.REMOVE_EDGE,
+        ChangeKind.UPDATE_NODE,
+        ChangeKind.UPDATE_EDGE,
+        ChangeKind.RELABEL_NODE,
+        ChangeKind.RELABEL_EDGE,
+        ChangeKind.MERGE_NODES,
+    }
+)
+
+
+@dataclass(frozen=True)
+class GraphChange:
+    """One elementary mutation.
+
+    ``node_id`` / ``edge_id`` name the element affected; for ``MERGE_NODES``
+    the ``node_id`` is the surviving node and ``details["merged"]`` the node
+    that was folded into it.  ``touched_nodes`` lists every node whose
+    incident structure may have changed (endpoints of added/removed edges,
+    neighbours of removed nodes) — this is the set the incremental matcher
+    seeds its re-matching from.
+    """
+
+    kind: ChangeKind
+    node_id: NodeId | None = None
+    edge_id: EdgeId | None = None
+    touched_nodes: tuple[NodeId, ...] = ()
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_additive(self) -> bool:
+        return self.kind in ADDITIVE_KINDS
+
+    @property
+    def is_subtractive(self) -> bool:
+        return self.kind in SUBTRACTIVE_KINDS
+
+
+ChangeListener = Callable[[GraphChange], None]
+
+
+@dataclass
+class GraphDelta:
+    """An ordered collection of :class:`GraphChange` records.
+
+    Provides the aggregate views the incremental machinery needs: all nodes
+    whose neighbourhood may have changed, all removed element ids, and whether
+    the delta has any additive effect at all.
+    """
+
+    changes: list[GraphChange] = field(default_factory=list)
+
+    def record(self, change: GraphChange) -> None:
+        self.changes.append(change)
+
+    def extend(self, changes: Iterable[GraphChange]) -> None:
+        self.changes.extend(changes)
+
+    def __len__(self) -> int:
+        return len(self.changes)
+
+    def __iter__(self) -> Iterator[GraphChange]:
+        return iter(self.changes)
+
+    def __bool__(self) -> bool:
+        return bool(self.changes)
+
+    @property
+    def touched_nodes(self) -> set[NodeId]:
+        """Every node id whose label, properties, or incident edges may have changed."""
+        touched: set[NodeId] = set()
+        for change in self.changes:
+            touched.update(change.touched_nodes)
+            if change.node_id is not None:
+                touched.add(change.node_id)
+        return touched
+
+    @property
+    def removed_node_ids(self) -> set[NodeId]:
+        removed: set[NodeId] = set()
+        for change in self.changes:
+            if change.kind is ChangeKind.REMOVE_NODE and change.node_id is not None:
+                removed.add(change.node_id)
+            if change.kind is ChangeKind.MERGE_NODES:
+                merged = change.details.get("merged")
+                if merged is not None:
+                    removed.add(merged)
+        return removed
+
+    @property
+    def removed_edge_ids(self) -> set[EdgeId]:
+        removed: set[EdgeId] = set()
+        for change in self.changes:
+            if change.kind is ChangeKind.REMOVE_EDGE and change.edge_id is not None:
+                removed.add(change.edge_id)
+            removed.update(change.details.get("removed_edges", ()))
+        return removed
+
+    @property
+    def added_node_ids(self) -> set[NodeId]:
+        return {
+            change.node_id
+            for change in self.changes
+            if change.kind is ChangeKind.ADD_NODE and change.node_id is not None
+        }
+
+    @property
+    def added_edge_ids(self) -> set[EdgeId]:
+        added: set[EdgeId] = set()
+        for change in self.changes:
+            if change.kind is ChangeKind.ADD_EDGE and change.edge_id is not None:
+                added.add(change.edge_id)
+            added.update(change.details.get("added_edges", ()))
+        return added
+
+    @property
+    def has_additive_effect(self) -> bool:
+        return any(change.is_additive for change in self.changes)
+
+    @property
+    def has_subtractive_effect(self) -> bool:
+        return any(change.is_subtractive for change in self.changes)
+
+    def merged_with(self, other: "GraphDelta") -> "GraphDelta":
+        merged = GraphDelta(list(self.changes))
+        merged.extend(other.changes)
+        return merged
+
+    def summary(self) -> dict[str, int]:
+        """Count of changes per kind — handy for reports and tests."""
+        counts: dict[str, int] = {}
+        for change in self.changes:
+            counts[change.kind.value] = counts.get(change.kind.value, 0) + 1
+        return counts
+
+
+class ChangeRecorder:
+    """A change listener that accumulates changes into a :class:`GraphDelta`.
+
+    Usage::
+
+        recorder = ChangeRecorder()
+        graph.add_listener(recorder)
+        ... mutate graph ...
+        delta = recorder.delta
+        graph.remove_listener(recorder)
+    """
+
+    def __init__(self) -> None:
+        self.delta = GraphDelta()
+
+    def __call__(self, change: GraphChange) -> None:
+        self.delta.record(change)
+
+    def drain(self) -> GraphDelta:
+        """Return the collected delta and start a fresh one."""
+        collected, self.delta = self.delta, GraphDelta()
+        return collected

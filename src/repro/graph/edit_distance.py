@@ -1,0 +1,180 @@
+"""Graph edit distance between property graphs.
+
+The ICDE paper evaluates repairs by how *close* the repaired graph stays to
+the original ("minimal change" principle); the repair planner also uses edit
+cost to rank alternative repairs.  Exact graph edit distance is NP-hard, so
+two flavours are provided:
+
+* :func:`labeled_edit_distance` — an *aligned* edit distance that assumes the
+  shared node ids identify corresponding nodes (the natural situation when
+  comparing a graph to its repaired version, because repairs preserve ids
+  except for added/deleted/merged elements).  Linear time, exact under that
+  assumption.
+* :func:`approximate_edit_distance` — an unaligned upper-bound distance based
+  on greedy label-signature matching, for comparing independently produced
+  graphs (e.g. a repaired graph versus the clean ground-truth graph when ids
+  diverge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.property_graph import PropertyGraph
+
+
+@dataclass(frozen=True)
+class EditCosts:
+    """Unit costs of elementary edits; defaults follow the usual convention
+    that touching a node is at least as expensive as touching an edge."""
+
+    node_insert: float = 1.0
+    node_delete: float = 1.0
+    node_relabel: float = 1.0
+    node_property_change: float = 0.5
+    edge_insert: float = 1.0
+    edge_delete: float = 1.0
+    edge_relabel: float = 1.0
+    edge_property_change: float = 0.5
+
+
+DEFAULT_COSTS = EditCosts()
+
+
+@dataclass
+class EditDistanceResult:
+    """Breakdown of an edit-distance computation."""
+
+    distance: float
+    node_insertions: int = 0
+    node_deletions: int = 0
+    node_relabels: int = 0
+    node_property_changes: int = 0
+    edge_insertions: int = 0
+    edge_deletions: int = 0
+    edge_relabels: int = 0
+    edge_property_changes: int = 0
+
+    def total_operations(self) -> int:
+        return (self.node_insertions + self.node_deletions + self.node_relabels
+                + self.node_property_changes + self.edge_insertions
+                + self.edge_deletions + self.edge_relabels + self.edge_property_changes)
+
+
+def _edge_key(edge) -> tuple[str, str, str]:
+    return (edge.source, edge.target, edge.label)
+
+
+def labeled_edit_distance(original: PropertyGraph, modified: PropertyGraph,
+                          costs: EditCosts = DEFAULT_COSTS) -> EditDistanceResult:
+    """Edit distance assuming shared node ids denote the same entity.
+
+    Nodes present in only one graph count as insertions/deletions; nodes
+    present in both are compared by label and properties.  Edges are compared
+    as (source, target, label) multisets, with property differences charged
+    for edges matching on all three.
+    """
+    result = EditDistanceResult(distance=0.0)
+
+    original_nodes = {node.id: node for node in original.nodes()}
+    modified_nodes = {node.id: node for node in modified.nodes()}
+
+    for node_id, node in original_nodes.items():
+        if node_id not in modified_nodes:
+            result.node_deletions += 1
+            result.distance += costs.node_delete
+            continue
+        other = modified_nodes[node_id]
+        if node.label != other.label:
+            result.node_relabels += 1
+            result.distance += costs.node_relabel
+        if node.properties != other.properties:
+            differing = _count_property_differences(node.properties, other.properties)
+            result.node_property_changes += differing
+            result.distance += differing * costs.node_property_change
+    for node_id in modified_nodes:
+        if node_id not in original_nodes:
+            result.node_insertions += 1
+            result.distance += costs.node_insert
+
+    original_edges: dict[tuple[str, str, str], list] = {}
+    for edge in original.edges():
+        original_edges.setdefault(_edge_key(edge), []).append(edge)
+    modified_edges: dict[tuple[str, str, str], list] = {}
+    for edge in modified.edges():
+        modified_edges.setdefault(_edge_key(edge), []).append(edge)
+
+    for key, edges in original_edges.items():
+        counterpart = modified_edges.get(key, [])
+        surplus = len(edges) - len(counterpart)
+        if surplus > 0:
+            result.edge_deletions += surplus
+            result.distance += surplus * costs.edge_delete
+        for mine, theirs in zip(edges, counterpart):
+            if mine.properties != theirs.properties:
+                differing = _count_property_differences(mine.properties, theirs.properties)
+                result.edge_property_changes += differing
+                result.distance += differing * costs.edge_property_change
+    for key, edges in modified_edges.items():
+        counterpart = original_edges.get(key, [])
+        surplus = len(edges) - len(counterpart)
+        if surplus > 0:
+            result.edge_insertions += surplus
+            result.distance += surplus * costs.edge_insert
+
+    return result
+
+
+def _count_property_differences(first: dict, second: dict) -> int:
+    keys = set(first) | set(second)
+    return sum(1 for key in keys if first.get(key) != second.get(key))
+
+
+def approximate_edit_distance(first: PropertyGraph, second: PropertyGraph,
+                              costs: EditCosts = DEFAULT_COSTS) -> float:
+    """Greedy unaligned upper bound on the edit distance.
+
+    Nodes are matched greedily by (label, property-signature) buckets; the
+    remaining unmatched nodes are charged as insert/delete, and edges are
+    compared by (source label, edge label, target label) multisets.  The value
+    is an upper bound on the true edit distance and a useful relative measure:
+    identical graphs give 0, and distance grows monotonically with injected
+    noise (property-based tests rely on these two facts only).
+    """
+    distance = 0.0
+
+    first_buckets: dict[tuple, int] = {}
+    for node in first.nodes():
+        first_buckets[node.signature()] = first_buckets.get(node.signature(), 0) + 1
+    second_buckets: dict[tuple, int] = {}
+    for node in second.nodes():
+        second_buckets[node.signature()] = second_buckets.get(node.signature(), 0) + 1
+
+    for signature, count in first_buckets.items():
+        other = second_buckets.get(signature, 0)
+        if count > other:
+            distance += (count - other) * costs.node_delete
+    for signature, count in second_buckets.items():
+        other = first_buckets.get(signature, 0)
+        if count > other:
+            distance += (count - other) * costs.node_insert
+
+    def edge_profile(graph: PropertyGraph) -> dict[tuple[str, str, str], int]:
+        profile: dict[tuple[str, str, str], int] = {}
+        for edge in graph.edges():
+            key = (graph.node(edge.source).label, edge.label, graph.node(edge.target).label)
+            profile[key] = profile.get(key, 0) + 1
+        return profile
+
+    first_profile = edge_profile(first)
+    second_profile = edge_profile(second)
+    for key, count in first_profile.items():
+        other = second_profile.get(key, 0)
+        if count > other:
+            distance += (count - other) * costs.edge_delete
+    for key, count in second_profile.items():
+        other = first_profile.get(key, 0)
+        if count > other:
+            distance += (count - other) * costs.edge_insert
+
+    return distance

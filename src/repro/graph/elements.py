@@ -1,0 +1,141 @@
+"""Node and edge records of the property graph.
+
+A :class:`PropertyGraph` stores :class:`Node` and :class:`Edge` records.  Both
+carry a *label* (the entity type of a node, the predicate of an edge) and a
+free-form property dictionary.  The records are plain mutable dataclasses; all
+mutation of a graph's elements should nevertheless go through the
+:class:`~repro.graph.property_graph.PropertyGraph` methods so that change
+events are emitted for the incremental machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+NodeId = str
+EdgeId = str
+Label = str
+Properties = dict[str, Any]
+
+
+def _freeze_value(value: Any) -> Any:
+    """Return a hashable stand-in for a property value (used in signatures)."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze_value(v)) for k, v in value.items()))
+    if isinstance(value, set):
+        return frozenset(_freeze_value(v) for v in value)
+    return value
+
+
+@dataclass
+class Node:
+    """A node of a property graph.
+
+    Attributes
+    ----------
+    id:
+        Opaque unique identifier within the graph.
+    label:
+        The entity type (e.g. ``"Person"``, ``"City"``).
+    properties:
+        Arbitrary key/value attributes (e.g. ``{"name": "Ada", "birthYear": 1815}``).
+    """
+
+    id: NodeId
+    label: Label
+    properties: Properties = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.properties.get(key, default)
+
+    def has(self, key: str) -> bool:
+        return key in self.properties
+
+    def copy(self) -> "Node":
+        return Node(id=self.id, label=self.label, properties=dict(self.properties))
+
+    def signature(self) -> tuple:
+        """A hashable summary of label + properties (used by isomorphism & dedup)."""
+        return (
+            self.label,
+            tuple(sorted((k, _freeze_value(v)) for k, v in self.properties.items())),
+        )
+
+    def __repr__(self) -> str:
+        props = f" {self.properties}" if self.properties else ""
+        return f"Node({self.id}:{self.label}{props})"
+
+
+@dataclass
+class Edge:
+    """A directed edge of a property graph.
+
+    Attributes
+    ----------
+    id:
+        Opaque unique identifier within the graph.
+    source, target:
+        Ids of the endpoint nodes.
+    label:
+        The predicate (e.g. ``"bornIn"``, ``"capitalOf"``).
+    properties:
+        Arbitrary key/value attributes (e.g. ``{"since": 2001, "source": "wiki"}``).
+    """
+
+    id: EdgeId
+    source: NodeId
+    target: NodeId
+    label: Label
+    properties: Properties = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.properties.get(key, default)
+
+    def has(self, key: str) -> bool:
+        return key in self.properties
+
+    def copy(self) -> "Edge":
+        return Edge(
+            id=self.id,
+            source=self.source,
+            target=self.target,
+            label=self.label,
+            properties=dict(self.properties),
+        )
+
+    def other_endpoint(self, node_id: NodeId) -> NodeId:
+        """Return the endpoint that is not ``node_id`` (source for self-loops)."""
+        if node_id == self.source:
+            return self.target
+        if node_id == self.target:
+            return self.source
+        raise ValueError(f"node {node_id!r} is not an endpoint of edge {self.id!r}")
+
+    def signature(self) -> tuple:
+        """A hashable summary of label + properties (endpoint-independent)."""
+        return (
+            self.label,
+            tuple(sorted((k, _freeze_value(v)) for k, v in self.properties.items())),
+        )
+
+    def __repr__(self) -> str:
+        props = f" {self.properties}" if self.properties else ""
+        return f"Edge({self.id}: {self.source}-[{self.label}]->{self.target}{props})"
+
+
+def merge_properties(base: Mapping[str, Any], extra: Mapping[str, Any],
+                     overwrite: bool = False) -> Properties:
+    """Merge two property dictionaries.
+
+    With ``overwrite=False`` (the default, used by ``MERGE_NODES``) values
+    already present in ``base`` win; with ``overwrite=True`` (used by
+    ``UPDATE_NODE``/``UPDATE_EDGE``) values from ``extra`` win.
+    """
+    merged: Properties = dict(base)
+    for key, value in extra.items():
+        if overwrite or key not in merged:
+            merged[key] = value
+    return merged

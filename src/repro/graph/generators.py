@@ -1,0 +1,185 @@
+"""Random labelled-graph generators.
+
+These are low-level structural generators (Erdős–Rényi, Barabási–Albert-style
+preferential attachment, community-structured graphs) with labels layered on
+top.  The domain-specific knowledge-graph generators in
+:mod:`repro.datasets` build on them when they need background topology; they
+are also useful on their own for property-based tests and micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.graph.property_graph import PropertyGraph
+from repro.utils.rng import ensure_rng, zipf_weights
+
+
+DEFAULT_NODE_LABELS = ("A", "B", "C")
+DEFAULT_EDGE_LABELS = ("r", "s", "t")
+
+
+def _assign_label(rng: random.Random, labels: Sequence[str], zipf_exponent: float) -> str:
+    weights = zipf_weights(len(labels), zipf_exponent)
+    return rng.choices(list(labels), weights=weights, k=1)[0]
+
+
+def erdos_renyi_graph(num_nodes: int, edge_probability: float,
+                      node_labels: Sequence[str] = DEFAULT_NODE_LABELS,
+                      edge_labels: Sequence[str] = DEFAULT_EDGE_LABELS,
+                      zipf_exponent: float = 0.8,
+                      seed: int | random.Random | None = 0,
+                      name: str = "erdos-renyi") -> PropertyGraph:
+    """A directed G(n, p) graph with Zipf-distributed labels.
+
+    Intended for small/medium graphs: the generator enumerates all ordered
+    node pairs, so cost is quadratic in ``num_nodes``.
+    """
+    if num_nodes < 0:
+        raise ValueError("num_nodes must be non-negative")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ValueError("edge_probability must be in [0, 1]")
+    rng = ensure_rng(seed)
+    graph = PropertyGraph(name=name)
+    node_ids = [
+        graph.add_node(_assign_label(rng, node_labels, zipf_exponent)).id
+        for _ in range(num_nodes)
+    ]
+    for source in node_ids:
+        for target in node_ids:
+            if source == target:
+                continue
+            if rng.random() < edge_probability:
+                graph.add_edge(source, target,
+                               _assign_label(rng, edge_labels, zipf_exponent))
+    return graph
+
+
+def preferential_attachment_graph(num_nodes: int, edges_per_node: int = 2,
+                                  node_labels: Sequence[str] = DEFAULT_NODE_LABELS,
+                                  edge_labels: Sequence[str] = DEFAULT_EDGE_LABELS,
+                                  zipf_exponent: float = 0.8,
+                                  seed: int | random.Random | None = 0,
+                                  name: str = "preferential-attachment") -> PropertyGraph:
+    """A Barabási–Albert-style graph: heavy-tailed in-degree, like real KGs.
+
+    Each new node attaches ``edges_per_node`` outgoing edges to existing nodes
+    chosen proportionally to their current degree (plus one, so isolated nodes
+    remain reachable).
+    """
+    if num_nodes < 0:
+        raise ValueError("num_nodes must be non-negative")
+    if edges_per_node < 0:
+        raise ValueError("edges_per_node must be non-negative")
+    rng = ensure_rng(seed)
+    graph = PropertyGraph(name=name)
+    node_ids: list[str] = []
+    degree_weight: dict[str, int] = {}
+
+    for _ in range(num_nodes):
+        new_id = graph.add_node(_assign_label(rng, node_labels, zipf_exponent)).id
+        if node_ids:
+            attach_count = min(edges_per_node, len(node_ids))
+            weights = [degree_weight[node_id] + 1 for node_id in node_ids]
+            targets: set[str] = set()
+            attempts = 0
+            while len(targets) < attach_count and attempts < 10 * attach_count:
+                target = rng.choices(node_ids, weights=weights, k=1)[0]
+                targets.add(target)
+                attempts += 1
+            for target in targets:
+                graph.add_edge(new_id, target,
+                               _assign_label(rng, edge_labels, zipf_exponent))
+                degree_weight[target] = degree_weight.get(target, 0) + 1
+                degree_weight[new_id] = degree_weight.get(new_id, 0) + 1
+        node_ids.append(new_id)
+        degree_weight.setdefault(new_id, 0)
+    return graph
+
+
+def community_graph(num_communities: int, nodes_per_community: int,
+                    intra_probability: float = 0.15,
+                    inter_probability: float = 0.005,
+                    node_labels: Sequence[str] = DEFAULT_NODE_LABELS,
+                    edge_labels: Sequence[str] = DEFAULT_EDGE_LABELS,
+                    seed: int | random.Random | None = 0,
+                    name: str = "community") -> PropertyGraph:
+    """A planted-partition graph: dense inside communities, sparse across.
+
+    The social-network duplicate-account dataset uses this topology.  Each
+    node gets a ``community`` property so tests can check the planted
+    structure survives repairs.
+    """
+    if num_communities < 0 or nodes_per_community < 0:
+        raise ValueError("community counts must be non-negative")
+    rng = ensure_rng(seed)
+    graph = PropertyGraph(name=name)
+    members: list[list[str]] = []
+    for community_index in range(num_communities):
+        community_nodes = []
+        for _ in range(nodes_per_community):
+            node = graph.add_node(
+                _assign_label(rng, node_labels, 0.8),
+                {"community": community_index},
+            )
+            community_nodes.append(node.id)
+        members.append(community_nodes)
+
+    all_nodes = [node_id for community in members for node_id in community]
+    community_of = {node_id: index
+                    for index, community in enumerate(members)
+                    for node_id in community}
+    for source in all_nodes:
+        for target in all_nodes:
+            if source == target:
+                continue
+            probability = (intra_probability
+                           if community_of[source] == community_of[target]
+                           else inter_probability)
+            if rng.random() < probability:
+                graph.add_edge(source, target, _assign_label(rng, edge_labels, 0.8))
+    return graph
+
+
+def path_graph(length: int, node_label: str = "A", edge_label: str = "r",
+               name: str = "path") -> PropertyGraph:
+    """A simple directed path with ``length`` edges (``length + 1`` nodes)."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    graph = PropertyGraph(name=name)
+    previous = graph.add_node(node_label).id
+    for _ in range(length):
+        current = graph.add_node(node_label).id
+        graph.add_edge(previous, current, edge_label)
+        previous = current
+    return graph
+
+
+def star_graph(num_leaves: int, center_label: str = "A", leaf_label: str = "B",
+               edge_label: str = "r", outward: bool = True,
+               name: str = "star") -> PropertyGraph:
+    """A star: one centre connected to ``num_leaves`` leaves."""
+    if num_leaves < 0:
+        raise ValueError("num_leaves must be non-negative")
+    graph = PropertyGraph(name=name)
+    center = graph.add_node(center_label).id
+    for _ in range(num_leaves):
+        leaf = graph.add_node(leaf_label).id
+        if outward:
+            graph.add_edge(center, leaf, edge_label)
+        else:
+            graph.add_edge(leaf, center, edge_label)
+    return graph
+
+
+def cycle_graph(length: int, node_label: str = "A", edge_label: str = "r",
+                name: str = "cycle") -> PropertyGraph:
+    """A directed cycle with ``length`` nodes (``length`` ≥ 1)."""
+    if length < 1:
+        raise ValueError("cycle length must be at least 1")
+    graph = PropertyGraph(name=name)
+    node_ids = [graph.add_node(node_label).id for _ in range(length)]
+    for index, node_id in enumerate(node_ids):
+        graph.add_edge(node_id, node_ids[(index + 1) % length], edge_label)
+    return graph

@@ -1,0 +1,129 @@
+"""Exact isomorphism and containment checks for *small* graphs.
+
+The rule-set static analysis (consistency / implication) reasons about small
+canonical witness graphs (a handful of nodes), so a simple backtracking
+isomorphism test is sufficient and keeps the module dependency-free.  For
+pattern-vs-data matching at scale use :mod:`repro.matching` instead — this
+module is deliberately label-and-property exact.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from repro.graph.property_graph import PropertyGraph
+
+
+def _node_invariant(graph: PropertyGraph, node_id: str) -> tuple:
+    node = graph.node(node_id)
+    return (node.label, graph.in_degree(node_id), graph.out_degree(node_id))
+
+
+def _edge_multiset(graph: PropertyGraph, mapping: dict[str, str],
+                   other: PropertyGraph) -> bool:
+    """Check that every edge of ``graph`` maps to an edge of ``other`` under ``mapping``."""
+    for edge in graph.edges():
+        mapped_source = mapping[edge.source]
+        mapped_target = mapping[edge.target]
+        if not other.has_edge_between(mapped_source, mapped_target, edge.label):
+            return False
+    return True
+
+
+def are_isomorphic(first: PropertyGraph, second: PropertyGraph,
+                   compare_properties: bool = False) -> bool:
+    """Exact label-preserving isomorphism between two small graphs.
+
+    Complexity is factorial in the number of nodes per label class; intended
+    for graphs with at most ~8 nodes (rule patterns and witness graphs).
+    """
+    if first.num_nodes != second.num_nodes or first.num_edges != second.num_edges:
+        return False
+
+    first_ids = first.node_ids()
+    second_ids = second.node_ids()
+
+    first_invariants = sorted(_node_invariant(first, node_id) for node_id in first_ids)
+    second_invariants = sorted(_node_invariant(second, node_id) for node_id in second_ids)
+    if first_invariants != second_invariants:
+        return False
+
+    # Group second's nodes by invariant so we only permute within classes.
+    by_invariant: dict[tuple, list[str]] = {}
+    for node_id in second_ids:
+        by_invariant.setdefault(_node_invariant(second, node_id), []).append(node_id)
+
+    grouped_first: dict[tuple, list[str]] = {}
+    for node_id in first_ids:
+        grouped_first.setdefault(_node_invariant(first, node_id), []).append(node_id)
+
+    def backtrack(groups: list[tuple[list[str], list[str]]], mapping: dict[str, str]) -> bool:
+        if not groups:
+            if not _edge_multiset(first, mapping, second):
+                return False
+            if not _edge_multiset(second, {v: k for k, v in mapping.items()}, first):
+                return False
+            if compare_properties:
+                for source_id, target_id in mapping.items():
+                    if first.node(source_id).properties != second.node(target_id).properties:
+                        return False
+            return True
+        (first_group, second_group), *rest = groups
+        for permutation in permutations(second_group):
+            candidate = dict(mapping)
+            candidate.update(zip(first_group, permutation))
+            if backtrack(rest, candidate):
+                return True
+        return False
+
+    groups = [(grouped_first[invariant], by_invariant[invariant])
+              for invariant in grouped_first]
+    return backtrack(groups, {})
+
+
+def find_subgraph_embedding(small: PropertyGraph, large: PropertyGraph) -> dict[str, str] | None:
+    """Find one injective, label-preserving embedding of ``small`` into ``large``.
+
+    Brute-force backtracking over label-compatible candidates; intended for
+    witness-graph reasoning in the analysis layer (both graphs tiny).
+    Returns a mapping ``small node id -> large node id`` or ``None``.
+    """
+    small_ids = small.node_ids()
+
+    def candidates(small_id: str) -> list[str]:
+        label = small.node(small_id).label
+        return [node.id for node in large.nodes_with_label(label)]
+
+    order = sorted(small_ids, key=lambda node_id: len(candidates(node_id)))
+
+    def consistent(mapping: dict[str, str]) -> bool:
+        for edge in small.edges():
+            if edge.source in mapping and edge.target in mapping:
+                if not large.has_edge_between(mapping[edge.source], mapping[edge.target],
+                                              edge.label):
+                    return False
+        return True
+
+    def backtrack(index: int, mapping: dict[str, str], used: set[str]) -> dict[str, str] | None:
+        if index == len(order):
+            return dict(mapping)
+        small_id = order[index]
+        for large_id in candidates(small_id):
+            if large_id in used:
+                continue
+            mapping[small_id] = large_id
+            used.add(large_id)
+            if consistent(mapping):
+                found = backtrack(index + 1, mapping, used)
+                if found is not None:
+                    return found
+            del mapping[small_id]
+            used.discard(large_id)
+        return None
+
+    return backtrack(0, {}, set())
+
+
+def contains_subgraph(small: PropertyGraph, large: PropertyGraph) -> bool:
+    """True if ``small`` embeds injectively (label-preserving) into ``large``."""
+    return find_subgraph_embedding(small, large) is not None

@@ -1,0 +1,547 @@
+"""The property graph: a directed, labelled multigraph with attributes.
+
+This is the substrate every other subsystem operates on.  Design goals:
+
+* **Multigraph** — knowledge graphs routinely contain parallel edges with
+  different predicates (and, when dirty, duplicate parallel edges with the
+  same predicate — exactly the redundancy errors we repair).
+* **Label-indexed** — pattern matching needs fast per-label candidate lists,
+  so the graph maintains node-label and edge-label indexes internally.
+* **Change events** — every mutation emits a :class:`GraphChange` so that the
+  candidate index and the incremental matcher can be maintained without
+  rescanning the graph (the core of the paper's "efficient" algorithms).
+* **Deterministic iteration** — node/edge dictionaries are insertion-ordered,
+  so experiments are reproducible run to run.
+
+The implementation is a plain adjacency-dictionary structure rather than a
+networkx wrapper: we need merge-with-edge-redirection, change events, and
+label indexes as first-class operations, and profiling showed a dedicated
+structure is both simpler and faster for the matcher's access patterns.
+Conversion to/from :mod:`networkx` is provided for interoperability.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.exceptions import (
+    DuplicateElementError,
+    EdgeNotFoundError,
+    GraphMutationError,
+    NodeNotFoundError,
+)
+from repro.graph.delta import ChangeKind, ChangeListener, GraphChange
+from repro.graph.elements import Edge, EdgeId, Label, Node, NodeId, Properties, merge_properties
+from repro.utils.ids import IdGenerator
+
+
+class PropertyGraph:
+    """A directed, labelled property multigraph."""
+
+    def __init__(self, name: str = "graph") -> None:
+        self.name = name
+        self._nodes: dict[NodeId, Node] = {}
+        self._edges: dict[EdgeId, Edge] = {}
+        # adjacency: node id -> set of incident edge ids (split by direction)
+        self._out_edges: dict[NodeId, set[EdgeId]] = {}
+        self._in_edges: dict[NodeId, set[EdgeId]] = {}
+        # label indexes
+        self._nodes_by_label: dict[Label, set[NodeId]] = {}
+        self._edges_by_label: dict[Label, set[EdgeId]] = {}
+        self._listeners: list[ChangeListener] = []
+        self._node_ids = IdGenerator(prefix="n")
+        self._edge_ids = IdGenerator(prefix="e")
+
+    # ------------------------------------------------------------------
+    # listeners
+    # ------------------------------------------------------------------
+
+    def add_listener(self, listener: ChangeListener) -> None:
+        """Subscribe ``listener`` to every subsequent mutation."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: ChangeListener) -> None:
+        self._listeners.remove(listener)
+
+    def _emit(self, change: GraphChange) -> None:
+        for listener in self._listeners:
+            listener(change)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def size(self) -> int:
+        """Total number of elements (nodes + edges)."""
+        return len(self._nodes) + len(self._edges)
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def __contains__(self, node_id: object) -> bool:
+        return node_id in self._nodes
+
+    def has_node(self, node_id: NodeId) -> bool:
+        return node_id in self._nodes
+
+    def has_edge(self, edge_id: EdgeId) -> bool:
+        return edge_id in self._edges
+
+    def node(self, node_id: NodeId) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise NodeNotFoundError(node_id) from None
+
+    def edge(self, edge_id: EdgeId) -> Edge:
+        try:
+            return self._edges[edge_id]
+        except KeyError:
+            raise EdgeNotFoundError(edge_id) from None
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over all nodes (insertion order)."""
+        return iter(list(self._nodes.values()))
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over all edges (insertion order)."""
+        return iter(list(self._edges.values()))
+
+    def node_ids(self) -> list[NodeId]:
+        return list(self._nodes.keys())
+
+    def edge_ids(self) -> list[EdgeId]:
+        return list(self._edges.keys())
+
+    # ------------------------------------------------------------------
+    # label indexes
+    # ------------------------------------------------------------------
+
+    def node_labels(self) -> set[Label]:
+        return set(self._nodes_by_label.keys())
+
+    def edge_labels(self) -> set[Label]:
+        return set(self._edges_by_label.keys())
+
+    def nodes_with_label(self, label: Label) -> list[Node]:
+        # sorted for determinism: label buckets are sets, and reproducible
+        # iteration matters to the error injector and the experiments
+        return [self._nodes[node_id]
+                for node_id in sorted(self._nodes_by_label.get(label, ()))]
+
+    def node_ids_with_label(self, label: Label) -> set[NodeId]:
+        return set(self._nodes_by_label.get(label, set()))
+
+    def edges_with_label(self, label: Label) -> list[Edge]:
+        return [self._edges[edge_id]
+                for edge_id in sorted(self._edges_by_label.get(label, ()))]
+
+    def count_nodes_with_label(self, label: Label) -> int:
+        return len(self._nodes_by_label.get(label, ()))
+
+    def count_edges_with_label(self, label: Label) -> int:
+        return len(self._edges_by_label.get(label, ()))
+
+    # ------------------------------------------------------------------
+    # adjacency accessors
+    # ------------------------------------------------------------------
+
+    def out_edges(self, node_id: NodeId) -> list[Edge]:
+        """All edges whose source is ``node_id`` (sorted by edge id for determinism)."""
+        self._require_node(node_id)
+        return [self._edges[eid] for eid in sorted(self._out_edges.get(node_id, ()))]
+
+    def in_edges(self, node_id: NodeId) -> list[Edge]:
+        """All edges whose target is ``node_id`` (sorted by edge id for determinism)."""
+        self._require_node(node_id)
+        return [self._edges[eid] for eid in sorted(self._in_edges.get(node_id, ()))]
+
+    def incident_edges(self, node_id: NodeId) -> list[Edge]:
+        """All edges incident to ``node_id`` in either direction (self-loops once)."""
+        self._require_node(node_id)
+        edge_ids = self._out_edges.get(node_id, set()) | self._in_edges.get(node_id, set())
+        return [self._edges[eid] for eid in sorted(edge_ids)]
+
+    def out_degree(self, node_id: NodeId) -> int:
+        self._require_node(node_id)
+        return len(self._out_edges.get(node_id, ()))
+
+    def in_degree(self, node_id: NodeId) -> int:
+        self._require_node(node_id)
+        return len(self._in_edges.get(node_id, ()))
+
+    def degree(self, node_id: NodeId) -> int:
+        return self.out_degree(node_id) + self.in_degree(node_id)
+
+    def successors(self, node_id: NodeId) -> set[NodeId]:
+        """Ids of nodes reachable by one outgoing edge."""
+        return {edge.target for edge in self.out_edges(node_id)}
+
+    def predecessors(self, node_id: NodeId) -> set[NodeId]:
+        """Ids of nodes with an edge pointing to ``node_id``."""
+        return {edge.source for edge in self.in_edges(node_id)}
+
+    def neighbors(self, node_id: NodeId) -> set[NodeId]:
+        """Ids of nodes adjacent in either direction (excluding the node itself)."""
+        adjacent = self.successors(node_id) | self.predecessors(node_id)
+        adjacent.discard(node_id)
+        return adjacent
+
+    def edges_between(self, source: NodeId, target: NodeId,
+                      label: Label | None = None) -> list[Edge]:
+        """All edges from ``source`` to ``target`` (optionally restricted to a label)."""
+        self._require_node(source)
+        self._require_node(target)
+        found = []
+        for edge_id in self._out_edges.get(source, ()):
+            edge = self._edges[edge_id]
+            if edge.target == target and (label is None or edge.label == label):
+                found.append(edge)
+        return found
+
+    def has_edge_between(self, source: NodeId, target: NodeId,
+                         label: Label | None = None) -> bool:
+        return bool(self.edges_between(source, target, label))
+
+    def out_edges_with_label(self, node_id: NodeId, label: Label) -> list[Edge]:
+        return [edge for edge in self.out_edges(node_id) if edge.label == label]
+
+    def in_edges_with_label(self, node_id: NodeId, label: Label) -> list[Edge]:
+        return [edge for edge in self.in_edges(node_id) if edge.label == label]
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+
+    def add_node(self, label: Label, properties: Mapping[str, Any] | None = None,
+                 node_id: NodeId | None = None) -> Node:
+        """Create a node; returns the new :class:`Node`.
+
+        If ``node_id`` is omitted a fresh id is generated.
+        """
+        if node_id is None:
+            node_id = self._node_ids.next()
+        else:
+            node_id = str(node_id)
+            if node_id in self._nodes:
+                raise DuplicateElementError(f"node id {node_id!r} already exists")
+            self._node_ids.observe(node_id)
+        node = Node(id=node_id, label=label, properties=dict(properties or {}))
+        self._nodes[node_id] = node
+        self._out_edges[node_id] = set()
+        self._in_edges[node_id] = set()
+        self._nodes_by_label.setdefault(label, set()).add(node_id)
+        self._emit(GraphChange(kind=ChangeKind.ADD_NODE, node_id=node_id,
+                               touched_nodes=(node_id,)))
+        return node
+
+    def add_edge(self, source: NodeId, target: NodeId, label: Label,
+                 properties: Mapping[str, Any] | None = None,
+                 edge_id: EdgeId | None = None) -> Edge:
+        """Create a directed edge ``source -[label]-> target``."""
+        self._require_node(source)
+        self._require_node(target)
+        if edge_id is None:
+            edge_id = self._edge_ids.next()
+        else:
+            edge_id = str(edge_id)
+            if edge_id in self._edges:
+                raise DuplicateElementError(f"edge id {edge_id!r} already exists")
+            self._edge_ids.observe(edge_id)
+        edge = Edge(id=edge_id, source=source, target=target, label=label,
+                    properties=dict(properties or {}))
+        self._edges[edge_id] = edge
+        self._out_edges[source].add(edge_id)
+        self._in_edges[target].add(edge_id)
+        self._edges_by_label.setdefault(label, set()).add(edge_id)
+        self._emit(GraphChange(kind=ChangeKind.ADD_EDGE, edge_id=edge_id,
+                               touched_nodes=(source, target)))
+        return edge
+
+    def remove_edge(self, edge_id: EdgeId) -> Edge:
+        """Delete an edge; returns the removed :class:`Edge`."""
+        edge = self.edge(edge_id)
+        self._detach_edge(edge)
+        self._emit(GraphChange(kind=ChangeKind.REMOVE_EDGE, edge_id=edge_id,
+                               touched_nodes=(edge.source, edge.target),
+                               details={"label": edge.label, "source": edge.source,
+                                        "target": edge.target}))
+        return edge
+
+    def remove_node(self, node_id: NodeId) -> Node:
+        """Delete a node and all incident edges; returns the removed :class:`Node`."""
+        node = self.node(node_id)
+        incident = self.incident_edges(node_id)
+        removed_edges = []
+        touched: set[NodeId] = {node_id}
+        for edge in incident:
+            touched.add(edge.source)
+            touched.add(edge.target)
+            self._detach_edge(edge)
+            removed_edges.append(edge.id)
+        del self._nodes[node_id]
+        del self._out_edges[node_id]
+        del self._in_edges[node_id]
+        self._discard_from_index(self._nodes_by_label, node.label, node_id)
+        touched.discard(node_id)
+        self._emit(GraphChange(kind=ChangeKind.REMOVE_NODE, node_id=node_id,
+                               touched_nodes=tuple(touched),
+                               details={"label": node.label,
+                                        "removed_edges": tuple(removed_edges)}))
+        return node
+
+    def update_node(self, node_id: NodeId, properties: Mapping[str, Any] | None = None,
+                    remove_keys: Iterable[str] = ()) -> Node:
+        """Set/overwrite node properties and/or remove property keys."""
+        node = self.node(node_id)
+        before = dict(node.properties)
+        for key in remove_keys:
+            node.properties.pop(key, None)
+        if properties:
+            node.properties.update(properties)
+        self._emit(GraphChange(kind=ChangeKind.UPDATE_NODE, node_id=node_id,
+                               touched_nodes=(node_id,),
+                               details={"before": before, "after": dict(node.properties)}))
+        return node
+
+    def update_edge(self, edge_id: EdgeId, properties: Mapping[str, Any] | None = None,
+                    remove_keys: Iterable[str] = ()) -> Edge:
+        """Set/overwrite edge properties and/or remove property keys."""
+        edge = self.edge(edge_id)
+        before = dict(edge.properties)
+        for key in remove_keys:
+            edge.properties.pop(key, None)
+        if properties:
+            edge.properties.update(properties)
+        self._emit(GraphChange(kind=ChangeKind.UPDATE_EDGE, edge_id=edge_id,
+                               touched_nodes=(edge.source, edge.target),
+                               details={"before": before, "after": dict(edge.properties)}))
+        return edge
+
+    def relabel_node(self, node_id: NodeId, new_label: Label) -> Node:
+        """Change a node's label, keeping id, properties, and incident edges."""
+        node = self.node(node_id)
+        old_label = node.label
+        if old_label == new_label:
+            return node
+        self._discard_from_index(self._nodes_by_label, old_label, node_id)
+        node.label = new_label
+        self._nodes_by_label.setdefault(new_label, set()).add(node_id)
+        self._emit(GraphChange(kind=ChangeKind.RELABEL_NODE, node_id=node_id,
+                               touched_nodes=(node_id,),
+                               details={"before": old_label, "after": new_label}))
+        return node
+
+    def relabel_edge(self, edge_id: EdgeId, new_label: Label) -> Edge:
+        """Change an edge's label (predicate), keeping endpoints and properties."""
+        edge = self.edge(edge_id)
+        old_label = edge.label
+        if old_label == new_label:
+            return edge
+        self._discard_from_index(self._edges_by_label, old_label, edge_id)
+        edge.label = new_label
+        self._edges_by_label.setdefault(new_label, set()).add(edge_id)
+        self._emit(GraphChange(kind=ChangeKind.RELABEL_EDGE, edge_id=edge_id,
+                               touched_nodes=(edge.source, edge.target),
+                               details={"before": old_label, "after": new_label}))
+        return edge
+
+    def merge_nodes(self, keep_id: NodeId, merge_id: NodeId,
+                    prefer_kept_properties: bool = True,
+                    drop_duplicate_edges: bool = True) -> Node:
+        """Fuse ``merge_id`` into ``keep_id``.
+
+        All edges incident to the merged node are redirected to the kept node.
+        Properties are merged (kept node's values win unless
+        ``prefer_kept_properties=False``).  With ``drop_duplicate_edges=True``
+        (the default) a redirected edge is dropped instead of redirected when
+        the kept node already has an edge with the same label, same other
+        endpoint, and same direction — this is what makes MERGE_NODES the
+        natural repair for entity duplication without creating new parallel
+        duplicates.
+        """
+        if keep_id == merge_id:
+            raise GraphMutationError("cannot merge a node into itself")
+        keep = self.node(keep_id)
+        merge = self.node(merge_id)
+
+        added_edges: list[EdgeId] = []
+        removed_edges: list[EdgeId] = []
+        touched: set[NodeId] = {keep_id, merge_id}
+
+        for edge in list(self.incident_edges(merge_id)):
+            touched.add(edge.source)
+            touched.add(edge.target)
+            new_source = keep_id if edge.source == merge_id else edge.source
+            new_target = keep_id if edge.target == merge_id else edge.target
+            self._detach_edge(edge)
+            removed_edges.append(edge.id)
+            if drop_duplicate_edges and self._has_equivalent_edge(new_source, new_target, edge.label):
+                continue
+            replacement = Edge(id=self._edge_ids.next(), source=new_source,
+                               target=new_target, label=edge.label,
+                               properties=dict(edge.properties))
+            self._edges[replacement.id] = replacement
+            self._out_edges[new_source].add(replacement.id)
+            self._in_edges[new_target].add(replacement.id)
+            self._edges_by_label.setdefault(replacement.label, set()).add(replacement.id)
+            added_edges.append(replacement.id)
+
+        if prefer_kept_properties:
+            keep.properties = merge_properties(keep.properties, merge.properties,
+                                               overwrite=False)
+        else:
+            keep.properties = merge_properties(keep.properties, merge.properties,
+                                               overwrite=True)
+
+        del self._nodes[merge_id]
+        del self._out_edges[merge_id]
+        del self._in_edges[merge_id]
+        self._discard_from_index(self._nodes_by_label, merge.label, merge_id)
+        touched.discard(merge_id)
+
+        self._emit(GraphChange(kind=ChangeKind.MERGE_NODES, node_id=keep_id,
+                               touched_nodes=tuple(touched),
+                               details={"merged": merge_id,
+                                        "merged_label": merge.label,
+                                        "added_edges": tuple(added_edges),
+                                        "removed_edges": tuple(removed_edges)}))
+        return keep
+
+    # ------------------------------------------------------------------
+    # bulk / copy / conversion
+    # ------------------------------------------------------------------
+
+    def copy(self, name: str | None = None) -> "PropertyGraph":
+        """Deep copy (listeners are not copied)."""
+        clone = PropertyGraph(name=name or self.name)
+        for node in self._nodes.values():
+            clone.add_node(node.label, dict(node.properties), node_id=node.id)
+        for edge in self._edges.values():
+            clone.add_edge(edge.source, edge.target, edge.label,
+                           dict(edge.properties), edge_id=edge.id)
+        return clone
+
+    def subgraph(self, node_ids: Iterable[NodeId], name: str | None = None) -> "PropertyGraph":
+        """Induced subgraph on ``node_ids`` (edges with both endpoints inside)."""
+        keep = set(node_ids)
+        sub = PropertyGraph(name=name or f"{self.name}-sub")
+        for node_id in keep:
+            node = self.node(node_id)
+            sub.add_node(node.label, dict(node.properties), node_id=node.id)
+        for edge in self._edges.values():
+            if edge.source in keep and edge.target in keep:
+                sub.add_edge(edge.source, edge.target, edge.label,
+                             dict(edge.properties), edge_id=edge.id)
+        return sub
+
+    def neighborhood(self, node_ids: Iterable[NodeId], hops: int = 1) -> set[NodeId]:
+        """Node ids within ``hops`` undirected hops of any seed node (seeds included)."""
+        frontier = {node_id for node_id in node_ids if self.has_node(node_id)}
+        visited = set(frontier)
+        for _ in range(hops):
+            next_frontier: set[NodeId] = set()
+            for node_id in frontier:
+                next_frontier.update(self.neighbors(node_id))
+            next_frontier -= visited
+            if not next_frontier:
+                break
+            visited.update(next_frontier)
+            frontier = next_frontier
+        return visited
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.MultiDiGraph` (labels stored as attributes)."""
+        import networkx as nx
+
+        nx_graph = nx.MultiDiGraph(name=self.name)
+        for node in self._nodes.values():
+            nx_graph.add_node(node.id, label=node.label, **node.properties)
+        for edge in self._edges.values():
+            nx_graph.add_edge(edge.source, edge.target, key=edge.id,
+                              label=edge.label, **edge.properties)
+        return nx_graph
+
+    @classmethod
+    def from_networkx(cls, nx_graph, name: str | None = None) -> "PropertyGraph":
+        """Build a :class:`PropertyGraph` from a networkx (multi)digraph.
+
+        Node/edge attribute ``label`` becomes the element label (defaulting to
+        ``"Node"`` / ``"edge"``); remaining attributes become properties.
+        """
+        graph = cls(name=name or getattr(nx_graph, "name", None) or "graph")
+        for node_id, attrs in nx_graph.nodes(data=True):
+            attrs = dict(attrs)
+            label = attrs.pop("label", "Node")
+            graph.add_node(label, attrs, node_id=str(node_id))
+        if nx_graph.is_multigraph():
+            edge_iter = ((u, v, data) for u, v, _key, data in nx_graph.edges(keys=True, data=True))
+        else:
+            edge_iter = nx_graph.edges(data=True)
+        for source, target, attrs in edge_iter:
+            attrs = dict(attrs)
+            label = attrs.pop("label", "edge")
+            graph.add_edge(str(source), str(target), label, attrs)
+        return graph
+
+    # ------------------------------------------------------------------
+    # equality / hashing helpers
+    # ------------------------------------------------------------------
+
+    def structurally_equal(self, other: "PropertyGraph") -> bool:
+        """Exact equality of node/edge sets including ids, labels and properties."""
+        if self.num_nodes != other.num_nodes or self.num_edges != other.num_edges:
+            return False
+        for node_id, node in self._nodes.items():
+            if not other.has_node(node_id):
+                return False
+            other_node = other.node(node_id)
+            if node.label != other_node.label or node.properties != other_node.properties:
+                return False
+        mine = {(e.source, e.target, e.label, tuple(sorted(e.properties.items(), key=repr)))
+                for e in self._edges.values()}
+        theirs = {(e.source, e.target, e.label, tuple(sorted(e.properties.items(), key=repr)))
+                  for e in other._edges.values()}
+        return mine == theirs
+
+    def __repr__(self) -> str:
+        return (f"PropertyGraph(name={self.name!r}, nodes={self.num_nodes}, "
+                f"edges={self.num_edges})")
+
+    # ------------------------------------------------------------------
+    # internal helpers
+    # ------------------------------------------------------------------
+
+    def _require_node(self, node_id: NodeId) -> None:
+        if node_id not in self._nodes:
+            raise NodeNotFoundError(node_id)
+
+    def _detach_edge(self, edge: Edge) -> None:
+        del self._edges[edge.id]
+        self._out_edges[edge.source].discard(edge.id)
+        self._in_edges[edge.target].discard(edge.id)
+        self._discard_from_index(self._edges_by_label, edge.label, edge.id)
+
+    def _has_equivalent_edge(self, source: NodeId, target: NodeId, label: Label) -> bool:
+        for edge_id in self._out_edges.get(source, ()):
+            edge = self._edges[edge_id]
+            if edge.target == target and edge.label == label:
+                return True
+        return False
+
+    @staticmethod
+    def _discard_from_index(index: dict[str, set], key: str, value: str) -> None:
+        bucket = index.get(key)
+        if bucket is None:
+            return
+        bucket.discard(value)
+        if not bucket:
+            del index[key]

@@ -1,0 +1,136 @@
+"""Descriptive statistics over property graphs.
+
+Used by dataset generators (to verify the synthetic graphs have realistic
+shape), by the experiment harness (to report workload characteristics next to
+each result table), and by tests (as cheap structural invariants).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.graph.property_graph import PropertyGraph
+
+
+@dataclass
+class GraphStatistics:
+    """A summary of a property graph's size and label/degree distributions."""
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    node_label_counts: dict[str, int] = field(default_factory=dict)
+    edge_label_counts: dict[str, int] = field(default_factory=dict)
+    degree_min: int = 0
+    degree_max: int = 0
+    degree_mean: float = 0.0
+    num_isolated_nodes: int = 0
+    num_self_loops: int = 0
+    num_parallel_duplicate_edges: int = 0
+    property_key_counts: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "node_label_counts": dict(self.node_label_counts),
+            "edge_label_counts": dict(self.edge_label_counts),
+            "degree_min": self.degree_min,
+            "degree_max": self.degree_max,
+            "degree_mean": self.degree_mean,
+            "num_isolated_nodes": self.num_isolated_nodes,
+            "num_self_loops": self.num_self_loops,
+            "num_parallel_duplicate_edges": self.num_parallel_duplicate_edges,
+            "property_key_counts": dict(self.property_key_counts),
+        }
+
+    def __str__(self) -> str:
+        lines = [
+            f"Graph {self.name!r}: {self.num_nodes} nodes, {self.num_edges} edges",
+            f"  degree: min={self.degree_min} max={self.degree_max} mean={self.degree_mean:.2f}",
+            f"  isolated nodes: {self.num_isolated_nodes}, self-loops: {self.num_self_loops}, "
+            f"parallel duplicates: {self.num_parallel_duplicate_edges}",
+            "  node labels: "
+            + ", ".join(f"{label}={count}" for label, count in sorted(self.node_label_counts.items())),
+            "  edge labels: "
+            + ", ".join(f"{label}={count}" for label, count in sorted(self.edge_label_counts.items())),
+        ]
+        return "\n".join(lines)
+
+
+def compute_statistics(graph: PropertyGraph) -> GraphStatistics:
+    """Compute :class:`GraphStatistics` for ``graph`` in one pass."""
+    node_labels = Counter(node.label for node in graph.nodes())
+    edge_labels = Counter(edge.label for edge in graph.edges())
+    property_keys: Counter[str] = Counter()
+    for node in graph.nodes():
+        property_keys.update(node.properties.keys())
+
+    degrees = [graph.degree(node_id) for node_id in graph.node_ids()]
+    isolated = sum(1 for degree in degrees if degree == 0)
+    self_loops = sum(1 for edge in graph.edges() if edge.source == edge.target)
+
+    seen: Counter[tuple[str, str, str]] = Counter()
+    for edge in graph.edges():
+        seen[(edge.source, edge.target, edge.label)] += 1
+    parallel_duplicates = sum(count - 1 for count in seen.values() if count > 1)
+
+    return GraphStatistics(
+        name=graph.name,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        node_label_counts=dict(node_labels),
+        edge_label_counts=dict(edge_labels),
+        degree_min=min(degrees) if degrees else 0,
+        degree_max=max(degrees) if degrees else 0,
+        degree_mean=(sum(degrees) / len(degrees)) if degrees else 0.0,
+        num_isolated_nodes=isolated,
+        num_self_loops=self_loops,
+        num_parallel_duplicate_edges=parallel_duplicates,
+        property_key_counts=dict(property_keys),
+    )
+
+
+def degree_histogram(graph: PropertyGraph) -> dict[int, int]:
+    """Map ``degree -> number of nodes with that degree``."""
+    histogram: Counter[int] = Counter()
+    for node_id in graph.node_ids():
+        histogram[graph.degree(node_id)] += 1
+    return dict(histogram)
+
+
+def label_pair_histogram(graph: PropertyGraph) -> dict[tuple[str, str, str], int]:
+    """Map ``(source label, edge label, target label) -> edge count``.
+
+    The histogram approximates the implicit schema of the graph and is used by
+    the random rule generator to draw realistic patterns.
+    """
+    histogram: Counter[tuple[str, str, str]] = Counter()
+    for edge in graph.edges():
+        source_label = graph.node(edge.source).label
+        target_label = graph.node(edge.target).label
+        histogram[(source_label, edge.label, target_label)] += 1
+    return dict(histogram)
+
+
+def functional_predicate_candidates(graph: PropertyGraph,
+                                    tolerance: float = 0.05) -> set[str]:
+    """Edge labels that behave functionally (≤ ``tolerance`` of sources have >1 out-edge).
+
+    Functional predicates (``bornIn``, ``capitalOf``) are where conflict
+    errors show up, so the error injector and the FD baseline both use this.
+    """
+    per_label_sources: dict[str, Counter[str]] = {}
+    for edge in graph.edges():
+        per_label_sources.setdefault(edge.label, Counter())[edge.source] += 1
+    functional: set[str] = set()
+    for label, counts in per_label_sources.items():
+        if not counts:
+            continue
+        violating = sum(1 for count in counts.values() if count > 1)
+        if violating / len(counts) <= tolerance:
+            functional.add(label)
+    return functional

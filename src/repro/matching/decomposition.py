@@ -1,0 +1,176 @@
+"""Pattern decomposition: pivot selection and search-order planning.
+
+The optimised matcher does not explore pattern variables in declaration
+order.  It picks a *pivot* (the most selective, most constrained variable),
+then grows a connected search order outward from the pivot, and groups the
+pattern edges into *star units* rooted at already-bound variables.  This
+mirrors the decomposition-based matching strategy of the paper's efficient
+algorithm:
+
+* the pivot minimises the initial candidate fan-out;
+* a connected order means every subsequent variable's candidates can be
+  derived from the neighbourhood of an already-bound node instead of from a
+  whole label bucket;
+* star units are the re-usable pieces for incremental matching: a changed
+  data node only needs to be tried as the centre or a leaf of the stars it
+  could participate in.
+
+This module is purely combinatorial (no graph access beyond optional
+selectivity statistics), so it is cheap to run per pattern and its output is
+cached by the matcher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.matching.pattern import Pattern, PatternEdge
+
+
+@dataclass(frozen=True)
+class StarUnit:
+    """A star: one centre variable plus the pattern edges incident to it that
+    connect to already-bound variables or new leaves."""
+
+    center: str
+    edges: tuple[PatternEdge, ...]
+
+    @property
+    def leaves(self) -> tuple[str, ...]:
+        seen = []
+        for edge in self.edges:
+            leaf = edge.target if edge.source == self.center else edge.source
+            if leaf not in seen:
+                seen.append(leaf)
+        return tuple(seen)
+
+
+@dataclass
+class SearchPlan:
+    """The output of decomposition: a variable order plus per-step join edges.
+
+    ``order[i]`` is the i-th variable to bind; ``join_edges[i]`` are the
+    pattern edges connecting it to variables bound earlier (empty for the
+    pivot), which the matcher uses to derive candidates from neighbourhoods.
+    ``stars`` is the star-unit cover used by the incremental matcher.
+    """
+
+    pattern: Pattern
+    order: list[str] = field(default_factory=list)
+    join_edges: list[list[PatternEdge]] = field(default_factory=list)
+    stars: list[StarUnit] = field(default_factory=list)
+
+    @property
+    def pivot(self) -> str:
+        return self.order[0]
+
+    def position(self, variable: str) -> int:
+        return self.order.index(variable)
+
+
+def default_selectivity(pattern: Pattern, variable: str) -> float:
+    """Structural selectivity estimate used when no index statistics are given.
+
+    More incident pattern edges, more predicates, and a concrete label all
+    make a variable more selective (lower score = more selective = better
+    pivot).
+    """
+    node = pattern.node_variable(variable)
+    score = 100.0
+    score -= 10.0 * len(pattern.edges_touching(variable))
+    score -= 5.0 * len(node.predicates)
+    if node.label is not None:
+        score -= 20.0
+    return score
+
+
+def choose_pivot(pattern: Pattern,
+                 selectivity: Callable[[Pattern, str], float] | None = None) -> str:
+    """The variable with the lowest selectivity score (ties: declaration order)."""
+    scorer = selectivity or default_selectivity
+    best_variable = pattern.variables[0]
+    best_score = scorer(pattern, best_variable)
+    for variable in pattern.variables[1:]:
+        score = scorer(pattern, variable)
+        if score < best_score:
+            best_variable, best_score = variable, score
+    return best_variable
+
+
+def build_search_plan(pattern: Pattern,
+                      selectivity: Callable[[Pattern, str], float] | None = None,
+                      pivot: str | None = None) -> SearchPlan:
+    """Compute a connected search order and star cover for ``pattern``.
+
+    Starting from the pivot, repeatedly pick the unbound variable with the
+    most join edges into the bound set (ties broken by selectivity), so each
+    step is as constrained as possible.
+    """
+    scorer = selectivity or default_selectivity
+    start = pivot or choose_pivot(pattern, scorer)
+    plan = SearchPlan(pattern=pattern)
+
+    bound: list[str] = [start]
+    plan.order.append(start)
+    plan.join_edges.append([])
+
+    remaining = [variable for variable in pattern.variables if variable != start]
+    while remaining:
+        best_variable = None
+        best_joins: list[PatternEdge] = []
+        best_rank: tuple[float, float] | None = None
+        for variable in remaining:
+            joins = [edge for edge in pattern.edges_touching(variable)
+                     if (edge.source in bound or edge.target in bound)
+                     and (edge.source == variable or edge.target == variable)
+                     and not (edge.source in bound and edge.target in bound
+                              and edge.source != variable and edge.target != variable)]
+            # rank: prefer many joins, then low selectivity score
+            rank = (-float(len(joins)), scorer(pattern, variable))
+            if best_rank is None or rank < best_rank:
+                best_rank = rank
+                best_variable = variable
+                best_joins = joins
+        assert best_variable is not None
+        plan.order.append(best_variable)
+        plan.join_edges.append(best_joins)
+        bound.append(best_variable)
+        remaining.remove(best_variable)
+
+    plan.stars = decompose_into_stars(pattern, plan.order)
+    return plan
+
+
+def decompose_into_stars(pattern: Pattern, order: list[str] | None = None) -> list[StarUnit]:
+    """Cover all pattern edges with stars centred on the ordered variables.
+
+    Each pattern edge is assigned to the star of whichever of its endpoints
+    comes *first* in the order (the earlier-bound endpoint is the natural
+    join anchor).  Variables with no assigned edges contribute no star.
+    """
+    variable_order = order or list(pattern.variables)
+    position = {variable: index for index, variable in enumerate(variable_order)}
+    per_center: dict[str, list[PatternEdge]] = {}
+    for edge in pattern.edges:
+        center = edge.source if position[edge.source] <= position[edge.target] else edge.target
+        per_center.setdefault(center, []).append(edge)
+    stars = []
+    for variable in variable_order:
+        edges = per_center.get(variable)
+        if edges:
+            stars.append(StarUnit(center=variable, edges=tuple(edges)))
+    return stars
+
+
+def variables_compatible_with_label(pattern: Pattern, label: str) -> list[str]:
+    """Pattern variables a data node with ``label`` could possibly bind.
+
+    Used by the incremental matcher to decide which seeded searches to run
+    for a touched node.
+    """
+    compatible = []
+    for node in pattern.nodes:
+        if node.label is None or node.label == label:
+            compatible.append(node.variable)
+    return compatible

@@ -1,0 +1,177 @@
+"""Incremental match maintenance under graph deltas.
+
+The key optimisation of the fast repair algorithm: after a repair mutates the
+graph, we do not re-enumerate all matches of all rule patterns.  Instead:
+
+1. **Invalidation** — existing matches that bind a removed element, or whose
+   bound elements were touched by the delta, are re-verified; invalid ones
+   are dropped.
+2. **Discovery** — new matches can only involve elements in the *affected
+   region* (the touched nodes of the delta and, for patterns with radius
+   > 1, their neighbourhood).  For every touched node that survives in the
+   graph and every pattern variable whose label is compatible, a seeded
+   backtracking search is run with that variable pinned to that node.  The
+   union over touched nodes, deduplicated by match key, is exactly the set of
+   new matches that overlap the affected region.
+
+The correctness argument is the standard locality argument for connected
+patterns: a match that exists after the delta but not before must bind at
+least one element whose existence, label, properties, or incidence changed —
+i.e. a touched node or an edge incident to one — and the seeded searches
+cover all such bindings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.graph.delta import GraphDelta
+from repro.graph.property_graph import PropertyGraph
+from repro.matching.decomposition import variables_compatible_with_label
+from repro.matching.index import CandidateIndex
+from repro.matching.pattern import Match, Pattern
+from repro.matching.vf2 import VF2Matcher
+
+
+@dataclass
+class MatchStore:
+    """The current set of matches of one pattern, keyed by match identity."""
+
+    pattern: Pattern
+    matches: dict[tuple, Match] = field(default_factory=dict)
+
+    def add(self, match: Match) -> bool:
+        """Insert a match; returns True if it was not already present."""
+        key = match.key()
+        if key in self.matches:
+            return False
+        self.matches[key] = match
+        return True
+
+    def discard(self, match: Match) -> None:
+        self.matches.pop(match.key(), None)
+
+    def __len__(self) -> int:
+        return len(self.matches)
+
+    def __iter__(self):
+        return iter(list(self.matches.values()))
+
+    def all(self) -> list[Match]:
+        return list(self.matches.values())
+
+
+@dataclass
+class IncrementalUpdate:
+    """The outcome of applying one delta to a match store."""
+
+    invalidated: list[Match] = field(default_factory=list)
+    discovered: list[Match] = field(default_factory=list)
+    seeded_searches: int = 0
+
+
+class IncrementalMatcher:
+    """Maintains :class:`MatchStore` objects for a set of patterns under deltas."""
+
+    def __init__(self, graph: PropertyGraph, candidate_index: CandidateIndex | None = None,
+                 use_decomposition: bool = True) -> None:
+        self.graph = graph
+        self.candidate_index = candidate_index
+        self.use_decomposition = use_decomposition
+        self._stores: dict[str, MatchStore] = {}
+
+    # ------------------------------------------------------------------
+    # registration and initial enumeration
+    # ------------------------------------------------------------------
+
+    def register(self, pattern: Pattern, enumerate_now: bool = True,
+                 limit: int | None = None) -> MatchStore:
+        """Register a pattern and (by default) enumerate its initial matches."""
+        store = MatchStore(pattern=pattern)
+        self._stores[pattern.name] = store
+        if enumerate_now:
+            matcher = self._matcher()
+            for match in matcher.iter_matches(pattern, limit=limit):
+                store.add(match)
+        return store
+
+    def store(self, pattern_name: str) -> MatchStore:
+        return self._stores[pattern_name]
+
+    def stores(self) -> list[MatchStore]:
+        return list(self._stores.values())
+
+    def total_matches(self) -> int:
+        return sum(len(store) for store in self._stores.values())
+
+    # ------------------------------------------------------------------
+    # delta application
+    # ------------------------------------------------------------------
+
+    def apply_delta(self, delta: GraphDelta,
+                    patterns: Iterable[str] | None = None) -> dict[str, IncrementalUpdate]:
+        """Update every registered (or named) pattern's store for ``delta``.
+
+        Returns a per-pattern :class:`IncrementalUpdate` describing which
+        matches were invalidated and which were newly discovered.
+        """
+        if not delta:
+            return {}
+        target_stores = ([self._stores[name] for name in patterns]
+                         if patterns is not None else list(self._stores.values()))
+        updates: dict[str, IncrementalUpdate] = {}
+        for store in target_stores:
+            updates[store.pattern.name] = self._update_store(store, delta)
+        return updates
+
+    def _update_store(self, store: MatchStore, delta: GraphDelta) -> IncrementalUpdate:
+        update = IncrementalUpdate()
+        removed_nodes = delta.removed_node_ids
+        removed_edges = delta.removed_edge_ids
+        touched = delta.touched_nodes
+
+        # 1. Invalidation: re-verify matches overlapping the affected region.
+        for match in list(store.all()):
+            overlaps = (match.touches(node_ids=removed_nodes | touched,
+                                      edge_ids=removed_edges))
+            if not overlaps:
+                continue
+            if not match.is_valid(self.graph):
+                store.discard(match)
+                update.invalidated.append(match)
+
+        # 2. Discovery: seeded searches from surviving touched nodes.
+        if delta.has_additive_effect:
+            affected_nodes = {node_id for node_id in touched if self.graph.has_node(node_id)}
+            affected_nodes.update(node_id for node_id in delta.added_node_ids
+                                  if self.graph.has_node(node_id))
+            matcher = self._matcher()
+            for node_id in sorted(affected_nodes):
+                node_label = self.graph.node(node_id).label
+                for variable in variables_compatible_with_label(store.pattern, node_label):
+                    update.seeded_searches += 1
+                    for match in matcher.iter_matches(store.pattern,
+                                                      seed={variable: node_id}):
+                        if store.add(match):
+                            update.discovered.append(match)
+        return update
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _matcher(self) -> VF2Matcher:
+        return VF2Matcher(graph=self.graph, candidate_index=self.candidate_index,
+                          use_decomposition=self.use_decomposition)
+
+    def recompute(self, pattern_name: str) -> MatchStore:
+        """Throw away and fully re-enumerate one pattern's matches (used in tests
+        as the oracle the incremental path is compared against)."""
+        store = self._stores[pattern_name]
+        fresh = MatchStore(pattern=store.pattern)
+        matcher = self._matcher()
+        for match in matcher.iter_matches(store.pattern):
+            fresh.add(match)
+        self._stores[pattern_name] = fresh
+        return fresh

@@ -1,0 +1,259 @@
+"""Candidate index: label and neighbourhood signatures for match pruning.
+
+Subgraph matching cost is dominated by how many data nodes are tried per
+pattern variable.  The :class:`CandidateIndex` keeps, per node:
+
+* the node-label bucket it belongs to, and
+* its *neighbourhood signature* — how many outgoing / incoming edges it has
+  per edge label.
+
+A pattern variable then only needs to consider data nodes whose label matches
+and whose signature dominates the variable's local requirements (e.g. a
+variable with two outgoing ``actedIn`` pattern edges can only bind nodes with
+at least two outgoing ``actedIn`` data edges).  The index is maintained
+incrementally from the graph's change feed, which is what lets the fast
+repairer keep using it across thousands of repairs without rebuilding.
+
+This is one of the three optimisations ablated in experiment E5.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from repro.graph.delta import ChangeKind, GraphChange
+from repro.graph.property_graph import PropertyGraph
+from repro.matching.pattern import Pattern, PatternNode
+
+
+class CandidateIndex:
+    """Per-label node buckets plus per-node edge-label signatures."""
+
+    def __init__(self, graph: PropertyGraph) -> None:
+        self._graph = graph
+        self._by_label: dict[str, set[str]] = {}
+        self._out_signature: dict[str, Counter] = {}
+        self._in_signature: dict[str, Counter] = {}
+        self._attached = False
+        self.rebuild()
+
+    # ------------------------------------------------------------------
+    # construction / maintenance
+    # ------------------------------------------------------------------
+
+    def rebuild(self) -> None:
+        """Recompute the whole index from the graph (O(|V| + |E|))."""
+        self._by_label = {}
+        self._out_signature = {}
+        self._in_signature = {}
+        for node in self._graph.nodes():
+            self._by_label.setdefault(node.label, set()).add(node.id)
+            self._out_signature[node.id] = Counter()
+            self._in_signature[node.id] = Counter()
+        for edge in self._graph.edges():
+            self._out_signature[edge.source][edge.label] += 1
+            self._in_signature[edge.target][edge.label] += 1
+
+    def attach(self) -> None:
+        """Subscribe to the graph's change feed for incremental maintenance."""
+        if not self._attached:
+            self._graph.add_listener(self.apply_change)
+            self._attached = True
+
+    def detach(self) -> None:
+        if self._attached:
+            self._graph.remove_listener(self.apply_change)
+            self._attached = False
+
+    def apply_change(self, change: GraphChange) -> None:
+        """Update the index for one elementary graph change.
+
+        Changes that restructure more than a constant amount of state
+        (node removal with incident edges, node merges) fall back to
+        re-deriving the affected nodes' signatures from the graph, which the
+        graph can answer in time proportional to their degree.
+        """
+        kind = change.kind
+        if kind is ChangeKind.ADD_NODE and change.node_id is not None:
+            node = self._graph.node(change.node_id)
+            self._by_label.setdefault(node.label, set()).add(node.id)
+            self._out_signature.setdefault(node.id, Counter())
+            self._in_signature.setdefault(node.id, Counter())
+        elif kind is ChangeKind.ADD_EDGE and change.edge_id is not None:
+            edge = self._graph.edge(change.edge_id)
+            self._out_signature.setdefault(edge.source, Counter())[edge.label] += 1
+            self._in_signature.setdefault(edge.target, Counter())[edge.label] += 1
+        elif kind is ChangeKind.REMOVE_EDGE:
+            label = change.details.get("label")
+            source = change.details.get("source")
+            target = change.details.get("target")
+            if source in self._out_signature and label is not None:
+                self._decrement(self._out_signature[source], label)
+            if target in self._in_signature and label is not None:
+                self._decrement(self._in_signature[target], label)
+        elif kind is ChangeKind.REMOVE_NODE and change.node_id is not None:
+            removed_label = change.details.get("label")
+            self._drop_node(change.node_id, removed_label)
+            self._refresh_nodes(change.touched_nodes)
+        elif kind is ChangeKind.RELABEL_NODE and change.node_id is not None:
+            before = change.details.get("before")
+            after = change.details.get("after")
+            if before is not None:
+                bucket = self._by_label.get(before)
+                if bucket is not None:
+                    bucket.discard(change.node_id)
+                    if not bucket:
+                        del self._by_label[before]
+            if after is not None:
+                self._by_label.setdefault(after, set()).add(change.node_id)
+        elif kind is ChangeKind.RELABEL_EDGE and change.edge_id is not None:
+            # Endpoint signatures change label buckets; refresh both endpoints.
+            self._refresh_nodes(change.touched_nodes)
+        elif kind is ChangeKind.MERGE_NODES:
+            merged = change.details.get("merged")
+            merged_label = change.details.get("merged_label")
+            if merged is not None:
+                self._drop_node(merged, merged_label)
+            self._refresh_nodes(change.touched_nodes)
+        # UPDATE_NODE / UPDATE_EDGE do not affect labels or signatures.
+
+    def _drop_node(self, node_id: str, label: str | None) -> None:
+        if label is not None:
+            bucket = self._by_label.get(label)
+            if bucket is not None:
+                bucket.discard(node_id)
+                if not bucket:
+                    del self._by_label[label]
+        else:
+            for bucket in self._by_label.values():
+                bucket.discard(node_id)
+        self._out_signature.pop(node_id, None)
+        self._in_signature.pop(node_id, None)
+
+    def _refresh_nodes(self, node_ids: Iterable[str]) -> None:
+        for node_id in node_ids:
+            if not self._graph.has_node(node_id):
+                continue
+            out_counter: Counter = Counter()
+            for edge in self._graph.out_edges(node_id):
+                out_counter[edge.label] += 1
+            in_counter: Counter = Counter()
+            for edge in self._graph.in_edges(node_id):
+                in_counter[edge.label] += 1
+            self._out_signature[node_id] = out_counter
+            self._in_signature[node_id] = in_counter
+
+    @staticmethod
+    def _decrement(counter: Counter, key: str) -> None:
+        counter[key] -= 1
+        if counter[key] <= 0:
+            del counter[key]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def nodes_with_label(self, label: str | None) -> set[str]:
+        """Node ids with the given label; ``None`` means all nodes."""
+        if label is None:
+            return set(self._out_signature.keys())
+        return set(self._by_label.get(label, set()))
+
+    def label_count(self, label: str | None) -> int:
+        if label is None:
+            return len(self._out_signature)
+        return len(self._by_label.get(label, ()))
+
+    def signature_dominates(self, node_id: str, out_required: Counter,
+                            in_required: Counter) -> bool:
+        """True if the node has at least the required per-label out/in edges."""
+        out_signature = self._out_signature.get(node_id)
+        in_signature = self._in_signature.get(node_id)
+        if out_signature is None or in_signature is None:
+            return False
+        for label, required in out_required.items():
+            available = (sum(out_signature.values()) if label is None
+                         else out_signature.get(label, 0))
+            if available < required:
+                return False
+        for label, required in in_required.items():
+            available = (sum(in_signature.values()) if label is None
+                         else in_signature.get(label, 0))
+            if available < required:
+                return False
+        return True
+
+    def candidates(self, pattern: Pattern, variable: str,
+                   apply_predicates: bool = True) -> list[str]:
+        """Candidate node ids for one pattern variable.
+
+        Filters: label bucket, neighbourhood-signature dominance over the
+        variable's local pattern-edge requirements, then (optionally) the
+        variable's unary property predicates.
+        """
+        pattern_node = pattern.node_variable(variable)
+        out_required, in_required = pattern_requirements(pattern, variable)
+        result = []
+        for node_id in self.nodes_with_label(pattern_node.label):
+            if not self.signature_dominates(node_id, out_required, in_required):
+                continue
+            if apply_predicates and pattern_node.predicates:
+                if not pattern_node.matches(self._graph.node(node_id)):
+                    continue
+            result.append(node_id)
+        return result
+
+    def candidate_count_estimate(self, pattern: Pattern, variable: str) -> int:
+        """Cheap selectivity estimate (label-bucket size) used for ordering."""
+        return self.label_count(pattern.node_variable(variable).label)
+
+
+def pattern_requirements(pattern: Pattern, variable: str) -> tuple[Counter, Counter]:
+    """The per-label outgoing/incoming edge counts a data node must have to
+    possibly bind ``variable``."""
+    out_required: Counter = Counter()
+    in_required: Counter = Counter()
+    for edge in pattern.edges:
+        if edge.source == variable:
+            out_required[edge.label] += 1
+        if edge.target == variable:
+            in_required[edge.label] += 1
+    return out_required, in_required
+
+
+def naive_candidates(graph: PropertyGraph, pattern: Pattern, variable: str,
+                     apply_predicates: bool = True) -> list[str]:
+    """Candidates computed directly from the graph (no index).
+
+    Used when the candidate-index optimisation is disabled (ablation E5) and
+    as a correctness oracle in tests.
+    """
+    pattern_node: PatternNode = pattern.node_variable(variable)
+    out_required, in_required = pattern_requirements(pattern, variable)
+    candidates = []
+    if pattern_node.label is not None:
+        node_pool = graph.nodes_with_label(pattern_node.label)
+    else:
+        node_pool = list(graph.nodes())
+    for node in node_pool:
+        out_counter: Counter = Counter(edge.label for edge in graph.out_edges(node.id))
+        in_counter: Counter = Counter(edge.label for edge in graph.in_edges(node.id))
+        satisfied = True
+        for label, required in out_required.items():
+            available = sum(out_counter.values()) if label is None else out_counter.get(label, 0)
+            if available < required:
+                satisfied = False
+                break
+        if satisfied:
+            for label, required in in_required.items():
+                available = sum(in_counter.values()) if label is None else in_counter.get(label, 0)
+                if available < required:
+                    satisfied = False
+                    break
+        if not satisfied:
+            continue
+        if apply_predicates and not pattern_node.matches(node):
+            continue
+        candidates.append(node.id)
+    return candidates

@@ -1,0 +1,117 @@
+"""High-level matching facade used by the repair engine and the experiments.
+
+:class:`Matcher` bundles the configuration switches the paper's evaluation
+ablates (candidate index on/off, decomposition on/off) behind a single object
+so that callers — the detectors, the repairers, the benchmarks — never touch
+the individual machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.graph.property_graph import PropertyGraph
+from repro.matching.index import CandidateIndex
+from repro.matching.pattern import Match, Pattern
+from repro.matching.vf2 import MatchingStats, VF2Matcher
+
+
+@dataclass
+class MatcherConfig:
+    """Configuration of the matching layer.
+
+    ``use_candidate_index`` and ``use_decomposition`` are the two matching
+    optimisations ablated in experiment E5; ``match_limit`` caps enumeration
+    per pattern (None = unbounded); ``time_budget`` is an optional per-call
+    wall-clock budget in seconds.
+    """
+
+    use_candidate_index: bool = True
+    use_decomposition: bool = True
+    match_limit: int | None = None
+    time_budget: float | None = None
+
+    @classmethod
+    def naive(cls) -> "MatcherConfig":
+        """Everything off — the unoptimised configuration."""
+        return cls(use_candidate_index=False, use_decomposition=False)
+
+    @classmethod
+    def optimized(cls) -> "MatcherConfig":
+        """Everything on — the paper's efficient configuration."""
+        return cls(use_candidate_index=True, use_decomposition=True)
+
+
+@dataclass
+class Matcher:
+    """Pattern matching against one graph with a fixed configuration."""
+
+    graph: PropertyGraph
+    config: MatcherConfig = field(default_factory=MatcherConfig)
+    maintain_index: bool = True
+    stats: MatchingStats = field(default_factory=MatchingStats)
+    _index: CandidateIndex | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.config.use_candidate_index:
+            self._index = CandidateIndex(self.graph)
+            if self.maintain_index:
+                self._index.attach()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def candidate_index(self) -> CandidateIndex | None:
+        return self._index
+
+    def close(self) -> None:
+        """Detach the candidate index from the graph's change feed."""
+        if self._index is not None:
+            self._index.detach()
+
+    def __enter__(self) -> "Matcher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def _engine(self) -> VF2Matcher:
+        engine = VF2Matcher(graph=self.graph, candidate_index=self._index,
+                            use_decomposition=self.config.use_decomposition,
+                            time_budget=self.config.time_budget)
+        engine.stats = self.stats
+        return engine
+
+    def find_matches(self, pattern: Pattern, seed: Mapping[str, str] | None = None,
+                     limit: int | None = None) -> list[Match]:
+        """All matches of ``pattern`` (bounded by the config's match limit)."""
+        effective_limit = limit if limit is not None else self.config.match_limit
+        return self._engine().find_matches(pattern, seed=seed, limit=effective_limit)
+
+    def find_one(self, pattern: Pattern, seed: Mapping[str, str] | None = None) -> Match | None:
+        return self._engine().find_one(pattern, seed=seed)
+
+    def exists(self, pattern: Pattern, seed: Mapping[str, str] | None = None) -> bool:
+        return self._engine().exists(pattern, seed=seed)
+
+    def count(self, pattern: Pattern, limit: int | None = None) -> int:
+        return self._engine().count(pattern, limit=limit)
+
+    def exists_extension(self, pattern: Pattern, bindings: Mapping[str, str]) -> bool:
+        """Whether ``pattern`` has a match consistent with ``bindings``.
+
+        ``bindings`` may bind only a subset of the pattern's variables (the
+        shared evidence variables of an incompleteness rule); the remaining
+        variables are searched.  Bindings for variables that the pattern does
+        not declare are ignored.
+        """
+        seed = {variable: node_id for variable, node_id in bindings.items()
+                if pattern.has_variable(variable)}
+        return self._engine().exists(pattern, seed=seed)

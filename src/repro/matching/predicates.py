@@ -1,0 +1,234 @@
+"""Property predicates attached to pattern variables and patterns.
+
+Two families:
+
+* **Unary predicates** (:class:`PropertyPredicate`) constrain a single
+  matched element's properties — e.g. ``exists("name")``, ``eq("country",
+  "FR")``, ``gt("population", 1_000_000)``.
+* **Cross-variable comparisons** (:class:`Comparison`) relate properties of
+  two matched elements — e.g. *"the two persons have the same name"* (the
+  trigger of a redundancy rule) or *"the two birthYear values differ"* (the
+  trigger of a conflict rule).
+
+Both are plain declarative objects (operator name + operands) rather than
+callables so that rules can be serialised, printed, compared for analysis,
+and generated programmatically.
+"""
+
+from __future__ import annotations
+
+import enum
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.exceptions import InvalidPatternError
+
+
+class PredicateOp(enum.Enum):
+    """Operators usable in unary property predicates."""
+
+    EXISTS = "exists"
+    MISSING = "missing"
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    IN = "in"
+    NOT_IN = "not in"
+    CONTAINS = "contains"
+
+
+_BINARY_EVALUATORS: dict[PredicateOp, Callable[[Any, Any], bool]] = {
+    PredicateOp.EQ: operator.eq,
+    PredicateOp.NE: operator.ne,
+    PredicateOp.LT: operator.lt,
+    PredicateOp.LE: operator.le,
+    PredicateOp.GT: operator.gt,
+    PredicateOp.GE: operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class PropertyPredicate:
+    """A unary constraint ``<key> <op> <value>`` over an element's properties."""
+
+    key: str
+    op: PredicateOp
+    value: Any = None
+
+    def evaluate(self, properties: Mapping[str, Any]) -> bool:
+        """Evaluate against a property dictionary.
+
+        Missing keys make every operator except ``MISSING`` evaluate to
+        ``False``; type errors (e.g. comparing a string with ``<`` against an
+        int) also yield ``False`` rather than raising, because dirty graphs
+        are exactly where such mismatches occur.
+        """
+        present = self.key in properties
+        if self.op is PredicateOp.EXISTS:
+            return present
+        if self.op is PredicateOp.MISSING:
+            return not present
+        if not present:
+            return False
+        actual = properties[self.key]
+        try:
+            if self.op in _BINARY_EVALUATORS:
+                return bool(_BINARY_EVALUATORS[self.op](actual, self.value))
+            if self.op is PredicateOp.IN:
+                return actual in self.value
+            if self.op is PredicateOp.NOT_IN:
+                return actual not in self.value
+            if self.op is PredicateOp.CONTAINS:
+                return self.value in actual
+        except TypeError:
+            return False
+        raise InvalidPatternError(f"unsupported predicate operator {self.op!r}")
+
+    def describe(self) -> str:
+        if self.op is PredicateOp.EXISTS:
+            return f"has({self.key})"
+        if self.op is PredicateOp.MISSING:
+            return f"missing({self.key})"
+        return f"{self.key} {self.op.value} {self.value!r}"
+
+
+# Convenience constructors — these read well in rule definitions.
+
+def exists(key: str) -> PropertyPredicate:
+    """The element has property ``key``."""
+    return PropertyPredicate(key, PredicateOp.EXISTS)
+
+
+def missing(key: str) -> PropertyPredicate:
+    """The element lacks property ``key``."""
+    return PropertyPredicate(key, PredicateOp.MISSING)
+
+
+def eq(key: str, value: Any) -> PropertyPredicate:
+    return PropertyPredicate(key, PredicateOp.EQ, value)
+
+
+def ne(key: str, value: Any) -> PropertyPredicate:
+    return PropertyPredicate(key, PredicateOp.NE, value)
+
+
+def lt(key: str, value: Any) -> PropertyPredicate:
+    return PropertyPredicate(key, PredicateOp.LT, value)
+
+
+def le(key: str, value: Any) -> PropertyPredicate:
+    return PropertyPredicate(key, PredicateOp.LE, value)
+
+
+def gt(key: str, value: Any) -> PropertyPredicate:
+    return PropertyPredicate(key, PredicateOp.GT, value)
+
+
+def ge(key: str, value: Any) -> PropertyPredicate:
+    return PropertyPredicate(key, PredicateOp.GE, value)
+
+
+def one_of(key: str, values) -> PropertyPredicate:
+    return PropertyPredicate(key, PredicateOp.IN, tuple(values))
+
+
+def not_one_of(key: str, values) -> PropertyPredicate:
+    return PropertyPredicate(key, PredicateOp.NOT_IN, tuple(values))
+
+
+class ComparisonOp(enum.Enum):
+    """Operators usable in cross-variable comparisons."""
+
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+
+_COMPARISON_EVALUATORS: dict[ComparisonOp, Callable[[Any, Any], bool]] = {
+    ComparisonOp.EQ: operator.eq,
+    ComparisonOp.NE: operator.ne,
+    ComparisonOp.LT: operator.lt,
+    ComparisonOp.LE: operator.le,
+    ComparisonOp.GT: operator.gt,
+    ComparisonOp.GE: operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A constraint relating two matched variables' properties.
+
+    ``left`` and ``right`` are ``(variable, property key)`` pairs; ``right``
+    may instead be a literal (``right_literal=True``), in which case
+    ``right[1]`` is ignored and ``right_value`` holds the literal.
+    """
+
+    left: tuple[str, str]
+    op: ComparisonOp
+    right: tuple[str, str] | None = None
+    right_value: Any = None
+    right_literal: bool = False
+
+    def variables(self) -> set[str]:
+        names = {self.left[0]}
+        if not self.right_literal and self.right is not None:
+            names.add(self.right[0])
+        return names
+
+    def evaluate(self, lookup: Callable[[str], Mapping[str, Any]]) -> bool:
+        """Evaluate given ``lookup(variable) -> properties`` for matched variables.
+
+        Missing properties or type mismatches yield ``False``.
+        """
+        left_properties = lookup(self.left[0])
+        if self.left[1] not in left_properties:
+            return False
+        left_value = left_properties[self.left[1]]
+        if self.right_literal:
+            right_value = self.right_value
+        else:
+            if self.right is None:
+                raise InvalidPatternError("comparison has neither a right operand nor a literal")
+            right_properties = lookup(self.right[0])
+            if self.right[1] not in right_properties:
+                return False
+            right_value = right_properties[self.right[1]]
+        try:
+            return bool(_COMPARISON_EVALUATORS[self.op](left_value, right_value))
+        except TypeError:
+            return False
+
+    def describe(self) -> str:
+        left = f"{self.left[0]}.{self.left[1]}"
+        if self.right_literal:
+            right = repr(self.right_value)
+        else:
+            right = f"{self.right[0]}.{self.right[1]}" if self.right else "?"
+        return f"{left} {self.op.value} {right}"
+
+
+def same_value(left_var: str, left_key: str, right_var: str,
+               right_key: str | None = None) -> Comparison:
+    """``left_var.left_key == right_var.right_key`` (defaults to the same key)."""
+    return Comparison((left_var, left_key), ComparisonOp.EQ,
+                      (right_var, right_key or left_key))
+
+
+def different_value(left_var: str, left_key: str, right_var: str,
+                    right_key: str | None = None) -> Comparison:
+    """``left_var.left_key != right_var.right_key`` (defaults to the same key)."""
+    return Comparison((left_var, left_key), ComparisonOp.NE,
+                      (right_var, right_key or left_key))
+
+
+def value_is(var: str, key: str, value: Any,
+             op: ComparisonOp = ComparisonOp.EQ) -> Comparison:
+    """``var.key <op> literal`` as a cross-variable-style constraint."""
+    return Comparison((var, key), op, right_value=value, right_literal=True)

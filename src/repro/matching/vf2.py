@@ -1,0 +1,315 @@
+"""Backtracking subgraph-isomorphism search (VF2-style).
+
+The matcher binds pattern variables to data nodes one at a time following a
+connected search order (see :mod:`repro.matching.decomposition`), deriving
+each variable's candidates from the neighbourhood of already-bound nodes
+whenever the pattern connects them — the join-at-a-time strategy that keeps
+the search local.  Injectivity, labels, unary predicates, and cross-variable
+comparisons are enforced during the search; edge variables are bound in a
+final phase that requires distinct data edges for distinct edge variables
+(needed for duplicate-parallel-edge redundancy patterns).
+
+Two knobs matter for the experiments:
+
+* ``candidate_index`` — with an index, root candidates come from label
+  buckets with signature pruning; without it, from a full graph scan
+  (ablation E5 / figure E7).
+* ``use_decomposition`` — with decomposition, the search order starts at the
+  most selective pivot; without it, declaration order is used.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.exceptions import MatchingError, MatchTimeout
+from repro.graph.property_graph import PropertyGraph
+from repro.matching.decomposition import build_search_plan
+from repro.matching.index import CandidateIndex, naive_candidates
+from repro.matching.pattern import Match, Pattern, PatternEdge
+
+
+@dataclass
+class MatchingStats:
+    """Counters describing one matching run (used by benchmarks and tests)."""
+
+    nodes_tried: int = 0
+    backtracks: int = 0
+    matches_found: int = 0
+    elapsed_seconds: float = 0.0
+
+    def merge(self, other: "MatchingStats") -> None:
+        self.nodes_tried += other.nodes_tried
+        self.backtracks += other.backtracks
+        self.matches_found += other.matches_found
+        self.elapsed_seconds += other.elapsed_seconds
+
+
+@dataclass
+class VF2Matcher:
+    """Backtracking matcher over one :class:`PropertyGraph`.
+
+    Parameters
+    ----------
+    graph:
+        The data graph.
+    candidate_index:
+        Optional :class:`CandidateIndex`; when absent, root candidates are
+        computed by scanning the graph.
+    use_decomposition:
+        Use pivot selection + connected ordering (True) or declaration order
+        (False).
+    time_budget:
+        Optional wall-clock budget in seconds; exceeding it raises
+        :class:`MatchTimeout`.
+    """
+
+    graph: PropertyGraph
+    candidate_index: CandidateIndex | None = None
+    use_decomposition: bool = True
+    time_budget: float | None = None
+    stats: MatchingStats = field(default_factory=MatchingStats)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def find_matches(self, pattern: Pattern, seed: Mapping[str, str] | None = None,
+                     limit: int | None = None) -> list[Match]:
+        """All matches of ``pattern`` (optionally at most ``limit``), optionally
+        pre-binding the variables in ``seed`` (variable -> node id)."""
+        return list(self.iter_matches(pattern, seed=seed, limit=limit))
+
+    def find_one(self, pattern: Pattern, seed: Mapping[str, str] | None = None) -> Match | None:
+        """The first match found, or ``None``."""
+        for match in self.iter_matches(pattern, seed=seed, limit=1):
+            return match
+        return None
+
+    def exists(self, pattern: Pattern, seed: Mapping[str, str] | None = None) -> bool:
+        """Whether at least one match exists (short-circuits)."""
+        return self.find_one(pattern, seed=seed) is not None
+
+    def count(self, pattern: Pattern, seed: Mapping[str, str] | None = None,
+              limit: int | None = None) -> int:
+        """Number of matches (up to ``limit`` if given)."""
+        return sum(1 for _ in self.iter_matches(pattern, seed=seed, limit=limit))
+
+    def iter_matches(self, pattern: Pattern, seed: Mapping[str, str] | None = None,
+                     limit: int | None = None) -> Iterator[Match]:
+        """Lazily yield matches."""
+        started = time.perf_counter()
+        deadline = started + self.time_budget if self.time_budget is not None else None
+
+        order = self._variable_order(pattern, seed)
+        assignment: dict[str, str] = {}
+        used_nodes: set[str] = set()
+
+        if seed:
+            for variable, node_id in seed.items():
+                if not pattern.has_variable(variable):
+                    raise MatchingError(f"seed variable {variable!r} is not in the pattern")
+                if not self.graph.has_node(node_id):
+                    return
+                if node_id in used_nodes:
+                    return
+                if not pattern.node_variable(variable).matches(self.graph.node(node_id)):
+                    return
+                assignment[variable] = node_id
+                used_nodes.add(node_id)
+            # Seeded variables must also satisfy pattern edges among themselves.
+            if not self._seed_edges_consistent(pattern, assignment):
+                return
+
+        emitted = 0
+        for match in self._backtrack(pattern, order, 0, assignment, used_nodes, deadline):
+            yield match
+            emitted += 1
+            self.stats.matches_found += 1
+            if limit is not None and emitted >= limit:
+                break
+        self.stats.elapsed_seconds += time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # search internals
+    # ------------------------------------------------------------------
+
+    def _variable_order(self, pattern: Pattern, seed: Mapping[str, str] | None) -> list[str]:
+        if self.use_decomposition:
+            selectivity = None
+            if self.candidate_index is not None:
+                def selectivity(p: Pattern, variable: str) -> float:  # noqa: ANN001
+                    label_count = self.candidate_index.candidate_count_estimate(p, variable)
+                    # fewer candidates and more constraints first
+                    return label_count - 5.0 * len(p.edges_touching(variable))
+            order = build_search_plan(pattern, selectivity=selectivity).order
+        else:
+            order = list(pattern.variables)
+        if seed:
+            seeded = [variable for variable in order if variable in seed]
+            rest = [variable for variable in order if variable not in seed]
+            order = seeded + rest
+        return order
+
+    def _seed_edges_consistent(self, pattern: Pattern, assignment: dict[str, str]) -> bool:
+        for edge in pattern.edges:
+            if edge.source in assignment and edge.target in assignment:
+                witnesses = self.graph.edges_between(assignment[edge.source],
+                                                     assignment[edge.target], edge.label)
+                if not any(edge.matches(candidate) for candidate in witnesses):
+                    return False
+        return True
+
+    def _backtrack(self, pattern: Pattern, order: list[str], depth: int,
+                   assignment: dict[str, str], used_nodes: set[str],
+                   deadline: float | None) -> Iterator[Match]:
+        # Skip over already-seeded variables at the front of the order.
+        while depth < len(order) and order[depth] in assignment:
+            depth += 1
+        if deadline is not None and time.perf_counter() > deadline:
+            raise MatchTimeout(self.time_budget or 0.0)
+        if depth == len(order):
+            yield from self._bind_edge_variables(pattern, assignment)
+            return
+
+        variable = order[depth]
+        for node_id in self._candidates_for(pattern, variable, assignment):
+            if node_id in used_nodes:
+                continue
+            self.stats.nodes_tried += 1
+            node = self.graph.node(node_id)
+            if not pattern.node_variable(variable).matches(node):
+                continue
+            if not self._edges_to_bound_satisfied(pattern, variable, node_id, assignment):
+                continue
+            assignment[variable] = node_id
+            used_nodes.add(node_id)
+            if self._node_comparisons_satisfiable(pattern, assignment):
+                yield from self._backtrack(pattern, order, depth + 1, assignment,
+                                           used_nodes, deadline)
+            else:
+                self.stats.backtracks += 1
+            del assignment[variable]
+            used_nodes.discard(node_id)
+
+    def _candidates_for(self, pattern: Pattern, variable: str,
+                        assignment: dict[str, str]) -> list[str]:
+        """Candidates for ``variable`` given the current partial assignment.
+
+        If the variable is connected by pattern edges to bound variables, the
+        candidates are the intersection of the corresponding data
+        neighbourhoods; otherwise fall back to the index / full scan.
+        """
+        join_candidate_sets: list[set[str]] = []
+        for edge in pattern.edges_touching(variable):
+            other = edge.target if edge.source == variable else edge.source
+            if other not in assignment or other == variable:
+                continue
+            bound_id = assignment[other]
+            if not self.graph.has_node(bound_id):
+                return []
+            if edge.source == variable:
+                # variable -[label]-> bound : candidates are sources of in-edges of bound
+                witnesses = self.graph.in_edges(bound_id)
+                candidates = {witness.source for witness in witnesses
+                              if (edge.label is None or witness.label == edge.label)
+                              and edge.matches(witness)}
+            else:
+                witnesses = self.graph.out_edges(bound_id)
+                candidates = {witness.target for witness in witnesses
+                              if (edge.label is None or witness.label == edge.label)
+                              and edge.matches(witness)}
+            join_candidate_sets.append(candidates)
+
+        if join_candidate_sets:
+            candidates = set.intersection(*join_candidate_sets)
+            return sorted(candidates)
+
+        if self.candidate_index is not None:
+            return sorted(self.candidate_index.candidates(pattern, variable))
+        return sorted(naive_candidates(self.graph, pattern, variable))
+
+    def _edges_to_bound_satisfied(self, pattern: Pattern, variable: str, node_id: str,
+                                  assignment: dict[str, str]) -> bool:
+        """Every pattern edge between ``variable`` and bound variables must be witnessed."""
+        for edge in pattern.edges_touching(variable):
+            other = edge.target if edge.source == variable else edge.source
+            if other == variable:
+                # self-loop pattern edge
+                witnesses = self.graph.edges_between(node_id, node_id, edge.label)
+                if not any(edge.matches(candidate) for candidate in witnesses):
+                    return False
+                continue
+            if other not in assignment:
+                continue
+            if edge.source == variable:
+                source_id, target_id = node_id, assignment[other]
+            else:
+                source_id, target_id = assignment[other], node_id
+            witnesses = self.graph.edges_between(source_id, target_id, edge.label)
+            if not any(edge.matches(candidate) for candidate in witnesses):
+                return False
+        return True
+
+    def _node_comparisons_satisfiable(self, pattern: Pattern,
+                                      assignment: dict[str, str]) -> bool:
+        """Early-prune on comparisons whose variables are all bound node variables."""
+        if not pattern.comparisons:
+            return True
+        edge_variables = set(pattern.edge_variables)
+        for comparison in pattern.comparisons:
+            variables = comparison.variables()
+            if variables & edge_variables:
+                continue  # involves an edge variable, checked after edge binding
+            if not variables.issubset(assignment.keys()):
+                continue  # not fully bound yet
+
+            def lookup(variable: str) -> Mapping[str, object]:
+                node_id = assignment.get(variable)
+                if node_id is not None and self.graph.has_node(node_id):
+                    return self.graph.node(node_id).properties
+                return {}
+
+            if not comparison.evaluate(lookup):
+                return False
+        return True
+
+    def _bind_edge_variables(self, pattern: Pattern,
+                             assignment: dict[str, str]) -> Iterator[Match]:
+        """Enumerate bindings of edge variables to distinct witnessing edges,
+        evaluate the full comparison set, and yield one match per valid binding."""
+        edge_constraints: list[PatternEdge] = [edge for edge in pattern.edges
+                                               if edge.variable is not None]
+        if not edge_constraints:
+            match = Match(pattern=pattern, node_bindings=dict(assignment))
+            if match.satisfies_comparisons(self.graph):
+                yield match
+            return
+
+        def witnesses_for(edge: PatternEdge) -> list[str]:
+            found = self.graph.edges_between(assignment[edge.source],
+                                             assignment[edge.target], edge.label)
+            return [candidate.id for candidate in found if edge.matches(candidate)]
+
+        def backtrack_edges(index: int, bindings: dict[str, str],
+                            used_edges: set[str]) -> Iterator[dict[str, str]]:
+            if index == len(edge_constraints):
+                yield dict(bindings)
+                return
+            edge = edge_constraints[index]
+            for edge_id in witnesses_for(edge):
+                if edge_id in used_edges:
+                    continue
+                bindings[edge.variable] = edge_id  # type: ignore[index]
+                used_edges.add(edge_id)
+                yield from backtrack_edges(index + 1, bindings, used_edges)
+                del bindings[edge.variable]  # type: ignore[arg-type]
+                used_edges.discard(edge_id)
+
+        for edge_bindings in backtrack_edges(0, {}, set()):
+            match = Match(pattern=pattern, node_bindings=dict(assignment),
+                          edge_bindings=edge_bindings)
+            if match.satisfies_comparisons(self.graph):
+                yield match

@@ -1,0 +1,34 @@
+"""Quality and change-volume metrics plus result formatting (system S9 in
+DESIGN.md)."""
+
+from repro.metrics.distance import ChangeSummary, change_summary
+from repro.metrics.facts import (
+    DEFAULT_KEY_PROPERTIES,
+    edge_fact,
+    entity_key,
+    fact_delta,
+    graph_facts,
+    node_fact,
+    property_facts,
+)
+from repro.metrics.quality import QualityResult, graph_restored_exactly, repair_quality
+from repro.metrics.report import format_csv, format_series, format_table, summarize_rows
+
+__all__ = [
+    "QualityResult",
+    "repair_quality",
+    "graph_restored_exactly",
+    "ChangeSummary",
+    "change_summary",
+    "graph_facts",
+    "fact_delta",
+    "entity_key",
+    "node_fact",
+    "edge_fact",
+    "property_facts",
+    "DEFAULT_KEY_PROPERTIES",
+    "format_table",
+    "format_csv",
+    "format_series",
+    "summarize_rows",
+]

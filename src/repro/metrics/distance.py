@@ -1,0 +1,61 @@
+"""Change-volume metrics: how much a repair perturbed the graph.
+
+Complements the precision/recall view with the *minimal change* view the
+paper's cost model optimises: the number and cost of changes performed, the
+fact-level distance from the repaired graph to the clean graph, and the
+fraction of the dirty graph that was preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.graph.edit_distance import DEFAULT_COSTS, EditCosts, labeled_edit_distance
+from repro.graph.property_graph import PropertyGraph
+from repro.metrics.facts import fact_delta, graph_facts, total
+
+
+@dataclass
+class ChangeSummary:
+    """Aggregate change-volume numbers of one repair run."""
+
+    facts_added: int
+    facts_removed: int
+    residual_distance_to_clean: int
+    preservation_ratio: float
+    edit_distance_from_dirty: float
+
+    def as_dict(self) -> dict:
+        return {
+            "facts_added": self.facts_added,
+            "facts_removed": self.facts_removed,
+            "residual_distance_to_clean": self.residual_distance_to_clean,
+            "preservation_ratio": self.preservation_ratio,
+            "edit_distance_from_dirty": self.edit_distance_from_dirty,
+        }
+
+
+def change_summary(clean: PropertyGraph, dirty: PropertyGraph, repaired: PropertyGraph,
+                   key_properties: Mapping[str, str] | None = None,
+                   costs: EditCosts = DEFAULT_COSTS) -> ChangeSummary:
+    """Compute the change-volume view of a repair run."""
+    dirty_facts = graph_facts(dirty, key_properties)
+    repaired_facts = graph_facts(repaired, key_properties)
+    clean_facts = graph_facts(clean, key_properties)
+
+    added, removed = fact_delta(dirty_facts, repaired_facts)
+    residual_added, residual_removed = fact_delta(repaired_facts, clean_facts)
+
+    preserved = total(dirty_facts) - total(removed)
+    preservation_ratio = preserved / total(dirty_facts) if total(dirty_facts) else 1.0
+
+    edit = labeled_edit_distance(dirty, repaired, costs)
+
+    return ChangeSummary(
+        facts_added=total(added),
+        facts_removed=total(removed),
+        residual_distance_to_clean=total(residual_added) + total(residual_removed),
+        preservation_ratio=preservation_ratio,
+        edit_distance_from_dirty=edit.distance,
+    )

@@ -1,0 +1,123 @@
+"""Semantic fact extraction from property graphs.
+
+Repair quality is measured by comparing *facts*, not raw elements: a fact is
+identified by entity keys (label + an identifying property such as ``name``)
+rather than by internal node ids, so that repairs which create or remove
+element ids while expressing the same correction (node merges, re-added
+edges) are scored correctly.
+
+Three fact shapes exist:
+
+* ``("node", entity_key, label)`` — the entity exists;
+* ``("prop", entity_key, property_key, value)`` — the entity has a property;
+* ``("edge", source_key, edge_label, target_key)`` — a relationship holds.
+
+Facts form a **multiset** (a :class:`collections.Counter`): duplicate parallel
+edges produce the same edge fact twice, which is exactly how redundancy errors
+and their repairs become visible in fact deltas.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Mapping
+
+from repro.graph.elements import Node
+from repro.graph.property_graph import PropertyGraph
+
+# Default identifying property per node label; the dataset generators keep
+# these unique per entity so that entity keys are unambiguous.
+DEFAULT_KEY_PROPERTIES: dict[str, str] = {
+    "Person": "name",
+    "City": "name",
+    "Country": "name",
+    "Organization": "name",
+    "Movie": "title",
+    "Genre": "name",
+    "Studio": "name",
+    "Year": "value",
+    "User": "username",
+    "Post": "post_id",
+    "Group": "name",
+}
+
+EXCLUDED_PROPERTY_KEYS = frozenset({"confidence"})
+
+EntityKey = tuple
+Fact = tuple
+
+
+def entity_key(node: Node, key_properties: Mapping[str, str] | None = None) -> EntityKey:
+    """The semantic identity of a node: ``(label, identifying value)``.
+
+    Falls back to the node id when the label has no configured identifying
+    property or the node lacks it.
+    """
+    keys = key_properties if key_properties is not None else DEFAULT_KEY_PROPERTIES
+    identifying = keys.get(node.label)
+    if identifying is not None and identifying in node.properties:
+        return (node.label, identifying, node.properties[identifying])
+    return (node.label, "id", node.id)
+
+
+def node_fact(node: Node, key_properties: Mapping[str, str] | None = None) -> Fact:
+    return ("node", entity_key(node, key_properties), node.label)
+
+
+def property_facts(node: Node, key_properties: Mapping[str, str] | None = None) -> list[Fact]:
+    key = entity_key(node, key_properties)
+    return [("prop", key, property_key, value)
+            for property_key, value in sorted(node.properties.items(), key=lambda kv: kv[0])
+            if property_key not in EXCLUDED_PROPERTY_KEYS]
+
+
+def edge_fact(graph: PropertyGraph, edge,
+              key_properties: Mapping[str, str] | None = None) -> Fact:
+    source_key = entity_key(graph.node(edge.source), key_properties)
+    target_key = entity_key(graph.node(edge.target), key_properties)
+    return ("edge", source_key, edge.label, target_key)
+
+
+def graph_facts(graph: PropertyGraph,
+                key_properties: Mapping[str, str] | None = None,
+                include_properties: bool = True,
+                include_nodes: bool = True) -> Counter:
+    """The fact multiset of a graph."""
+    facts: Counter = Counter()
+    for node in graph.nodes():
+        if include_nodes:
+            facts[node_fact(node, key_properties)] += 1
+        if include_properties:
+            for fact in property_facts(node, key_properties):
+                facts[fact] += 1
+    for edge in graph.edges():
+        facts[edge_fact(graph, edge, key_properties)] += 1
+    return facts
+
+
+def fact_delta(before: Counter, after: Counter) -> tuple[Counter, Counter]:
+    """Return ``(added, removed)`` fact multisets transforming ``before`` into ``after``."""
+    added = Counter()
+    removed = Counter()
+    for fact in set(before) | set(after):
+        difference = after.get(fact, 0) - before.get(fact, 0)
+        if difference > 0:
+            added[fact] = difference
+        elif difference < 0:
+            removed[fact] = -difference
+    return added, removed
+
+
+def counter_intersection(first: Counter, second: Counter) -> Counter:
+    """Multiset intersection (minimum multiplicities)."""
+    intersection = Counter()
+    for fact, count in first.items():
+        other = second.get(fact, 0)
+        if other:
+            intersection[fact] = min(count, other)
+    return intersection
+
+
+def total(counter: Counter) -> int:
+    """Total multiplicity of a fact multiset."""
+    return sum(counter.values())

@@ -1,0 +1,151 @@
+"""Repair-quality metrics: precision, recall, and F1 against ground truth.
+
+Methodology (standard for repair papers evaluated with injected errors):
+
+* the *needed* repair is the fact-level delta from the dirty graph back to the
+  clean graph (facts to remove = what the injector added, facts to add = what
+  it removed);
+* the *performed* repair is the fact-level delta from the dirty graph to the
+  repaired graph;
+* **precision** = |performed ∩ needed| / |performed| — how much of what the
+  repairer changed was actually wrong;
+* **recall** = |performed ∩ needed| / |needed| — how much of what was wrong
+  the repairer fixed;
+* **F1** — their harmonic mean.
+
+Facts are the semantic facts of :mod:`repro.metrics.facts` (entity keys, not
+node ids), and both deltas are multisets, so duplicated facts and their
+removal are counted correctly.  Per-error-class scores are computed by
+restricting the needed delta to the facts of one error class (as recorded in
+the ground truth) and scoring recall against only those; precision is not
+split per class because a performed change cannot always be attributed to a
+single class.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors.ground_truth import GroundTruth
+from repro.graph.property_graph import PropertyGraph
+from repro.metrics.facts import counter_intersection, fact_delta, graph_facts, total
+from repro.rules.semantics import Semantics
+
+
+@dataclass
+class QualityResult:
+    """Precision / recall / F1 of one repair run, plus per-class recall."""
+
+    precision: float
+    recall: float
+    f1: float
+    needed_changes: int
+    performed_changes: int
+    correct_changes: int
+    recall_by_kind: dict[str, float] = field(default_factory=dict)
+    spurious_changes: int = 0
+    missed_changes: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "needed_changes": self.needed_changes,
+            "performed_changes": self.performed_changes,
+            "correct_changes": self.correct_changes,
+            "spurious_changes": self.spurious_changes,
+            "missed_changes": self.missed_changes,
+            "recall_by_kind": dict(self.recall_by_kind),
+        }
+
+    def describe(self) -> str:
+        per_kind = ", ".join(f"{kind}={value:.3f}"
+                             for kind, value in sorted(self.recall_by_kind.items()))
+        return (f"precision={self.precision:.3f} recall={self.recall:.3f} "
+                f"f1={self.f1:.3f} (needed={self.needed_changes}, "
+                f"performed={self.performed_changes}, correct={self.correct_changes}"
+                f"{'; recall by kind: ' + per_kind if per_kind else ''})")
+
+
+def _f1(precision: float, recall: float) -> float:
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def _signed_delta(before: Counter, after: Counter) -> Counter:
+    """Encode a delta as a multiset of signed facts ``("+", fact)`` / ``("-", fact)``."""
+    added, removed = fact_delta(before, after)
+    signed: Counter = Counter()
+    for fact, count in added.items():
+        signed[("+", fact)] = count
+    for fact, count in removed.items():
+        signed[("-", fact)] = count
+    return signed
+
+
+def repair_quality(clean: PropertyGraph, dirty: PropertyGraph, repaired: PropertyGraph,
+                   ground_truth: GroundTruth | None = None,
+                   key_properties: Mapping[str, str] | None = None) -> QualityResult:
+    """Score ``repaired`` against the clean/dirty pair (and optional ground truth)."""
+    clean_facts = graph_facts(clean, key_properties)
+    dirty_facts = graph_facts(dirty, key_properties)
+    repaired_facts = graph_facts(repaired, key_properties)
+
+    needed = _signed_delta(dirty_facts, clean_facts)
+    performed = _signed_delta(dirty_facts, repaired_facts)
+    correct = counter_intersection(needed, performed)
+
+    needed_total = total(needed)
+    performed_total = total(performed)
+    correct_total = total(correct)
+
+    precision = correct_total / performed_total if performed_total else 1.0
+    recall = correct_total / needed_total if needed_total else 1.0
+
+    result = QualityResult(
+        precision=precision,
+        recall=recall,
+        f1=_f1(precision, recall),
+        needed_changes=needed_total,
+        performed_changes=performed_total,
+        correct_changes=correct_total,
+        spurious_changes=performed_total - correct_total,
+        missed_changes=needed_total - correct_total,
+    )
+
+    if ground_truth is not None:
+        result.recall_by_kind = _recall_by_kind(ground_truth, performed)
+    return result
+
+
+def _recall_by_kind(ground_truth: GroundTruth, performed: Counter) -> dict[str, float]:
+    """Recall restricted to the facts each error class touched.
+
+    An injected error's ``added_facts`` need a ``("-", fact)`` in the performed
+    delta; its ``removed_facts`` need a ``("+", fact)``.  Multiplicities are
+    respected by consuming a copy of the performed delta per class.
+    """
+    recall_by_kind: dict[str, float] = {}
+    for kind in Semantics:
+        errors = ground_truth.by_kind(kind)
+        if not errors:
+            continue
+        needed: Counter = Counter()
+        for error in errors:
+            for fact in error.added_facts:
+                needed[("-", fact)] += 1
+            for fact in error.removed_facts:
+                needed[("+", fact)] += 1
+        correct = counter_intersection(needed, performed)
+        recall_by_kind[kind.value] = (total(correct) / total(needed)) if needed else 1.0
+    return recall_by_kind
+
+
+def graph_restored_exactly(clean: PropertyGraph, repaired: PropertyGraph,
+                           key_properties: Mapping[str, str] | None = None) -> bool:
+    """True if the repaired graph has exactly the clean graph's fact multiset."""
+    return graph_facts(clean, key_properties) == graph_facts(repaired, key_properties)

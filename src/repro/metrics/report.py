@@ -1,0 +1,86 @@
+"""Tabular result formatting for experiments.
+
+The experiment harness collects rows of plain dictionaries; this module turns
+them into the aligned text tables the benchmarks print (mirroring how the
+paper reports its tables) and into simple CSV for post-processing.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Any, Iterable, Mapping, Sequence
+
+
+def _format_value(value: Any, float_digits: int = 3) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    if isinstance(value, dict):
+        return ", ".join(f"{key}={_format_value(item, float_digits)}"
+                         for key, item in sorted(value.items()))
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, Any]],
+                 columns: Sequence[str] | None = None,
+                 title: str | None = None,
+                 float_digits: int = 3) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[_format_value(row.get(column, ""), float_digits) for column in columns]
+                for row in rows]
+    widths = [max(len(column), *(len(line[i]) for line in rendered))
+              for i, column in enumerate(columns)]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header = " | ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    out.write(header + "\n")
+    out.write("-+-".join("-" * width for width in widths) + "\n")
+    for line in rendered:
+        out.write(" | ".join(line[i].ljust(widths[i]) for i in range(len(columns))) + "\n")
+    return out.getvalue().rstrip("\n")
+
+
+def format_csv(rows: Sequence[Mapping[str, Any]],
+               columns: Sequence[str] | None = None) -> str:
+    """Render rows as CSV (no quoting beyond replacing commas in values)."""
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = [",".join(columns)]
+    for row in rows:
+        lines.append(",".join(_format_value(row.get(column, "")).replace(",", ";")
+                              for column in columns))
+    return "\n".join(lines)
+
+
+def format_series(rows: Sequence[Mapping[str, Any]], x_column: str,
+                  y_columns: Sequence[str], title: str | None = None,
+                  float_digits: int = 3) -> str:
+    """Render a figure-style result: one x column and several y series."""
+    columns = [x_column, *y_columns]
+    return format_table(rows, columns=columns, title=title, float_digits=float_digits)
+
+
+def summarize_rows(rows: Iterable[Mapping[str, Any]],
+                   group_by: str, value_columns: Sequence[str]) -> list[dict[str, Any]]:
+    """Average the value columns per distinct ``group_by`` value (used for repeats)."""
+    groups: dict[Any, list[Mapping[str, Any]]] = {}
+    for row in rows:
+        groups.setdefault(row[group_by], []).append(row)
+    summary = []
+    for key in sorted(groups, key=lambda value: (str(type(value)), value)):
+        members = groups[key]
+        entry: dict[str, Any] = {group_by: key, "runs": len(members)}
+        for column in value_columns:
+            values = [member[column] for member in members
+                      if isinstance(member.get(column), (int, float))]
+            entry[column] = sum(values) / len(values) if values else None
+        summary.append(entry)
+    return summary

@@ -1,0 +1,34 @@
+"""Repair algorithms: detection, planning, execution, provenance, and the
+naive / fast repairers behind the engine facade (system S5 in DESIGN.md)."""
+
+from repro.repair.cost import DEFAULT_COST_MODEL, CostModel
+from repro.repair.detector import DetectionResult, ViolationDetector, detect_violations
+from repro.repair.engine import EngineConfig, RepairEngine, repair_graph
+from repro.repair.executor import ExecutionOutcome, RepairExecutor
+from repro.repair.fast import FastRepairConfig, FastRepairer
+from repro.repair.naive import NaiveRepairConfig, NaiveRepairer
+from repro.repair.provenance import RepairAction, RepairLog
+from repro.repair.report import RepairReport
+from repro.repair.violation import Violation, ViolationStatus
+
+__all__ = [
+    "Violation",
+    "ViolationStatus",
+    "ViolationDetector",
+    "DetectionResult",
+    "detect_violations",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "RepairExecutor",
+    "ExecutionOutcome",
+    "RepairAction",
+    "RepairLog",
+    "RepairReport",
+    "NaiveRepairer",
+    "NaiveRepairConfig",
+    "FastRepairer",
+    "FastRepairConfig",
+    "RepairEngine",
+    "EngineConfig",
+    "repair_graph",
+]

@@ -1,0 +1,76 @@
+"""Repair cost model.
+
+The paper follows the *minimal change* principle: among the repairs that fix
+a violation, prefer the one that perturbs the graph least.  Rules in this
+library have a fixed operation list, so the planner's job is only to order
+pending violations; nevertheless a cost estimate is useful to (a) prefer
+cheap repairs when priorities tie and (b) report the total change volume.
+
+Costs follow the same weights as the graph edit distance
+(:mod:`repro.graph.edit_distance`): node-level changes cost more than
+edge-level changes, and deletions of matched nodes additionally charge for the
+incident edges that disappear with them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.property_graph import PropertyGraph
+from repro.matching.pattern import Match
+from repro.rules.grr import GraphRepairingRule
+from repro.rules.operations import (
+    AddEdge,
+    AddNode,
+    DeleteEdge,
+    DeleteNode,
+    MergeNodes,
+    UpdateEdge,
+    UpdateNode,
+)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Unit costs per elementary change caused by a repair."""
+
+    add_node: float = 1.0
+    add_edge: float = 1.0
+    delete_node: float = 1.5
+    delete_edge: float = 1.0
+    update: float = 0.5
+    merge: float = 1.0
+
+    def estimate(self, graph: PropertyGraph, rule: GraphRepairingRule,
+                 match: Match) -> float:
+        """Estimated cost of applying ``rule`` at ``match`` on ``graph``.
+
+        The estimate inspects the current graph (degree of nodes about to be
+        deleted or merged) but does not simulate the repair.
+        """
+        total = 0.0
+        for operation in rule.operations:
+            if isinstance(operation, AddNode):
+                total += self.add_node
+            elif isinstance(operation, AddEdge):
+                total += self.add_edge
+            elif isinstance(operation, DeleteEdge):
+                total += self.delete_edge
+            elif isinstance(operation, DeleteNode):
+                total += self.delete_node
+                node_id = match.node_bindings.get(operation.variable)
+                if node_id is not None and graph.has_node(node_id):
+                    total += self.delete_edge * graph.degree(node_id)
+            elif isinstance(operation, MergeNodes):
+                total += self.merge
+                merged_id = match.node_bindings.get(operation.merge)
+                if merged_id is not None and graph.has_node(merged_id):
+                    # redirected edges are cheap; duplicates dropped cost like deletes
+                    total += 0.1 * graph.degree(merged_id)
+            elif isinstance(operation, (UpdateNode, UpdateEdge)):
+                changes = len(operation.set_properties) + len(operation.remove_keys)
+                total += self.update * max(changes, 1)
+        return total
+
+
+DEFAULT_COST_MODEL = CostModel()

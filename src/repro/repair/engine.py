@@ -1,0 +1,148 @@
+"""The repair engine facade.
+
+:class:`RepairEngine` is the entry point most users need: pick a method
+(``"fast"`` by default, ``"naive"`` for the baseline), optionally run the
+rule-set consistency analysis first, and repair a graph either in place or on
+a copy.  The engine is also where the ablation variants used by experiment E5
+are materialised from a single :class:`EngineConfig`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, replace
+
+from repro.exceptions import InconsistentRuleSetError
+from repro.graph.property_graph import PropertyGraph
+from repro.matching.matcher import MatcherConfig
+from repro.repair.cost import DEFAULT_COST_MODEL, CostModel
+from repro.repair.fast import FastRepairConfig, FastRepairer
+from repro.repair.naive import NaiveRepairConfig, NaiveRepairer
+from repro.repair.report import RepairReport
+from repro.rules.grr import RuleSet
+
+
+@dataclass
+class EngineConfig:
+    """Configuration of a repair run.
+
+    ``method`` is ``"fast"`` or ``"naive"``.  The three ``use_*`` flags select
+    the optimisations of the fast method (ignored by the naive method, except
+    that ``use_candidate_index``/``use_decomposition`` also configure the
+    naive method's matcher so that E5's "no incremental maintenance" variant
+    is exactly "naive loop + optimised matching").  ``check_consistency``
+    runs the static analysis before repairing; ``require_consistency``
+    escalates an *Inconsistent* verdict from a warning to an error.
+    """
+
+    method: str = "fast"
+    use_candidate_index: bool = True
+    use_decomposition: bool = True
+    use_incremental: bool = True
+    cost_model: CostModel = DEFAULT_COST_MODEL
+    max_repairs: int | None = None
+    max_rounds: int = 100
+    match_limit_per_rule: int | None = None
+    check_consistency: bool = False
+    require_consistency: bool = False
+
+    @classmethod
+    def fast(cls, **overrides) -> "EngineConfig":
+        return replace(cls(method="fast"), **overrides)
+
+    @classmethod
+    def naive(cls, **overrides) -> "EngineConfig":
+        config = cls(method="naive", use_candidate_index=False,
+                     use_decomposition=False, use_incremental=False)
+        return replace(config, **overrides)
+
+    @classmethod
+    def ablation(cls, disable: str) -> "EngineConfig":
+        """The E5 ablation variants: ``disable`` ∈ {"none", "index",
+        "decomposition", "incremental"}."""
+        if disable == "none":
+            return cls.fast()
+        if disable == "index":
+            return cls.fast(use_candidate_index=False)
+        if disable == "decomposition":
+            return cls.fast(use_decomposition=False)
+        if disable == "incremental":
+            # No incremental maintenance: the naive loop, but with the
+            # optimised matcher so only the maintenance strategy differs.
+            return cls(method="naive", use_candidate_index=True,
+                       use_decomposition=True, use_incremental=False)
+        raise ValueError(f"unknown ablation target {disable!r}")
+
+
+@dataclass
+class RepairEngine:
+    """Repairs graphs with a rule set according to an :class:`EngineConfig`."""
+
+    config: EngineConfig = field(default_factory=EngineConfig)
+
+    def repair(self, graph: PropertyGraph, rules: RuleSet) -> RepairReport:
+        """Repair ``graph`` **in place** and return the report."""
+        if self.config.check_consistency or self.config.require_consistency:
+            self._check_rules(rules)
+        repairer = self._build_repairer()
+        return repairer.repair(graph, rules)
+
+    def repair_copy(self, graph: PropertyGraph,
+                    rules: RuleSet) -> tuple[PropertyGraph, RepairReport]:
+        """Repair a copy of ``graph``; returns ``(repaired copy, report)``."""
+        clone = graph.copy(name=f"{graph.name}-repaired")
+        report = self.repair(clone, rules)
+        return clone, report
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _build_repairer(self):
+        config = self.config
+        if config.method == "naive" or not config.use_incremental:
+            matcher_config = MatcherConfig(
+                use_candidate_index=config.use_candidate_index,
+                use_decomposition=config.use_decomposition)
+            return NaiveRepairer(NaiveRepairConfig(
+                matcher_config=matcher_config,
+                cost_model=config.cost_model,
+                max_rounds=config.max_rounds,
+                max_repairs=config.max_repairs,
+                match_limit_per_rule=config.match_limit_per_rule))
+        if config.method == "fast":
+            return FastRepairer(FastRepairConfig(
+                use_candidate_index=config.use_candidate_index,
+                use_decomposition=config.use_decomposition,
+                cost_model=config.cost_model,
+                max_repairs=config.max_repairs,
+                match_limit_per_rule=config.match_limit_per_rule))
+        raise ValueError(f"unknown repair method {self.config.method!r}")
+
+    def _check_rules(self, rules: RuleSet) -> None:
+        from repro.analysis.consistency import ConsistencyVerdict, check_consistency
+
+        result = check_consistency(rules)
+        if result.verdict is ConsistencyVerdict.INCONSISTENT:
+            message = ("rule set failed the consistency check: "
+                       + "; ".join(result.reasons))
+            if self.config.require_consistency:
+                raise InconsistentRuleSetError(message, evidence=result)
+            warnings.warn(message, stacklevel=3)
+
+
+def repair_graph(graph: PropertyGraph, rules: RuleSet, method: str = "fast",
+                 in_place: bool = False,
+                 **config_overrides) -> tuple[PropertyGraph, RepairReport]:
+    """Convenience one-call repair.
+
+    Returns ``(repaired graph, report)``; with ``in_place=False`` (default)
+    the input graph is left untouched.
+    """
+    base = EngineConfig.fast() if method == "fast" else EngineConfig.naive()
+    config = replace(base, **config_overrides)
+    engine = RepairEngine(config)
+    if in_place:
+        report = engine.repair(graph, rules)
+        return graph, report
+    return engine.repair_copy(graph, rules)

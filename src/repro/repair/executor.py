@@ -1,0 +1,74 @@
+"""Repair execution: apply one rule at one match, with delta capture.
+
+The executor is the only component that mutates the graph during repair.  It
+wraps the rule's operation list in a :class:`ChangeRecorder` so that every
+elementary change is captured as a :class:`GraphDelta` (consumed by the fast
+repairer's incremental machinery and summarised into provenance), and it
+translates operation failures into a clean outcome instead of leaving the
+loop in an undefined state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import RepairExecutionError
+from repro.graph.delta import ChangeRecorder, GraphDelta
+from repro.graph.property_graph import PropertyGraph
+from repro.matching.pattern import Match
+from repro.repair.cost import DEFAULT_COST_MODEL, CostModel
+from repro.repair.provenance import RepairLog
+from repro.rules.grr import GraphRepairingRule
+
+
+@dataclass
+class ExecutionOutcome:
+    """What happened when one repair was attempted."""
+
+    applied: bool
+    delta: GraphDelta = field(default_factory=GraphDelta)
+    error: str | None = None
+    created_node_ids: tuple[str, ...] = ()
+
+    @property
+    def changed_anything(self) -> bool:
+        return self.applied and bool(self.delta)
+
+
+class RepairExecutor:
+    """Applies repairs to one graph and records provenance."""
+
+    def __init__(self, graph: PropertyGraph, cost_model: CostModel | None = None,
+                 log: RepairLog | None = None) -> None:
+        self.graph = graph
+        self.cost_model = cost_model or DEFAULT_COST_MODEL
+        self.log = log if log is not None else RepairLog()
+
+    def apply(self, rule: GraphRepairingRule, match: Match) -> ExecutionOutcome:
+        """Apply ``rule`` at ``match``.
+
+        On success the outcome carries the full delta and the repair is added
+        to the provenance log.  On failure (an operation raised
+        :class:`RepairExecutionError`) the outcome reports the error; any
+        changes made by earlier operations of the same rule remain in the
+        graph — partial repairs are reported honestly rather than rolled back,
+        because the delta is what downstream consumers reason about.
+        """
+        recorder = ChangeRecorder()
+        self.graph.add_listener(recorder)
+        cost = self.cost_model.estimate(self.graph, rule, match)
+        error: str | None = None
+        created: tuple[str, ...] = ()
+        try:
+            context = rule.execute(self.graph, match)
+            created = tuple(context.new_nodes.values())
+        except RepairExecutionError as exc:
+            error = str(exc)
+        finally:
+            self.graph.remove_listener(recorder)
+        delta = recorder.drain()
+        if error is not None:
+            return ExecutionOutcome(applied=False, delta=delta, error=error,
+                                    created_node_ids=created)
+        self.log.record(rule, match, delta, cost, created_node_ids=created)
+        return ExecutionOutcome(applied=True, delta=delta, created_node_ids=created)

@@ -1,0 +1,115 @@
+"""Repair provenance: who changed what, and why.
+
+Every applied repair is recorded as a :class:`RepairAction` carrying the rule,
+the match it was applied at, the per-kind counts of elementary graph changes
+it caused, and its estimated cost.  The :class:`RepairLog` aggregates actions
+and answers the questions the evaluation needs (changes per rule, per
+semantics, per change kind) as well as the questions a user of the library
+would ask of a cleaning run ("why was this edge deleted?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.graph.delta import GraphDelta
+from repro.rules.semantics import Semantics
+
+
+@dataclass
+class RepairAction:
+    """One applied repair."""
+
+    sequence: int
+    rule_name: str
+    semantics: Semantics
+    node_bindings: dict[str, str]
+    edge_bindings: dict[str, str]
+    change_counts: dict[str, int]
+    cost: float = 0.0
+    created_node_ids: tuple[str, ...] = ()
+
+    @property
+    def total_changes(self) -> int:
+        return sum(self.change_counts.values())
+
+    def touches_node(self, node_id: str) -> bool:
+        return node_id in self.node_bindings.values() or node_id in self.created_node_ids
+
+    def describe(self) -> str:
+        bindings = ", ".join(f"{variable}={node_id}"
+                             for variable, node_id in sorted(self.node_bindings.items()))
+        changes = ", ".join(f"{kind}×{count}"
+                            for kind, count in sorted(self.change_counts.items()))
+        return (f"#{self.sequence} {self.rule_name} [{self.semantics.value}] "
+                f"at {{{bindings}}} -> {changes or 'no change'}")
+
+
+@dataclass
+class RepairLog:
+    """Ordered list of applied repairs with aggregate views."""
+
+    actions: list[RepairAction] = field(default_factory=list)
+
+    def record(self, rule, match, delta: GraphDelta, cost: float,
+               created_node_ids: tuple[str, ...] = ()) -> RepairAction:
+        """Append an action for a repair of ``rule`` at ``match`` causing ``delta``."""
+        action = RepairAction(
+            sequence=len(self.actions),
+            rule_name=rule.name,
+            semantics=rule.semantics,
+            node_bindings=dict(match.node_bindings),
+            edge_bindings=dict(match.edge_bindings),
+            change_counts=delta.summary(),
+            cost=cost,
+            created_node_ids=created_node_ids,
+        )
+        self.actions.append(action)
+        return action
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def __iter__(self) -> Iterator[RepairAction]:
+        return iter(self.actions)
+
+    # ------------------------------------------------------------------
+    # aggregations
+    # ------------------------------------------------------------------
+
+    def actions_per_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for action in self.actions:
+            counts[action.rule_name] = counts.get(action.rule_name, 0) + 1
+        return counts
+
+    def actions_per_semantics(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for action in self.actions:
+            key = action.semantics.value
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def change_counts(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for action in self.actions:
+            for kind, count in action.change_counts.items():
+                totals[kind] = totals.get(kind, 0) + count
+        return totals
+
+    def total_cost(self) -> float:
+        return sum(action.cost for action in self.actions)
+
+    def actions_touching(self, node_id: str) -> list[RepairAction]:
+        """All repairs that bound or created the given node (provenance query)."""
+        return [action for action in self.actions if action.touches_node(node_id)]
+
+    def describe(self, limit: int | None = 20) -> str:
+        lines = [f"RepairLog: {len(self.actions)} repairs, "
+                 f"total cost {self.total_cost():.1f}"]
+        shown = self.actions if limit is None else self.actions[:limit]
+        lines.extend("  " + action.describe() for action in shown)
+        if limit is not None and len(self.actions) > limit:
+            lines.append(f"  ... and {len(self.actions) - limit} more")
+        return "\n".join(lines)

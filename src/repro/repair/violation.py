@@ -1,0 +1,82 @@
+"""Violation records.
+
+A violation is one concrete error instance: a rule together with a match of
+its evidence pattern that the rule's semantics classifies as erroneous (for
+incompleteness rules, a match whose missing extension is absent; for conflict
+and redundancy rules, any match).  Violations are the unit the repair planner
+queues, prioritises, validates, and repairs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.matching.pattern import Match
+from repro.rules.grr import GraphRepairingRule
+from repro.rules.semantics import Semantics
+
+
+class ViolationStatus(enum.Enum):
+    """Lifecycle of a violation inside the repair loop."""
+
+    PENDING = "pending"        # detected, waiting in the queue
+    REPAIRED = "repaired"      # a repair was applied for it
+    OBSOLETE = "obsolete"      # invalidated by another repair before being handled
+    FAILED = "failed"          # the repair raised an execution error
+    SKIPPED = "skipped"        # left unrepaired (budget exhausted)
+
+
+@dataclass
+class Violation:
+    """One rule violation at one match."""
+
+    rule: GraphRepairingRule
+    match: Match
+    status: ViolationStatus = ViolationStatus.PENDING
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def key(self) -> tuple:
+        """Stable identity: rule name + match identity."""
+        return (self.rule.name, self.match.key())
+
+    @property
+    def semantics(self) -> Semantics:
+        return self.rule.semantics
+
+    @property
+    def priority(self) -> int:
+        return self.rule.priority
+
+    def involved_node_ids(self) -> set[str]:
+        return self.match.bound_node_ids()
+
+    def involved_edge_ids(self) -> set[str]:
+        return self.match.bound_edge_ids()
+
+    def is_still_valid(self, graph, matcher) -> bool:
+        """Re-check the violation against the current graph state.
+
+        A violation survives if its match still holds *and* the rule still
+        classifies it as erroneous (the missing extension is still absent for
+        incompleteness rules).
+        """
+        if not self.match.is_valid(graph):
+            return False
+        return self.rule.is_violation(matcher, self.match)
+
+    def describe(self) -> str:
+        bindings = ", ".join(f"{variable}={node_id}"
+                             for variable, node_id in sorted(self.match.node_bindings.items()))
+        return (f"[{self.semantics.value}] {self.rule.name} at {{{bindings}}} "
+                f"({self.status.value})")
+
+    def __repr__(self) -> str:
+        return f"Violation({self.describe()})"
+
+
+def sort_key(violation: Violation, cost: float = 0.0, sequence: int = 0) -> tuple:
+    """The planner's ordering: higher priority first, then cheaper repairs,
+    then detection order, then a deterministic match key."""
+    return (-violation.priority, cost, sequence, violation.key())

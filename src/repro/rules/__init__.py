@@ -1,0 +1,68 @@
+"""Graph repairing rules: operations, semantics, rule objects, builder, DSL
+parser, and the canned domain libraries (system S3 in DESIGN.md)."""
+
+from repro.rules.builder import (
+    RuleBuilder,
+    conflict_rule,
+    incompleteness_rule,
+    redundancy_rule,
+)
+from repro.rules.grr import GraphRepairingRule, RuleEffects, RuleSet
+from repro.rules.library import (
+    KG,
+    MOVIES,
+    RULE_LIBRARIES,
+    SOCIAL,
+    knowledge_graph_rules,
+    movie_rules,
+    rules_for_domain,
+    social_rules,
+)
+from repro.rules.operations import (
+    AddEdge,
+    AddNode,
+    DeleteEdge,
+    DeleteNode,
+    ExecutionContext,
+    MergeNodes,
+    OperationKind,
+    RepairOperation,
+    UpdateEdge,
+    UpdateNode,
+    ValueRef,
+)
+from repro.rules.parser import parse_rules, parse_rules_file
+from repro.rules.semantics import ALLOWED_OPERATIONS, Semantics
+
+__all__ = [
+    "GraphRepairingRule",
+    "RuleSet",
+    "RuleEffects",
+    "Semantics",
+    "ALLOWED_OPERATIONS",
+    "OperationKind",
+    "RepairOperation",
+    "AddNode",
+    "AddEdge",
+    "DeleteEdge",
+    "DeleteNode",
+    "UpdateNode",
+    "UpdateEdge",
+    "MergeNodes",
+    "ValueRef",
+    "ExecutionContext",
+    "RuleBuilder",
+    "incompleteness_rule",
+    "conflict_rule",
+    "redundancy_rule",
+    "parse_rules",
+    "parse_rules_file",
+    "knowledge_graph_rules",
+    "movie_rules",
+    "social_rules",
+    "rules_for_domain",
+    "RULE_LIBRARIES",
+    "KG",
+    "MOVIES",
+    "SOCIAL",
+]

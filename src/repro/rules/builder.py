@@ -1,0 +1,266 @@
+"""Fluent builder for graph repairing rules.
+
+Rule definitions in examples, the canned libraries, and the random rule
+generator all go through :class:`RuleBuilder`, which assembles the evidence
+pattern, the optional missing pattern, and the operation list, and finally
+delegates to :class:`~repro.rules.grr.GraphRepairingRule` for validation.
+
+Example
+-------
+::
+
+    rule = (RuleBuilder("add-nationality", Semantics.INCOMPLETENESS)
+            .node("p", "Person")
+            .node("c", "City")
+            .node("k", "Country")
+            .edge("p", "c", "bornIn")
+            .edge("c", "k", "inCountry")
+            .missing_edge("p", "k", "nationality")
+            .add_edge("p", "k", "nationality")
+            .priority(5)
+            .described_as("a person born in a city has the city's nationality")
+            .build())
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.exceptions import InvalidRuleError
+from repro.matching.pattern import Pattern, PatternEdge, PatternNode
+from repro.matching.predicates import Comparison, PropertyPredicate
+from repro.rules.grr import GraphRepairingRule
+from repro.rules.operations import (
+    AddEdge,
+    AddNode,
+    DeleteEdge,
+    DeleteNode,
+    MergeNodes,
+    RepairOperation,
+    UpdateEdge,
+    UpdateNode,
+)
+from repro.rules.semantics import Semantics
+
+
+class RuleBuilder:
+    """Accumulates the parts of a rule and builds the validated object."""
+
+    def __init__(self, name: str, semantics: Semantics) -> None:
+        self._name = name
+        self._semantics = semantics
+        self._nodes: dict[str, PatternNode] = {}
+        self._edges: list[PatternEdge] = []
+        self._comparisons: list[Comparison] = []
+        self._missing_nodes: dict[str, PatternNode] = {}
+        self._missing_edges: list[PatternEdge] = []
+        self._missing_comparisons: list[Comparison] = []
+        self._operations: list[RepairOperation] = []
+        self._priority = 0
+        self._description = ""
+
+    # ------------------------------------------------------------------
+    # evidence pattern
+    # ------------------------------------------------------------------
+
+    def node(self, variable: str, label: str | None = None,
+             predicates: Iterable[PropertyPredicate] = ()) -> "RuleBuilder":
+        """Declare an evidence node variable."""
+        if variable in self._nodes:
+            raise InvalidRuleError(f"evidence variable {variable!r} declared twice")
+        self._nodes[variable] = PatternNode(variable=variable, label=label,
+                                            predicates=tuple(predicates))
+        return self
+
+    def edge(self, source: str, target: str, label: str | None = None,
+             variable: str | None = None,
+             predicates: Iterable[PropertyPredicate] = ()) -> "RuleBuilder":
+        """Declare an evidence edge constraint."""
+        self._edges.append(PatternEdge(source=source, target=target, label=label,
+                                       variable=variable, predicates=tuple(predicates)))
+        return self
+
+    def compare(self, comparison: Comparison) -> "RuleBuilder":
+        """Add a cross-variable comparison to the evidence pattern."""
+        self._comparisons.append(comparison)
+        return self
+
+    # ------------------------------------------------------------------
+    # missing pattern (incompleteness rules)
+    # ------------------------------------------------------------------
+
+    def missing_node(self, variable: str, label: str | None = None,
+                     predicates: Iterable[PropertyPredicate] = ()) -> "RuleBuilder":
+        """Declare a node variable that exists only in the missing pattern."""
+        if variable in self._missing_nodes or variable in self._nodes:
+            raise InvalidRuleError(f"missing-pattern variable {variable!r} declared twice")
+        self._missing_nodes[variable] = PatternNode(variable=variable, label=label,
+                                                    predicates=tuple(predicates))
+        return self
+
+    def missing_edge(self, source: str, target: str, label: str | None = None,
+                     variable: str | None = None,
+                     predicates: Iterable[PropertyPredicate] = ()) -> "RuleBuilder":
+        """Declare an edge constraint of the missing pattern.
+
+        Endpoints may be evidence variables (shared) or missing-only variables.
+        """
+        self._missing_edges.append(PatternEdge(source=source, target=target, label=label,
+                                               variable=variable,
+                                               predicates=tuple(predicates)))
+        return self
+
+    def missing_compare(self, comparison: Comparison) -> "RuleBuilder":
+        self._missing_comparisons.append(comparison)
+        return self
+
+    def missing_property(self, variable: str, key: str) -> "RuleBuilder":
+        """Shorthand: the violation is that ``variable`` lacks property ``key``.
+
+        Implemented by adding an ``exists(key)`` requirement on the shared
+        variable in the missing pattern.
+        """
+        from repro.matching.predicates import exists
+
+        if variable not in self._nodes:
+            raise InvalidRuleError(
+                f"missing_property refers to undeclared evidence variable {variable!r}")
+        base = self._nodes[variable]
+        self._missing_nodes[f"__{variable}__with_{key}"] = PatternNode(
+            variable=variable, label=base.label,
+            predicates=base.predicates + (exists(key),))
+        return self
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+
+    def add_node(self, variable: str, label: str,
+                 properties: dict[str, Any] | None = None) -> "RuleBuilder":
+        self._operations.append(AddNode(variable=variable, label=label,
+                                        properties=dict(properties or {})))
+        return self
+
+    def add_edge(self, source: str, target: str, label: str,
+                 properties: dict[str, Any] | None = None,
+                 skip_if_present: bool = True) -> "RuleBuilder":
+        self._operations.append(AddEdge(source=source, target=target, label=label,
+                                        properties=dict(properties or {}),
+                                        skip_if_present=skip_if_present))
+        return self
+
+    def delete_edge(self, edge_variable: str | None = None, source: str | None = None,
+                    target: str | None = None, label: str | None = None) -> "RuleBuilder":
+        self._operations.append(DeleteEdge(edge_variable=edge_variable, source=source,
+                                           target=target, label=label))
+        return self
+
+    def delete_node(self, variable: str) -> "RuleBuilder":
+        self._operations.append(DeleteNode(variable=variable))
+        return self
+
+    def update_node(self, variable: str, set_properties: dict[str, Any] | None = None,
+                    remove_keys: Iterable[str] = (),
+                    new_label: str | None = None) -> "RuleBuilder":
+        self._operations.append(UpdateNode(variable=variable,
+                                           set_properties=dict(set_properties or {}),
+                                           remove_keys=tuple(remove_keys),
+                                           new_label=new_label))
+        return self
+
+    def update_edge(self, edge_variable: str, set_properties: dict[str, Any] | None = None,
+                    remove_keys: Iterable[str] = (),
+                    new_label: str | None = None) -> "RuleBuilder":
+        self._operations.append(UpdateEdge(edge_variable=edge_variable,
+                                           set_properties=dict(set_properties or {}),
+                                           remove_keys=tuple(remove_keys),
+                                           new_label=new_label))
+        return self
+
+    def merge(self, keep: str, merge: str,
+              prefer_kept_properties: bool = True) -> "RuleBuilder":
+        self._operations.append(MergeNodes(keep=keep, merge=merge,
+                                           prefer_kept_properties=prefer_kept_properties))
+        return self
+
+    def operation(self, operation: RepairOperation) -> "RuleBuilder":
+        """Append an already-constructed operation."""
+        self._operations.append(operation)
+        return self
+
+    # ------------------------------------------------------------------
+    # metadata
+    # ------------------------------------------------------------------
+
+    def priority(self, value: int) -> "RuleBuilder":
+        self._priority = int(value)
+        return self
+
+    def described_as(self, text: str) -> "RuleBuilder":
+        self._description = text
+        return self
+
+    # ------------------------------------------------------------------
+    # assembly
+    # ------------------------------------------------------------------
+
+    def _build_evidence(self) -> Pattern:
+        if not self._nodes:
+            raise InvalidRuleError(f"rule {self._name!r} declares no evidence nodes")
+        return Pattern(nodes=list(self._nodes.values()), edges=self._edges,
+                       comparisons=self._comparisons, name=f"{self._name}::evidence")
+
+    def _build_missing(self) -> Pattern | None:
+        if not self._missing_nodes and not self._missing_edges:
+            return None
+        # Collect the node variables the missing pattern needs: declared
+        # missing-only nodes plus evidence nodes referenced by missing edges
+        # or missing comparisons (these are the shared variables).
+        nodes: dict[str, PatternNode] = {}
+        for key, node in self._missing_nodes.items():
+            nodes[node.variable] = node
+        referenced: set[str] = set()
+        for edge in self._missing_edges:
+            referenced.add(edge.source)
+            referenced.add(edge.target)
+        for comparison in self._missing_comparisons:
+            referenced.update(comparison.variables())
+        for variable in referenced:
+            if variable in nodes:
+                continue
+            if variable in self._nodes:
+                nodes[variable] = self._nodes[variable]
+            elif variable not in {edge.variable for edge in self._missing_edges}:
+                raise InvalidRuleError(
+                    f"missing pattern of rule {self._name!r} references unknown "
+                    f"variable {variable!r}")
+        return Pattern(nodes=list(nodes.values()), edges=self._missing_edges,
+                       comparisons=self._missing_comparisons,
+                       name=f"{self._name}::missing")
+
+    def build(self) -> GraphRepairingRule:
+        """Assemble and validate the rule."""
+        return GraphRepairingRule(
+            name=self._name,
+            semantics=self._semantics,
+            pattern=self._build_evidence(),
+            missing=self._build_missing(),
+            operations=self._operations,
+            priority=self._priority,
+            description=self._description,
+        )
+
+
+def incompleteness_rule(name: str) -> RuleBuilder:
+    """Start building an incompleteness rule."""
+    return RuleBuilder(name, Semantics.INCOMPLETENESS)
+
+
+def conflict_rule(name: str) -> RuleBuilder:
+    """Start building a conflict rule."""
+    return RuleBuilder(name, Semantics.CONFLICT)
+
+
+def redundancy_rule(name: str) -> RuleBuilder:
+    """Start building a redundancy rule."""
+    return RuleBuilder(name, Semantics.REDUNDANCY)

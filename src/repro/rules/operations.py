@@ -1,0 +1,401 @@
+"""The seven primitive repair operations of graph repairing rules.
+
+A GRR's right-hand side is a sequence of operations over the variables bound
+by its pattern:
+
+=============  =============================================================
+``ADD_NODE``    create a node (introduces a *new* variable usable afterwards)
+``ADD_EDGE``    create an edge between matched or newly created nodes
+``DELETE_EDGE`` remove a matched edge (by edge variable, or by endpoints+label)
+``DELETE_NODE`` remove a matched node together with its incident edges
+``UPDATE_NODE`` set / copy / remove node properties, or relabel the node
+``UPDATE_EDGE`` set / copy / remove edge properties, or relabel the edge
+``MERGE_NODES`` fuse one matched node into another, redirecting edges
+=============  =============================================================
+
+Operations are declarative dataclasses; execution happens through
+:meth:`RepairOperation.apply` against an :class:`ExecutionContext` that
+carries the graph, the match bindings, and the ids of nodes created earlier in
+the same repair.  Property values may be literals or :class:`ValueRef`
+references that copy a value from another matched element at execution time
+(e.g. *"set the person's nationality to the country's name"*).
+
+Each operation also exposes a static *effect summary* (which labels it can
+add or remove) used by the rule-set analysis to build the trigger/conflict
+dependency graph without executing anything.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.exceptions import InvalidRuleError, RepairExecutionError
+from repro.graph.property_graph import PropertyGraph
+from repro.matching.pattern import Match
+
+
+class OperationKind(enum.Enum):
+    """The seven primitive operation kinds."""
+
+    ADD_NODE = "add_node"
+    ADD_EDGE = "add_edge"
+    DELETE_EDGE = "delete_edge"
+    DELETE_NODE = "delete_node"
+    UPDATE_NODE = "update_node"
+    UPDATE_EDGE = "update_edge"
+    MERGE_NODES = "merge_nodes"
+
+
+@dataclass(frozen=True)
+class ValueRef:
+    """A reference to a property of a matched element, resolved at execution time.
+
+    ``variable`` may be a node or edge variable of the rule's pattern (or a
+    node created earlier by ``ADD_NODE``); ``key`` is the property to read.
+    """
+
+    variable: str
+    key: str
+
+    def describe(self) -> str:
+        return f"{self.variable}.{self.key}"
+
+
+@dataclass
+class ExecutionContext:
+    """Everything an operation needs to execute against a concrete match."""
+
+    graph: PropertyGraph
+    match: Match
+    new_nodes: dict[str, str] = field(default_factory=dict)
+
+    # -- resolution helpers -------------------------------------------------
+
+    def node_id(self, variable: str) -> str:
+        """Resolve a variable to a node id (pattern binding or newly created node)."""
+        if variable in self.new_nodes:
+            return self.new_nodes[variable]
+        if variable in self.match.node_bindings:
+            return self.match.node_bindings[variable]
+        raise RepairExecutionError(f"variable {variable!r} is not bound to a node")
+
+    def edge_id(self, variable: str) -> str:
+        if variable in self.match.edge_bindings:
+            return self.match.edge_bindings[variable]
+        raise RepairExecutionError(f"variable {variable!r} is not bound to an edge")
+
+    def resolve_value(self, value: Any) -> Any:
+        """Literals pass through; :class:`ValueRef` reads the referenced property."""
+        if not isinstance(value, ValueRef):
+            return value
+        variable = value.variable
+        if variable in self.match.edge_bindings:
+            edge_id = self.match.edge_bindings[variable]
+            if not self.graph.has_edge(edge_id):
+                raise RepairExecutionError(
+                    f"cannot read {value.describe()}: edge no longer exists")
+            return self.graph.edge(edge_id).properties.get(value.key)
+        node_id = self.node_id(variable)
+        if not self.graph.has_node(node_id):
+            raise RepairExecutionError(
+                f"cannot read {value.describe()}: node no longer exists")
+        return self.graph.node(node_id).properties.get(value.key)
+
+    def resolve_properties(self, properties: Mapping[str, Any]) -> dict[str, Any]:
+        return {key: self.resolve_value(value) for key, value in properties.items()}
+
+
+class RepairOperation:
+    """Base class of the seven operations."""
+
+    kind: OperationKind
+
+    def apply(self, context: ExecutionContext) -> None:
+        """Execute against the graph; raises :class:`RepairExecutionError` on failure."""
+        raise NotImplementedError
+
+    # -- static effect summaries used by the analysis layer -----------------
+
+    def variables_read(self) -> set[str]:
+        """Pattern variables this operation needs bound."""
+        return set()
+
+    def variables_introduced(self) -> set[str]:
+        """New variables this operation makes available to later operations."""
+        return set()
+
+    def added_node_labels(self) -> set[str]:
+        return set()
+
+    def added_edge_labels(self) -> set[str]:
+        return set()
+
+    def removed_node_variables(self) -> set[str]:
+        return set()
+
+    def removed_edge_variables(self) -> set[str]:
+        return set()
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.describe()})"
+
+
+@dataclass(repr=False)
+class AddNode(RepairOperation):
+    """Create a node labelled ``label`` and bind it to ``variable``."""
+
+    variable: str
+    label: str
+    properties: dict[str, Any] = field(default_factory=dict)
+    kind = OperationKind.ADD_NODE
+
+    def apply(self, context: ExecutionContext) -> None:
+        if self.variable in context.match.node_bindings or self.variable in context.new_nodes:
+            raise RepairExecutionError(
+                f"ADD_NODE variable {self.variable!r} is already bound")
+        node = context.graph.add_node(self.label,
+                                      context.resolve_properties(self.properties))
+        context.new_nodes[self.variable] = node.id
+
+    def variables_read(self) -> set[str]:
+        return {value.variable for value in self.properties.values()
+                if isinstance(value, ValueRef)}
+
+    def variables_introduced(self) -> set[str]:
+        return {self.variable}
+
+    def added_node_labels(self) -> set[str]:
+        return {self.label}
+
+    def describe(self) -> str:
+        return f"ADD_NODE {self.variable}:{self.label} {self.properties}"
+
+
+@dataclass(repr=False)
+class AddEdge(RepairOperation):
+    """Create an edge ``source -[label]-> target`` between resolved variables."""
+
+    source: str
+    target: str
+    label: str
+    properties: dict[str, Any] = field(default_factory=dict)
+    skip_if_present: bool = True
+    kind = OperationKind.ADD_EDGE
+
+    def apply(self, context: ExecutionContext) -> None:
+        source_id = context.node_id(self.source)
+        target_id = context.node_id(self.target)
+        for node_id in (source_id, target_id):
+            if not context.graph.has_node(node_id):
+                raise RepairExecutionError(
+                    f"ADD_EDGE endpoint {node_id!r} no longer exists")
+        if self.skip_if_present and context.graph.has_edge_between(source_id, target_id,
+                                                                   self.label):
+            return
+        context.graph.add_edge(source_id, target_id, self.label,
+                               context.resolve_properties(self.properties))
+
+    def variables_read(self) -> set[str]:
+        read = {self.source, self.target}
+        read.update(value.variable for value in self.properties.values()
+                    if isinstance(value, ValueRef))
+        return read
+
+    def added_edge_labels(self) -> set[str]:
+        return {self.label}
+
+    def describe(self) -> str:
+        return f"ADD_EDGE ({self.source})-[{self.label}]->({self.target})"
+
+
+@dataclass(repr=False)
+class DeleteEdge(RepairOperation):
+    """Remove a matched edge.
+
+    Either ``edge_variable`` names an edge bound by the pattern, or
+    ``source``/``target``/``label`` identify the edge(s) to delete between two
+    matched nodes (all matching edges are deleted in that form).
+    """
+
+    edge_variable: str | None = None
+    source: str | None = None
+    target: str | None = None
+    label: str | None = None
+    kind = OperationKind.DELETE_EDGE
+
+    def __post_init__(self) -> None:
+        if self.edge_variable is None and (self.source is None or self.target is None):
+            raise InvalidRuleError(
+                "DELETE_EDGE needs either an edge variable or source and target variables")
+
+    def apply(self, context: ExecutionContext) -> None:
+        if self.edge_variable is not None:
+            edge_id = context.edge_id(self.edge_variable)
+            if context.graph.has_edge(edge_id):
+                context.graph.remove_edge(edge_id)
+            return
+        source_id = context.node_id(self.source)  # type: ignore[arg-type]
+        target_id = context.node_id(self.target)  # type: ignore[arg-type]
+        if not (context.graph.has_node(source_id) and context.graph.has_node(target_id)):
+            return
+        for edge in context.graph.edges_between(source_id, target_id, self.label):
+            context.graph.remove_edge(edge.id)
+
+    def variables_read(self) -> set[str]:
+        if self.edge_variable is not None:
+            return {self.edge_variable}
+        return {self.source, self.target}  # type: ignore[arg-type]
+
+    def removed_edge_variables(self) -> set[str]:
+        return {self.edge_variable} if self.edge_variable is not None else set()
+
+    def describe(self) -> str:
+        if self.edge_variable is not None:
+            return f"DELETE_EDGE {self.edge_variable}"
+        return f"DELETE_EDGE ({self.source})-[{self.label or '*'}]->({self.target})"
+
+
+@dataclass(repr=False)
+class DeleteNode(RepairOperation):
+    """Remove a matched node and all its incident edges."""
+
+    variable: str
+    kind = OperationKind.DELETE_NODE
+
+    def apply(self, context: ExecutionContext) -> None:
+        node_id = context.node_id(self.variable)
+        if context.graph.has_node(node_id):
+            context.graph.remove_node(node_id)
+
+    def variables_read(self) -> set[str]:
+        return {self.variable}
+
+    def removed_node_variables(self) -> set[str]:
+        return {self.variable}
+
+    def describe(self) -> str:
+        return f"DELETE_NODE {self.variable}"
+
+
+@dataclass(repr=False)
+class UpdateNode(RepairOperation):
+    """Set / copy / remove properties of a matched node, or relabel it."""
+
+    variable: str
+    set_properties: dict[str, Any] = field(default_factory=dict)
+    remove_keys: tuple[str, ...] = ()
+    new_label: str | None = None
+    kind = OperationKind.UPDATE_NODE
+
+    def apply(self, context: ExecutionContext) -> None:
+        node_id = context.node_id(self.variable)
+        if not context.graph.has_node(node_id):
+            raise RepairExecutionError(f"UPDATE_NODE target {node_id!r} no longer exists")
+        if self.set_properties or self.remove_keys:
+            context.graph.update_node(node_id,
+                                      context.resolve_properties(self.set_properties),
+                                      remove_keys=self.remove_keys)
+        if self.new_label is not None:
+            context.graph.relabel_node(node_id, self.new_label)
+
+    def variables_read(self) -> set[str]:
+        read = {self.variable}
+        read.update(value.variable for value in self.set_properties.values()
+                    if isinstance(value, ValueRef))
+        return read
+
+    def added_node_labels(self) -> set[str]:
+        return {self.new_label} if self.new_label is not None else set()
+
+    def describe(self) -> str:
+        parts = [f"UPDATE_NODE {self.variable}"]
+        if self.set_properties:
+            parts.append(f"set {self.set_properties}")
+        if self.remove_keys:
+            parts.append(f"remove {list(self.remove_keys)}")
+        if self.new_label:
+            parts.append(f"relabel {self.new_label}")
+        return " ".join(parts)
+
+
+@dataclass(repr=False)
+class UpdateEdge(RepairOperation):
+    """Set / copy / remove properties of a matched edge, or relabel it."""
+
+    edge_variable: str
+    set_properties: dict[str, Any] = field(default_factory=dict)
+    remove_keys: tuple[str, ...] = ()
+    new_label: str | None = None
+    kind = OperationKind.UPDATE_EDGE
+
+    def apply(self, context: ExecutionContext) -> None:
+        edge_id = context.edge_id(self.edge_variable)
+        if not context.graph.has_edge(edge_id):
+            raise RepairExecutionError(f"UPDATE_EDGE target {edge_id!r} no longer exists")
+        if self.set_properties or self.remove_keys:
+            context.graph.update_edge(edge_id,
+                                      context.resolve_properties(self.set_properties),
+                                      remove_keys=self.remove_keys)
+        if self.new_label is not None:
+            context.graph.relabel_edge(edge_id, self.new_label)
+
+    def variables_read(self) -> set[str]:
+        read = {self.edge_variable}
+        read.update(value.variable for value in self.set_properties.values()
+                    if isinstance(value, ValueRef))
+        return read
+
+    def added_edge_labels(self) -> set[str]:
+        return {self.new_label} if self.new_label is not None else set()
+
+    def describe(self) -> str:
+        parts = [f"UPDATE_EDGE {self.edge_variable}"]
+        if self.set_properties:
+            parts.append(f"set {self.set_properties}")
+        if self.remove_keys:
+            parts.append(f"remove {list(self.remove_keys)}")
+        if self.new_label:
+            parts.append(f"relabel {self.new_label}")
+        return " ".join(parts)
+
+
+@dataclass(repr=False)
+class MergeNodes(RepairOperation):
+    """Fuse the node bound by ``merge`` into the node bound by ``keep``."""
+
+    keep: str
+    merge: str
+    prefer_kept_properties: bool = True
+    kind = OperationKind.MERGE_NODES
+
+    def apply(self, context: ExecutionContext) -> None:
+        keep_id = context.node_id(self.keep)
+        merge_id = context.node_id(self.merge)
+        if keep_id == merge_id:
+            return
+        if not context.graph.has_node(keep_id) or not context.graph.has_node(merge_id):
+            return
+        context.graph.merge_nodes(keep_id, merge_id,
+                                  prefer_kept_properties=self.prefer_kept_properties)
+
+    def variables_read(self) -> set[str]:
+        return {self.keep, self.merge}
+
+    def removed_node_variables(self) -> set[str]:
+        return {self.merge}
+
+    def describe(self) -> str:
+        return f"MERGE_NODES keep={self.keep} merge={self.merge}"
+
+
+ALL_OPERATION_KINDS: tuple[OperationKind, ...] = tuple(OperationKind)
+
+ADDITIVE_OPERATIONS = frozenset({OperationKind.ADD_NODE, OperationKind.ADD_EDGE})
+SUBTRACTIVE_OPERATIONS = frozenset({OperationKind.DELETE_EDGE, OperationKind.DELETE_NODE,
+                                    OperationKind.MERGE_NODES})
+MUTATING_OPERATIONS = frozenset({OperationKind.UPDATE_NODE, OperationKind.UPDATE_EDGE})

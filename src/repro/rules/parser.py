@@ -1,0 +1,407 @@
+"""A small textual DSL for graph repairing rules.
+
+The DSL keeps rule sets readable in examples and experiment configs without
+writing Python.  One file contains any number of rules::
+
+    RULE add-nationality INCOMPLETENESS PRIORITY 5
+      # a person born in a city gets the city's country as nationality
+      MATCH (p:Person)-[:bornIn]->(c:City)
+      MATCH (c)-[:inCountry]->(k:Country)
+      MISSING (p)-[:nationality]->(k)
+      REPAIR ADD_EDGE (p)-[:nationality]->(k)
+
+    RULE single-birthyear CONFLICT
+      MATCH (p:Person)-[e1:bornOn]->(y1:Year)
+      MATCH (p)-[e2:bornOn]->(y2:Year)
+      WHERE y1.value != y2.value
+      REPAIR DELETE_EDGE e2
+
+    RULE dedup-person REDUNDANCY
+      MATCH (a:Person)
+      MATCH (b:Person)
+      WHERE a.name == b.name
+      REPAIR MERGE b INTO a
+
+Grammar summary
+---------------
+* ``RULE <name> <SEMANTICS> [PRIORITY <int>]`` starts a rule.
+* ``MATCH`` / ``MISSING`` lines contain a chain of node references
+  ``(var[:Label])`` connected by edges ``-[var?:label?]->`` or ``<-[...]-``.
+  A ``MATCH`` line may also be a single node reference.
+* ``WHERE`` lines contain one comparison ``lhs OP rhs`` where each side is
+  ``var.key`` or a literal, and OP ∈ {==, !=, <, <=, >, >=}; plus the unary
+  forms ``HAS var.key`` and ``MISSING var.key``.
+* ``REPAIR`` lines contain one operation (see :func:`_parse_operation`).
+* ``#`` starts a comment; blank lines are ignored.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.exceptions import RuleParseError
+from repro.matching.predicates import (
+    Comparison,
+    ComparisonOp,
+    PropertyPredicate,
+    exists as pred_exists,
+    missing as pred_missing,
+)
+from repro.rules.builder import RuleBuilder
+from repro.rules.grr import GraphRepairingRule, RuleSet
+from repro.rules.operations import ValueRef
+from repro.rules.semantics import Semantics
+
+_NODE_REF = re.compile(r"\(\s*(?P<var>[A-Za-z_][\w]*)\s*(?::\s*(?P<label>[\w:-]+))?\s*\)")
+_EDGE_FORWARD = re.compile(r"^-\[\s*(?:(?P<evar>[A-Za-z_][\w]*)\s*)?:?\s*(?P<label>[\w:-]+)?\s*\]->")
+_EDGE_BACKWARD = re.compile(r"^<-\[\s*(?:(?P<evar>[A-Za-z_][\w]*)\s*)?:?\s*(?P<label>[\w:-]+)?\s*\]-")
+_RULE_HEADER = re.compile(
+    r"^RULE\s+(?P<name>[\w.-]+)\s+(?P<semantics>INCOMPLETENESS|CONFLICT|REDUNDANCY)"
+    r"(?:\s+PRIORITY\s+(?P<priority>-?\d+))?\s*$", re.IGNORECASE)
+_COMPARISON = re.compile(
+    r"^(?P<lhs>\S+)\s*(?P<op>==|!=|<=|>=|<|>)\s*(?P<rhs>.+)$")
+_PROPERTY_REF = re.compile(r"^(?P<var>[A-Za-z_][\w]*)\.(?P<key>[\w-]+)$")
+_MERGE_OP = re.compile(r"^MERGE\s+(?P<merge>[A-Za-z_]\w*)\s+INTO\s+(?P<keep>[A-Za-z_]\w*)$",
+                       re.IGNORECASE)
+_ADD_NODE_REF = re.compile(
+    r"^\(\s*(?P<var>[A-Za-z_][\w]*)\s*:\s*(?P<label>[\w:-]+)\s*"
+    r"(?:\{(?P<props>[^}]*)\})?\s*\)$")
+_SET_ITEM = re.compile(r"(?P<key>[\w-]+)\s*=\s*(?P<value>[^,]+)")
+
+_COMPARISON_OPS = {
+    "==": ComparisonOp.EQ,
+    "!=": ComparisonOp.NE,
+    "<": ComparisonOp.LT,
+    "<=": ComparisonOp.LE,
+    ">": ComparisonOp.GT,
+    ">=": ComparisonOp.GE,
+}
+
+
+def _parse_literal(text: str) -> Any:
+    """Parse a literal: quoted string, int, float, true/false/null."""
+    text = text.strip()
+    if (text.startswith('"') and text.endswith('"')) or \
+            (text.startswith("'") and text.endswith("'")):
+        return text[1:-1]
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    if lowered in {"null", "none"}:
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text  # bare word: treat as string
+
+
+def _parse_value(text: str) -> Any:
+    """A SET value: either ``var.key`` (a :class:`ValueRef`) or a literal."""
+    text = text.strip()
+    reference = _PROPERTY_REF.match(text)
+    if reference and not (text.startswith('"') or text.startswith("'")):
+        return ValueRef(reference.group("var"), reference.group("key"))
+    return _parse_literal(text)
+
+
+class _PathParser:
+    """Parses a MATCH/MISSING path expression into node refs and edge refs."""
+
+    def __init__(self, text: str, line_no: int) -> None:
+        self.text = text.strip()
+        self.position = 0
+        self.line_no = line_no
+        self.nodes: list[tuple[str, str | None]] = []
+        self.edges: list[tuple[str, str, str | None, str | None]] = []  # source, target, label, evar
+
+    def fail(self, message: str) -> RuleParseError:
+        return RuleParseError(f"{message} in {self.text!r}", line=self.line_no)
+
+    def parse(self) -> None:
+        remaining = self.text
+        node_match = _NODE_REF.match(remaining)
+        if not node_match:
+            raise self.fail("expected a node reference")
+        previous_var = node_match.group("var")
+        self.nodes.append((previous_var, node_match.group("label")))
+        remaining = remaining[node_match.end():].strip()
+        while remaining:
+            forward = _EDGE_FORWARD.match(remaining)
+            backward = _EDGE_BACKWARD.match(remaining)
+            if forward:
+                edge_match, direction = forward, "forward"
+            elif backward:
+                edge_match, direction = backward, "backward"
+            else:
+                raise self.fail("expected an edge ('-[:label]->' or '<-[:label]-')")
+            remaining = remaining[edge_match.end():].strip()
+            node_match = _NODE_REF.match(remaining)
+            if not node_match:
+                raise self.fail("expected a node reference after an edge")
+            current_var = node_match.group("var")
+            self.nodes.append((current_var, node_match.group("label")))
+            remaining = remaining[node_match.end():].strip()
+            label = edge_match.group("label")
+            edge_variable = edge_match.group("evar")
+            if direction == "forward":
+                self.edges.append((previous_var, current_var, label, edge_variable))
+            else:
+                self.edges.append((current_var, previous_var, label, edge_variable))
+            previous_var = current_var
+
+
+def _parse_comparison_or_predicate(text: str, line_no: int):
+    """Parse a WHERE clause body.
+
+    Returns either ``("comparison", Comparison)`` or
+    ``("predicate", variable, PropertyPredicate)``.
+    """
+    stripped = text.strip()
+    upper = stripped.upper()
+    if upper.startswith("HAS ") or upper.startswith("MISSING "):
+        keyword, _, reference = stripped.partition(" ")
+        reference = reference.strip()
+        property_ref = _PROPERTY_REF.match(reference)
+        if not property_ref:
+            raise RuleParseError(f"expected var.key after {keyword}", line=line_no)
+        predicate = (pred_exists(property_ref.group("key"))
+                     if keyword.upper() == "HAS"
+                     else pred_missing(property_ref.group("key")))
+        return ("predicate", property_ref.group("var"), predicate)
+
+    comparison_match = _COMPARISON.match(stripped)
+    if not comparison_match:
+        raise RuleParseError(f"cannot parse WHERE clause {stripped!r}", line=line_no)
+    lhs_text = comparison_match.group("lhs").strip()
+    rhs_text = comparison_match.group("rhs").strip()
+    op = _COMPARISON_OPS[comparison_match.group("op")]
+
+    lhs_ref = _PROPERTY_REF.match(lhs_text)
+    if not lhs_ref:
+        raise RuleParseError(
+            f"left side of a comparison must be var.key, got {lhs_text!r}", line=line_no)
+    rhs_ref = _PROPERTY_REF.match(rhs_text)
+    if rhs_ref and not (rhs_text.startswith('"') or rhs_text.startswith("'")):
+        comparison = Comparison((lhs_ref.group("var"), lhs_ref.group("key")), op,
+                                (rhs_ref.group("var"), rhs_ref.group("key")))
+    else:
+        comparison = Comparison((lhs_ref.group("var"), lhs_ref.group("key")), op,
+                                right_value=_parse_literal(rhs_text), right_literal=True)
+    return ("comparison", comparison)
+
+
+def _parse_operation(builder: RuleBuilder, text: str, line_no: int) -> None:
+    """Parse one REPAIR operation and add it to the builder."""
+    stripped = text.strip()
+    upper = stripped.upper()
+
+    merge_match = _MERGE_OP.match(stripped)
+    if merge_match:
+        builder.merge(keep=merge_match.group("keep"), merge=merge_match.group("merge"))
+        return
+
+    if upper.startswith("ADD_NODE"):
+        body = stripped[len("ADD_NODE"):].strip()
+        node_match = _ADD_NODE_REF.match(body)
+        if not node_match:
+            raise RuleParseError(
+                "ADD_NODE expects (var:Label) or (var:Label {key = value, ...})",
+                line=line_no)
+        properties: dict[str, Any] = {}
+        props_body = node_match.group("props")
+        if props_body:
+            for item in _SET_ITEM.finditer(props_body):
+                properties[item.group("key")] = _parse_value(item.group("value"))
+        builder.add_node(node_match.group("var"), node_match.group("label"), properties)
+        return
+
+    if upper.startswith("ADD_EDGE"):
+        body = stripped[len("ADD_EDGE"):].strip()
+        path = _PathParser(body, line_no)
+        path.parse()
+        if len(path.edges) != 1:
+            raise RuleParseError("ADD_EDGE expects exactly one edge", line=line_no)
+        source, target, label, _ = path.edges[0]
+        if label is None:
+            raise RuleParseError("ADD_EDGE requires an edge label", line=line_no)
+        builder.add_edge(source, target, label)
+        return
+
+    if upper.startswith("DELETE_EDGE"):
+        body = stripped[len("DELETE_EDGE"):].strip()
+        if body.startswith("("):
+            path = _PathParser(body, line_no)
+            path.parse()
+            if len(path.edges) != 1:
+                raise RuleParseError("DELETE_EDGE expects exactly one edge", line=line_no)
+            source, target, label, _ = path.edges[0]
+            builder.delete_edge(source=source, target=target, label=label)
+        else:
+            builder.delete_edge(edge_variable=body.split()[0])
+        return
+
+    if upper.startswith("DELETE_NODE"):
+        body = stripped[len("DELETE_NODE"):].strip()
+        if not body:
+            raise RuleParseError("DELETE_NODE expects a variable", line=line_no)
+        builder.delete_node(body.split()[0])
+        return
+
+    if upper.startswith("UPDATE_NODE") or upper.startswith("UPDATE_EDGE"):
+        is_node = upper.startswith("UPDATE_NODE")
+        body = stripped[len("UPDATE_NODE"):].strip()
+        parts = body.split(None, 1)
+        if not parts:
+            raise RuleParseError("UPDATE expects a variable", line=line_no)
+        variable = parts[0]
+        clause = parts[1] if len(parts) > 1 else ""
+        set_properties: dict[str, Any] = {}
+        remove_keys: list[str] = []
+        new_label: str | None = None
+        clause_upper = clause.upper()
+        if clause_upper.startswith("SET "):
+            for item in _SET_ITEM.finditer(clause[4:]):
+                set_properties[item.group("key")] = _parse_value(item.group("value"))
+        elif clause_upper.startswith("REMOVE "):
+            remove_keys = [key.strip() for key in clause[7:].split(",") if key.strip()]
+        elif clause_upper.startswith("LABEL "):
+            new_label = clause[6:].strip()
+        elif clause:
+            raise RuleParseError(
+                f"UPDATE clause must start with SET, REMOVE, or LABEL: {clause!r}",
+                line=line_no)
+        if is_node:
+            builder.update_node(variable, set_properties, remove_keys, new_label)
+        else:
+            builder.update_edge(variable, set_properties, remove_keys, new_label)
+        return
+
+    raise RuleParseError(f"unknown repair operation {stripped!r}", line=line_no)
+
+
+def _add_path(builder: RuleBuilder, path: _PathParser, missing: bool,
+              declared: set[str]) -> None:
+    """Register a parsed path's nodes and edges on the builder."""
+    for variable, label in path.nodes:
+        if missing:
+            if variable in declared:
+                continue  # shared with evidence; builder copies it automatically
+            try:
+                builder.missing_node(variable, label)
+            except Exception:
+                pass  # already declared as a missing node on a previous line
+        else:
+            if variable in declared:
+                continue
+            builder.node(variable, label)
+            declared.add(variable)
+    for source, target, label, edge_variable in path.edges:
+        if missing:
+            builder.missing_edge(source, target, label, variable=edge_variable)
+        else:
+            builder.edge(source, target, label, variable=edge_variable)
+
+
+def parse_rule_block(lines: list[tuple[int, str]]) -> GraphRepairingRule:
+    """Parse one rule's worth of (line number, text) pairs."""
+    header_no, header = lines[0]
+    header_match = _RULE_HEADER.match(header.strip())
+    if not header_match:
+        raise RuleParseError(f"invalid RULE header {header.strip()!r}", line=header_no)
+    semantics = Semantics[header_match.group("semantics").upper()]
+    builder = RuleBuilder(header_match.group("name"), semantics)
+    if header_match.group("priority") is not None:
+        builder.priority(int(header_match.group("priority")))
+
+    declared: set[str] = set()
+    descriptions: list[str] = []
+    node_predicates: dict[str, list[PropertyPredicate]] = {}
+    pending: list[tuple[str, int, str]] = []
+
+    for line_no, raw in lines[1:]:
+        text = raw.strip()
+        if not text:
+            continue
+        if text.startswith("#"):
+            descriptions.append(text.lstrip("# ").strip())
+            continue
+        keyword, _, body = text.partition(" ")
+        pending.append((keyword.upper(), line_no, body.strip()))
+
+    # First pass: evidence MATCH lines (so WHERE predicates can attach to them).
+    for keyword, line_no, body in pending:
+        if keyword == "MATCH":
+            path = _PathParser(body, line_no)
+            path.parse()
+            _add_path(builder, path, missing=False, declared=declared)
+
+    # Second pass: everything else, in order.
+    for keyword, line_no, body in pending:
+        if keyword == "MATCH":
+            continue
+        if keyword == "MISSING":
+            path = _PathParser(body, line_no)
+            path.parse()
+            _add_path(builder, path, missing=True, declared=declared)
+        elif keyword == "WHERE":
+            parsed = _parse_comparison_or_predicate(body, line_no)
+            if parsed[0] == "comparison":
+                builder.compare(parsed[1])
+            else:
+                _, variable, predicate = parsed
+                node_predicates.setdefault(variable, []).append(predicate)
+        elif keyword == "REPAIR":
+            _parse_operation(builder, body, line_no)
+        else:
+            raise RuleParseError(f"unknown keyword {keyword!r}", line=line_no)
+
+    # Re-declare nodes that accumulated WHERE predicates.
+    if node_predicates:
+        for variable, predicates in node_predicates.items():
+            existing = builder._nodes.get(variable)
+            if existing is None:
+                raise RuleParseError(
+                    f"WHERE predicate refers to undeclared variable {variable!r}",
+                    line=lines[0][0])
+            builder._nodes[variable] = type(existing)(
+                variable=existing.variable, label=existing.label,
+                predicates=existing.predicates + tuple(predicates))
+
+    if descriptions:
+        builder.described_as(" ".join(descriptions))
+    return builder.build()
+
+
+def parse_rules(text: str, name: str = "ruleset") -> RuleSet:
+    """Parse a DSL document into a :class:`RuleSet`."""
+    blocks: list[list[tuple[int, str]]] = []
+    current: list[tuple[int, str]] | None = None
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.strip()
+        if stripped.upper().startswith("RULE "):
+            current = [(line_no, raw)]
+            blocks.append(current)
+        elif current is not None:
+            current.append((line_no, raw))
+        elif stripped and not stripped.startswith("#"):
+            raise RuleParseError(f"content outside of a RULE block: {stripped!r}",
+                                 line=line_no)
+    if not blocks:
+        raise RuleParseError("no RULE blocks found")
+    return RuleSet((parse_rule_block(block) for block in blocks), name=name)
+
+
+def parse_rules_file(path, name: str | None = None) -> RuleSet:
+    """Parse a DSL file."""
+    from pathlib import Path
+
+    path = Path(path)
+    return parse_rules(path.read_text(encoding="utf-8"), name=name or path.stem)

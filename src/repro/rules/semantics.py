@@ -1,0 +1,96 @@
+"""The three semantic classes of graph repairing rules.
+
+The paper classifies graph errors — and therefore the rules that repair them
+— into three semantics:
+
+* **Incompleteness** — something that should be in the graph is missing.
+  The rule's pattern describes the *evidence*; a separate *missing* pattern
+  (sharing variables with the evidence) describes what must also exist.  A
+  violation is an evidence match with no consistent extension into the
+  missing pattern; repairs are additive.
+* **Conflict** — the graph asserts contradictory facts.  The pattern itself
+  describes the contradictory configuration (typically via ``different_value``
+  comparisons or two functional edges from one source); repairs delete or
+  update one side.
+* **Redundancy** — the same entity or fact is represented more than once.
+  The pattern describes the duplication (typically via ``same_value``
+  comparisons or parallel duplicate edges); repairs merge or delete.
+
+Each semantics constrains which of the seven operation kinds a rule may use —
+an incompleteness rule that deletes nodes, for instance, is almost certainly a
+modelling mistake, so :func:`validate_operations_for_semantics` rejects it at
+rule-construction time.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.exceptions import InvalidRuleError
+from repro.rules.operations import OperationKind, RepairOperation
+
+
+class Semantics(enum.Enum):
+    """The error class a rule detects and repairs."""
+
+    INCOMPLETENESS = "incompleteness"
+    CONFLICT = "conflict"
+    REDUNDANCY = "redundancy"
+
+    @property
+    def description(self) -> str:
+        return _DESCRIPTIONS[self]
+
+
+_DESCRIPTIONS = {
+    Semantics.INCOMPLETENESS: "missing information that should be present",
+    Semantics.CONFLICT: "mutually contradictory information",
+    Semantics.REDUNDANCY: "duplicate or derivable information",
+}
+
+
+# Which operation kinds make sense for each semantics.
+ALLOWED_OPERATIONS: dict[Semantics, frozenset[OperationKind]] = {
+    Semantics.INCOMPLETENESS: frozenset({
+        OperationKind.ADD_NODE,
+        OperationKind.ADD_EDGE,
+        OperationKind.UPDATE_NODE,
+        OperationKind.UPDATE_EDGE,
+    }),
+    Semantics.CONFLICT: frozenset({
+        OperationKind.DELETE_EDGE,
+        OperationKind.DELETE_NODE,
+        OperationKind.UPDATE_NODE,
+        OperationKind.UPDATE_EDGE,
+    }),
+    Semantics.REDUNDANCY: frozenset({
+        OperationKind.MERGE_NODES,
+        OperationKind.DELETE_EDGE,
+        OperationKind.DELETE_NODE,
+        OperationKind.UPDATE_NODE,
+    }),
+}
+
+
+def validate_operations_for_semantics(semantics: Semantics,
+                                      operations: list[RepairOperation]) -> None:
+    """Raise :class:`InvalidRuleError` if an operation kind is not allowed.
+
+    Also requires at least one operation: a rule that detects but never
+    repairs belongs to the detection-only baseline, not to a GRR set.
+    """
+    if not operations:
+        raise InvalidRuleError(
+            f"a {semantics.value} rule must have at least one repair operation")
+    allowed = ALLOWED_OPERATIONS[semantics]
+    for operation in operations:
+        if operation.kind not in allowed:
+            raise InvalidRuleError(
+                f"operation {operation.kind.value} is not allowed in a "
+                f"{semantics.value} rule (allowed: "
+                f"{sorted(kind.value for kind in allowed)})")
+
+
+def requires_missing_pattern(semantics: Semantics) -> bool:
+    """Incompleteness rules are the only ones defined by an *absent* extension."""
+    return semantics is Semantics.INCOMPLETENESS

@@ -1,0 +1,15 @@
+"""Small shared utilities: id generation, deterministic RNG helpers, timing."""
+
+from repro.utils.ids import IdGenerator, fresh_id
+from repro.utils.rng import SeededRNG, ensure_rng
+from repro.utils.timing import Stopwatch, TimingBreakdown, timed
+
+__all__ = [
+    "IdGenerator",
+    "fresh_id",
+    "SeededRNG",
+    "ensure_rng",
+    "Stopwatch",
+    "TimingBreakdown",
+    "timed",
+]

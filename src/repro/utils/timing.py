@@ -1,0 +1,111 @@
+"""Lightweight timing utilities used by the repair engine and the harness.
+
+The repair algorithms report a per-phase timing breakdown (matching,
+planning, execution, index maintenance) so that the ablation experiment (E5)
+can attribute runtime to individual optimisations without external profilers.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """A simple cumulative stopwatch.
+
+    >>> watch = Stopwatch()
+    >>> with watch:
+    ...     pass
+    >>> watch.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _started_at: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("stopwatch not running")
+        delta = time.perf_counter() - self._started_at
+        self.elapsed += delta
+        self._started_at = None
+        return delta
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+@dataclass
+class TimingBreakdown:
+    """Named cumulative timers, e.g. ``{"matching": 1.2, "execution": 0.3}``."""
+
+    timers: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str):
+        """Context manager adding the elapsed wall time to timer ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timers[name] = self.timers.get(name, 0.0) + (time.perf_counter() - start)
+
+    def add(self, name: str, seconds: float) -> None:
+        self.timers[name] = self.timers.get(name, 0.0) + seconds
+
+    def get(self, name: str) -> float:
+        return self.timers.get(name, 0.0)
+
+    @property
+    def total(self) -> float:
+        return sum(self.timers.values())
+
+    def merge(self, other: "TimingBreakdown") -> "TimingBreakdown":
+        merged = TimingBreakdown(dict(self.timers))
+        for name, seconds in other.timers.items():
+            merged.add(name, seconds)
+        return merged
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.timers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{k}={v:.4f}s" for k, v in sorted(self.timers.items()))
+        return f"TimingBreakdown({parts})"
+
+
+@contextmanager
+def timed():
+    """Context manager yielding a mutable one-element list receiving the elapsed time.
+
+    >>> with timed() as elapsed:
+    ...     pass
+    >>> elapsed[0] >= 0.0
+    True
+    """
+    box = [0.0]
+    start = time.perf_counter()
+    try:
+        yield box
+    finally:
+        box[0] = time.perf_counter() - start

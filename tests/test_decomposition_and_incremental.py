@@ -1,0 +1,165 @@
+"""Unit tests for pattern decomposition and incremental match maintenance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import ChangeRecorder, PropertyGraph
+from repro.matching import (
+    CandidateIndex,
+    IncrementalMatcher,
+    Pattern,
+    PatternEdge,
+    PatternNode,
+    VF2Matcher,
+    build_search_plan,
+    choose_pivot,
+    decompose_into_stars,
+    same_value,
+    variables_compatible_with_label,
+)
+
+
+@pytest.fixture
+def chain_pattern() -> Pattern:
+    return Pattern(
+        nodes=[PatternNode("p", "Person"), PatternNode("c", "City"),
+               PatternNode("k", "Country")],
+        edges=[PatternEdge("p", "c", "bornIn"), PatternEdge("c", "k", "inCountry")],
+        name="chain")
+
+
+class TestDecomposition:
+    def test_pivot_prefers_constrained_variables(self, chain_pattern):
+        pivot = choose_pivot(chain_pattern)
+        # "c" touches two pattern edges, the others touch one
+        assert pivot == "c"
+
+    def test_search_plan_is_connected(self, chain_pattern):
+        plan = build_search_plan(chain_pattern)
+        assert set(plan.order) == set(chain_pattern.variables)
+        assert plan.join_edges[0] == []  # pivot has no join edges
+        for variable, joins in zip(plan.order[1:], plan.join_edges[1:]):
+            assert joins, f"variable {variable} should join the bound prefix"
+            for edge in joins:
+                assert variable in (edge.source, edge.target)
+
+    def test_star_cover_includes_every_edge(self, chain_pattern):
+        plan = build_search_plan(chain_pattern)
+        stars = decompose_into_stars(chain_pattern, plan.order)
+        covered = [edge for star in stars for edge in star.edges]
+        assert len(covered) == len(chain_pattern.edges)
+        assert all(star.leaves for star in stars)
+
+    def test_explicit_pivot_is_respected(self, chain_pattern):
+        plan = build_search_plan(chain_pattern, pivot="p")
+        assert plan.pivot == "p"
+        assert plan.position("p") == 0
+
+    def test_compatible_variables_by_label(self, chain_pattern):
+        assert variables_compatible_with_label(chain_pattern, "Person") == ["p"]
+        assert variables_compatible_with_label(chain_pattern, "Ghost") == []
+        wildcard = Pattern(nodes=[PatternNode("x")], name="wild")
+        assert variables_compatible_with_label(wildcard, "Anything") == ["x"]
+
+
+class TestIncrementalMatcher:
+    def _setup(self, graph):
+        index = CandidateIndex(graph)
+        index.attach()
+        incremental = IncrementalMatcher(graph, candidate_index=index)
+        recorder = ChangeRecorder()
+        graph.add_listener(recorder)
+        return incremental, recorder
+
+    def test_initial_enumeration_matches_full_search(self, tiny_kg, duplicate_person_pattern):
+        incremental, _ = self._setup(tiny_kg.copy())
+        store = incremental.register(duplicate_person_pattern)
+        expected = VF2Matcher(graph=tiny_kg).find_matches(duplicate_person_pattern)
+        assert len(store) == len(expected)
+
+    def test_added_edge_discovers_new_matches(self, duplicate_person_pattern):
+        graph = PropertyGraph()
+        ada = graph.add_node("Person", {"name": "Ada"})
+        ada2 = graph.add_node("Person", {"name": "Ada"})
+        city = graph.add_node("City", {"name": "London"})
+        graph.add_edge(ada.id, city.id, "bornIn")
+        incremental, recorder = self._setup(graph)
+        store = incremental.register(duplicate_person_pattern)
+        assert len(store) == 0
+
+        graph.add_edge(ada2.id, city.id, "bornIn")
+        updates = incremental.apply_delta(recorder.drain())
+        update = updates[duplicate_person_pattern.name]
+        assert len(update.discovered) == 2  # both orientations
+        assert len(store) == 2
+        assert update.seeded_searches > 0
+
+    def test_removed_edge_invalidates_matches(self, tiny_kg, duplicate_person_pattern):
+        graph = tiny_kg.copy()
+        incremental, recorder = self._setup(graph)
+        store = incremental.register(duplicate_person_pattern)
+        assert len(store) == 2
+
+        ada2 = [node for node in graph.nodes_with_label("Person")
+                if node.get("name") == "Ada"][1]
+        for edge in graph.out_edges_with_label(ada2.id, "bornIn"):
+            graph.remove_edge(edge.id)
+        updates = incremental.apply_delta(recorder.drain())
+        assert len(updates[duplicate_person_pattern.name].invalidated) == 2
+        assert len(store) == 0
+
+    def test_node_merge_keeps_store_consistent_with_recompute(self, tiny_kg,
+                                                              duplicate_person_pattern):
+        graph = tiny_kg.copy()
+        incremental, recorder = self._setup(graph)
+        store = incremental.register(duplicate_person_pattern)
+        ada_ids = [node.id for node in graph.nodes_with_label("Person")
+                   if node.get("name") == "Ada"]
+        graph.merge_nodes(ada_ids[0], ada_ids[1])
+        incremental.apply_delta(recorder.drain())
+        recomputed = incremental.recompute(duplicate_person_pattern.name)
+        assert {match.key() for match in store} == set() or \
+            {match.key() for match in store} == {match.key() for match in recomputed}
+        assert len(recomputed) == 0
+
+    def test_incremental_equals_recompute_after_mixed_mutations(self, tiny_kg):
+        """The incremental store must equal a from-scratch re-enumeration after
+        an arbitrary batch of mutations (the core correctness property)."""
+        pattern = Pattern(
+            nodes=[PatternNode("a", "Person"), PatternNode("b", "Person"),
+                   PatternNode("c", "City")],
+            edges=[PatternEdge("a", "c", "bornIn"), PatternEdge("b", "c", "bornIn")],
+            comparisons=[same_value("a", "name", "b")],
+            name="dup")
+        graph = tiny_kg.copy()
+        incremental, recorder = self._setup(graph)
+        store = incremental.register(pattern)
+
+        # batch 1: add a brand-new duplicate pair in Paris
+        paris = next(node.id for node in graph.nodes_with_label("City")
+                     if node.get("name") == "Paris")
+        dave1 = graph.add_node("Person", {"name": "Dave"})
+        dave2 = graph.add_node("Person", {"name": "Dave"})
+        graph.add_edge(dave1.id, paris, "bornIn")
+        graph.add_edge(dave2.id, paris, "bornIn")
+        incremental.apply_delta(recorder.drain())
+
+        # batch 2: remove one of the original Ada duplicates
+        ada_ids = [node.id for node in graph.nodes_with_label("Person")
+                   if node.get("name") == "Ada"]
+        graph.remove_node(ada_ids[1])
+        incremental.apply_delta(recorder.drain())
+
+        fresh = {match.key() for match in VF2Matcher(graph=graph).find_matches(pattern)}
+        assert {match.key() for match in store} == fresh
+
+    def test_empty_delta_is_a_no_op(self, tiny_kg, duplicate_person_pattern):
+        incremental, recorder = self._setup(tiny_kg.copy())
+        incremental.register(duplicate_person_pattern)
+        assert incremental.apply_delta(recorder.drain()) == {}
+
+    def test_total_matches_sums_stores(self, tiny_kg, duplicate_person_pattern, chain_pattern=None):
+        incremental, _ = self._setup(tiny_kg.copy())
+        first = incremental.register(duplicate_person_pattern)
+        assert incremental.total_matches() == len(first)

@@ -1,0 +1,212 @@
+"""Tests for error injection, ground truth, and the dataset generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    KGConfig,
+    RuleGenConfig,
+    available_domains,
+    build_workload,
+    generate_knowledge_graph,
+    generate_movie_graph,
+    generate_rules,
+    generate_social_graph,
+    get_domain,
+    knowledge_graph_error_profile,
+    load_dataset,
+)
+from repro.errors import ErrorInjector, InjectionConfig, inject_errors
+from repro.exceptions import DatasetError
+from repro.graph import compute_statistics, functional_predicate_candidates
+from repro.metrics import graph_facts
+from repro.repair import detect_violations
+from repro.rules import Semantics
+
+
+class TestGenerators:
+    def test_kg_generator_is_deterministic_and_clean(self):
+        first = generate_knowledge_graph(KGConfig(num_persons=40, seed=5))
+        second = generate_knowledge_graph(KGConfig(num_persons=40, seed=5))
+        assert graph_facts(first) == graph_facts(second)
+        from repro.rules import knowledge_graph_rules
+
+        assert len(detect_violations(first, knowledge_graph_rules())) == 0
+
+    def test_kg_generator_shape(self):
+        graph = generate_knowledge_graph(KGConfig(num_persons=50, num_countries=4,
+                                                  cities_per_country=3, seed=0))
+        stats = compute_statistics(graph)
+        assert stats.node_label_counts["Person"] == 50
+        assert stats.node_label_counts["Country"] == 4
+        assert stats.node_label_counts["City"] == 12
+        assert stats.edge_label_counts["bornIn"] == 50
+        assert stats.edge_label_counts["capitalOf"] == 4
+        # every clean edge carries a confidence for the resolution policy
+        assert all(edge.get("confidence") == 1.0 for edge in graph.edges())
+        assert "bornIn" in functional_predicate_candidates(graph)
+
+    def test_movie_and_social_generators_are_clean(self, small_movie_workload,
+                                                   small_social_workload):
+        assert len(detect_violations(small_movie_workload.clean,
+                                     small_movie_workload.rules)) == 0
+        assert len(detect_violations(small_social_workload.clean,
+                                     small_social_workload.rules)) == 0
+
+    def test_scaled_configs_grow_with_scale(self):
+        small = KGConfig.scaled(50)
+        large = KGConfig.scaled(2000)
+        assert large.num_countries >= small.num_countries
+        assert large.num_organizations > small.num_organizations
+
+    def test_social_follows_are_implied_by_likes(self):
+        graph = generate_social_graph()
+        from repro.datasets.social import _removable_social_edge
+
+        implied = [edge for edge in graph.edges_with_label("likes")]
+        assert implied  # likes exist and each implies a follows edge (rule is satisfied)
+
+
+class TestErrorInjection:
+    def test_injection_reaches_requested_volume_and_kinds(self, small_kg_dataset):
+        dirty, truth = inject_errors(small_kg_dataset.clean,
+                                     small_kg_dataset.error_profile,
+                                     error_rate=0.1, seed=1)
+        assert len(truth) > 0
+        counts = truth.counts_by_kind()
+        assert set(counts) == {"incompleteness", "conflict", "redundancy"}
+        assert all(count > 0 for count in counts.values())
+        # the clean graph is untouched, the dirty one differs
+        assert graph_facts(dirty) != graph_facts(small_kg_dataset.clean)
+
+    def test_injection_is_deterministic(self, small_kg_dataset):
+        first = inject_errors(small_kg_dataset.clean, small_kg_dataset.error_profile,
+                              error_rate=0.05, seed=9)
+        second = inject_errors(small_kg_dataset.clean, small_kg_dataset.error_profile,
+                               error_rate=0.05, seed=9)
+        assert graph_facts(first[0]) == graph_facts(second[0])
+        assert len(first[1]) == len(second[1])
+
+    def test_every_injected_error_is_detectable(self, small_kg_dataset):
+        dirty, truth = inject_errors(small_kg_dataset.clean,
+                                     small_kg_dataset.error_profile,
+                                     error_rate=0.05, seed=2)
+        detection = detect_violations(dirty, small_kg_dataset.rules)
+        per_semantics = detection.per_semantics()
+        for kind, injected in truth.counts_by_kind().items():
+            if injected:
+                assert per_semantics.get(kind, 0) > 0, f"no violation detected for {kind}"
+
+    def test_ground_truth_fact_deltas_match_graph_difference(self, small_kg_dataset):
+        from repro.metrics.facts import fact_delta
+
+        dirty, truth = inject_errors(small_kg_dataset.clean,
+                                     small_kg_dataset.error_profile,
+                                     error_rate=0.05, seed=4)
+        added, removed = fact_delta(graph_facts(small_kg_dataset.clean),
+                                    graph_facts(dirty))
+        recorded_added = truth.all_added_facts()
+        recorded_removed = truth.all_removed_facts()
+        # every recorded fact shows up in the actual graph delta
+        for fact in recorded_added:
+            assert added.get(fact, 0) >= 1
+        for fact in recorded_removed:
+            assert removed.get(fact, 0) >= 1
+
+    def test_mix_controls_error_classes(self, small_kg_dataset):
+        config = InjectionConfig(error_rate=0.05, mix={"conflict": 1.0}, seed=0)
+        injector = ErrorInjector(small_kg_dataset.error_profile, config)
+        _, truth = injector.corrupt(small_kg_dataset.clean)
+        assert set(truth.counts_by_kind()) == {"conflict"}
+        assert truth.by_kind(Semantics.CONFLICT)
+        assert not truth.by_kind(Semantics.REDUNDANCY)
+
+    def test_injected_conflict_edges_have_lower_confidence(self, small_kg_dataset):
+        from repro.errors import INJECTED_CONFIDENCE
+
+        config = InjectionConfig(error_rate=0.05, mix={"conflict": 1.0}, seed=0)
+        dirty, truth = ErrorInjector(small_kg_dataset.error_profile,
+                                     config).corrupt(small_kg_dataset.clean)
+        low_confidence = [edge for edge in dirty.edges()
+                          if edge.get("confidence") == INJECTED_CONFIDENCE]
+        assert len(low_confidence) == len(truth)
+
+    def test_in_place_injection(self, small_kg_dataset):
+        clone = small_kg_dataset.clean.copy()
+        dirty, _ = ErrorInjector(small_kg_dataset.error_profile,
+                                 InjectionConfig(error_rate=0.02)).corrupt(clone,
+                                                                           in_place=True)
+        assert dirty is clone
+
+    def test_unknown_error_kind_rejected(self, small_kg_dataset):
+        config = InjectionConfig(mix={"gremlins": 1.0})
+        with pytest.raises(ValueError):
+            ErrorInjector(small_kg_dataset.error_profile, config).corrupt(
+                small_kg_dataset.clean)
+
+
+class TestRegistryAndWorkloads:
+    def test_available_domains(self):
+        assert available_domains() == ["kg", "movies", "social"]
+        assert get_domain("kg").name == "kg"
+        with pytest.raises(DatasetError):
+            get_domain("nope")
+        with pytest.raises(DatasetError):
+            load_dataset("nope")
+
+    def test_build_workload_bundles_everything(self):
+        workload = build_workload("kg", scale=40, error_rate=0.1, seed=2)
+        assert workload.clean.num_nodes > 0
+        assert workload.dirty.num_nodes >= workload.clean.num_nodes
+        assert len(workload.ground_truth) > 0
+        assert workload.rules.names()
+        assert workload.error_rate == 0.1
+
+    def test_same_seed_same_workload(self):
+        first = build_workload("movies", scale=30, error_rate=0.05, seed=5)
+        second = build_workload("movies", scale=30, error_rate=0.05, seed=5)
+        assert graph_facts(first.dirty) == graph_facts(second.dirty)
+
+
+class TestRuleGeneration:
+    def test_generated_rules_are_valid_and_sized(self, small_kg_dataset):
+        rules = generate_rules(small_kg_dataset.clean, RuleGenConfig(num_rules=6, seed=3))
+        assert len(rules) == 6
+        labels = small_kg_dataset.clean.edge_labels()
+        for rule in rules:
+            assert rule.required_edge_labels() <= labels | {"*"} or rule.missing is not None
+
+    def test_generated_conflict_rules_use_functional_predicates(self, small_kg_dataset):
+        rules = generate_rules(small_kg_dataset.clean,
+                               RuleGenConfig(num_rules=10, conflict_share=1.0,
+                                             redundancy_share=0.0,
+                                             incompleteness_share=0.0, seed=0))
+        functional = functional_predicate_candidates(small_kg_dataset.clean)
+        for rule in rules:
+            if rule.semantics is Semantics.CONFLICT:
+                assert rule.required_edge_labels() <= functional
+
+    def test_generated_conflict_and_redundancy_rules_are_silent_on_clean_data(
+            self, small_kg_dataset):
+        rules = generate_rules(small_kg_dataset.clean,
+                               RuleGenConfig(num_rules=8, conflict_share=0.5,
+                                             redundancy_share=0.5,
+                                             incompleteness_share=0.0, seed=1))
+        detection = detect_violations(small_kg_dataset.clean, rules)
+        assert len(detection) == 0  # clean data has no functional conflicts or duplicates
+
+    def test_planted_inconsistency_is_flagged(self, small_kg_dataset):
+        from repro.analysis import ConsistencyVerdict, check_consistency
+
+        rules = generate_rules(small_kg_dataset.clean,
+                               RuleGenConfig(num_rules=4, plant_inconsistent_pair=True,
+                                             seed=0))
+        report = check_consistency(rules)
+        assert report.verdict is ConsistencyVerdict.INCONSISTENT
+
+    def test_rule_generation_requires_edges(self):
+        from repro.graph import PropertyGraph
+
+        with pytest.raises(ValueError):
+            generate_rules(PropertyGraph("empty"), RuleGenConfig(num_rules=2))

@@ -1,0 +1,138 @@
+"""Tests for the experiment harness and the E1–E8 runners (quick parameters).
+
+These are integration tests: each runner is executed on deliberately tiny
+workloads and its output rows are checked for the structural properties the
+benchmarks and EXPERIMENTS.md rely on (columns present, the expected method
+matrix, and the headline qualitative relationships).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import build_workload
+from repro.experiments import (
+    ABLATION_VARIANTS,
+    ALL_RUNNERS,
+    METHODS,
+    QUICK_DEFAULTS,
+    defaults,
+    evaluate_method,
+    get_method,
+    quick_mode_enabled,
+    run_e1_quality,
+    run_e2_graph_size,
+    run_e3_rule_count,
+    run_e4_error_rate,
+    run_e5_ablation,
+    run_e6_analysis,
+    run_e7_pattern_size,
+    run_e8_semantics,
+)
+from repro.metrics import format_table
+
+
+class TestHarness:
+    def test_method_registry(self):
+        assert set(METHODS) == {"grr-fast", "grr-naive", "detect-only",
+                                "fd-relational", "greedy-delete"}
+        assert get_method("grr-fast") is METHODS["grr-fast"]
+        with pytest.raises(KeyError):
+            get_method("does-not-exist")
+
+    def test_evaluate_method_produces_complete_row(self, small_kg_workload):
+        row = evaluate_method("grr-fast", small_kg_workload)
+        for column in ("domain", "method", "seconds", "repairs_applied",
+                       "precision", "recall", "f1"):
+            assert column in row
+        assert row["method"] == "grr-fast"
+        assert 0.0 <= row["f1"] <= 1.0
+
+    def test_quality_can_be_skipped(self, small_kg_workload):
+        row = evaluate_method("grr-fast", small_kg_workload, include_quality=False)
+        assert "f1" not in row
+
+    def test_quick_mode_respects_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_QUICK", "1")
+        assert quick_mode_enabled()
+        assert defaults() is QUICK_DEFAULTS
+        monkeypatch.setenv("REPRO_BENCH_QUICK", "0")
+        assert not quick_mode_enabled()
+
+    def test_all_runners_registered(self):
+        assert set(ALL_RUNNERS) == {f"e{i}" for i in range(1, 9)}
+
+
+class TestRunners:
+    def test_e1_quality_shows_grr_dominating_baselines(self):
+        rows = run_e1_quality(domains=("kg",), scale=60, error_rate=0.08, seed=1,
+                              methods=("grr-fast", "fd-relational", "detect-only"))
+        by_method = {row["method"]: row for row in rows}
+        assert by_method["grr-fast"]["f1"] > by_method["fd-relational"]["f1"]
+        assert by_method["fd-relational"]["f1"] >= by_method["detect-only"]["f1"]
+        assert by_method["detect-only"]["recall"] == 0.0
+        assert format_table(rows)  # renders without error
+
+    def test_e2_runtime_grows_with_scale_and_fast_wins(self):
+        rows = run_e2_graph_size(scales=(40, 120), seed=1)
+        fast = {row["scale"]: row["seconds"] for row in rows if row["method"] == "grr-fast"}
+        naive = {row["scale"]: row["seconds"] for row in rows if row["method"] == "grr-naive"}
+        assert fast[120] > fast[40] * 0.5   # grows (allowing noise)
+        assert naive[120] >= fast[120]      # fast never loses at the larger scale
+
+    def test_e3_rows_cover_rule_counts_and_methods(self):
+        rows = run_e3_rule_count(rule_counts=(2, 4), scale=60, seed=1)
+        assert {row["num_rules"] for row in rows} == {2, 4}
+        assert {row["method"] for row in rows} == {"grr-fast", "grr-naive"}
+        assert all(row["seconds"] > 0 for row in rows)
+
+    def test_e4_quality_stays_high_across_error_rates(self):
+        rows = run_e4_error_rate(error_rates=(0.02, 0.1), scale=60, seed=1,
+                                 methods=("grr-fast",))
+        assert {row["error_rate"] for row in rows} == {0.02, 0.1}
+        assert all(row["f1"] > 0.8 for row in rows)
+
+    def test_e5_ablation_covers_all_variants_with_identical_quality(self):
+        rows = run_e5_ablation(scale=60, seed=1)
+        assert {row["disabled_optimisation"] for row in rows} == set(ABLATION_VARIANTS)
+        f1_values = {round(row["f1"], 6) for row in rows}
+        assert len(f1_values) == 1  # optimisations change speed, never the outcome
+
+    def test_e6_analysis_detects_planted_inconsistency(self):
+        rows = run_e6_analysis(rule_counts=(4,), scale=60, seed=1, exact_limit=8)
+        planted = [row for row in rows if row["planted_inconsistency"]]
+        unplanted = [row for row in rows if not row["planted_inconsistency"]]
+        assert planted and unplanted
+        assert all(row["sufficient_verdict"] == "inconsistent" for row in planted)
+        assert all(row["sufficient_verdict"] != "inconsistent" for row in unplanted)
+        assert all(row["sufficient_seconds"] < 1.0 for row in rows)
+
+    def test_e7_matching_cost_grows_with_pattern_size(self):
+        rows = run_e7_pattern_size(pattern_sizes=(2, 4), scale=60, seed=1,
+                                   variants=("naive", "index+decomposition"))
+        assert {row["pattern_size"] for row in rows} == {2, 4}
+        match_counts = {(row["pattern_size"], row["variant"]): row["matches"]
+                        for row in rows}
+        # all variants find the same matches
+        assert match_counts[(2, "naive")] == match_counts[(2, "index+decomposition")]
+        assert match_counts[(4, "naive")] == match_counts[(4, "index+decomposition")]
+
+    def test_e8_semantics_breakdown_accounts_for_all_classes(self):
+        rows = run_e8_semantics(domains=("kg",), scale=60, error_rate=0.08, seed=1)
+        assert {row["semantics"] for row in rows} == {"incompleteness", "conflict",
+                                                      "redundancy"}
+        for row in rows:
+            assert row["violations_detected"] >= 0
+            assert row["violations_remaining"] == 0  # fast repair reaches a fixpoint
+            assert row["repairs_applied"] >= 0
+
+
+class TestEndToEndWorkloads:
+    @pytest.mark.parametrize("domain", ["kg", "movies", "social"])
+    def test_full_pipeline_per_domain(self, domain):
+        """generate -> inject -> repair -> score, per domain (the E1 pipeline)."""
+        workload = build_workload(domain, scale=40, error_rate=0.08, seed=21)
+        row = evaluate_method("grr-fast", workload)
+        assert row["remaining_violations"] == 0
+        assert row["f1"] > 0.85
+        assert row["precision"] > 0.9

@@ -1,0 +1,86 @@
+"""Unit tests for change records and graph deltas."""
+
+from __future__ import annotations
+
+from repro.graph import ChangeKind, ChangeRecorder, GraphChange, GraphDelta, PropertyGraph
+
+
+class TestGraphChange:
+    def test_additive_and_subtractive_classification(self):
+        add = GraphChange(kind=ChangeKind.ADD_EDGE, edge_id="e1")
+        remove = GraphChange(kind=ChangeKind.REMOVE_EDGE, edge_id="e1")
+        update = GraphChange(kind=ChangeKind.UPDATE_NODE, node_id="n1")
+        assert add.is_additive and not add.is_subtractive
+        assert remove.is_subtractive and not remove.is_additive
+        assert update.is_additive and update.is_subtractive  # can create or destroy matches
+
+
+class TestGraphDelta:
+    def test_empty_delta_is_falsy(self):
+        assert not GraphDelta()
+
+    def test_touched_nodes_aggregates_change_targets(self):
+        delta = GraphDelta()
+        delta.record(GraphChange(kind=ChangeKind.ADD_EDGE, edge_id="e1",
+                                 touched_nodes=("a", "b")))
+        delta.record(GraphChange(kind=ChangeKind.UPDATE_NODE, node_id="c",
+                                 touched_nodes=("c",)))
+        assert delta.touched_nodes == {"a", "b", "c"}
+
+    def test_removed_ids_include_merges_and_cascades(self):
+        delta = GraphDelta()
+        delta.record(GraphChange(kind=ChangeKind.REMOVE_NODE, node_id="n1",
+                                 details={"removed_edges": ("e1", "e2")}))
+        delta.record(GraphChange(kind=ChangeKind.MERGE_NODES, node_id="keep",
+                                 details={"merged": "gone", "removed_edges": ("e3",),
+                                          "added_edges": ("e4",)}))
+        assert delta.removed_node_ids == {"n1", "gone"}
+        assert delta.removed_edge_ids == {"e1", "e2", "e3"}
+        assert delta.added_edge_ids == {"e4"}
+
+    def test_summary_counts_by_kind(self):
+        delta = GraphDelta()
+        delta.record(GraphChange(kind=ChangeKind.ADD_EDGE))
+        delta.record(GraphChange(kind=ChangeKind.ADD_EDGE))
+        delta.record(GraphChange(kind=ChangeKind.REMOVE_NODE))
+        assert delta.summary() == {"add_edge": 2, "remove_node": 1}
+
+    def test_merged_with_concatenates(self):
+        first = GraphDelta([GraphChange(kind=ChangeKind.ADD_NODE, node_id="a")])
+        second = GraphDelta([GraphChange(kind=ChangeKind.ADD_NODE, node_id="b")])
+        merged = first.merged_with(second)
+        assert len(merged) == 2
+        assert len(first) == 1  # original untouched
+
+    def test_additive_and_subtractive_effects(self):
+        additive = GraphDelta([GraphChange(kind=ChangeKind.ADD_EDGE)])
+        subtractive = GraphDelta([GraphChange(kind=ChangeKind.REMOVE_EDGE)])
+        assert additive.has_additive_effect and not additive.has_subtractive_effect
+        assert subtractive.has_subtractive_effect and not subtractive.has_additive_effect
+
+
+class TestChangeRecorder:
+    def test_drain_resets_the_recorder(self):
+        graph = PropertyGraph()
+        recorder = ChangeRecorder()
+        graph.add_listener(recorder)
+        graph.add_node("Person")
+        first = recorder.drain()
+        graph.add_node("Person")
+        second = recorder.drain()
+        assert len(first) == 1
+        assert len(second) == 1
+        assert not recorder.delta
+
+    def test_recorded_delta_describes_real_mutation(self):
+        graph = PropertyGraph()
+        a = graph.add_node("Person")
+        b = graph.add_node("Person")
+        recorder = ChangeRecorder()
+        graph.add_listener(recorder)
+        edge = graph.add_edge(a.id, b.id, "knows")
+        graph.remove_edge(edge.id)
+        delta = recorder.drain()
+        assert delta.added_edge_ids == {edge.id}
+        assert delta.removed_edge_ids == {edge.id}
+        assert delta.touched_nodes == {a.id, b.id}

@@ -1,0 +1,100 @@
+"""Unit tests for graph serialisation (JSON, triples, edge lists)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.graph import (
+    PropertyGraph,
+    dump_json,
+    dumps_json,
+    graph_from_dict,
+    graph_to_dict,
+    graph_to_triples,
+    load_json,
+    loads_json,
+    read_edge_list,
+    triples_to_graph,
+    write_edge_list,
+)
+
+
+class TestJsonRoundTrip:
+    def test_dict_round_trip_preserves_everything(self, tiny_kg):
+        document = graph_to_dict(tiny_kg)
+        back = graph_from_dict(document)
+        assert back.structurally_equal(tiny_kg)
+        assert back.name == tiny_kg.name
+
+    def test_string_round_trip(self, tiny_kg):
+        payload = dumps_json(tiny_kg)
+        back = loads_json(payload)
+        assert back.structurally_equal(tiny_kg)
+
+    def test_file_round_trip(self, tiny_kg, tmp_path):
+        path = tmp_path / "graph.json"
+        dump_json(tiny_kg, path)
+        back = load_json(path)
+        assert back.structurally_equal(tiny_kg)
+
+    def test_invalid_payloads_raise(self):
+        with pytest.raises(SerializationError):
+            loads_json("not json at all {")
+        with pytest.raises(SerializationError):
+            graph_from_dict({"format": "something-else"})
+        with pytest.raises(SerializationError):
+            graph_from_dict({"format": "repro-property-graph",
+                             "nodes": [{"label": "Person"}]})  # missing id
+
+    def test_empty_graph_round_trip(self):
+        graph = PropertyGraph(name="empty")
+        assert loads_json(dumps_json(graph)).num_nodes == 0
+
+
+class TestTriples:
+    def test_graph_to_triples_covers_types_properties_and_edges(self, tiny_kg):
+        triples = list(graph_to_triples(tiny_kg))
+        type_triples = [t for t in triples if t.predicate == "rdf:type"]
+        literal_triples = [t for t in triples if t.object_is_literal and t.predicate != "rdf:type"]
+        edge_triples = [t for t in triples if not t.object_is_literal]
+        assert len(type_triples) == tiny_kg.num_nodes
+        assert len(edge_triples) == tiny_kg.num_edges
+        assert any(t.predicate == "name" for t in literal_triples)
+
+    def test_triples_round_trip_preserves_structure(self, tiny_kg):
+        back = triples_to_graph(graph_to_triples(tiny_kg))
+        assert back.num_nodes == tiny_kg.num_nodes
+        assert back.num_edges == tiny_kg.num_edges
+        assert back.node_labels() == tiny_kg.node_labels()
+        # property triples come back as node properties (confidence lives on edges,
+        # which the triple view drops)
+        names = {node.get("name") for node in back.nodes_with_label("Person")}
+        assert "Ada" in names
+
+    def test_object_only_nodes_get_default_label(self):
+        from repro.graph.io import Triple
+
+        graph = triples_to_graph([Triple("a", "knows", "b")])
+        assert graph.node("b").label == "Node"
+
+
+class TestEdgeList:
+    def test_edge_list_round_trip(self, tiny_kg):
+        buffer = io.StringIO()
+        write_edge_list(tiny_kg, buffer)
+        buffer.seek(0)
+        back = read_edge_list(buffer)
+        assert back.num_nodes == tiny_kg.num_nodes
+        assert back.num_edges == tiny_kg.num_edges
+
+    def test_malformed_lines_raise(self):
+        with pytest.raises(SerializationError):
+            read_edge_list(io.StringIO("a\tb\n"))
+
+    def test_unknown_endpoints_get_created(self):
+        back = read_edge_list(io.StringIO("x\tknows\ty\n"))
+        assert back.has_node("x") and back.has_node("y")
+        assert back.num_edges == 1

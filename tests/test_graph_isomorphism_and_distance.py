@@ -1,0 +1,122 @@
+"""Unit tests for small-graph isomorphism and edit distance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    PropertyGraph,
+    approximate_edit_distance,
+    are_isomorphic,
+    contains_subgraph,
+    cycle_graph,
+    find_subgraph_embedding,
+    labeled_edit_distance,
+    path_graph,
+)
+
+
+def relabelled_copy(graph: PropertyGraph, prefix: str) -> PropertyGraph:
+    """Copy a graph with fresh node ids (same labels / structure)."""
+    clone = PropertyGraph(name=f"{graph.name}-renamed")
+    mapping = {}
+    for node in graph.nodes():
+        mapping[node.id] = clone.add_node(node.label, dict(node.properties),
+                                          node_id=f"{prefix}{node.id}").id
+    for edge in graph.edges():
+        clone.add_edge(mapping[edge.source], mapping[edge.target], edge.label,
+                       dict(edge.properties))
+    return clone
+
+
+class TestIsomorphism:
+    def test_isomorphic_to_renamed_copy(self, triangle_graph):
+        other = relabelled_copy(triangle_graph, "x_")
+        assert are_isomorphic(triangle_graph, other)
+
+    def test_different_sizes_are_not_isomorphic(self):
+        assert not are_isomorphic(path_graph(2), path_graph(3))
+
+    def test_same_size_different_structure(self):
+        assert not are_isomorphic(path_graph(3), cycle_graph(4))
+
+    def test_labels_matter(self):
+        first = PropertyGraph()
+        a = first.add_node("X")
+        b = first.add_node("Y")
+        first.add_edge(a.id, b.id, "r")
+        second = PropertyGraph()
+        c = second.add_node("X")
+        d = second.add_node("X")
+        second.add_edge(c.id, d.id, "r")
+        assert not are_isomorphic(first, second)
+
+    def test_property_comparison_is_optional(self):
+        first = PropertyGraph()
+        first.add_node("X", {"name": "a"})
+        second = PropertyGraph()
+        second.add_node("X", {"name": "b"})
+        assert are_isomorphic(first, second)
+        assert not are_isomorphic(first, second, compare_properties=True)
+
+    def test_subgraph_embedding_found(self, tiny_kg):
+        small = PropertyGraph()
+        person = small.add_node("Person")
+        city = small.add_node("City")
+        small.add_edge(person.id, city.id, "bornIn")
+        embedding = find_subgraph_embedding(small, tiny_kg)
+        assert embedding is not None
+        assert tiny_kg.node(embedding[person.id]).label == "Person"
+        assert contains_subgraph(small, tiny_kg)
+
+    def test_subgraph_embedding_absent(self, tiny_kg):
+        small = PropertyGraph()
+        a = small.add_node("Country")
+        b = small.add_node("Country")
+        small.add_edge(a.id, b.id, "borders")
+        assert find_subgraph_embedding(small, tiny_kg) is None
+
+
+class TestLabeledEditDistance:
+    def test_identical_graphs_have_zero_distance(self, tiny_kg):
+        result = labeled_edit_distance(tiny_kg, tiny_kg.copy())
+        assert result.distance == 0.0
+        assert result.total_operations() == 0
+
+    def test_edge_removal_costs_one(self, tiny_kg):
+        modified = tiny_kg.copy()
+        modified.remove_edge(modified.edge_ids()[0])
+        result = labeled_edit_distance(tiny_kg, modified)
+        assert result.edge_deletions == 1
+        assert result.distance == pytest.approx(1.0)
+
+    def test_node_addition_and_property_change(self, tiny_kg):
+        modified = tiny_kg.copy()
+        modified.add_node("Person", {"name": "Zed"})
+        person = next(iter(modified.nodes_with_label("Country")))
+        modified.update_node(person.id, {"name": "Renamed"})
+        result = labeled_edit_distance(tiny_kg, modified)
+        assert result.node_insertions == 1
+        assert result.node_property_changes == 1
+
+    def test_relabel_detected(self, triangle_graph):
+        modified = triangle_graph.copy()
+        modified.relabel_node(modified.node_ids()[0], "W")
+        result = labeled_edit_distance(triangle_graph, modified)
+        assert result.node_relabels == 1
+
+
+class TestApproximateEditDistance:
+    def test_zero_for_renamed_copy(self, triangle_graph):
+        other = relabelled_copy(triangle_graph, "y_")
+        assert approximate_edit_distance(triangle_graph, other) == 0.0
+
+    def test_grows_with_perturbation(self, tiny_kg):
+        one_change = tiny_kg.copy()
+        one_change.remove_edge(one_change.edge_ids()[0])
+        many_changes = one_change.copy()
+        for edge_id in many_changes.edge_ids()[:4]:
+            many_changes.remove_edge(edge_id)
+        small = approximate_edit_distance(tiny_kg, one_change)
+        large = approximate_edit_distance(tiny_kg, many_changes)
+        assert 0.0 < small <= large

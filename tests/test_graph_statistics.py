@@ -1,0 +1,101 @@
+"""Unit tests for graph statistics and generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    PropertyGraph,
+    community_graph,
+    compute_statistics,
+    cycle_graph,
+    degree_histogram,
+    erdos_renyi_graph,
+    functional_predicate_candidates,
+    label_pair_histogram,
+    path_graph,
+    preferential_attachment_graph,
+    star_graph,
+)
+
+
+class TestStatistics:
+    def test_counts_and_labels(self, tiny_kg):
+        stats = compute_statistics(tiny_kg)
+        assert stats.num_nodes == tiny_kg.num_nodes
+        assert stats.num_edges == tiny_kg.num_edges
+        assert stats.node_label_counts["Person"] == 4
+        assert stats.edge_label_counts["bornIn"] == 4
+        assert stats.num_parallel_duplicate_edges == 1  # the duplicated livesIn
+        assert stats.num_self_loops == 0
+
+    def test_degree_summary(self, triangle_graph):
+        stats = compute_statistics(triangle_graph)
+        assert stats.degree_min == stats.degree_max == 2
+        assert stats.degree_mean == pytest.approx(2.0)
+        assert stats.num_isolated_nodes == 0
+
+    def test_empty_graph_statistics(self):
+        stats = compute_statistics(PropertyGraph("empty"))
+        assert stats.num_nodes == 0 and stats.num_edges == 0
+        assert stats.degree_mean == 0.0
+
+    def test_degree_histogram(self, triangle_graph):
+        assert degree_histogram(triangle_graph) == {2: 3}
+
+    def test_label_pair_histogram(self, tiny_kg):
+        histogram = label_pair_histogram(tiny_kg)
+        assert histogram[("Person", "bornIn", "City")] == 4
+        assert histogram[("City", "inCountry", "Country")] == 2
+
+    def test_functional_predicate_detection(self, tiny_kg):
+        functional = functional_predicate_candidates(tiny_kg)
+        assert "bornIn" in functional       # every person has exactly one
+        assert "livesIn" not in functional  # Ada has two livesIn edges
+
+    def test_statistics_string_rendering(self, tiny_kg):
+        text = str(compute_statistics(tiny_kg))
+        assert "nodes" in text and "Person" in text
+
+
+class TestGenerators:
+    def test_erdos_renyi_size_and_determinism(self):
+        first = erdos_renyi_graph(30, 0.1, seed=5)
+        second = erdos_renyi_graph(30, 0.1, seed=5)
+        assert first.num_nodes == 30
+        assert first.num_edges == second.num_edges
+        assert first.structurally_equal(second)
+
+    def test_erdos_renyi_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_preferential_attachment_has_skewed_degrees(self):
+        graph = preferential_attachment_graph(120, edges_per_node=2, seed=1)
+        degrees = sorted(graph.degree(node_id) for node_id in graph.node_ids())
+        assert degrees[-1] >= 3 * max(1, degrees[len(degrees) // 2])
+
+    def test_community_graph_marks_communities(self):
+        graph = community_graph(3, 10, seed=2)
+        communities = {node.get("community") for node in graph.nodes()}
+        assert communities == {0, 1, 2}
+        assert graph.num_nodes == 30
+
+    def test_path_star_cycle_shapes(self):
+        path = path_graph(4)
+        assert path.num_nodes == 5 and path.num_edges == 4
+        star = star_graph(6)
+        assert star.num_nodes == 7 and star.num_edges == 6
+        cycle = cycle_graph(5)
+        assert cycle.num_nodes == 5 and cycle.num_edges == 5
+        inward = star_graph(3, outward=False)
+        center = inward.node_ids()[0]
+        assert inward.in_degree(center) == 3
+
+    def test_generators_validate_arguments(self):
+        with pytest.raises(ValueError):
+            path_graph(-1)
+        with pytest.raises(ValueError):
+            cycle_graph(0)
+        with pytest.raises(ValueError):
+            star_graph(-2)

@@ -1,0 +1,174 @@
+"""Unit tests for the seven repair operations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidRuleError, RepairExecutionError
+from repro.graph import PropertyGraph
+from repro.matching import Match, Pattern, PatternEdge, PatternNode
+from repro.rules import (
+    AddEdge,
+    AddNode,
+    DeleteEdge,
+    DeleteNode,
+    ExecutionContext,
+    MergeNodes,
+    UpdateEdge,
+    UpdateNode,
+    ValueRef,
+)
+
+
+@pytest.fixture
+def bound_context():
+    """A small graph with a match binding x -> person, y -> city, e -> bornIn edge."""
+    graph = PropertyGraph()
+    person = graph.add_node("Person", {"name": "Ada", "born": 1815})
+    city = graph.add_node("City", {"name": "London", "country": "UK"})
+    edge = graph.add_edge(person.id, city.id, "bornIn", {"confidence": 1.0})
+    pattern = Pattern(nodes=[PatternNode("x", "Person"), PatternNode("y", "City")],
+                      edges=[PatternEdge("x", "y", "bornIn", variable="e")],
+                      name="ctx")
+    match = Match(pattern=pattern, node_bindings={"x": person.id, "y": city.id},
+                  edge_bindings={"e": edge.id})
+    return ExecutionContext(graph=graph, match=match), graph, person, city, edge
+
+
+class TestAddNode:
+    def test_creates_node_and_binds_variable(self, bound_context):
+        context, graph, *_ = bound_context
+        AddNode(variable="z", label="Country", properties={"name": "UK"}).apply(context)
+        assert "z" in context.new_nodes
+        assert graph.node(context.new_nodes["z"]).label == "Country"
+
+    def test_value_ref_copies_from_match(self, bound_context):
+        context, graph, *_ = bound_context
+        AddNode(variable="z", label="Country",
+                properties={"name": ValueRef("y", "country")}).apply(context)
+        assert graph.node(context.new_nodes["z"]).properties["name"] == "UK"
+
+    def test_rebinding_existing_variable_fails(self, bound_context):
+        context, *_ = bound_context
+        with pytest.raises(RepairExecutionError):
+            AddNode(variable="x", label="Country").apply(context)
+
+
+class TestAddEdge:
+    def test_creates_edge_between_matched_nodes(self, bound_context):
+        context, graph, person, city, _ = bound_context
+        AddEdge(source="x", target="y", label="livesIn").apply(context)
+        assert graph.has_edge_between(person.id, city.id, "livesIn")
+
+    def test_skip_if_present_avoids_duplicates(self, bound_context):
+        context, graph, person, city, _ = bound_context
+        AddEdge(source="x", target="y", label="bornIn").apply(context)
+        assert len(graph.edges_between(person.id, city.id, "bornIn")) == 1
+        AddEdge(source="x", target="y", label="bornIn", skip_if_present=False).apply(context)
+        assert len(graph.edges_between(person.id, city.id, "bornIn")) == 2
+
+    def test_can_target_newly_created_node(self, bound_context):
+        context, graph, person, *_ = bound_context
+        AddNode(variable="z", label="Country").apply(context)
+        AddEdge(source="x", target="z", label="nationality").apply(context)
+        assert graph.has_edge_between(person.id, context.new_nodes["z"], "nationality")
+
+    def test_unbound_variable_fails(self, bound_context):
+        context, *_ = bound_context
+        with pytest.raises(RepairExecutionError):
+            AddEdge(source="x", target="missing", label="r").apply(context)
+
+
+class TestDeleteOperations:
+    def test_delete_edge_by_variable(self, bound_context):
+        context, graph, _, _, edge = bound_context
+        DeleteEdge(edge_variable="e").apply(context)
+        assert not graph.has_edge(edge.id)
+        # deleting again is a silent no-op (another repair may have raced it)
+        DeleteEdge(edge_variable="e").apply(context)
+
+    def test_delete_edge_by_endpoints(self, bound_context):
+        context, graph, person, city, _ = bound_context
+        DeleteEdge(source="x", target="y", label="bornIn").apply(context)
+        assert not graph.has_edge_between(person.id, city.id, "bornIn")
+
+    def test_delete_edge_requires_target_specification(self):
+        with pytest.raises(InvalidRuleError):
+            DeleteEdge()
+
+    def test_delete_node_removes_incident_edges(self, bound_context):
+        context, graph, person, _, edge = bound_context
+        DeleteNode(variable="x").apply(context)
+        assert not graph.has_node(person.id)
+        assert not graph.has_edge(edge.id)
+
+
+class TestUpdateOperations:
+    def test_update_node_set_copy_and_remove(self, bound_context):
+        context, graph, person, *_ = bound_context
+        UpdateNode(variable="x", set_properties={"country": ValueRef("y", "country")},
+                   remove_keys=("born",)).apply(context)
+        properties = graph.node(person.id).properties
+        assert properties["country"] == "UK"
+        assert "born" not in properties
+
+    def test_update_node_relabel(self, bound_context):
+        context, graph, person, *_ = bound_context
+        UpdateNode(variable="x", new_label="Author").apply(context)
+        assert graph.node(person.id).label == "Author"
+
+    def test_update_edge_properties_and_relabel(self, bound_context):
+        context, graph, _, _, edge = bound_context
+        UpdateEdge(edge_variable="e", set_properties={"confidence": 0.9},
+                   new_label="birthPlace").apply(context)
+        assert graph.edge(edge.id).properties["confidence"] == 0.9
+        assert graph.edge(edge.id).label == "birthPlace"
+
+    def test_update_on_deleted_target_fails(self, bound_context):
+        context, graph, person, *_ = bound_context
+        graph.remove_node(person.id)
+        with pytest.raises(RepairExecutionError):
+            UpdateNode(variable="x", set_properties={"a": 1}).apply(context)
+
+
+class TestMergeNodes:
+    def test_merge_via_operation(self):
+        graph = PropertyGraph()
+        a = graph.add_node("Person", {"name": "Ada"})
+        b = graph.add_node("Person", {"name": "Ada", "extra": True})
+        city = graph.add_node("City")
+        graph.add_edge(a.id, city.id, "bornIn")
+        graph.add_edge(b.id, city.id, "bornIn")
+        pattern = Pattern(nodes=[PatternNode("a", "Person"), PatternNode("b", "Person"),
+                                 PatternNode("c", "City")],
+                          edges=[PatternEdge("a", "c", "bornIn"),
+                                 PatternEdge("b", "c", "bornIn")], name="dup")
+        match = Match(pattern=pattern,
+                      node_bindings={"a": a.id, "b": b.id, "c": city.id})
+        context = ExecutionContext(graph=graph, match=match)
+        MergeNodes(keep="a", merge="b").apply(context)
+        assert not graph.has_node(b.id)
+        assert graph.node(a.id).properties["extra"] is True
+        assert len(graph.edges_between(a.id, city.id, "bornIn")) == 1
+
+    def test_merge_with_vanished_node_is_noop(self, bound_context):
+        context, graph, person, city, _ = bound_context
+        graph.remove_node(city.id)
+        MergeNodes(keep="x", merge="y").apply(context)  # must not raise
+        assert graph.has_node(person.id)
+
+
+class TestEffectSummaries:
+    def test_variable_and_label_summaries(self):
+        operation = AddEdge(source="x", target="y", label="nationality",
+                            properties={"src": ValueRef("e", "provenance")})
+        assert operation.variables_read() == {"x", "y", "e"}
+        assert operation.added_edge_labels() == {"nationality"}
+        assert AddNode(variable="z", label="Country").variables_introduced() == {"z"}
+        assert DeleteNode(variable="x").removed_node_variables() == {"x"}
+        assert DeleteEdge(edge_variable="e").removed_edge_variables() == {"e"}
+        assert MergeNodes(keep="a", merge="b").removed_node_variables() == {"b"}
+
+    def test_describe_is_informative(self):
+        assert "nationality" in AddEdge(source="x", target="y", label="nationality").describe()
+        assert "MERGE" in MergeNodes(keep="a", merge="b").describe()

@@ -1,0 +1,101 @@
+"""Unit tests for unary predicates and cross-variable comparisons."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.matching import (
+    Comparison,
+    ComparisonOp,
+    different_value,
+    eq,
+    exists,
+    ge,
+    gt,
+    le,
+    lt,
+    missing,
+    ne,
+    not_one_of,
+    one_of,
+    same_value,
+    value_is,
+)
+
+
+class TestUnaryPredicates:
+    def test_exists_and_missing(self):
+        assert exists("name").evaluate({"name": "Ada"})
+        assert not exists("name").evaluate({})
+        assert missing("name").evaluate({})
+        assert not missing("name").evaluate({"name": "Ada"})
+
+    def test_equality_and_inequality(self):
+        assert eq("age", 3).evaluate({"age": 3})
+        assert not eq("age", 3).evaluate({"age": 4})
+        assert ne("age", 3).evaluate({"age": 4})
+        assert not ne("age", 3).evaluate({})  # missing key -> False
+
+    def test_ordered_comparisons(self):
+        properties = {"population": 500}
+        assert gt("population", 100).evaluate(properties)
+        assert ge("population", 500).evaluate(properties)
+        assert lt("population", 1000).evaluate(properties)
+        assert le("population", 500).evaluate(properties)
+        assert not gt("population", 500).evaluate(properties)
+
+    def test_membership(self):
+        assert one_of("color", ["red", "blue"]).evaluate({"color": "red"})
+        assert not one_of("color", ["red", "blue"]).evaluate({"color": "green"})
+        assert not_one_of("color", ["red"]).evaluate({"color": "green"})
+
+    def test_type_mismatch_is_false_not_error(self):
+        assert not gt("age", 10).evaluate({"age": "not a number"})
+
+    def test_describe_is_readable(self):
+        assert "has(name)" == exists("name").describe()
+        assert "age" in gt("age", 3).describe()
+
+
+class TestComparisons:
+    def lookup_factory(self, values):
+        return lambda variable: values.get(variable, {})
+
+    def test_same_and_different_value(self):
+        lookup = self.lookup_factory({"a": {"name": "Ada"}, "b": {"name": "Ada"}})
+        assert same_value("a", "name", "b").evaluate(lookup)
+        assert not different_value("a", "name", "b").evaluate(lookup)
+
+    def test_different_keys_can_be_compared(self):
+        lookup = self.lookup_factory({"a": {"nick": "Ada"}, "b": {"name": "Ada"}})
+        assert same_value("a", "nick", "b", "name").evaluate(lookup)
+
+    def test_missing_property_fails_comparison(self):
+        lookup = self.lookup_factory({"a": {"name": "Ada"}, "b": {}})
+        assert not same_value("a", "name", "b").evaluate(lookup)
+        assert not different_value("a", "name", "b").evaluate(lookup)
+
+    def test_literal_comparison(self):
+        lookup = self.lookup_factory({"a": {"year": 2001}})
+        assert value_is("a", "year", 2001).evaluate(lookup)
+        assert Comparison(("a", "year"), ComparisonOp.GT, right_value=1999,
+                          right_literal=True).evaluate(lookup)
+
+    def test_ordered_comparison_between_variables(self):
+        lookup = self.lookup_factory({"e1": {"confidence": 1.0}, "e2": {"confidence": 0.5}})
+        comparison = Comparison(("e1", "confidence"), ComparisonOp.GE, ("e2", "confidence"))
+        assert comparison.evaluate(lookup)
+        reverse = Comparison(("e2", "confidence"), ComparisonOp.GE, ("e1", "confidence"))
+        assert not reverse.evaluate(lookup)
+
+    def test_type_error_yields_false(self):
+        lookup = self.lookup_factory({"a": {"x": "text"}, "b": {"x": 3}})
+        assert not Comparison(("a", "x"), ComparisonOp.LT, ("b", "x")).evaluate(lookup)
+
+    def test_variables_reported(self):
+        assert same_value("a", "name", "b").variables() == {"a", "b"}
+        assert value_is("a", "name", "x").variables() == {"a"}
+
+    def test_describe_mentions_both_sides(self):
+        text = different_value("a", "name", "b").describe()
+        assert "a.name" in text and "b.name" in text

@@ -1,0 +1,283 @@
+"""Unit tests for the property-graph core (nodes, edges, mutations, merge)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    DuplicateElementError,
+    EdgeNotFoundError,
+    GraphMutationError,
+    NodeNotFoundError,
+)
+from repro.graph import ChangeKind, ChangeRecorder, PropertyGraph
+
+
+class TestNodeBasics:
+    def test_add_node_assigns_fresh_ids(self, empty_graph):
+        first = empty_graph.add_node("Person")
+        second = empty_graph.add_node("Person")
+        assert first.id != second.id
+        assert empty_graph.num_nodes == 2
+
+    def test_add_node_with_explicit_id(self, empty_graph):
+        node = empty_graph.add_node("Person", node_id="alice")
+        assert node.id == "alice"
+        assert empty_graph.node("alice").label == "Person"
+
+    def test_add_node_duplicate_id_rejected(self, empty_graph):
+        empty_graph.add_node("Person", node_id="alice")
+        with pytest.raises(DuplicateElementError):
+            empty_graph.add_node("Person", node_id="alice")
+
+    def test_generated_ids_avoid_existing_ones(self, empty_graph):
+        empty_graph.add_node("Person", node_id="n0")
+        node = empty_graph.add_node("Person")
+        assert node.id != "n0"
+
+    def test_node_properties_are_copied(self, empty_graph):
+        properties = {"name": "Ada"}
+        node = empty_graph.add_node("Person", properties)
+        properties["name"] = "changed"
+        assert node.properties["name"] == "Ada"
+
+    def test_missing_node_raises(self, empty_graph):
+        with pytest.raises(NodeNotFoundError):
+            empty_graph.node("nope")
+
+    def test_contains_and_has_node(self, empty_graph):
+        node = empty_graph.add_node("Person")
+        assert node.id in empty_graph
+        assert empty_graph.has_node(node.id)
+        assert not empty_graph.has_node("ghost")
+
+    def test_nodes_with_label_uses_index(self, empty_graph):
+        empty_graph.add_node("Person", node_id="p1")
+        empty_graph.add_node("City", node_id="c1")
+        empty_graph.add_node("Person", node_id="p2")
+        assert {node.id for node in empty_graph.nodes_with_label("Person")} == {"p1", "p2"}
+        assert empty_graph.count_nodes_with_label("City") == 1
+        assert empty_graph.count_nodes_with_label("Ghost") == 0
+
+
+class TestEdgeBasics:
+    def test_add_edge_requires_endpoints(self, empty_graph):
+        node = empty_graph.add_node("Person")
+        with pytest.raises(NodeNotFoundError):
+            empty_graph.add_edge(node.id, "ghost", "knows")
+
+    def test_add_edge_and_adjacency(self, empty_graph):
+        a = empty_graph.add_node("Person")
+        b = empty_graph.add_node("Person")
+        edge = empty_graph.add_edge(a.id, b.id, "knows")
+        assert empty_graph.out_degree(a.id) == 1
+        assert empty_graph.in_degree(b.id) == 1
+        assert empty_graph.successors(a.id) == {b.id}
+        assert empty_graph.predecessors(b.id) == {a.id}
+        assert [e.id for e in empty_graph.out_edges(a.id)] == [edge.id]
+
+    def test_parallel_edges_are_allowed(self, empty_graph):
+        a = empty_graph.add_node("Person")
+        b = empty_graph.add_node("City")
+        empty_graph.add_edge(a.id, b.id, "livesIn")
+        empty_graph.add_edge(a.id, b.id, "livesIn")
+        assert len(empty_graph.edges_between(a.id, b.id, "livesIn")) == 2
+
+    def test_edges_between_filters_by_label(self, empty_graph):
+        a = empty_graph.add_node("Person")
+        b = empty_graph.add_node("City")
+        empty_graph.add_edge(a.id, b.id, "livesIn")
+        empty_graph.add_edge(a.id, b.id, "bornIn")
+        assert len(empty_graph.edges_between(a.id, b.id)) == 2
+        assert len(empty_graph.edges_between(a.id, b.id, "bornIn")) == 1
+        assert empty_graph.has_edge_between(a.id, b.id, "bornIn")
+        assert not empty_graph.has_edge_between(b.id, a.id, "bornIn")
+
+    def test_remove_edge(self, empty_graph):
+        a = empty_graph.add_node("Person")
+        b = empty_graph.add_node("Person")
+        edge = empty_graph.add_edge(a.id, b.id, "knows")
+        removed = empty_graph.remove_edge(edge.id)
+        assert removed.id == edge.id
+        assert empty_graph.num_edges == 0
+        assert empty_graph.degree(a.id) == 0
+        with pytest.raises(EdgeNotFoundError):
+            empty_graph.edge(edge.id)
+
+    def test_self_loop_counts_once_in_incident_edges(self, empty_graph):
+        a = empty_graph.add_node("Person")
+        empty_graph.add_edge(a.id, a.id, "follows")
+        assert len(empty_graph.incident_edges(a.id)) == 1
+        assert empty_graph.degree(a.id) == 2  # out + in
+        assert empty_graph.neighbors(a.id) == set()
+
+    def test_edge_labels_index(self, empty_graph):
+        a = empty_graph.add_node("A")
+        b = empty_graph.add_node("B")
+        empty_graph.add_edge(a.id, b.id, "r")
+        empty_graph.add_edge(b.id, a.id, "s")
+        assert empty_graph.edge_labels() == {"r", "s"}
+        assert empty_graph.count_edges_with_label("r") == 1
+
+
+class TestRemoveNode:
+    def test_remove_node_removes_incident_edges(self, empty_graph):
+        a = empty_graph.add_node("Person")
+        b = empty_graph.add_node("Person")
+        c = empty_graph.add_node("Person")
+        empty_graph.add_edge(a.id, b.id, "knows")
+        empty_graph.add_edge(c.id, a.id, "knows")
+        empty_graph.add_edge(b.id, c.id, "knows")
+        empty_graph.remove_node(a.id)
+        assert empty_graph.num_nodes == 2
+        assert empty_graph.num_edges == 1
+        assert not empty_graph.has_node(a.id)
+
+    def test_remove_node_updates_label_index(self, empty_graph):
+        node = empty_graph.add_node("Person")
+        empty_graph.remove_node(node.id)
+        assert empty_graph.count_nodes_with_label("Person") == 0
+
+
+class TestUpdateAndRelabel:
+    def test_update_node_sets_and_removes(self, empty_graph):
+        node = empty_graph.add_node("Person", {"name": "Ada", "age": 36})
+        empty_graph.update_node(node.id, {"name": "Ada L."}, remove_keys=["age"])
+        assert empty_graph.node(node.id).properties == {"name": "Ada L."}
+
+    def test_update_edge_properties(self, empty_graph):
+        a = empty_graph.add_node("A")
+        b = empty_graph.add_node("B")
+        edge = empty_graph.add_edge(a.id, b.id, "r", {"weight": 1})
+        empty_graph.update_edge(edge.id, {"weight": 2, "source": "import"})
+        assert empty_graph.edge(edge.id).properties["weight"] == 2
+
+    def test_relabel_node_moves_label_buckets(self, empty_graph):
+        node = empty_graph.add_node("Person")
+        empty_graph.relabel_node(node.id, "Author")
+        assert empty_graph.count_nodes_with_label("Person") == 0
+        assert empty_graph.count_nodes_with_label("Author") == 1
+        assert empty_graph.node(node.id).label == "Author"
+
+    def test_relabel_edge_moves_label_buckets(self, empty_graph):
+        a = empty_graph.add_node("A")
+        b = empty_graph.add_node("B")
+        edge = empty_graph.add_edge(a.id, b.id, "knows")
+        empty_graph.relabel_edge(edge.id, "follows")
+        assert empty_graph.count_edges_with_label("knows") == 0
+        assert empty_graph.count_edges_with_label("follows") == 1
+
+
+class TestMergeNodes:
+    def _two_people_with_city(self):
+        graph = PropertyGraph()
+        a = graph.add_node("Person", {"name": "Ada", "birthYear": 1815})
+        b = graph.add_node("Person", {"name": "Ada", "nickname": "Lady"})
+        city = graph.add_node("City", {"name": "London"})
+        graph.add_edge(a.id, city.id, "bornIn")
+        graph.add_edge(b.id, city.id, "bornIn")
+        graph.add_edge(b.id, city.id, "livesIn")
+        return graph, a, b, city
+
+    def test_merge_redirects_and_dedupes_edges(self):
+        graph, a, b, city = self._two_people_with_city()
+        graph.merge_nodes(a.id, b.id)
+        assert not graph.has_node(b.id)
+        # the duplicate bornIn edge is dropped, livesIn is redirected
+        assert len(graph.edges_between(a.id, city.id, "bornIn")) == 1
+        assert len(graph.edges_between(a.id, city.id, "livesIn")) == 1
+
+    def test_merge_unions_properties_prefers_kept(self):
+        graph, a, b, _ = self._two_people_with_city()
+        graph.merge_nodes(a.id, b.id)
+        node = graph.node(a.id)
+        assert node.properties["birthYear"] == 1815
+        assert node.properties["nickname"] == "Lady"
+
+    def test_merge_incoming_edges_are_redirected(self):
+        graph = PropertyGraph()
+        a = graph.add_node("Person")
+        b = graph.add_node("Person")
+        fan = graph.add_node("Person")
+        graph.add_edge(fan.id, b.id, "follows")
+        graph.merge_nodes(a.id, b.id)
+        assert graph.has_edge_between(fan.id, a.id, "follows")
+
+    def test_merge_into_itself_is_rejected(self, empty_graph):
+        node = empty_graph.add_node("Person")
+        with pytest.raises(GraphMutationError):
+            empty_graph.merge_nodes(node.id, node.id)
+
+
+class TestCopySubgraphNeighborhood:
+    def test_copy_is_deep_and_equal(self, tiny_kg):
+        clone = tiny_kg.copy()
+        assert clone.structurally_equal(tiny_kg)
+        clone.add_node("Person", {"name": "New"})
+        assert clone.num_nodes == tiny_kg.num_nodes + 1
+
+    def test_subgraph_keeps_internal_edges_only(self, triangle_graph):
+        ids = triangle_graph.node_ids()[:2]
+        sub = triangle_graph.subgraph(ids)
+        assert sub.num_nodes == 2
+        assert sub.num_edges == 1
+
+    def test_neighborhood_expands_by_hops(self, triangle_graph):
+        start = triangle_graph.node_ids()[0]
+        assert triangle_graph.neighborhood([start], hops=0) == {start}
+        assert len(triangle_graph.neighborhood([start], hops=1)) == 3
+
+    def test_size_counts_nodes_and_edges(self, triangle_graph):
+        assert triangle_graph.size() == 6
+        assert len(triangle_graph) == 6
+
+
+class TestNetworkxConversion:
+    def test_round_trip_through_networkx(self, tiny_kg):
+        nx_graph = tiny_kg.to_networkx()
+        back = PropertyGraph.from_networkx(nx_graph, name="back")
+        assert back.num_nodes == tiny_kg.num_nodes
+        assert back.num_edges == tiny_kg.num_edges
+        assert back.node_labels() == tiny_kg.node_labels()
+        assert back.edge_labels() == tiny_kg.edge_labels()
+
+
+class TestChangeEvents:
+    def test_every_mutation_emits_a_change(self, empty_graph):
+        recorder = ChangeRecorder()
+        empty_graph.add_listener(recorder)
+        a = empty_graph.add_node("Person")
+        b = empty_graph.add_node("Person")
+        edge = empty_graph.add_edge(a.id, b.id, "knows")
+        empty_graph.update_node(a.id, {"name": "Ada"})
+        empty_graph.relabel_edge(edge.id, "follows")
+        empty_graph.remove_edge(edge.id)
+        empty_graph.remove_node(b.id)
+        kinds = [change.kind for change in recorder.delta]
+        assert kinds == [
+            ChangeKind.ADD_NODE, ChangeKind.ADD_NODE, ChangeKind.ADD_EDGE,
+            ChangeKind.UPDATE_NODE, ChangeKind.RELABEL_EDGE,
+            ChangeKind.REMOVE_EDGE, ChangeKind.REMOVE_NODE,
+        ]
+
+    def test_listener_can_be_removed(self, empty_graph):
+        recorder = ChangeRecorder()
+        empty_graph.add_listener(recorder)
+        empty_graph.add_node("Person")
+        empty_graph.remove_listener(recorder)
+        empty_graph.add_node("Person")
+        assert len(recorder.delta) == 1
+
+    def test_merge_emits_single_merge_change_with_details(self, empty_graph):
+        a = empty_graph.add_node("Person")
+        b = empty_graph.add_node("Person")
+        c = empty_graph.add_node("City")
+        empty_graph.add_edge(b.id, c.id, "bornIn")
+        recorder = ChangeRecorder()
+        empty_graph.add_listener(recorder)
+        empty_graph.merge_nodes(a.id, b.id)
+        merges = [change for change in recorder.delta
+                  if change.kind == ChangeKind.MERGE_NODES]
+        assert len(merges) == 1
+        assert merges[0].details["merged"] == b.id
+        assert merges[0].details["added_edges"]

@@ -1,0 +1,183 @@
+"""Tests for the naive and fast repair algorithms and the engine facade.
+
+The central property: **both algorithms reach a violation-free fixpoint and
+produce equivalent repairs** (same fact-level outcome) on every workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import build_workload
+from repro.exceptions import InconsistentRuleSetError
+from repro.metrics import graph_facts, repair_quality
+from repro.repair import (
+    EngineConfig,
+    FastRepairConfig,
+    FastRepairer,
+    NaiveRepairConfig,
+    NaiveRepairer,
+    RepairEngine,
+    detect_violations,
+    repair_graph,
+)
+from repro.rules import RuleSet, conflict_rule, incompleteness_rule
+
+
+class TestNaiveRepairer:
+    def test_reaches_fixpoint_on_tiny_kg(self, tiny_kg, kg_rules):
+        graph = tiny_kg.copy()
+        report = NaiveRepairer().repair(graph, kg_rules)
+        assert report.reached_fixpoint
+        assert report.remaining_violations == 0
+        assert report.repairs_applied > 0
+        assert len(detect_violations(graph, kg_rules)) == 0
+        assert report.final_nodes == graph.num_nodes
+        assert report.method == "naive"
+
+    def test_max_repairs_budget_is_respected(self, tiny_kg, kg_rules):
+        graph = tiny_kg.copy()
+        report = NaiveRepairer(NaiveRepairConfig(max_repairs=2)).repair(graph, kg_rules)
+        assert report.repairs_applied <= 2
+        assert not report.reached_fixpoint
+
+    def test_report_describes_itself(self, tiny_kg, kg_rules):
+        report = NaiveRepairer().repair(tiny_kg.copy(), kg_rules)
+        text = report.describe()
+        assert "naive" in text and "fixpoint" in text
+        as_dict = report.as_dict()
+        assert as_dict["repairs_applied"] == report.repairs_applied
+        assert "timings" in as_dict
+
+
+class TestFastRepairer:
+    def test_reaches_fixpoint_on_tiny_kg(self, tiny_kg, kg_rules):
+        graph = tiny_kg.copy()
+        report = FastRepairer().repair(graph, kg_rules)
+        assert report.reached_fixpoint
+        assert report.remaining_violations == 0
+        assert len(detect_violations(graph, kg_rules)) == 0
+        assert report.seeded_searches > 0
+        assert report.timings.get("incremental-maintenance") >= 0.0
+
+    def test_optimisations_can_be_disabled(self, tiny_kg, kg_rules):
+        for config in (FastRepairConfig(use_candidate_index=False),
+                       FastRepairConfig(use_decomposition=False)):
+            graph = tiny_kg.copy()
+            report = FastRepairer(config).repair(graph, kg_rules)
+            assert report.reached_fixpoint
+            assert len(detect_violations(graph, kg_rules)) == 0
+
+    def test_max_repairs_budget(self, tiny_kg, kg_rules):
+        graph = tiny_kg.copy()
+        report = FastRepairer(FastRepairConfig(max_repairs=1)).repair(graph, kg_rules)
+        assert report.repairs_applied == 1
+        assert not report.reached_fixpoint
+
+
+class TestEquivalenceOfAlgorithms:
+    @pytest.mark.parametrize("domain", ["kg", "movies", "social"])
+    def test_fast_and_naive_reach_equivalent_fixpoints(self, domain):
+        workload = build_workload(domain, scale=40, error_rate=0.08, seed=11)
+        fast_graph, fast_report = repair_graph(workload.dirty, workload.rules, "fast")
+        naive_graph, naive_report = repair_graph(workload.dirty, workload.rules, "naive")
+
+        assert fast_report.reached_fixpoint and naive_report.reached_fixpoint
+        assert len(detect_violations(fast_graph, workload.rules)) == 0
+        assert len(detect_violations(naive_graph, workload.rules)) == 0
+        # identical fact-level outcome
+        assert graph_facts(fast_graph) == graph_facts(naive_graph)
+        # and identical quality against ground truth
+        fast_quality = repair_quality(workload.clean, workload.dirty, fast_graph,
+                                      workload.ground_truth)
+        naive_quality = repair_quality(workload.clean, workload.dirty, naive_graph,
+                                       workload.ground_truth)
+        assert fast_quality.f1 == pytest.approx(naive_quality.f1)
+
+    def test_repairing_a_clean_graph_changes_nothing(self, small_kg_dataset):
+        clean = small_kg_dataset.clean
+        repaired, report = repair_graph(clean, small_kg_dataset.rules, "fast")
+        assert report.repairs_applied == 0
+        assert graph_facts(repaired) == graph_facts(clean)
+
+    def test_repair_is_idempotent(self, small_kg_workload):
+        rules = small_kg_workload.rules
+        once, first_report = repair_graph(small_kg_workload.dirty, rules, "fast")
+        twice, second_report = repair_graph(once, rules, "fast")
+        assert first_report.repairs_applied > 0
+        assert second_report.repairs_applied == 0
+        assert graph_facts(once) == graph_facts(twice)
+
+
+class TestRepairEngine:
+    def test_repair_copy_leaves_input_untouched(self, tiny_kg, kg_rules):
+        before = graph_facts(tiny_kg)
+        engine = RepairEngine(EngineConfig.fast())
+        repaired, report = engine.repair_copy(tiny_kg, kg_rules)
+        assert graph_facts(tiny_kg) == before
+        assert report.repairs_applied > 0
+        assert repaired.name.endswith("-repaired")
+
+    def test_in_place_repair_mutates_input(self, tiny_kg, kg_rules):
+        graph = tiny_kg.copy()
+        _, report = repair_graph(graph, kg_rules, method="fast", in_place=True)
+        assert report.repairs_applied > 0
+        assert len(detect_violations(graph, kg_rules)) == 0
+
+    def test_unknown_method_rejected(self, tiny_kg, kg_rules):
+        engine = RepairEngine(EngineConfig(method="quantum"))
+        with pytest.raises(ValueError):
+            engine.repair(tiny_kg.copy(), kg_rules)
+
+    def test_ablation_configs(self):
+        assert EngineConfig.ablation("none").use_candidate_index
+        assert not EngineConfig.ablation("index").use_candidate_index
+        assert not EngineConfig.ablation("decomposition").use_decomposition
+        assert EngineConfig.ablation("incremental").method == "naive"
+        with pytest.raises(ValueError):
+            EngineConfig.ablation("warp-drive")
+
+    def test_consistency_gate_warns_or_raises(self, tiny_kg):
+        adder = (incompleteness_rule("always-add")
+                 .node("a", "Person").node("b", "City")
+                 .edge("a", "b", "bornIn")
+                 .missing_edge("a", "b", "derived")
+                 .add_edge("a", "b", "derived")
+                 .build())
+        deleter = (conflict_rule("always-delete")
+                   .node("a", "Person").node("b", "City")
+                   .edge("a", "b", "derived", variable="e")
+                   .delete_edge(edge_variable="e")
+                   .build())
+        inconsistent = RuleSet([adder, deleter], name="oscillating")
+
+        warning_engine = RepairEngine(EngineConfig.fast(check_consistency=True,
+                                                        max_repairs=30))
+        with pytest.warns(UserWarning):
+            warning_engine.repair(tiny_kg.copy(), inconsistent)
+
+        strict_engine = RepairEngine(EngineConfig.fast(require_consistency=True))
+        with pytest.raises(InconsistentRuleSetError):
+            strict_engine.repair(tiny_kg.copy(), inconsistent)
+
+    def test_oscillating_rules_terminate_without_fixpoint(self, tiny_kg):
+        """An inconsistent (oscillating) pair must not loop forever: the fast
+        repairer handles each violation instance at most once, so the run ends
+        and honestly reports that no fixpoint was reached."""
+        adder = (incompleteness_rule("always-add")
+                 .node("a", "Person").node("b", "City")
+                 .edge("a", "b", "bornIn")
+                 .missing_edge("a", "b", "derived")
+                 .add_edge("a", "b", "derived")
+                 .build())
+        deleter = (conflict_rule("always-delete")
+                   .node("a", "Person").node("b", "City")
+                   .edge("a", "b", "derived", variable="e")
+                   .delete_edge(edge_variable="e")
+                   .build())
+        rules = RuleSet([adder, deleter], name="oscillating")
+        graph = tiny_kg.copy()
+        report = FastRepairer(FastRepairConfig(max_repairs=200)).repair(graph, rules)
+        assert report.repairs_applied < 200
+        assert not report.reached_fixpoint
+        assert report.remaining_violations > 0

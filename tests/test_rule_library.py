@@ -1,0 +1,98 @@
+"""Tests for the canned domain rule libraries and their fit with the datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.repair import detect_violations
+from repro.rules import (
+    KG,
+    MOVIES,
+    RULE_LIBRARIES,
+    SOCIAL,
+    Semantics,
+    knowledge_graph_rules,
+    movie_rules,
+    rules_for_domain,
+    social_rules,
+)
+
+
+ALL_LIBRARIES = [knowledge_graph_rules, movie_rules, social_rules]
+
+
+class TestLibraryStructure:
+    @pytest.mark.parametrize("factory", ALL_LIBRARIES,
+                             ids=["kg", "movies", "social"])
+    def test_every_library_covers_all_three_semantics(self, factory):
+        library = factory()
+        semantics = {rule.semantics for rule in library}
+        assert semantics == {Semantics.INCOMPLETENESS, Semantics.CONFLICT,
+                             Semantics.REDUNDANCY}
+
+    @pytest.mark.parametrize("factory", ALL_LIBRARIES,
+                             ids=["kg", "movies", "social"])
+    def test_rule_names_are_unique_and_documented(self, factory):
+        library = factory()
+        names = library.names()
+        assert len(names) == len(set(names))
+        for rule in library:
+            assert rule.description, f"rule {rule.name} lacks a description"
+            assert rule.pattern.size() >= 1
+
+    def test_registry_lookup(self):
+        assert set(RULE_LIBRARIES) == {"kg", "movies", "social"}
+        assert rules_for_domain("kg").name == "kg-rules"
+        with pytest.raises(KeyError):
+            rules_for_domain("unknown-domain")
+
+    def test_label_constants_are_consistent_with_rules(self):
+        kg = knowledge_graph_rules()
+        used_edge_labels = set()
+        for rule in kg:
+            used_edge_labels |= rule.required_edge_labels()
+            used_edge_labels |= rule.effects().added_edge_labels
+        assert KG["NATIONALITY"] in used_edge_labels
+        assert KG["BORN_IN"] in used_edge_labels
+        movies = {edge for rule in movie_rules()
+                  for edge in rule.required_edge_labels()}
+        assert MOVIES["PRODUCED_BY"] in movies
+        social = {edge for rule in social_rules()
+                  for edge in rule.required_edge_labels()}
+        assert SOCIAL["FOLLOWS"] in social
+
+
+class TestLibraryOnCleanData:
+    def test_kg_rules_are_silent_on_clean_kg(self, small_kg_dataset):
+        detection = detect_violations(small_kg_dataset.clean, small_kg_dataset.rules)
+        assert len(detection) == 0
+
+    def test_movie_rules_are_silent_on_clean_movies(self, small_movie_workload):
+        detection = detect_violations(small_movie_workload.clean,
+                                      small_movie_workload.rules)
+        assert len(detection) == 0
+
+    def test_social_rules_are_silent_on_clean_social(self, small_social_workload):
+        detection = detect_violations(small_social_workload.clean,
+                                      small_social_workload.rules)
+        assert len(detection) == 0
+
+
+class TestLibraryOnDirtyData:
+    def test_kg_rules_detect_each_error_class(self, small_kg_workload):
+        detection = detect_violations(small_kg_workload.dirty, small_kg_workload.rules)
+        per_semantics = detection.per_semantics()
+        assert per_semantics.get("incompleteness", 0) > 0
+        assert per_semantics.get("conflict", 0) > 0
+        assert per_semantics.get("redundancy", 0) > 0
+
+    def test_tiny_kg_violations_match_handcrafted_expectation(self, tiny_kg, kg_rules):
+        detection = detect_violations(tiny_kg, kg_rules)
+        per_rule = detection.per_rule()
+        # Carol and Ada2 lack a nationality; Bob's nationality contradicts his birthplace;
+        # Ada/Ada2 are duplicates (both orientations); Ada has a duplicate livesIn edge.
+        assert per_rule["kg-add-nationality"] >= 2
+        assert per_rule["kg-nationality-matches-birthplace"] == 1
+        assert per_rule["kg-dedup-person"] == 2
+        assert per_rule["kg-dedup-lives-in"] == 2
+        assert "kg-single-birthplace" not in per_rule

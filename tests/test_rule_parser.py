@@ -1,0 +1,168 @@
+"""Unit tests for the textual GRR DSL parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import RuleParseError
+from repro.rules import Semantics, parse_rules, parse_rules_file
+from repro.rules.operations import (
+    AddEdge,
+    AddNode,
+    DeleteEdge,
+    DeleteNode,
+    MergeNodes,
+    UpdateNode,
+    ValueRef,
+)
+
+
+GOOD_DOCUMENT = """
+# a comment before the first rule is fine
+
+RULE add-nationality INCOMPLETENESS PRIORITY 5
+  # person born in a city gets the country
+  MATCH (p:Person)-[:bornIn]->(c:City)
+  MATCH (c)-[:inCountry]->(k:Country)
+  MISSING (p)-[:nationality]->(k)
+  REPAIR ADD_EDGE (p)-[:nationality]->(k)
+
+RULE single-birthplace CONFLICT PRIORITY 8
+  MATCH (p:Person)-[e1:bornIn]->(c1:City)
+  MATCH (p)-[e2:bornIn]->(c2:City)
+  WHERE e1.confidence >= e2.confidence
+  REPAIR DELETE_EDGE e2
+
+RULE dedup-person REDUNDANCY
+  MATCH (a:Person)-[:bornIn]->(c:City)<-[:bornIn]-(b:Person)
+  WHERE a.name == b.name
+  REPAIR MERGE b INTO a
+"""
+
+
+class TestParserHappyPath:
+    def test_parses_all_rules_with_metadata(self):
+        rules = parse_rules(GOOD_DOCUMENT, name="doc")
+        assert rules.names() == ["add-nationality", "single-birthplace", "dedup-person"]
+        assert rules.get("add-nationality").semantics is Semantics.INCOMPLETENESS
+        assert rules.get("add-nationality").priority == 5
+        assert "country" in rules.get("add-nationality").description
+
+    def test_paths_and_reverse_edges(self):
+        rule = parse_rules(GOOD_DOCUMENT).get("dedup-person")
+        assert set(rule.pattern.variables) == {"a", "b", "c"}
+        labels = {(edge.source, edge.target) for edge in rule.pattern.edges}
+        assert labels == {("a", "c"), ("b", "c")}
+        assert isinstance(rule.operations[0], MergeNodes)
+        assert rule.operations[0].keep == "a" and rule.operations[0].merge == "b"
+
+    def test_edge_variables_and_comparisons(self):
+        rule = parse_rules(GOOD_DOCUMENT).get("single-birthplace")
+        assert set(rule.pattern.edge_variables) == {"e1", "e2"}
+        assert len(rule.pattern.comparisons) == 1
+        assert isinstance(rule.operations[0], DeleteEdge)
+
+    def test_missing_clause_produces_missing_pattern(self):
+        rule = parse_rules(GOOD_DOCUMENT).get("add-nationality")
+        assert rule.missing is not None
+        assert rule.missing.edge_labels() == {"nationality"}
+
+    def test_parse_file(self, tmp_path):
+        path = tmp_path / "rules.grr"
+        path.write_text(GOOD_DOCUMENT, encoding="utf-8")
+        rules = parse_rules_file(path)
+        assert len(rules) == 3
+        assert rules.name == "rules"
+
+    def test_round_trip_with_canned_library_equivalent(self, tiny_kg):
+        """The parsed rule set detects the same violations as the builder-built one."""
+        from repro.repair import detect_violations
+
+        parsed = parse_rules(GOOD_DOCUMENT)
+        detection = detect_violations(tiny_kg, parsed)
+        assert len(detection) > 0
+        kinds = set(detection.per_semantics())
+        assert "redundancy" in kinds and "incompleteness" in kinds
+
+
+class TestParserOperations:
+    def test_add_node_with_properties_and_value_refs(self):
+        text = """
+RULE make-registry INCOMPLETENESS
+  MATCH (p:Person)-[:bornIn]->(c:City)
+  MISSING (p)-[:registeredIn]->(c)
+  REPAIR ADD_NODE (r:Registry {kind = "civil", city = c.name})
+  REPAIR ADD_EDGE (p)-[:registeredIn]->(c)
+"""
+        rule = parse_rules(text).get("make-registry")
+        add_node = rule.operations[0]
+        assert isinstance(add_node, AddNode)
+        assert add_node.properties["kind"] == "civil"
+        assert add_node.properties["city"] == ValueRef("c", "name")
+        assert isinstance(rule.operations[1], AddEdge)
+
+    def test_update_node_set_remove_label_forms(self):
+        text = """
+RULE normalize CONFLICT
+  MATCH (p:Person)-[e:bornIn]->(c:City)
+  WHERE p.age > 200
+  REPAIR UPDATE_NODE p SET age = 0, source = "fixup"
+  REPAIR UPDATE_NODE p REMOVE legacy
+  REPAIR DELETE_EDGE (p)-[:bornIn]->(c)
+"""
+        rule = parse_rules(text).get("normalize")
+        update = rule.operations[0]
+        assert isinstance(update, UpdateNode)
+        assert update.set_properties == {"age": 0, "source": "fixup"}
+        assert rule.operations[1].remove_keys == ("legacy",)
+        delete = rule.operations[2]
+        assert isinstance(delete, DeleteEdge) and delete.label == "bornIn"
+
+    def test_delete_node_and_literals(self):
+        text = """
+RULE purge REDUNDANCY
+  MATCH (a:Person)-[:bornIn]->(c:City)<-[:bornIn]-(b:Person)
+  WHERE a.name == b.name
+  WHERE b.verified == false
+  REPAIR DELETE_NODE b
+"""
+        rule = parse_rules(text).get("purge")
+        assert isinstance(rule.operations[0], DeleteNode)
+        literal_comparisons = [c for c in rule.pattern.comparisons if c.right_literal]
+        assert literal_comparisons and literal_comparisons[0].right_value is False
+
+    def test_has_and_missing_predicates(self):
+        text = """
+RULE needs-name CONFLICT
+  MATCH (p:Person)-[e:bornIn]->(c:City)
+  WHERE MISSING p.name
+  WHERE HAS c.name
+  REPAIR DELETE_EDGE e
+"""
+        rule = parse_rules(text).get("needs-name")
+        person = rule.pattern.node_variable("p")
+        city = rule.pattern.node_variable("c")
+        assert any(pred.op.value == "missing" for pred in person.predicates)
+        assert any(pred.op.value == "exists" for pred in city.predicates)
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize("text", [
+        "RULE broken WRONGKIND\n  MATCH (a:Person)\n  REPAIR DELETE_NODE a",
+        "MATCH (a:Person)",                                  # content outside RULE
+        "RULE x CONFLICT\n  MATCH (a:Person\n  REPAIR DELETE_NODE a",  # bad node ref
+        "RULE x CONFLICT\n  MATCH (a:Person)-[:r]-(b:City)\n  REPAIR DELETE_NODE a",  # bad edge arrow
+        "RULE x CONFLICT\n  MATCH (a:Person)\n  REPAIR FROBNICATE a",  # unknown op
+        "RULE x CONFLICT\n  MATCH (a:Person)\n  WHERE a.name ~ 3\n  REPAIR DELETE_NODE a",
+        "",                                                   # no rules at all
+    ], ids=["bad-semantics", "outside-rule", "bad-node", "bad-edge", "unknown-op",
+            "bad-where", "empty"])
+    def test_malformed_documents_raise(self, text):
+        with pytest.raises(RuleParseError):
+            parse_rules(text)
+
+    def test_parse_error_carries_line_number(self):
+        text = "RULE x CONFLICT\n  MATCH (a:Person)\n  REPAIR FROBNICATE a"
+        with pytest.raises(RuleParseError) as excinfo:
+            parse_rules(text)
+        assert excinfo.value.line == 3

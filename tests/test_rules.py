@@ -1,0 +1,218 @@
+"""Unit tests for rule semantics, the GRR class, the rule set, and the builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidRuleError
+from repro.matching import Matcher, Pattern, PatternEdge, PatternNode, same_value
+from repro.rules import (
+    AddEdge,
+    DeleteEdge,
+    GraphRepairingRule,
+    MergeNodes,
+    RuleSet,
+    Semantics,
+    conflict_rule,
+    incompleteness_rule,
+    redundancy_rule,
+)
+from repro.rules.semantics import ALLOWED_OPERATIONS, validate_operations_for_semantics
+
+
+def evidence_pattern() -> Pattern:
+    return Pattern(nodes=[PatternNode("p", "Person"), PatternNode("c", "City")],
+                   edges=[PatternEdge("p", "c", "bornIn")], name="evidence")
+
+
+def missing_pattern() -> Pattern:
+    return Pattern(nodes=[PatternNode("p", "Person"), PatternNode("k", "Country")],
+                   edges=[PatternEdge("p", "k", "nationality")], name="missing")
+
+
+class TestSemanticsValidation:
+    def test_allowed_operation_tables_are_disjoint_enough(self):
+        assert ALLOWED_OPERATIONS[Semantics.INCOMPLETENESS] != \
+            ALLOWED_OPERATIONS[Semantics.CONFLICT]
+
+    def test_incompleteness_cannot_delete(self):
+        with pytest.raises(InvalidRuleError):
+            validate_operations_for_semantics(Semantics.INCOMPLETENESS,
+                                              [DeleteEdge(edge_variable="e")])
+
+    def test_conflict_cannot_add(self):
+        with pytest.raises(InvalidRuleError):
+            validate_operations_for_semantics(Semantics.CONFLICT,
+                                              [AddEdge(source="a", target="b", label="r")])
+
+    def test_redundancy_allows_merge(self):
+        validate_operations_for_semantics(Semantics.REDUNDANCY,
+                                          [MergeNodes(keep="a", merge="b")])
+
+    def test_rules_must_repair_something(self):
+        with pytest.raises(InvalidRuleError):
+            validate_operations_for_semantics(Semantics.CONFLICT, [])
+
+
+class TestGraphRepairingRuleValidation:
+    def test_incompleteness_requires_missing_pattern(self):
+        with pytest.raises(InvalidRuleError):
+            GraphRepairingRule("r", Semantics.INCOMPLETENESS, evidence_pattern(),
+                               [AddEdge(source="p", target="c", label="x")])
+
+    def test_missing_pattern_must_share_variables(self):
+        disjoint = Pattern(nodes=[PatternNode("z", "Country")], name="disjoint")
+        with pytest.raises(InvalidRuleError):
+            GraphRepairingRule("r", Semantics.INCOMPLETENESS, evidence_pattern(),
+                               [AddEdge(source="p", target="c", label="x")],
+                               missing=disjoint)
+
+    def test_conflict_rule_must_not_have_missing_pattern(self):
+        with pytest.raises(InvalidRuleError):
+            GraphRepairingRule("r", Semantics.CONFLICT, evidence_pattern(),
+                               [DeleteEdge(source="p", target="c", label="bornIn")],
+                               missing=missing_pattern())
+
+    def test_operations_may_only_read_bound_variables(self):
+        with pytest.raises(InvalidRuleError):
+            GraphRepairingRule("r", Semantics.CONFLICT, evidence_pattern(),
+                               [DeleteEdge(edge_variable="nope")])
+
+    def test_operations_may_use_variables_introduced_earlier(self):
+        rule = (incompleteness_rule("with-new-node")
+                .node("p", "Person").node("c", "City")
+                .edge("p", "c", "bornIn")
+                .missing_edge("p", "c", "registeredIn")
+                .add_node("z", "Registry")
+                .add_edge("p", "z", "registeredAt")
+                .build())
+        assert {op.kind.value for op in rule.operations} == {"add_node", "add_edge"}
+
+    def test_valid_rule_builds_and_describes(self):
+        rule = GraphRepairingRule(
+            "add-nat", Semantics.INCOMPLETENESS, evidence_pattern(),
+            [AddEdge(source="p", target="c", label="registeredIn")],
+            missing=missing_pattern(), priority=3, description="doc")
+        assert rule.priority == 3
+        assert "add-nat" in rule.describe()
+        assert "incompleteness" in rule.describe()
+
+
+class TestViolationSemantics:
+    def test_incompleteness_violation_checks_missing_extension(self, tiny_kg):
+        rule = (incompleteness_rule("nat")
+                .node("p", "Person").node("c", "City").node("k", "Country")
+                .edge("p", "c", "bornIn").edge("c", "k", "inCountry")
+                .missing_edge("p", "k", "nationality")
+                .add_edge("p", "k", "nationality")
+                .build())
+        matcher = Matcher(tiny_kg)
+        matches = matcher.find_matches(rule.pattern)
+        people = {node.id: node.get("name") for node in tiny_kg.nodes_with_label("Person")}
+        violating = {people[m.node_id("p")] for m in matches
+                     if rule.is_violation(matcher, m)}
+        satisfied = {people[m.node_id("p")] for m in matches
+                     if not rule.is_violation(matcher, m)}
+        # Carol lacks a nationality; Bob's points at the wrong country, and Ada2 has none
+        assert "Carol" in violating and "Ada" in satisfied and "Bob" in violating
+        matcher.close()
+
+    def test_conflict_and_redundancy_matches_are_violations(self, tiny_kg,
+                                                            duplicate_person_pattern):
+        rule = GraphRepairingRule("dup", Semantics.REDUNDANCY, duplicate_person_pattern,
+                                  [MergeNodes(keep="a", merge="b")])
+        matcher = Matcher(tiny_kg)
+        for match in matcher.find_matches(rule.pattern):
+            assert rule.is_violation(matcher, match)
+        matcher.close()
+
+
+class TestRuleEffects:
+    def test_effects_resolve_labels_from_pattern(self):
+        rule = (conflict_rule("one-birthplace")
+                .node("p", "Person").node("c1", "City").node("c2", "City")
+                .edge("p", "c1", "bornIn", variable="e1")
+                .edge("p", "c2", "bornIn", variable="e2")
+                .delete_edge(edge_variable="e2")
+                .build())
+        effects = rule.effects()
+        assert effects.removed_edge_labels == {"bornIn"}
+        assert not effects.is_additive and effects.is_subtractive
+
+    def test_additive_effects_and_forbidden_labels(self):
+        rule = (incompleteness_rule("nat")
+                .node("p", "Person").node("c", "City").node("k", "Country")
+                .edge("p", "c", "bornIn").edge("c", "k", "inCountry")
+                .missing_edge("p", "k", "nationality")
+                .add_edge("p", "k", "nationality")
+                .build())
+        assert rule.effects().added_edge_labels == {"nationality"}
+        assert rule.forbidden_edge_labels() == {"nationality"}
+        assert rule.required_edge_labels() == {"bornIn", "inCountry"}
+        assert rule.required_node_labels() == {"Person", "City", "Country"}
+
+    def test_merge_effects_include_wildcard_edge_removal(self):
+        rule = (redundancy_rule("dedup")
+                .node("a", "Person").node("b", "Person").node("c", "City")
+                .edge("a", "c", "bornIn").edge("b", "c", "bornIn")
+                .compare(same_value("a", "name", "b"))
+                .merge(keep="a", merge="b")
+                .build())
+        effects = rule.effects()
+        assert "Person" in effects.removed_node_labels
+        assert "*" in effects.removed_edge_labels
+
+
+class TestRuleSet:
+    def _rule(self, name: str) -> GraphRepairingRule:
+        return (conflict_rule(name)
+                .node("p", "Person").node("c1", "City").node("c2", "City")
+                .edge("p", "c1", "bornIn", variable="e1")
+                .edge("p", "c2", "bornIn", variable="e2")
+                .delete_edge(edge_variable="e2")
+                .build())
+
+    def test_add_get_remove_and_iteration(self):
+        rules = RuleSet([self._rule("a"), self._rule("b")], name="set")
+        assert len(rules) == 2 and "a" in rules
+        assert rules.get("a").name == "a"
+        assert rules.names() == ["a", "b"]
+        rules.remove("a")
+        assert len(rules) == 1
+        with pytest.raises(InvalidRuleError):
+            rules.get("a")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(InvalidRuleError):
+            RuleSet([self._rule("a"), self._rule("a")])
+
+    def test_subset_merge_and_by_semantics(self):
+        rules = RuleSet([self._rule("a"), self._rule("b")], name="left")
+        other = RuleSet([self._rule("c")], name="right")
+        merged = rules.merged_with(other)
+        assert merged.names() == ["a", "b", "c"]
+        assert rules.subset(["b"]).names() == ["b"]
+        assert len(merged.by_semantics(Semantics.CONFLICT)) == 3
+        assert merged.by_semantics(Semantics.REDUNDANCY) == []
+
+    def test_describe_lists_rules(self):
+        rules = RuleSet([self._rule("a")], name="set")
+        assert "a" in rules.describe()
+
+
+class TestBuilderErrors:
+    def test_duplicate_evidence_variable(self):
+        with pytest.raises(InvalidRuleError):
+            incompleteness_rule("x").node("a", "Person").node("a", "City")
+
+    def test_missing_pattern_with_unknown_variable(self):
+        builder = (incompleteness_rule("x").node("a", "Person").node("b", "City")
+                   .edge("a", "b", "bornIn")
+                   .missing_edge("a", "zzz", "r")
+                   .add_edge("a", "b", "r"))
+        with pytest.raises(InvalidRuleError):
+            builder.build()
+
+    def test_builder_without_nodes(self):
+        with pytest.raises(InvalidRuleError):
+            conflict_rule("x").delete_edge(edge_variable="e").build()
