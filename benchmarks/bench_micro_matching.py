@@ -1,0 +1,142 @@
+"""Micro-benchmarks of the matching/repair hot path (table + regression gate).
+
+Complements the paper-level experiments (E1–E8) with targeted timings of the
+three layers the hot-path overhaul touches:
+
+* full pattern enumeration with the optimised matcher (index + decomposition),
+* incremental match maintenance (``apply_delta``) over a scripted batch of
+  repair-like mutations, and
+* both repair algorithms end to end,
+
+on all three dataset generators.  Results are printed as a table and saved to
+``benchmarks/results/``.
+
+``test_perf_regression_gate`` is the tier-2 perf gate: it re-measures the
+quick profile and compares against the committed ``BENCH_repair.json``
+baseline (see ``check_regression.py``).  It only runs when
+``REPRO_BENCH_CHECK=1`` is set, so ordinary benchmark invocations stay fast.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.datasets.registry import build_workload
+from repro.graph import ChangeRecorder
+from repro.matching import CandidateIndex, IncrementalMatcher, Matcher, MatcherConfig
+from repro.metrics import format_table
+from repro.repair.engine import EngineConfig, RepairEngine
+
+DOMAINS = ("kg", "movies", "social")
+SCALES = {"kg": 200, "movies": 150, "social": 150}
+
+COLUMNS = ("domain", "scale", "match_seconds", "incremental_seconds",
+           "seeded_searches", "fast_seconds", "naive_seconds",
+           "matches", "fast_repairs")
+
+
+def _measure_incremental(workload) -> tuple[float, int]:
+    """Time apply_delta over a scripted batch of repair-like mutations."""
+    graph = workload.dirty.copy()
+    index = CandidateIndex(graph)
+    index.attach()
+    incremental = IncrementalMatcher(graph, candidate_index=index)
+    for rule in workload.rules:
+        incremental.register(rule.pattern)
+    recorder = ChangeRecorder()
+    graph.add_listener(recorder)
+
+    # a deterministic mutation batch covering the three discovery paths:
+    # remove every 7th edge (invalidation), duplicate every 11th (edge-seeded
+    # discovery), and touch every 13th node's properties (node-seeded
+    # discovery)
+    edges = graph.edge_ids()
+    for position, edge_id in enumerate(edges):
+        if position % 7 == 0:
+            graph.remove_edge(edge_id)
+        elif position % 11 == 0:
+            edge = graph.edge(edge_id)
+            graph.add_edge(edge.source, edge.target, edge.label)
+    for position, node_id in enumerate(graph.node_ids()):
+        if position % 13 == 0:
+            graph.update_node(node_id, {"touched": True})
+
+    seeded = 0
+    started = time.perf_counter()
+    updates = incremental.apply_delta(recorder.drain())
+    elapsed = time.perf_counter() - started
+    for update in updates.values():
+        seeded += update.seeded_searches
+    return elapsed, seeded
+
+
+def _measure_domain(domain: str) -> dict:
+    scale = SCALES[domain]
+    workload = build_workload(domain, scale=scale, error_rate=0.05, seed=0)
+
+    matcher = Matcher(workload.dirty, MatcherConfig.optimized(), maintain_index=False)
+    started = time.perf_counter()
+    matches = sum(len(matcher.find_matches(rule.pattern)) for rule in workload.rules)
+    match_seconds = time.perf_counter() - started
+    matcher.close()
+
+    incremental_seconds, seeded = _measure_incremental(workload)
+
+    started = time.perf_counter()
+    _, fast_report = RepairEngine(EngineConfig.fast()).repair_copy(
+        workload.dirty, workload.rules)
+    fast_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    RepairEngine(EngineConfig.naive()).repair_copy(workload.dirty, workload.rules)
+    naive_seconds = time.perf_counter() - started
+
+    return {
+        "domain": domain,
+        "scale": scale,
+        "match_seconds": match_seconds,
+        "incremental_seconds": incremental_seconds,
+        "seeded_searches": seeded,
+        "fast_seconds": fast_seconds,
+        "naive_seconds": naive_seconds,
+        "matches": matches,
+        "fast_repairs": fast_report.repairs_applied,
+    }
+
+
+def test_micro_matching_hot_path(run_once, save_table):
+    rows = run_once(lambda: [_measure_domain(domain) for domain in DOMAINS])
+    save_table("micro_matching", format_table(
+        rows, columns=list(COLUMNS),
+        title="Micro — matcher / incremental-maintenance / repair hot path"))
+    # the fast algorithm must beat full re-detection; aggregate across the
+    # domains so a single scheduler stall on one sub-second measurement
+    # cannot flip the comparison (the strict 25%-threshold gate is the
+    # opt-in test_perf_regression_gate below)
+    total_fast = sum(row["fast_seconds"] for row in rows)
+    total_naive = sum(row["naive_seconds"] for row in rows)
+    assert total_fast < total_naive
+    for row in rows:
+        assert row["matches"] > 0
+
+
+@pytest.mark.skipif(os.environ.get("REPRO_BENCH_CHECK", "") != "1",
+                    reason="perf gate runs only with REPRO_BENCH_CHECK=1")
+def test_perf_regression_gate(perf_baseline):
+    from check_regression import DEFAULT_THRESHOLD, compare
+    from perf_baseline import measure
+
+    current = measure("quick")
+    regressions, warnings = compare(perf_baseline["results"], current,
+                                    DEFAULT_THRESHOLD)
+    for warning in warnings:
+        print(f"WARNING: {warning}")
+    assert not regressions, "perf regression vs committed baseline:\n" + \
+        "\n".join(regressions)

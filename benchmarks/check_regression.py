@@ -1,0 +1,106 @@
+"""Perf-regression gate: fail when the hot path got >25% slower than baseline.
+
+Re-runs the ``perf_baseline`` measurements and compares every timing metric
+against the most recent committed entry (same mode) in ``BENCH_repair.json``.
+Exits non-zero when any timing regressed beyond the threshold, so it can run
+as a tier-2 CI gate::
+
+    PYTHONPATH=src python benchmarks/check_regression.py            # quick mode
+    PYTHONPATH=src python benchmarks/check_regression.py --mode full
+    PYTHONPATH=src python benchmarks/check_regression.py --threshold 0.10
+
+Deterministic work counters (matches enumerated, repairs applied) are also
+compared: a drift there means the *workload* changed and the timing baseline
+should be re-recorded with ``perf_baseline.py`` — reported as a warning so an
+intentional algorithmic change does not hard-fail the gate on counters alone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from perf_baseline import (  # noqa: E402
+    COUNTER_KEYS,
+    DEFAULT_OUTPUT,
+    TIMING_KEYS,
+    latest_entry,
+    load_trajectory,
+    measure,
+)
+
+DEFAULT_THRESHOLD = 0.25
+
+
+def compare(baseline_results: dict, current_results: dict,
+            threshold: float = DEFAULT_THRESHOLD) -> tuple[list[str], list[str]]:
+    """Return (regressions, warnings) comparing current against baseline."""
+    regressions: list[str] = []
+    warnings: list[str] = []
+    for domain, baseline in baseline_results.items():
+        current = current_results.get(domain)
+        if current is None:
+            warnings.append(f"{domain}: missing from current measurements")
+            continue
+        for key in COUNTER_KEYS:
+            if key in baseline and baseline[key] != current.get(key):
+                warnings.append(
+                    f"{domain}.{key}: workload drift "
+                    f"(baseline {baseline[key]}, current {current.get(key)}) — "
+                    f"re-record the baseline if intentional")
+        for key in TIMING_KEYS:
+            if key not in baseline or key not in current:
+                continue
+            base_val = float(baseline[key])
+            cur_val = float(current[key])
+            if base_val <= 0.0:
+                continue
+            ratio = cur_val / base_val
+            if ratio > 1.0 + threshold:
+                regressions.append(
+                    f"{domain}.{key}: {base_val:.4f}s -> {cur_val:.4f}s "
+                    f"({ratio:.2f}x, threshold {1.0 + threshold:.2f}x)")
+    return regressions, warnings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--mode", default="quick")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="allowed fractional slowdown (0.25 = +25%%)")
+    args = parser.parse_args(argv)
+
+    trajectory = load_trajectory(args.baseline)
+    baseline = latest_entry(trajectory, args.mode)
+    if baseline is None:
+        print(f"no {args.mode!r} baseline entry in {args.baseline}; "
+              f"record one with perf_baseline.py first")
+        return 2
+
+    current = measure(args.mode)
+    regressions, warnings = compare(baseline["results"], current, args.threshold)
+
+    print(f"baseline: {baseline['label']!r} @ {baseline['timestamp']}")
+    for domain, row in current.items():
+        base = baseline["results"].get(domain, {})
+        deltas = ", ".join(
+            f"{key.removesuffix('_seconds')} {base.get(key, float('nan')):.3f}->"
+            f"{row[key]:.3f}s" for key in TIMING_KEYS if key in row)
+        print(f"  {domain}: {deltas}")
+    for warning in warnings:
+        print(f"WARNING: {warning}")
+    if regressions:
+        print(f"\nPERF REGRESSION (> {args.threshold:.0%} slower than baseline):")
+        for regression in regressions:
+            print(f"  {regression}")
+        return 1
+    print("\nno perf regression detected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,17 +16,35 @@ Set ``REPRO_BENCH_QUICK=1`` to run every benchmark on reduced parameter grids
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+BASELINE_PATH = Path(__file__).parent / "BENCH_repair.json"
 
 
 @pytest.fixture(scope="session")
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def perf_baseline() -> dict:
+    """The most recent quick-mode entry of the committed perf trajectory
+    (``BENCH_repair.json``), for the tier-2 regression gate in
+    ``bench_micro_matching.py``.  Skips when no baseline has been recorded."""
+    if not BASELINE_PATH.exists():
+        pytest.skip(f"no perf baseline at {BASELINE_PATH}; "
+                    f"record one with perf_baseline.py")
+    with BASELINE_PATH.open(encoding="utf-8") as handle:
+        trajectory = json.load(handle)
+    for entry in reversed(trajectory.get("entries", [])):
+        if entry.get("mode") == "quick":
+            return entry
+    pytest.skip("perf trajectory has no quick-mode entry")
 
 
 @pytest.fixture

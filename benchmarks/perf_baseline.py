@@ -1,0 +1,181 @@
+"""Perf-baseline harness: time the matcher and both repairers, track trajectory.
+
+Measures, for each of the three dataset domains (``kg``, ``movies``,
+``social``):
+
+* ``match_seconds`` — full enumeration of every rule pattern with the
+  optimised matcher (index + decomposition);
+* ``fast_seconds`` — end-to-end :class:`FastRepairer` run (the paper's
+  efficient algorithm: index + decomposition + incremental maintenance);
+* ``naive_seconds`` — end-to-end :class:`NaiveRepairer` run (full
+  re-detection per round);
+
+plus the deterministic work counters (repairs applied, violations detected,
+matches enumerated, nodes tried) that let a regression checker distinguish
+"the machine is slower" from "the algorithm does more work".
+
+Each invocation appends one entry to ``BENCH_repair.json`` (the *trajectory*)
+so the perf history of the repo is recorded alongside the code.  The last
+entry for a given mode is the baseline that ``check_regression.py`` compares
+against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_baseline.py --mode quick --label "my change"
+    PYTHONPATH=src python benchmarks/perf_baseline.py --mode full
+
+``--dry-run`` prints the measurements without touching the JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any
+
+from repro.datasets.registry import build_workload
+from repro.matching.matcher import Matcher, MatcherConfig
+from repro.repair.engine import EngineConfig, RepairEngine
+
+DEFAULT_OUTPUT = Path(__file__).parent / "BENCH_repair.json"
+SCHEMA_VERSION = 1
+
+# Per-mode measurement grids: deterministic workloads (fixed seed) so the
+# work counters are exactly reproducible and only wall-clock varies.
+MODES: dict[str, dict[str, Any]] = {
+    "quick": {"scales": {"kg": 200, "movies": 150, "social": 150},
+              "error_rate": 0.05, "seed": 0, "repeats": 3},
+    "full": {"scales": {"kg": 800, "movies": 400, "social": 400},
+             "error_rate": 0.05, "seed": 0, "repeats": 3},
+}
+
+TIMING_KEYS = ("match_seconds", "fast_seconds", "naive_seconds")
+COUNTER_KEYS = ("matches", "fast_repairs_applied", "fast_violations_detected",
+                "naive_repairs_applied")
+
+
+def _best_of(repeats: int, func) -> tuple[float, Any]:
+    """Minimum wall-clock over ``repeats`` runs (robust to scheduler noise)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def measure_domain(domain: str, scale: int, error_rate: float, seed: int,
+                   repeats: int) -> dict[str, Any]:
+    """One domain's measurements (timings + deterministic work counters)."""
+    workload = build_workload(domain, scale=scale, error_rate=error_rate, seed=seed)
+
+    def run_matching():
+        matcher = Matcher(workload.dirty, MatcherConfig.optimized(), maintain_index=False)
+        found = sum(len(matcher.find_matches(rule.pattern)) for rule in workload.rules)
+        matcher.close()
+        return found
+
+    match_seconds, matches = _best_of(repeats, run_matching)
+
+    fast_seconds, fast_report = _best_of(
+        repeats, lambda: RepairEngine(EngineConfig.fast()).repair_copy(
+            workload.dirty, workload.rules)[1])
+    naive_seconds, naive_report = _best_of(
+        repeats, lambda: RepairEngine(EngineConfig.naive()).repair_copy(
+            workload.dirty, workload.rules)[1])
+
+    return {
+        "scale": scale,
+        "nodes": workload.dirty.num_nodes,
+        "edges": workload.dirty.num_edges,
+        "match_seconds": round(match_seconds, 4),
+        "fast_seconds": round(fast_seconds, 4),
+        "naive_seconds": round(naive_seconds, 4),
+        "matches": matches,
+        "fast_repairs_applied": fast_report.repairs_applied,
+        "fast_violations_detected": fast_report.violations_detected,
+        "fast_nodes_tried": fast_report.matching_stats.nodes_tried,
+        "naive_repairs_applied": naive_report.repairs_applied,
+        "fast_reached_fixpoint": fast_report.reached_fixpoint,
+    }
+
+
+def measure(mode: str) -> dict[str, Any]:
+    """All domains' measurements for one mode."""
+    grid = MODES[mode]
+    results: dict[str, Any] = {}
+    for domain, scale in grid["scales"].items():
+        results[domain] = measure_domain(domain, scale, grid["error_rate"],
+                                         grid["seed"], grid["repeats"])
+    return results
+
+
+def load_trajectory(path: Path) -> dict[str, Any]:
+    if path.exists():
+        with path.open(encoding="utf-8") as handle:
+            data = json.load(handle)
+        if data.get("schema") != SCHEMA_VERSION:
+            raise SystemExit(f"unsupported {path.name} schema: {data.get('schema')!r}")
+        return data
+    return {"schema": SCHEMA_VERSION, "entries": []}
+
+
+def latest_entry(trajectory: dict[str, Any], mode: str) -> dict[str, Any] | None:
+    for entry in reversed(trajectory.get("entries", [])):
+        if entry.get("mode") == mode:
+            return entry
+    return None
+
+
+def append_entry(path: Path, mode: str, label: str,
+                 results: dict[str, Any]) -> dict[str, Any]:
+    trajectory = load_trajectory(path)
+    entry = {
+        "label": label,
+        "mode": mode,
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "results": results,
+    }
+    trajectory["entries"].append(entry)
+    path.write_text(json.dumps(trajectory, indent=2) + "\n", encoding="utf-8")
+    return entry
+
+
+def format_results(results: dict[str, Any]) -> str:
+    lines = [f"{'domain':<8} {'scale':>6} {'match_s':>9} {'fast_s':>9} {'naive_s':>9} "
+             f"{'matches':>8} {'repairs':>8}"]
+    for domain, row in results.items():
+        lines.append(f"{domain:<8} {row['scale']:>6} {row['match_seconds']:>9.4f} "
+                     f"{row['fast_seconds']:>9.4f} {row['naive_seconds']:>9.4f} "
+                     f"{row['matches']:>8} {row['fast_repairs_applied']:>8}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--mode", choices=sorted(MODES), default="quick")
+    parser.add_argument("--label", default="manual run",
+                        help="free-form description stored with the entry")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--dry-run", action="store_true",
+                        help="measure and print, do not write the trajectory")
+    args = parser.parse_args(argv)
+
+    results = measure(args.mode)
+    print(format_results(results))
+    if args.dry_run:
+        return 0
+    append_entry(args.output, args.mode, args.label, results)
+    print(f"\n[appended {args.mode!r} entry to {args.output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

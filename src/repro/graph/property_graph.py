@@ -42,9 +42,12 @@ class PropertyGraph:
         self.name = name
         self._nodes: dict[NodeId, Node] = {}
         self._edges: dict[EdgeId, Edge] = {}
-        # adjacency: node id -> set of incident edge ids (split by direction)
-        self._out_edges: dict[NodeId, set[EdgeId]] = {}
-        self._in_edges: dict[NodeId, set[EdgeId]] = {}
+        # adjacency: node id -> incident edge ids (split by direction).  Stored
+        # as insertion-ordered dicts (id -> None) rather than sets so that the
+        # matcher can iterate adjacency deterministically without re-sorting on
+        # every backtracking step.
+        self._out_edges: dict[NodeId, dict[EdgeId, None]] = {}
+        self._in_edges: dict[NodeId, dict[EdgeId, None]] = {}
         # label indexes
         self._nodes_by_label: dict[Label, set[NodeId]] = {}
         self._edges_by_label: dict[Label, set[EdgeId]] = {}
@@ -167,8 +170,53 @@ class PropertyGraph:
     def incident_edges(self, node_id: NodeId) -> list[Edge]:
         """All edges incident to ``node_id`` in either direction (self-loops once)."""
         self._require_node(node_id)
-        edge_ids = self._out_edges.get(node_id, set()) | self._in_edges.get(node_id, set())
+        edge_ids = (self._out_edges.get(node_id, {}).keys()
+                    | self._in_edges.get(node_id, {}).keys())
         return [self._edges[eid] for eid in sorted(edge_ids)]
+
+    @property
+    def edge_store(self) -> Mapping[EdgeId, Edge]:
+        """The live edge-id -> :class:`Edge` mapping (read-only contract).
+
+        Hot-path counterpart of :meth:`edge` for inner loops that resolve many
+        edge ids and can tolerate a plain ``KeyError``: direct dict indexing
+        skips the not-found wrapping.  Callers must not mutate it.
+        """
+        return self._edges
+
+    @property
+    def node_store(self) -> Mapping[NodeId, Node]:
+        """The live node-id -> :class:`Node` mapping (read-only contract, see
+        :attr:`edge_store`)."""
+        return self._nodes
+
+    def out_edge_ids(self, node_id: NodeId):
+        """Zero-copy view of the outgoing edge ids of ``node_id``.
+
+        Insertion-ordered and deterministic; the view must not be mutated and
+        is invalidated by graph mutations.  This is the matcher's hot-path
+        accessor — unlike :meth:`out_edges` it neither copies nor sorts.
+        """
+        bucket = self._out_edges.get(node_id)
+        return bucket.keys() if bucket is not None else ()
+
+    def in_edge_ids(self, node_id: NodeId):
+        """Zero-copy view of the incoming edge ids of ``node_id`` (see
+        :meth:`out_edge_ids`)."""
+        bucket = self._in_edges.get(node_id)
+        return bucket.keys() if bucket is not None else ()
+
+    def iter_out_edges(self, node_id: NodeId) -> Iterator[Edge]:
+        """Outgoing edges in insertion order, without copying or sorting."""
+        edges = self._edges
+        for edge_id in self._out_edges.get(node_id, ()):
+            yield edges[edge_id]
+
+    def iter_in_edges(self, node_id: NodeId) -> Iterator[Edge]:
+        """Incoming edges in insertion order, without copying or sorting."""
+        edges = self._edges
+        for edge_id in self._in_edges.get(node_id, ()):
+            yield edges[edge_id]
 
     def out_degree(self, node_id: NodeId) -> int:
         self._require_node(node_id)
@@ -200,11 +248,20 @@ class PropertyGraph:
         """All edges from ``source`` to ``target`` (optionally restricted to a label)."""
         self._require_node(source)
         self._require_node(target)
+        # Probe whichever endpoint has the smaller adjacency list.
+        out_bucket = self._out_edges.get(source, ())
+        in_bucket = self._in_edges.get(target, ())
         found = []
-        for edge_id in self._out_edges.get(source, ()):
-            edge = self._edges[edge_id]
-            if edge.target == target and (label is None or edge.label == label):
-                found.append(edge)
+        if len(out_bucket) <= len(in_bucket):
+            for edge_id in out_bucket:
+                edge = self._edges[edge_id]
+                if edge.target == target and (label is None or edge.label == label):
+                    found.append(edge)
+        else:
+            for edge_id in in_bucket:
+                edge = self._edges[edge_id]
+                if edge.source == source and (label is None or edge.label == label):
+                    found.append(edge)
         return found
 
     def has_edge_between(self, source: NodeId, target: NodeId,
@@ -236,8 +293,8 @@ class PropertyGraph:
             self._node_ids.observe(node_id)
         node = Node(id=node_id, label=label, properties=dict(properties or {}))
         self._nodes[node_id] = node
-        self._out_edges[node_id] = set()
-        self._in_edges[node_id] = set()
+        self._out_edges[node_id] = {}
+        self._in_edges[node_id] = {}
         self._nodes_by_label.setdefault(label, set()).add(node_id)
         self._emit(GraphChange(kind=ChangeKind.ADD_NODE, node_id=node_id,
                                touched_nodes=(node_id,)))
@@ -259,8 +316,8 @@ class PropertyGraph:
         edge = Edge(id=edge_id, source=source, target=target, label=label,
                     properties=dict(properties or {}))
         self._edges[edge_id] = edge
-        self._out_edges[source].add(edge_id)
-        self._in_edges[target].add(edge_id)
+        self._out_edges[source][edge_id] = None
+        self._in_edges[target][edge_id] = None
         self._edges_by_label.setdefault(label, set()).add(edge_id)
         self._emit(GraphChange(kind=ChangeKind.ADD_EDGE, edge_id=edge_id,
                                touched_nodes=(source, target)))
@@ -390,8 +447,8 @@ class PropertyGraph:
                                target=new_target, label=edge.label,
                                properties=dict(edge.properties))
             self._edges[replacement.id] = replacement
-            self._out_edges[new_source].add(replacement.id)
-            self._in_edges[new_target].add(replacement.id)
+            self._out_edges[new_source][replacement.id] = None
+            self._in_edges[new_target][replacement.id] = None
             self._edges_by_label.setdefault(replacement.label, set()).add(replacement.id)
             added_edges.append(replacement.id)
 
@@ -526,8 +583,8 @@ class PropertyGraph:
 
     def _detach_edge(self, edge: Edge) -> None:
         del self._edges[edge.id]
-        self._out_edges[edge.source].discard(edge.id)
-        self._in_edges[edge.target].discard(edge.id)
+        self._out_edges[edge.source].pop(edge.id, None)
+        self._in_edges[edge.target].pop(edge.id, None)
         self._discard_from_index(self._edges_by_label, edge.label, edge.id)
 
     def _has_equivalent_edge(self, source: NodeId, target: NodeId, label: Label) -> bool:

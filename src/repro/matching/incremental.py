@@ -5,41 +5,68 @@ graph, we do not re-enumerate all matches of all rule patterns.  Instead:
 
 1. **Invalidation** — existing matches that bind a removed element, or whose
    bound elements were touched by the delta, are re-verified; invalid ones
-   are dropped.
-2. **Discovery** — new matches can only involve elements in the *affected
-   region* (the touched nodes of the delta and, for patterns with radius
-   > 1, their neighbourhood).  For every touched node that survives in the
-   graph and every pattern variable whose label is compatible, a seeded
-   backtracking search is run with that variable pinned to that node.  The
-   union over touched nodes, deduplicated by match key, is exactly the set of
-   new matches that overlap the affected region.
+   are dropped.  The store keeps an **inverted element→match index** (node id
+   and edge id → match keys), so only the matches actually overlapping the
+   delta are visited — O(matches touching the delta), not O(all stored
+   matches).
+2. **Discovery** — a match that exists after the delta but not before must
+   bind at least one *changed* element.  Seeded backtracking searches are
+   therefore derived per change kind: an added/updated/relabelled data edge
+   pins **both** endpoint variables of every label-compatible pattern edge
+   (the new match must use the changed edge as witness or edge binding, so
+   its endpoints are fixed), an added/updated/relabelled node is pinned at
+   every label-compatible variable, and node merges conservatively seed the
+   whole touched region.  Removals are purely subtractive for this
+   existential-positive pattern language and trigger no discovery.  The union
+   of the searches, deduplicated by match key, is exactly the set of new
+   matches.
 
 The correctness argument is the standard locality argument for connected
-patterns: a match that exists after the delta but not before must bind at
-least one element whose existence, label, properties, or incidence changed —
-i.e. a touched node or an edge incident to one — and the seeded searches
-cover all such bindings.
+patterns: every new match binds a changed element, every changed element's
+possible positions in a match are enumerated, and seeded search is complete
+for a fixed seed.
+
+One :class:`~repro.matching.vf2.VF2Matcher` instance is shared across the
+initial enumeration and every seeded search, so per-pattern search plans are
+compiled once and :class:`~repro.matching.vf2.MatchingStats` accumulate for
+the whole maintenance lifetime (surfaced in the repair report).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Iterator
 
-from repro.graph.delta import GraphDelta
+from repro.graph.delta import ChangeKind, GraphDelta
 from repro.graph.property_graph import PropertyGraph
 from repro.matching.decomposition import variables_compatible_with_label
-from repro.matching.index import CandidateIndex
+from repro.matching.index import CandidateIndex, pattern_requirements
 from repro.matching.pattern import Match, Pattern
-from repro.matching.vf2 import VF2Matcher
+from repro.matching.vf2 import MatchingStats, VF2Matcher
+
+# Change kinds whose discovery seeds pin a (changed) data edge's endpoints to
+# the endpoint variables of compatible pattern edges, versus kinds that seed
+# one changed node at every compatible variable.
+_EDGE_SEED_KINDS = frozenset({ChangeKind.ADD_EDGE, ChangeKind.UPDATE_EDGE,
+                              ChangeKind.RELABEL_EDGE})
+_NODE_SEED_KINDS = frozenset({ChangeKind.ADD_NODE, ChangeKind.UPDATE_NODE,
+                              ChangeKind.RELABEL_NODE})
 
 
 @dataclass
 class MatchStore:
-    """The current set of matches of one pattern, keyed by match identity."""
+    """The current set of matches of one pattern, keyed by match identity.
+
+    Alongside the primary ``matches`` dict the store maintains an inverted
+    index from bound element ids to match keys, so that delta-driven
+    invalidation can jump straight to the matches overlapping a changed
+    region instead of scanning the whole store.
+    """
 
     pattern: Pattern
     matches: dict[tuple, Match] = field(default_factory=dict)
+    _by_node: dict[str, set[tuple]] = field(default_factory=dict, repr=False)
+    _by_edge: dict[str, set[tuple]] = field(default_factory=dict, repr=False)
 
     def add(self, match: Match) -> bool:
         """Insert a match; returns True if it was not already present."""
@@ -47,15 +74,68 @@ class MatchStore:
         if key in self.matches:
             return False
         self.matches[key] = match
+        for node_id in match.node_bindings.values():
+            self._by_node.setdefault(node_id, set()).add(key)
+        for edge_id in match.edge_bindings.values():
+            self._by_edge.setdefault(edge_id, set()).add(key)
         return True
 
     def discard(self, match: Match) -> None:
-        self.matches.pop(match.key(), None)
+        key = match.key()
+        if self.matches.pop(key, None) is None:
+            return
+        for node_id in match.node_bindings.values():
+            bucket = self._by_node.get(node_id)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._by_node[node_id]
+        for edge_id in match.edge_bindings.values():
+            bucket = self._by_edge.get(edge_id)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._by_edge[edge_id]
+
+    def matches_touching(self, node_ids: Iterable[str] = (),
+                         edge_ids: Iterable[str] = ()) -> list[Match]:
+        """Stored matches binding any of the given element ids.
+
+        Cost is proportional to the number of overlapping matches (plus one
+        index probe per queried id), independent of the store size.  Results
+        are ordered by match key so downstream iteration (violation queueing)
+        stays deterministic across processes.
+        """
+        keys: set[tuple] = set()
+        by_node = self._by_node
+        for node_id in node_ids:
+            bucket = by_node.get(node_id)
+            if bucket:
+                keys.update(bucket)
+        by_edge = self._by_edge
+        for edge_id in edge_ids:
+            bucket = by_edge.get(edge_id)
+            if bucket:
+                keys.update(bucket)
+        matches = self.matches
+        return [matches[key] for key in sorted(keys)]
+
+    def check_integrity(self) -> bool:
+        """Verify the inverted index exactly mirrors the stored matches
+        (test/debug helper; O(store size))."""
+        expected_nodes: dict[str, set[tuple]] = {}
+        expected_edges: dict[str, set[tuple]] = {}
+        for key, match in self.matches.items():
+            for node_id in match.node_bindings.values():
+                expected_nodes.setdefault(node_id, set()).add(key)
+            for edge_id in match.edge_bindings.values():
+                expected_edges.setdefault(edge_id, set()).add(key)
+        return expected_nodes == self._by_node and expected_edges == self._by_edge
 
     def __len__(self) -> int:
         return len(self.matches)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Match]:
         return iter(list(self.matches.values()))
 
     def all(self) -> list[Match]:
@@ -64,11 +144,17 @@ class MatchStore:
 
 @dataclass
 class IncrementalUpdate:
-    """The outcome of applying one delta to a match store."""
+    """The outcome of applying one delta to a match store.
+
+    ``invalidation_checked`` counts the stored matches re-verified during
+    invalidation — with the inverted index this is the number of matches
+    overlapping the delta, which the O(delta) regression tests assert on.
+    """
 
     invalidated: list[Match] = field(default_factory=list)
     discovered: list[Match] = field(default_factory=list)
     seeded_searches: int = 0
+    invalidation_checked: int = 0
 
 
 class IncrementalMatcher:
@@ -80,6 +166,17 @@ class IncrementalMatcher:
         self.candidate_index = candidate_index
         self.use_decomposition = use_decomposition
         self._stores: dict[str, MatchStore] = {}
+        self._engine = VF2Matcher(graph=graph, candidate_index=candidate_index,
+                                  use_decomposition=use_decomposition)
+        # cached pattern_requirements per (pattern, variable) for seed pruning;
+        # the value keeps a strong reference to the pattern so the id() key
+        # can never be recycled while the entry is alive
+        self._requirements: dict[tuple[int, str], tuple] = {}
+
+    @property
+    def stats(self) -> MatchingStats:
+        """Accumulated matching statistics of every search this maintainer ran."""
+        return self._engine.stats
 
     # ------------------------------------------------------------------
     # registration and initial enumeration
@@ -91,8 +188,7 @@ class IncrementalMatcher:
         store = MatchStore(pattern=pattern)
         self._stores[pattern.name] = store
         if enumerate_now:
-            matcher = self._matcher()
-            for match in matcher.iter_matches(pattern, limit=limit):
+            for match in self._engine.iter_matches(pattern, limit=limit):
                 store.add(match)
         return store
 
@@ -131,47 +227,127 @@ class IncrementalMatcher:
         removed_edges = delta.removed_edge_ids
         touched = delta.touched_nodes
 
-        # 1. Invalidation: re-verify matches overlapping the affected region.
-        for match in list(store.all()):
-            overlaps = (match.touches(node_ids=removed_nodes | touched,
-                                      edge_ids=removed_edges))
-            if not overlaps:
-                continue
+        # 1. Invalidation: re-verify only the matches overlapping the affected
+        #    region, found through the store's inverted element→match index.
+        overlapping = store.matches_touching(node_ids=removed_nodes | touched,
+                                             edge_ids=removed_edges)
+        update.invalidation_checked = len(overlapping)
+        for match in overlapping:
             if not match.is_valid(self.graph):
                 store.discard(match)
                 update.invalidated.append(match)
 
-        # 2. Discovery: seeded searches from surviving touched nodes.
+        # 2. Discovery: delta-driven seeded searches.  A match that exists
+        #    after the delta but not before must bind a changed element, so
+        #    the seeds are derived per change kind:
+        #
+        #    * added / relabelled / updated *edges* pin BOTH endpoint
+        #      variables of every label-compatible pattern edge (the new match
+        #      must use the changed edge as a witness, or bind it as an edge
+        #      variable — either way its endpoints are fixed);
+        #    * added / relabelled / updated *nodes* seed that node at every
+        #      compatible variable (only its own state changed);
+        #    * node merges fall back to the conservative touched-node region
+        #      (they restructure incidence non-locally).
+        #
+        #    Removals are purely subtractive for the existential-positive
+        #    pattern language and need no discovery at all.
         if delta.has_additive_effect:
-            affected_nodes = {node_id for node_id in touched if self.graph.has_node(node_id)}
-            affected_nodes.update(node_id for node_id in delta.added_node_ids
-                                  if self.graph.has_node(node_id))
-            matcher = self._matcher()
-            for node_id in sorted(affected_nodes):
-                node_label = self.graph.node(node_id).label
-                for variable in variables_compatible_with_label(store.pattern, node_label):
-                    update.seeded_searches += 1
-                    for match in matcher.iter_matches(store.pattern,
-                                                      seed={variable: node_id}):
-                        if store.add(match):
-                            update.discovered.append(match)
+            self._discover(store, delta, update)
         return update
+
+    def _discover(self, store: MatchStore, delta: GraphDelta,
+                  update: IncrementalUpdate) -> None:
+        graph = self.graph
+        pattern = store.pattern
+        seed_nodes: set[str] = set()
+        edge_seeds: set[tuple[str, str, str]] = set()
+        for change in delta.changes:
+            kind = change.kind
+            if kind in _EDGE_SEED_KINDS:
+                if change.edge_id is not None and graph.has_edge(change.edge_id):
+                    edge = graph.edge(change.edge_id)
+                    edge_seeds.add((edge.source, edge.target, edge.label))
+            elif kind in _NODE_SEED_KINDS:
+                if change.node_id is not None:
+                    seed_nodes.add(change.node_id)
+            elif kind is ChangeKind.MERGE_NODES:
+                if change.node_id is not None:
+                    seed_nodes.add(change.node_id)
+                seed_nodes.update(change.touched_nodes)
+
+        engine = self._engine
+        launched: set[tuple] = set()
+
+        def run_search(seed: dict[str, str]) -> None:
+            key = tuple(sorted(seed.items()))
+            if key in launched:
+                return
+            launched.add(key)
+            update.seeded_searches += 1
+            for match in engine.iter_matches(pattern, seed=seed):
+                if store.add(match):
+                    update.discovered.append(match)
+
+        for node_id in sorted(node_id for node_id in seed_nodes
+                              if graph.has_node(node_id)):
+            node = graph.node(node_id)
+            for variable in variables_compatible_with_label(pattern, node.label):
+                if self._seed_viable(pattern, variable, node_id, node):
+                    run_search({variable: node_id})
+
+        for source_id, target_id, label in sorted(edge_seeds):
+            if not (graph.has_node(source_id) and graph.has_node(target_id)):
+                continue
+            source_node = graph.node(source_id)
+            target_node = graph.node(target_id)
+            for pattern_edge in pattern.edges:
+                if pattern_edge.label is not None and pattern_edge.label != label:
+                    continue
+                if pattern_edge.source == pattern_edge.target:
+                    # self-loop pattern edge needs a self-loop witness
+                    if source_id == target_id and self._seed_viable(
+                            pattern, pattern_edge.source, source_id, source_node):
+                        run_search({pattern_edge.source: source_id})
+                    continue
+                if source_id == target_id:
+                    continue  # injectivity: distinct variables, distinct nodes
+                if not self._seed_viable(pattern, pattern_edge.source,
+                                         source_id, source_node):
+                    continue
+                if not self._seed_viable(pattern, pattern_edge.target,
+                                         target_id, target_node):
+                    continue
+                run_search({pattern_edge.source: source_id,
+                            pattern_edge.target: target_id})
+
+    def _seed_viable(self, pattern: Pattern, variable: str, node_id: str, node) -> bool:
+        """Cheap pre-filter for seeded searches: the seed node must pass the
+        variable's label/unary predicates and, when a candidate index is
+        available, its neighbourhood signature must dominate the variable's
+        pattern-edge requirements."""
+        if not pattern.node_variable(variable).matches(node):
+            return False
+        index = self.candidate_index
+        if index is None:
+            return True
+        key = (id(pattern), variable)
+        cached = self._requirements.get(key)
+        if cached is None or cached[0] is not pattern:
+            cached = (pattern, pattern_requirements(pattern, variable))
+            self._requirements[key] = cached
+        return index.signature_dominates(node_id, *cached[1])
 
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
-
-    def _matcher(self) -> VF2Matcher:
-        return VF2Matcher(graph=self.graph, candidate_index=self.candidate_index,
-                          use_decomposition=self.use_decomposition)
 
     def recompute(self, pattern_name: str) -> MatchStore:
         """Throw away and fully re-enumerate one pattern's matches (used in tests
         as the oracle the incremental path is compared against)."""
         store = self._stores[pattern_name]
         fresh = MatchStore(pattern=store.pattern)
-        matcher = self._matcher()
-        for match in matcher.iter_matches(store.pattern):
+        for match in self._engine.iter_matches(store.pattern):
             fresh.add(match)
         self._stores[pattern_name] = fresh
         return fresh

@@ -26,6 +26,9 @@ from repro.graph.delta import ChangeKind, GraphChange
 from repro.graph.property_graph import PropertyGraph
 from repro.matching.pattern import Pattern, PatternNode
 
+# Shared empty bucket so ``label_bucket`` misses allocate nothing.
+_EMPTY_BUCKET: frozenset = frozenset()
+
 
 class CandidateIndex:
     """Per-label node buckets plus per-node edge-label signatures."""
@@ -35,6 +38,10 @@ class CandidateIndex:
         self._by_label: dict[str, set[str]] = {}
         self._out_signature: dict[str, Counter] = {}
         self._in_signature: dict[str, Counter] = {}
+        # cached total degrees so wildcard (None-label) requirements never
+        # re-sum the signature counters per probe
+        self._out_total: dict[str, int] = {}
+        self._in_total: dict[str, int] = {}
         self._attached = False
         self.rebuild()
 
@@ -47,13 +54,19 @@ class CandidateIndex:
         self._by_label = {}
         self._out_signature = {}
         self._in_signature = {}
+        self._out_total = {}
+        self._in_total = {}
         for node in self._graph.nodes():
             self._by_label.setdefault(node.label, set()).add(node.id)
             self._out_signature[node.id] = Counter()
             self._in_signature[node.id] = Counter()
+            self._out_total[node.id] = 0
+            self._in_total[node.id] = 0
         for edge in self._graph.edges():
             self._out_signature[edge.source][edge.label] += 1
             self._in_signature[edge.target][edge.label] += 1
+            self._out_total[edge.source] += 1
+            self._in_total[edge.target] += 1
 
     def attach(self) -> None:
         """Subscribe to the graph's change feed for incremental maintenance."""
@@ -80,18 +93,24 @@ class CandidateIndex:
             self._by_label.setdefault(node.label, set()).add(node.id)
             self._out_signature.setdefault(node.id, Counter())
             self._in_signature.setdefault(node.id, Counter())
+            self._out_total.setdefault(node.id, 0)
+            self._in_total.setdefault(node.id, 0)
         elif kind is ChangeKind.ADD_EDGE and change.edge_id is not None:
             edge = self._graph.edge(change.edge_id)
             self._out_signature.setdefault(edge.source, Counter())[edge.label] += 1
             self._in_signature.setdefault(edge.target, Counter())[edge.label] += 1
+            self._out_total[edge.source] = self._out_total.get(edge.source, 0) + 1
+            self._in_total[edge.target] = self._in_total.get(edge.target, 0) + 1
         elif kind is ChangeKind.REMOVE_EDGE:
             label = change.details.get("label")
             source = change.details.get("source")
             target = change.details.get("target")
             if source in self._out_signature and label is not None:
                 self._decrement(self._out_signature[source], label)
+                self._out_total[source] = max(0, self._out_total.get(source, 0) - 1)
             if target in self._in_signature and label is not None:
                 self._decrement(self._in_signature[target], label)
+                self._in_total[target] = max(0, self._in_total.get(target, 0) - 1)
         elif kind is ChangeKind.REMOVE_NODE and change.node_id is not None:
             removed_label = change.details.get("label")
             self._drop_node(change.node_id, removed_label)
@@ -130,19 +149,27 @@ class CandidateIndex:
                 bucket.discard(node_id)
         self._out_signature.pop(node_id, None)
         self._in_signature.pop(node_id, None)
+        self._out_total.pop(node_id, None)
+        self._in_total.pop(node_id, None)
 
     def _refresh_nodes(self, node_ids: Iterable[str]) -> None:
         for node_id in node_ids:
             if not self._graph.has_node(node_id):
                 continue
             out_counter: Counter = Counter()
-            for edge in self._graph.out_edges(node_id):
+            out_total = 0
+            for edge in self._graph.iter_out_edges(node_id):
                 out_counter[edge.label] += 1
+                out_total += 1
             in_counter: Counter = Counter()
-            for edge in self._graph.in_edges(node_id):
+            in_total = 0
+            for edge in self._graph.iter_in_edges(node_id):
                 in_counter[edge.label] += 1
+                in_total += 1
             self._out_signature[node_id] = out_counter
             self._in_signature[node_id] = in_counter
+            self._out_total[node_id] = out_total
+            self._in_total[node_id] = in_total
 
     @staticmethod
     def _decrement(counter: Counter, key: str) -> None:
@@ -155,30 +182,50 @@ class CandidateIndex:
     # ------------------------------------------------------------------
 
     def nodes_with_label(self, label: str | None) -> set[str]:
-        """Node ids with the given label; ``None`` means all nodes."""
+        """Node ids with the given label (a fresh, caller-owned set);
+        ``None`` means all nodes."""
         if label is None:
             return set(self._out_signature.keys())
         return set(self._by_label.get(label, set()))
+
+    def label_bucket(self, label: str | None):
+        """Zero-copy view of the node ids with ``label`` (``None`` = all nodes).
+
+        The returned collection is the live internal bucket: it must not be
+        mutated and is invalidated by graph mutations.  Hot-path counterpart of
+        :meth:`nodes_with_label`.
+        """
+        if label is None:
+            return self._out_signature.keys()
+        return self._by_label.get(label, _EMPTY_BUCKET)
 
     def label_count(self, label: str | None) -> int:
         if label is None:
             return len(self._out_signature)
         return len(self._by_label.get(label, ()))
 
+    def total_degree(self, node_id: str) -> tuple[int, int]:
+        """Cached (out, in) total degree of a node (0, 0 if unknown)."""
+        return self._out_total.get(node_id, 0), self._in_total.get(node_id, 0)
+
     def signature_dominates(self, node_id: str, out_required: Counter,
                             in_required: Counter) -> bool:
-        """True if the node has at least the required per-label out/in edges."""
+        """True if the node has at least the required per-label out/in edges.
+
+        Wildcard (``None``-label) requirements compare against the cached
+        total degree instead of re-summing the signature per probe.
+        """
         out_signature = self._out_signature.get(node_id)
         in_signature = self._in_signature.get(node_id)
         if out_signature is None or in_signature is None:
             return False
         for label, required in out_required.items():
-            available = (sum(out_signature.values()) if label is None
+            available = (self._out_total.get(node_id, 0) if label is None
                          else out_signature.get(label, 0))
             if available < required:
                 return False
         for label, required in in_required.items():
-            available = (sum(in_signature.values()) if label is None
+            available = (self._in_total.get(node_id, 0) if label is None
                          else in_signature.get(label, 0))
             if available < required:
                 return False
@@ -194,13 +241,15 @@ class CandidateIndex:
         """
         pattern_node = pattern.node_variable(variable)
         out_required, in_required = pattern_requirements(pattern, variable)
+        check_predicates = apply_predicates and pattern_node.predicates
+        node = self._graph.node
+        dominates = self.signature_dominates
         result = []
-        for node_id in self.nodes_with_label(pattern_node.label):
-            if not self.signature_dominates(node_id, out_required, in_required):
+        for node_id in self.label_bucket(pattern_node.label):
+            if not dominates(node_id, out_required, in_required):
                 continue
-            if apply_predicates and pattern_node.predicates:
-                if not pattern_node.matches(self._graph.node(node_id)):
-                    continue
+            if check_predicates and not pattern_node.matches(node(node_id)):
+                continue
             result.append(node_id)
         return result
 
@@ -211,14 +260,32 @@ class CandidateIndex:
 
 def pattern_requirements(pattern: Pattern, variable: str) -> tuple[Counter, Counter]:
     """The per-label outgoing/incoming edge counts a data node must have to
-    possibly bind ``variable``."""
+    possibly bind ``variable``.
+
+    Two pattern edges need *distinct* witnessing data edges only when they
+    connect different variable pairs (injectivity forces distinct endpoints)
+    or when they carry edge variables (the edge-binding phase enforces
+    distinctness).  Parallel variable-less pattern edges between the same pair
+    may share one witness, so they contribute a single requirement — counting
+    them individually over-prunes (a node with one ``r`` edge can satisfy two
+    parallel variable-less ``r`` constraints).
+    """
+    out_groups: dict[tuple[str, str | None], int] = {}
+    in_groups: dict[tuple[str, str | None], int] = {}
+    for edge in pattern.edges:
+        carries_variable = 1 if edge.variable is not None else 0
+        if edge.source == variable:
+            key = (edge.target, edge.label)
+            out_groups[key] = out_groups.get(key, 0) + carries_variable
+        if edge.target == variable:
+            key = (edge.source, edge.label)
+            in_groups[key] = in_groups.get(key, 0) + carries_variable
     out_required: Counter = Counter()
     in_required: Counter = Counter()
-    for edge in pattern.edges:
-        if edge.source == variable:
-            out_required[edge.label] += 1
-        if edge.target == variable:
-            in_required[edge.label] += 1
+    for (_other, label), variable_count in out_groups.items():
+        out_required[label] += max(1, variable_count)
+    for (_other, label), variable_count in in_groups.items():
+        in_required[label] += max(1, variable_count)
     return out_required, in_required
 
 
@@ -237,17 +304,19 @@ def naive_candidates(graph: PropertyGraph, pattern: Pattern, variable: str,
     else:
         node_pool = list(graph.nodes())
     for node in node_pool:
-        out_counter: Counter = Counter(edge.label for edge in graph.out_edges(node.id))
-        in_counter: Counter = Counter(edge.label for edge in graph.in_edges(node.id))
+        out_counter: Counter = Counter(edge.label for edge in graph.iter_out_edges(node.id))
+        in_counter: Counter = Counter(edge.label for edge in graph.iter_in_edges(node.id))
+        out_total = graph.out_degree(node.id)
+        in_total = graph.in_degree(node.id)
         satisfied = True
         for label, required in out_required.items():
-            available = sum(out_counter.values()) if label is None else out_counter.get(label, 0)
+            available = out_total if label is None else out_counter.get(label, 0)
             if available < required:
                 satisfied = False
                 break
         if satisfied:
             for label, required in in_required.items():
-                available = sum(in_counter.values()) if label is None else in_counter.get(label, 0)
+                available = in_total if label is None else in_counter.get(label, 0)
                 if available < required:
                     satisfied = False
                     break

@@ -52,12 +52,18 @@ class Matcher:
     maintain_index: bool = True
     stats: MatchingStats = field(default_factory=MatchingStats)
     _index: CandidateIndex | None = field(default=None, repr=False)
+    _shared_engine: VF2Matcher | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.config.use_candidate_index:
             self._index = CandidateIndex(self.graph)
             if self.maintain_index:
                 self._index.attach()
+        engine = VF2Matcher(graph=self.graph, candidate_index=self._index,
+                            use_decomposition=self.config.use_decomposition,
+                            time_budget=self.config.time_budget)
+        engine.stats = self.stats
+        self._shared_engine = engine
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -83,11 +89,9 @@ class Matcher:
     # ------------------------------------------------------------------
 
     def _engine(self) -> VF2Matcher:
-        engine = VF2Matcher(graph=self.graph, candidate_index=self._index,
-                            use_decomposition=self.config.use_decomposition,
-                            time_budget=self.config.time_budget)
-        engine.stats = self.stats
-        return engine
+        # One engine for the matcher's lifetime: compiled per-pattern search
+        # plans are reused across queries and stats accumulate in one place.
+        return self._shared_engine
 
     def find_matches(self, pattern: Pattern, seed: Mapping[str, str] | None = None,
                      limit: int | None = None) -> list[Match]:

@@ -42,6 +42,8 @@ class PatternNode:
         """Label + unary-predicate check against a data :class:`~repro.graph.elements.Node`."""
         if self.label is not None and node.label != self.label:
             return False
+        if not self.predicates:
+            return True
         return all(predicate.evaluate(node.properties) for predicate in self.predicates)
 
     def describe(self) -> str:
@@ -70,6 +72,8 @@ class PatternEdge:
         """Label + unary-predicate check against a data :class:`~repro.graph.elements.Edge`."""
         if self.label is not None and edge.label != self.label:
             return False
+        if not self.predicates:
+            return True
         return all(predicate.evaluate(edge.properties) for predicate in self.predicates)
 
     def describe(self) -> str:
@@ -301,9 +305,9 @@ class Match:
     def touches(self, node_ids: set[str] | None = None,
                 edge_ids: set[str] | None = None) -> bool:
         """True if the match binds any of the given node/edge ids."""
-        if node_ids and self.bound_node_ids() & node_ids:
+        if node_ids and any(bound in node_ids for bound in self.node_bindings.values()):
             return True
-        if edge_ids and self.bound_edge_ids() & edge_ids:
+        if edge_ids and any(bound in edge_ids for bound in self.edge_bindings.values()):
             return True
         return False
 

@@ -9,6 +9,19 @@ comparisons are enforced during the search; edge variables are bound in a
 final phase that requires distinct data edges for distinct edge variables
 (needed for duplicate-parallel-edge redundancy patterns).
 
+Hot-path design (this is the inner loop of every repair run):
+
+* per-pattern search state — the variable order, the edges-touching map, and
+  the node-only comparison list — is compiled once per matcher instance and
+  cached, so seeded searches repeated thousands of times during incremental
+  maintenance pay none of it again;
+* join candidates are derived by iterating the *smallest* adjacency list of
+  the bound neighbours and letting the constraint check filter the rest,
+  instead of materialising and intersecting full witness sets;
+* candidate order comes from the graph's insertion-ordered adjacency (a
+  deterministic tie-break established when the edge was created), so no
+  per-backtrack-step ``sorted()`` is needed.
+
 Two knobs matter for the experiments:
 
 * ``candidate_index`` — with an index, root candidates come from label
@@ -46,6 +59,34 @@ class MatchingStats:
         self.matches_found += other.matches_found
         self.elapsed_seconds += other.elapsed_seconds
 
+    def as_dict(self) -> dict:
+        return {
+            "nodes_tried": self.nodes_tried,
+            "backtracks": self.backtracks,
+            "matches_found": self.matches_found,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+@dataclass
+class _PatternProfile:
+    """Per-pattern search state compiled once and reused across searches.
+
+    Keeping a strong reference to the pattern means the ``id(pattern)`` cache
+    key can never be recycled by the garbage collector while the profile is
+    alive.
+    """
+
+    pattern: Pattern
+    base_order: list[str]
+    touching: dict[str, tuple[PatternEdge, ...]]
+    node_variables: dict[str, object]
+    # node-only comparisons (edge-variable comparisons are checked after edge
+    # binding) dispatched by variable: a comparison is listed under each of its
+    # variables and evaluated exactly once — when its last variable binds.
+    comparisons_by_variable: dict[str, tuple[tuple[object, frozenset], ...]]
+    edge_constraints: tuple[PatternEdge, ...]
+
 
 @dataclass
 class VF2Matcher:
@@ -64,6 +105,10 @@ class VF2Matcher:
     time_budget:
         Optional wall-clock budget in seconds; exceeding it raises
         :class:`MatchTimeout`.
+
+    A matcher instance is cheap to keep around and is *designed* to be reused
+    across many searches of the same patterns: the per-pattern search plan is
+    compiled on first use and cached, and ``stats`` accumulates across calls.
     """
 
     graph: PropertyGraph
@@ -71,6 +116,7 @@ class VF2Matcher:
     use_decomposition: bool = True
     time_budget: float | None = None
     stats: MatchingStats = field(default_factory=MatchingStats)
+    _profiles: dict[int, _PatternProfile] = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------
     # public API
@@ -103,7 +149,8 @@ class VF2Matcher:
         started = time.perf_counter()
         deadline = started + self.time_budget if self.time_budget is not None else None
 
-        order = self._variable_order(pattern, seed)
+        profile = self._profile(pattern)
+        order = self._variable_order(profile, seed)
         assignment: dict[str, str] = {}
         used_nodes: set[str] = set()
 
@@ -124,7 +171,7 @@ class VF2Matcher:
                 return
 
         emitted = 0
-        for match in self._backtrack(pattern, order, 0, assignment, used_nodes, deadline):
+        for match in self._backtrack(profile, order, 0, assignment, used_nodes, deadline):
             yield match
             emitted += 1
             self.stats.matches_found += 1
@@ -133,36 +180,72 @@ class VF2Matcher:
         self.stats.elapsed_seconds += time.perf_counter() - started
 
     # ------------------------------------------------------------------
-    # search internals
+    # per-pattern compiled state
     # ------------------------------------------------------------------
 
-    def _variable_order(self, pattern: Pattern, seed: Mapping[str, str] | None) -> list[str]:
-        if self.use_decomposition:
-            selectivity = None
-            if self.candidate_index is not None:
-                def selectivity(p: Pattern, variable: str) -> float:  # noqa: ANN001
-                    label_count = self.candidate_index.candidate_count_estimate(p, variable)
-                    # fewer candidates and more constraints first
-                    return label_count - 5.0 * len(p.edges_touching(variable))
-            order = build_search_plan(pattern, selectivity=selectivity).order
-        else:
-            order = list(pattern.variables)
-        if seed:
-            seeded = [variable for variable in order if variable in seed]
-            rest = [variable for variable in order if variable not in seed]
-            order = seeded + rest
-        return order
+    def _profile(self, pattern: Pattern) -> _PatternProfile:
+        cached = self._profiles.get(id(pattern))
+        if cached is not None and cached.pattern is pattern:
+            return cached
+
+        touching: dict[str, tuple[PatternEdge, ...]] = {
+            variable: tuple(pattern.edges_touching(variable))
+            for variable in pattern.variables
+        }
+        node_variables = {node.variable: node for node in pattern.nodes}
+        edge_variables = set(pattern.edge_variables)
+        by_variable: dict[str, list[tuple[object, frozenset]]] = {}
+        for comparison in pattern.comparisons:
+            variables = frozenset(comparison.variables())
+            if variables & edge_variables:
+                continue
+            for variable in variables:
+                by_variable.setdefault(variable, []).append((comparison, variables))
+        profile = _PatternProfile(
+            pattern=pattern,
+            base_order=self._base_order(pattern),
+            touching=touching,
+            node_variables=node_variables,
+            comparisons_by_variable={variable: tuple(items)
+                                     for variable, items in by_variable.items()},
+            edge_constraints=tuple(edge for edge in pattern.edges
+                                   if edge.variable is not None),
+        )
+        self._profiles[id(pattern)] = profile
+        return profile
+
+    def _base_order(self, pattern: Pattern) -> list[str]:
+        if not self.use_decomposition:
+            return list(pattern.variables)
+        selectivity = None
+        if self.candidate_index is not None:
+            def selectivity(p: Pattern, variable: str) -> float:  # noqa: ANN001
+                label_count = self.candidate_index.candidate_count_estimate(p, variable)
+                # fewer candidates and more constraints first
+                return label_count - 5.0 * len(p.edges_touching(variable))
+        return build_search_plan(pattern, selectivity=selectivity).order
+
+    def _variable_order(self, profile: _PatternProfile, seed: Mapping[str, str] | None) -> list[str]:
+        order = profile.base_order
+        if not seed:
+            return order
+        seeded = [variable for variable in order if variable in seed]
+        rest = [variable for variable in order if variable not in seed]
+        return seeded + rest
+
+    # ------------------------------------------------------------------
+    # search internals
+    # ------------------------------------------------------------------
 
     def _seed_edges_consistent(self, pattern: Pattern, assignment: dict[str, str]) -> bool:
         for edge in pattern.edges:
             if edge.source in assignment and edge.target in assignment:
-                witnesses = self.graph.edges_between(assignment[edge.source],
-                                                     assignment[edge.target], edge.label)
-                if not any(edge.matches(candidate) for candidate in witnesses):
+                if not self._has_witness(assignment[edge.source],
+                                         assignment[edge.target], edge):
                     return False
         return True
 
-    def _backtrack(self, pattern: Pattern, order: list[str], depth: int,
+    def _backtrack(self, profile: _PatternProfile, order: list[str], depth: int,
                    assignment: dict[str, str], used_nodes: set[str],
                    deadline: float | None) -> Iterator[Match]:
         # Skip over already-seeded variables at the front of the order.
@@ -171,75 +254,104 @@ class VF2Matcher:
         if deadline is not None and time.perf_counter() > deadline:
             raise MatchTimeout(self.time_budget or 0.0)
         if depth == len(order):
-            yield from self._bind_edge_variables(pattern, assignment)
+            yield from self._bind_edge_variables(profile, assignment)
             return
 
         variable = order[depth]
-        for node_id in self._candidates_for(pattern, variable, assignment):
+        pattern_node = profile.node_variables[variable]
+        stats = self.stats
+        graph_node = self.graph.node
+        candidates, derived_from = self._candidates_for(profile, variable, assignment)
+        for node_id in candidates:
             if node_id in used_nodes:
                 continue
-            self.stats.nodes_tried += 1
-            node = self.graph.node(node_id)
-            if not pattern.node_variable(variable).matches(node):
+            stats.nodes_tried += 1
+            if not pattern_node.matches(graph_node(node_id)):
                 continue
-            if not self._edges_to_bound_satisfied(pattern, variable, node_id, assignment):
+            if not self._edges_to_bound_satisfied(profile, variable, node_id,
+                                                  assignment, skip=derived_from):
                 continue
             assignment[variable] = node_id
             used_nodes.add(node_id)
-            if self._node_comparisons_satisfiable(pattern, assignment):
-                yield from self._backtrack(pattern, order, depth + 1, assignment,
+            if self._node_comparisons_satisfiable(profile, variable, assignment):
+                yield from self._backtrack(profile, order, depth + 1, assignment,
                                            used_nodes, deadline)
             else:
-                self.stats.backtracks += 1
+                stats.backtracks += 1
             del assignment[variable]
             used_nodes.discard(node_id)
 
-    def _candidates_for(self, pattern: Pattern, variable: str,
-                        assignment: dict[str, str]) -> list[str]:
-        """Candidates for ``variable`` given the current partial assignment.
+    def _candidates_for(self, profile: _PatternProfile, variable: str,
+                        assignment: dict[str, str]):
+        """Candidates for ``variable`` plus the join edge they were derived from.
 
         If the variable is connected by pattern edges to bound variables, the
-        candidates are the intersection of the corresponding data
-        neighbourhoods; otherwise fall back to the index / full scan.
+        smallest relevant adjacency list is iterated and the remaining join
+        constraints are enforced by :meth:`_edges_to_bound_satisfied` — no
+        intermediate witness sets are materialised.  Otherwise fall back to
+        the index / full scan (sorted once for a deterministic root order).
         """
-        join_candidate_sets: list[set[str]] = []
-        for edge in pattern.edges_touching(variable):
+        graph = self.graph
+        best_edge: PatternEdge | None = None
+        best_ids = None
+        best_size = -1
+        best_inbound = False
+        for edge in profile.touching[variable]:
             other = edge.target if edge.source == variable else edge.source
-            if other not in assignment or other == variable:
+            if other == variable or other not in assignment:
                 continue
             bound_id = assignment[other]
-            if not self.graph.has_node(bound_id):
-                return []
+            if not graph.has_node(bound_id):
+                return (), None
             if edge.source == variable:
-                # variable -[label]-> bound : candidates are sources of in-edges of bound
-                witnesses = self.graph.in_edges(bound_id)
-                candidates = {witness.source for witness in witnesses
-                              if (edge.label is None or witness.label == edge.label)
-                              and edge.matches(witness)}
+                # variable -[label]-> bound : candidates are sources of in-edges
+                edge_ids = graph.in_edge_ids(bound_id)
+                inbound = True
             else:
-                witnesses = self.graph.out_edges(bound_id)
-                candidates = {witness.target for witness in witnesses
-                              if (edge.label is None or witness.label == edge.label)
-                              and edge.matches(witness)}
-            join_candidate_sets.append(candidates)
+                edge_ids = graph.out_edge_ids(bound_id)
+                inbound = False
+            size = len(edge_ids)
+            if best_edge is None or size < best_size:
+                best_edge, best_ids, best_size, best_inbound = edge, edge_ids, size, inbound
+                if size == 0:
+                    break
 
-        if join_candidate_sets:
-            candidates = set.intersection(*join_candidate_sets)
-            return sorted(candidates)
+        if best_edge is not None:
+            edge_store = graph.edge_store
+            label = best_edge.label
+            predicates = best_edge.predicates
+            seen: set[str] = set()
+            candidates: list[str] = []
+            for edge_id in best_ids:
+                witness = edge_store[edge_id]
+                if label is not None and witness.label != label:
+                    continue
+                if predicates and not best_edge.matches(witness):
+                    continue
+                candidate = witness.source if best_inbound else witness.target
+                if candidate not in seen:
+                    seen.add(candidate)
+                    candidates.append(candidate)
+            return candidates, best_edge
 
+        pattern = profile.pattern
         if self.candidate_index is not None:
-            return sorted(self.candidate_index.candidates(pattern, variable))
-        return sorted(naive_candidates(self.graph, pattern, variable))
+            return sorted(self.candidate_index.candidates(pattern, variable)), None
+        return sorted(naive_candidates(graph, pattern, variable)), None
 
-    def _edges_to_bound_satisfied(self, pattern: Pattern, variable: str, node_id: str,
-                                  assignment: dict[str, str]) -> bool:
-        """Every pattern edge between ``variable`` and bound variables must be witnessed."""
-        for edge in pattern.edges_touching(variable):
+    def _edges_to_bound_satisfied(self, profile: _PatternProfile, variable: str,
+                                  node_id: str, assignment: dict[str, str],
+                                  skip: PatternEdge | None = None) -> bool:
+        """Every pattern edge between ``variable`` and bound variables must be
+        witnessed.  ``skip`` is the join edge candidates were derived from —
+        it is already satisfied by construction."""
+        for edge in profile.touching[variable]:
+            if edge is skip:
+                continue
             other = edge.target if edge.source == variable else edge.source
             if other == variable:
                 # self-loop pattern edge
-                witnesses = self.graph.edges_between(node_id, node_id, edge.label)
-                if not any(edge.matches(candidate) for candidate in witnesses):
+                if not self._has_witness(node_id, node_id, edge):
                     return False
                 continue
             if other not in assignment:
@@ -248,40 +360,66 @@ class VF2Matcher:
                 source_id, target_id = node_id, assignment[other]
             else:
                 source_id, target_id = assignment[other], node_id
-            witnesses = self.graph.edges_between(source_id, target_id, edge.label)
-            if not any(edge.matches(candidate) for candidate in witnesses):
+            if not self._has_witness(source_id, target_id, edge):
                 return False
         return True
 
-    def _node_comparisons_satisfiable(self, pattern: Pattern,
+    def _has_witness(self, source_id: str, target_id: str, edge: PatternEdge) -> bool:
+        """Whether some data edge ``source -> target`` satisfies ``edge``,
+        probing the smaller adjacency side and stopping at the first hit."""
+        graph = self.graph
+        out_ids = graph.out_edge_ids(source_id)
+        in_ids = graph.in_edge_ids(target_id)
+        edge_store = graph.edge_store
+        label = edge.label
+        predicates = edge.predicates
+        if len(out_ids) <= len(in_ids):
+            for edge_id in out_ids:
+                witness = edge_store[edge_id]
+                if witness.target != target_id:
+                    continue
+                if (label is None or witness.label == label) and \
+                        (not predicates or edge.matches(witness)):
+                    return True
+        else:
+            for edge_id in in_ids:
+                witness = edge_store[edge_id]
+                if witness.source != source_id:
+                    continue
+                if (label is None or witness.label == label) and \
+                        (not predicates or edge.matches(witness)):
+                    return True
+        return False
+
+    def _node_comparisons_satisfiable(self, profile: _PatternProfile, variable: str,
                                       assignment: dict[str, str]) -> bool:
-        """Early-prune on comparisons whose variables are all bound node variables."""
-        if not pattern.comparisons:
+        """Early-prune on node-only comparisons that became fully bound when
+        ``variable`` was assigned (each comparison is evaluated exactly once,
+        at the depth its last variable binds)."""
+        relevant = profile.comparisons_by_variable.get(variable)
+        if not relevant:
             return True
-        edge_variables = set(pattern.edge_variables)
-        for comparison in pattern.comparisons:
-            variables = comparison.variables()
-            if variables & edge_variables:
-                continue  # involves an edge variable, checked after edge binding
+        graph = self.graph
+
+        def lookup(name: str) -> Mapping[str, object]:
+            node_id = assignment.get(name)
+            if node_id is not None and graph.has_node(node_id):
+                return graph.node(node_id).properties
+            return {}
+
+        for comparison, variables in relevant:
             if not variables.issubset(assignment.keys()):
-                continue  # not fully bound yet
-
-            def lookup(variable: str) -> Mapping[str, object]:
-                node_id = assignment.get(variable)
-                if node_id is not None and self.graph.has_node(node_id):
-                    return self.graph.node(node_id).properties
-                return {}
-
+                continue  # not fully bound yet; checked when the last variable binds
             if not comparison.evaluate(lookup):
                 return False
         return True
 
-    def _bind_edge_variables(self, pattern: Pattern,
+    def _bind_edge_variables(self, profile: _PatternProfile,
                              assignment: dict[str, str]) -> Iterator[Match]:
         """Enumerate bindings of edge variables to distinct witnessing edges,
         evaluate the full comparison set, and yield one match per valid binding."""
-        edge_constraints: list[PatternEdge] = [edge for edge in pattern.edges
-                                               if edge.variable is not None]
+        pattern = profile.pattern
+        edge_constraints = profile.edge_constraints
         if not edge_constraints:
             match = Match(pattern=pattern, node_bindings=dict(assignment))
             if match.satisfies_comparisons(self.graph):

@@ -61,20 +61,27 @@ class FastRepairConfig:
 
 
 class _ExtensionChecker:
-    """Minimal ``exists_extension`` provider shared with the rules' violation check."""
+    """Minimal ``exists_extension`` provider shared with the rules' violation check.
+
+    One :class:`VF2Matcher` instance is reused for every existence probe, so
+    the per-pattern search plans are compiled once per repair run and the
+    probes' :class:`~repro.matching.vf2.MatchingStats` accumulate (merged into
+    the repair report).
+    """
 
     def __init__(self, graph: PropertyGraph, index: CandidateIndex | None,
                  use_decomposition: bool) -> None:
-        self._graph = graph
-        self._index = index
-        self._use_decomposition = use_decomposition
+        self._engine = VF2Matcher(graph=graph, candidate_index=index,
+                                  use_decomposition=use_decomposition)
+
+    @property
+    def stats(self):
+        return self._engine.stats
 
     def exists_extension(self, pattern: Pattern, bindings: Mapping[str, str]) -> bool:
         seed = {variable: node_id for variable, node_id in bindings.items()
                 if pattern.has_variable(variable)}
-        engine = VF2Matcher(graph=self._graph, candidate_index=self._index,
-                            use_decomposition=self._use_decomposition)
-        return engine.exists(pattern, seed=seed)
+        return self._engine.exists(pattern, seed=seed)
 
 
 class FastRepairer:
@@ -178,7 +185,9 @@ class FastRepairer:
                         push(Violation(rule=rule, match=match))
 
             # Deletions can turn existing incompleteness matches into violations:
-            # their required extension may just have disappeared.
+            # their required extension may just have disappeared.  The stores'
+            # inverted element→match index narrows the recheck to the matches
+            # actually overlapping the delta.
             if delta.has_subtractive_effect:
                 touched = delta.touched_nodes
                 removed_edges = delta.removed_edge_ids
@@ -187,9 +196,8 @@ class FastRepairer:
                         rule = rules_by_pattern[store.pattern.name]
                         if rule.semantics is not Semantics.INCOMPLETENESS:
                             continue
-                        for match in store:
-                            if not match.touches(node_ids=touched, edge_ids=removed_edges):
-                                continue
+                        for match in store.matches_touching(node_ids=touched,
+                                                            edge_ids=removed_edges):
                             if rule.is_violation(checker, match):
                                 push(Violation(rule=rule, match=match))
 
@@ -210,6 +218,8 @@ class FastRepairer:
             index.detach()
 
         report.rounds = 1
+        report.matching_stats.merge(incremental.stats)
+        report.matching_stats.merge(checker.stats)
         report.matches_enumerated = incremental.total_matches()
         report.log = executor.log
         report.elapsed_seconds = time.perf_counter() - started

@@ -80,6 +80,7 @@ class NaiveRepairer:
                 report.reached_fixpoint = True
                 report.remaining_violations = sum(
                     1 for violation in detection if violation.key() in failed_keys)
+                report.matching_stats.merge(matcher.stats)
                 matcher.close()
                 break
 
@@ -110,6 +111,7 @@ class NaiveRepairer:
                     violation.status = ViolationStatus.FAILED
                     report.repairs_failed += 1
                     failed_keys.add(violation.key())
+            report.matching_stats.merge(matcher.stats)
             matcher.close()
 
             if config.max_repairs is not None and report.repairs_applied >= config.max_repairs:
@@ -133,6 +135,7 @@ class NaiveRepairer:
                 final_detection = ViolationDetector(
                     graph, rules, matcher=final_matcher,
                     match_limit_per_rule=config.match_limit_per_rule).detect()
+                report.matching_stats.merge(final_matcher.stats)
                 final_matcher.close()
             report.remaining_violations = len(final_detection)
             report.reached_fixpoint = report.remaining_violations == 0

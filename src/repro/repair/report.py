@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.matching.vf2 import MatchingStats
 from repro.repair.provenance import RepairLog
 from repro.utils.timing import TimingBreakdown
 
@@ -32,6 +33,9 @@ class RepairReport:
     reached_fixpoint: bool = False
     matches_enumerated: int = 0
     seeded_searches: int = 0
+    # aggregated search-engine counters from every matcher the run used
+    # (initial detection, seeded incremental searches, existence probes)
+    matching_stats: MatchingStats = field(default_factory=MatchingStats)
     elapsed_seconds: float = 0.0
     initial_nodes: int = 0
     initial_edges: int = 0
@@ -71,6 +75,8 @@ class RepairReport:
             "reached_fixpoint": self.reached_fixpoint,
             "matches_enumerated": self.matches_enumerated,
             "seeded_searches": self.seeded_searches,
+            "nodes_tried": self.matching_stats.nodes_tried,
+            "backtracks": self.matching_stats.backtracks,
             "elapsed_seconds": self.elapsed_seconds,
             "total_changes": self.total_changes(),
             "initial_nodes": self.initial_nodes,
@@ -89,6 +95,8 @@ class RepairReport:
             f"remaining: {self.remaining_violations}",
             f"  fixpoint: {self.reached_fixpoint}, rounds: {self.rounds}, "
             f"elapsed: {self.elapsed_seconds:.3f}s",
+            f"  matching: {self.matching_stats.nodes_tried} nodes tried, "
+            f"{self.matching_stats.backtracks} backtracks",
             f"  graph: {self.initial_nodes}/{self.initial_edges} -> "
             f"{self.final_nodes}/{self.final_edges} (nodes/edges)",
             f"  changes: {self.change_counts()}",

@@ -1,0 +1,262 @@
+"""Tests for the inverted element→match index and the delta-driven hot path.
+
+Covers:
+
+* the inverted index in :class:`MatchStore` (lookup correctness + integrity
+  under randomized mutation sequences on all three dataset generators);
+* the O(matches touching the delta) invalidation bound, asserted with the
+  ``invalidation_checked`` counter rather than timing;
+* the ``pattern_requirements`` regression: parallel variable-less pattern
+  edges between the same variable pair must not over-prune;
+* matcher statistics flowing from incremental maintenance and extension
+  probes into the :class:`RepairReport`.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets.registry import build_workload, load_dataset
+from repro.datasets.rulegen import RuleGenConfig, generate_rules
+from repro.graph import ChangeRecorder, PropertyGraph
+from repro.matching import (
+    CandidateIndex,
+    IncrementalMatcher,
+    Pattern,
+    PatternEdge,
+    PatternNode,
+    VF2Matcher,
+    naive_candidates,
+    pattern_requirements,
+)
+from repro.repair.engine import EngineConfig, RepairEngine
+
+DOMAINS = ("kg", "movies", "social")
+
+
+def _random_mutation(graph: PropertyGraph, rng: random.Random) -> bool:
+    """Apply one random mutation; returns False if the drawn op was a no-op."""
+    op = rng.choice(["add_edge", "add_edge", "remove_edge", "remove_node",
+                     "add_node", "relabel_node", "relabel_edge", "update_node",
+                     "merge"])
+    if op == "add_edge" and graph.num_nodes >= 2:
+        labels = sorted(graph.edge_labels()) or ["rel"]
+        ids = graph.node_ids()
+        graph.add_edge(rng.choice(ids), rng.choice(ids), rng.choice(labels))
+    elif op == "remove_edge" and graph.num_edges:
+        graph.remove_edge(rng.choice(graph.edge_ids()))
+    elif op == "remove_node" and graph.num_nodes > 2:
+        graph.remove_node(rng.choice(graph.node_ids()))
+    elif op == "add_node":
+        graph.add_node(rng.choice(sorted(graph.node_labels())))
+    elif op == "relabel_node" and graph.num_nodes:
+        graph.relabel_node(rng.choice(graph.node_ids()),
+                           rng.choice(sorted(graph.node_labels())))
+    elif op == "relabel_edge" and graph.num_edges:
+        graph.relabel_edge(rng.choice(graph.edge_ids()),
+                           rng.choice(sorted(graph.edge_labels())))
+    elif op == "update_node" and graph.num_nodes:
+        graph.update_node(rng.choice(graph.node_ids()),
+                          {"name": rng.choice(["X", "Y", "Z"])})
+    elif op == "merge" and graph.num_nodes > 3:
+        keep, merge = rng.sample(graph.node_ids(), 2)
+        graph.merge_nodes(keep, merge)
+    else:
+        return False
+    return True
+
+
+class TestInvertedIndexEqualsRecompute:
+    """apply_delta with the inverted index must produce store contents
+    identical to a from-scratch re-enumeration, across randomized repair-like
+    mutation sequences on every dataset generator."""
+
+    @pytest.mark.parametrize("domain", DOMAINS)
+    @pytest.mark.parametrize("seed", [1, 42])
+    def test_randomized_sequences(self, domain, seed):
+        rng = random.Random(seed)
+        graph = load_dataset(domain, scale=50, seed=seed).clean
+        rules = generate_rules(graph, RuleGenConfig(num_rules=5, seed=seed))
+
+        index = CandidateIndex(graph)
+        index.attach()
+        incremental = IncrementalMatcher(graph, candidate_index=index)
+        for rule in rules:
+            incremental.register(rule.pattern)
+        recorder = ChangeRecorder()
+        graph.add_listener(recorder)
+
+        mutations = 0
+        while mutations < 25:
+            if not _random_mutation(graph, rng):
+                continue
+            mutations += 1
+            incremental.apply_delta(recorder.drain())
+            if mutations % 5 == 0:
+                oracle = VF2Matcher(graph=graph, candidate_index=index)
+                for store in incremental.stores():
+                    expected = {m.key() for m in oracle.find_matches(store.pattern)}
+                    assert {m.key() for m in store} == expected
+                    assert store.check_integrity()
+
+    def test_matches_touching_equals_linear_scan(self, tiny_kg, duplicate_person_pattern):
+        graph = tiny_kg.copy()
+        incremental = IncrementalMatcher(graph)
+        store = incremental.register(duplicate_person_pattern)
+        assert len(store) > 0
+        all_node_ids = set(graph.node_ids())
+        for node_id in all_node_ids:
+            via_index = {m.key() for m in store.matches_touching(node_ids={node_id})}
+            via_scan = {m.key() for m in store if m.touches(node_ids={node_id})}
+            assert via_index == via_scan
+        assert store.check_integrity()
+
+
+class TestInvalidationIsDeltaLocal:
+    """Invalidation work must be O(matches touching the delta), not O(store)."""
+
+    def _many_independent_matches(self, pairs: int) -> PropertyGraph:
+        graph = PropertyGraph(name="stars")
+        for i in range(pairs):
+            a = graph.add_node("Person", {"name": f"dup{i}"})
+            b = graph.add_node("Person", {"name": f"dup{i}"})
+            city = graph.add_node("City", {"name": f"city{i}"})
+            graph.add_edge(a.id, city.id, "bornIn")
+            graph.add_edge(b.id, city.id, "bornIn")
+        return graph
+
+    def test_counter_bounds_invalidation_work(self):
+        pattern = Pattern(
+            nodes=[PatternNode("a", "Person"), PatternNode("b", "Person"),
+                   PatternNode("c", "City")],
+            edges=[PatternEdge("a", "c", "bornIn"), PatternEdge("b", "c", "bornIn")],
+            name="dup-pair")
+        graph = self._many_independent_matches(pairs=40)
+        index = CandidateIndex(graph)
+        index.attach()
+        incremental = IncrementalMatcher(graph, candidate_index=index)
+        store = incremental.register(pattern)
+        assert len(store) == 80  # both orientations per pair
+
+        recorder = ChangeRecorder()
+        graph.add_listener(recorder)
+        # Delete one pair's witness edge: the delta touches exactly 2 stored
+        # matches (the two orientations of that pair).
+        victim = next(e for e in graph.edges() if e.source == "n1")
+        graph.remove_edge(victim.id)
+        updates = incremental.apply_delta(recorder.drain())
+        update = updates[pattern.name]
+
+        assert update.invalidation_checked == 2
+        assert update.invalidation_checked < len(store) + len(update.invalidated)
+        assert len(update.invalidated) == 2
+        assert len(store) == 78
+        assert store.check_integrity()
+
+    def test_unrelated_region_checks_nothing(self):
+        pattern = Pattern(
+            nodes=[PatternNode("a", "Person"), PatternNode("b", "Person"),
+                   PatternNode("c", "City")],
+            edges=[PatternEdge("a", "c", "bornIn"), PatternEdge("b", "c", "bornIn")],
+            name="dup-pair")
+        graph = self._many_independent_matches(pairs=10)
+        outsider = graph.add_node("Organization", {"name": "acme"})
+        other = graph.add_node("Organization", {"name": "globex"})
+        incremental = IncrementalMatcher(graph)
+        incremental.register(pattern)
+
+        recorder = ChangeRecorder()
+        graph.add_listener(recorder)
+        graph.add_edge(outsider.id, other.id, "partnerOf")
+        updates = incremental.apply_delta(recorder.drain())
+        update = updates[pattern.name]
+        # No stored match binds the two organizations.
+        assert update.invalidation_checked == 0
+        assert update.invalidated == []
+
+
+class TestPatternRequirementsRegression:
+    """Parallel variable-less pattern edges may share one witnessing data edge
+    (hypothesis-found over-pruning bug in the seed implementation)."""
+
+    def _pattern(self) -> Pattern:
+        return Pattern(
+            nodes=[PatternNode("v0", None), PatternNode("v1", "A")],
+            edges=[PatternEdge("v0", "v1", "r"), PatternEdge("v0", "v1", "r")],
+            name="parallel")
+
+    def test_shared_witness_requires_single_edge(self):
+        pattern = self._pattern()
+        out_required, _ = pattern_requirements(pattern, "v0")
+        assert out_required["r"] == 1  # both constraints can share one witness
+        _, in_required = pattern_requirements(pattern, "v1")
+        assert in_required["r"] == 1
+
+    def test_edge_variables_still_require_distinct_witnesses(self):
+        pattern = Pattern(
+            nodes=[PatternNode("v0", None), PatternNode("v1", "A")],
+            edges=[PatternEdge("v0", "v1", "r", variable="e1"),
+                   PatternEdge("v0", "v1", "r", variable="e2")],
+            name="parallel-vars")
+        out_required, _ = pattern_requirements(pattern, "v0")
+        assert out_required["r"] == 2
+
+    def test_optimized_matcher_agrees_with_naive_on_shared_witness(self):
+        graph = PropertyGraph()
+        a0 = graph.add_node("A")
+        a1 = graph.add_node("A")
+        graph.add_node("A")
+        graph.add_node("B")
+        graph.add_edge(a0.id, a0.id, "r")
+        graph.add_edge(a0.id, a1.id, "r")
+        pattern = self._pattern()
+
+        naive = VF2Matcher(graph=graph, candidate_index=None, use_decomposition=False)
+        expected = {m.key() for m in naive.find_matches(pattern)}
+        assert expected  # the bug made this match disappear under the index
+
+        index = CandidateIndex(graph)
+        optimized = VF2Matcher(graph=graph, candidate_index=index, use_decomposition=True)
+        assert {m.key() for m in optimized.find_matches(pattern)} == expected
+        for variable in ("v0", "v1"):
+            assert sorted(index.candidates(pattern, variable)) == \
+                sorted(naive_candidates(graph, pattern, variable))
+
+
+class TestMatcherStatsSurfaced:
+    """Seeded incremental searches and extension probes must contribute their
+    MatchingStats to the repair report (they were lost in the seed)."""
+
+    def test_fast_report_carries_matching_stats(self):
+        workload = build_workload("kg", scale=60, error_rate=0.1, seed=3)
+        _, report = RepairEngine(EngineConfig.fast()).repair_copy(
+            workload.dirty, workload.rules)
+        assert report.repairs_applied > 0
+        assert report.matching_stats.nodes_tried > 0
+        assert report.matching_stats.matches_found > 0
+        flat = report.as_dict()
+        assert flat["nodes_tried"] == report.matching_stats.nodes_tried
+        assert flat["backtracks"] == report.matching_stats.backtracks
+
+    def test_naive_report_carries_matching_stats(self):
+        workload = build_workload("kg", scale=60, error_rate=0.1, seed=3)
+        _, report = RepairEngine(EngineConfig.naive()).repair_copy(
+            workload.dirty, workload.rules)
+        assert report.matching_stats.nodes_tried > 0
+
+    def test_incremental_matcher_accumulates_stats(self, tiny_kg, duplicate_person_pattern):
+        graph = tiny_kg.copy()
+        incremental = IncrementalMatcher(graph)
+        incremental.register(duplicate_person_pattern)
+        baseline = incremental.stats.nodes_tried
+        assert baseline > 0
+
+        recorder = ChangeRecorder()
+        graph.add_listener(recorder)
+        people = [n for n in graph.nodes_with_label("Person")]
+        city = graph.nodes_with_label("City")[0]
+        graph.add_edge(people[0].id, city.id, "bornIn")
+        incremental.apply_delta(recorder.drain())
+        assert incremental.stats.nodes_tried >= baseline
