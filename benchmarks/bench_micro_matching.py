@@ -32,7 +32,7 @@ from repro.datasets.registry import build_workload
 from repro.graph import ChangeRecorder
 from repro.matching import CandidateIndex, IncrementalMatcher, Matcher, MatcherConfig
 from repro.metrics import format_table
-from repro.repair.engine import EngineConfig, RepairEngine
+from repro.api import RepairConfig, repair_copy
 
 DOMAINS = ("kg", "movies", "social")
 SCALES = {"kg": 200, "movies": 150, "social": 150}
@@ -90,12 +90,12 @@ def _measure_domain(domain: str) -> dict:
     incremental_seconds, seeded = _measure_incremental(workload)
 
     started = time.perf_counter()
-    _, fast_report = RepairEngine(EngineConfig.fast()).repair_copy(
-        workload.dirty, workload.rules)
+    _, fast_report = repair_copy(workload.dirty, workload.rules,
+                                 config=RepairConfig.fast())
     fast_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
-    RepairEngine(EngineConfig.naive()).repair_copy(workload.dirty, workload.rules)
+    repair_copy(workload.dirty, workload.rules, config=RepairConfig.naive())
     naive_seconds = time.perf_counter() - started
 
     return {

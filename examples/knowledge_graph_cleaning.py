@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import sys
 
-from repro import build_workload, repair_graph, repair_quality
+from repro import RepairConfig, build_workload, repair_quality
+from repro.api import repair_copy
 from repro.analysis import analyze_termination, check_consistency
 from repro.baselines import FDRelationalBaseline
 from repro.graph import compute_statistics
@@ -45,7 +46,9 @@ def main(scale: int = 300, error_rate: float = 0.05) -> None:
     rows = []
     print("\n== repairing ==")
     for method in ("naive", "fast"):
-        repaired, report = repair_graph(workload.dirty, workload.rules, method=method)
+        config = RepairConfig.naive() if method == "naive" else RepairConfig.fast()
+        repaired, report = repair_copy(workload.dirty, workload.rules,
+                                       config=config)
         quality = repair_quality(workload.clean, workload.dirty, repaired,
                                  workload.ground_truth)
         changes = change_summary(workload.clean, workload.dirty, repaired)

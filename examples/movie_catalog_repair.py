@@ -16,9 +16,10 @@ from __future__ import annotations
 import sys
 
 from repro import parse_rules, repair_quality
+from repro.api import repair_copy
 from repro.datasets import build_workload
 from repro.metrics import format_table
-from repro.repair import EngineConfig, RepairEngine, detect_violations
+from repro.repair import detect_violations
 
 
 CUSTOM_RULE = """
@@ -44,8 +45,7 @@ def main(scale: int = 200) -> None:
     print(f"\nViolations on the dirty catalogue: {len(detection)} "
           f"{detection.per_semantics()}")
 
-    engine = RepairEngine(EngineConfig.fast())
-    repaired, report = engine.repair_copy(workload.dirty, rules)
+    repaired, report = repair_copy(workload.dirty, rules)
     quality = repair_quality(workload.clean, workload.dirty, repaired,
                              workload.ground_truth)
 

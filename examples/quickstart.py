@@ -7,13 +7,13 @@ Run with::
 The example builds a miniature people/geography knowledge graph containing one
 error of each class (a missing nationality, a contradictory birthplace, a
 duplicate person, and a duplicated edge), writes three repairing rules — one
-per error class — using both the fluent builder and the textual DSL, and runs
-the repair engine.
+per error class — using both the fluent builder and the textual DSL, and
+repairs the graph through a :class:`repro.RepairSession`.
 """
 
 from __future__ import annotations
 
-from repro import PropertyGraph, detect_violations, parse_rules, repair_graph
+from repro import PropertyGraph, RepairSession, detect_violations, parse_rules
 from repro.rules import RuleSet, incompleteness_rule
 
 
@@ -98,7 +98,9 @@ def main() -> None:
     for violation in detection:
         print(" ", violation.describe())
 
-    repaired, report = repair_graph(graph, rules, method="fast")
+    repaired = graph.copy(name="quickstart-repaired")
+    with RepairSession(repaired, rules) as session:
+        report = session.repair()
 
     print("\n== repair report ==")
     print(report.describe())

@@ -7,12 +7,15 @@ Run with::
 The example analyses the built-in knowledge-graph rule library (whose
 nationality rules trip the conservative syntactic checks but are proven
 harmless by the bounded chase), then plants a genuinely inconsistent rule pair
-and shows that both analysis layers catch it, and finally runs the redundancy
-analysis after deliberately duplicating one rule.
+and shows that both analysis layers catch it, runs the redundancy analysis
+after deliberately duplicating one rule, and finally shows the same gate
+wired into a :class:`repro.RepairSession` (``require_consistency=True``
+refuses to open a session over an inconsistent rule set).
 """
 
 from __future__ import annotations
 
+from repro import RepairConfig, RepairSession
 from repro.analysis import (
     analyze_redundancy,
     analyze_termination,
@@ -20,6 +23,7 @@ from repro.analysis import (
     check_consistency,
 )
 from repro.datasets import RuleGenConfig, generate_rules, load_dataset
+from repro.exceptions import InconsistentRuleSetError
 from repro.rules import RuleSet, knowledge_graph_rules
 
 
@@ -67,6 +71,15 @@ def main() -> None:
     print(f"\n##### redundancy analysis on {duplicated.name} #####")
     print(analyze_redundancy(duplicated).describe())
     assert clone is not None  # silence linters about the unused lookup
+
+    # 4. the same gate, enforced at session-open time: a strict session
+    #    refuses to repair with a rule set the analysis rejects
+    print("\n##### session consistency gate #####")
+    try:
+        RepairSession(dataset.clean.copy(), planted,
+                      config=RepairConfig.fast(require_consistency=True))
+    except InconsistentRuleSetError as error:
+        print(f"RepairSession refused the planted rule set:\n  {error}")
 
 
 if __name__ == "__main__":

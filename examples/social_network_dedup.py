@@ -15,11 +15,11 @@ from __future__ import annotations
 
 import sys
 
-from repro import repair_quality
+from repro import RepairSession, SessionEvents, repair_quality
 from repro.datasets import load_dataset
 from repro.errors import ErrorInjector, InjectionConfig
 from repro.metrics import format_table
-from repro.repair import EngineConfig, RepairEngine, detect_violations
+from repro.repair import detect_violations
 from repro.rules import Semantics
 
 
@@ -39,8 +39,20 @@ def main(scale: int = 200) -> None:
     print(f"Violations detected on the dirty graph: {len(detection)} "
           f"({detection.per_semantics()})")
 
-    engine = RepairEngine(EngineConfig.fast())
-    repaired, report = engine.repair_copy(dirty, dataset.rules)
+    # Stream progress through the session's event hooks instead of waiting on
+    # the terminal report: count merges as they are applied.
+    live_merges = [0]
+
+    def on_repair_applied(violation, _outcome) -> None:
+        if violation.semantics is Semantics.REDUNDANCY:
+            live_merges[0] += 1
+
+    repaired = dirty.copy(name=f"{dirty.name}-repaired")
+    with RepairSession(repaired, dataset.rules,
+                       events=SessionEvents(
+                           on_repair_applied=on_repair_applied)) as session:
+        report = session.repair()
+    print(f"\n[streamed] {live_merges[0]} redundancy repairs applied")
     print("\n== repair report ==")
     print(report.describe())
 

@@ -10,24 +10,53 @@ reproduce the paper's evaluation (see DESIGN.md and EXPERIMENTS.md).
 
 Quick start
 -----------
-::
+The primary entry point is the transactional :class:`~repro.api.RepairSession`
+(package :mod:`repro.api`): open it once, then repair, edit, and reconcile
+incrementally for as long as the graph lives::
 
-    from repro import build_workload, repair_graph, repair_quality
+    from repro import RepairConfig, RepairSession, build_workload, repair_quality
 
     workload = build_workload("kg", scale=500, error_rate=0.05, seed=0)
-    repaired, report = repair_graph(workload.dirty, workload.rules, method="fast")
+    repaired = workload.dirty.copy()
+
+    with RepairSession(repaired, workload.rules,
+                       config=RepairConfig.fast()) as session:
+        report = session.repair()               # initial cleaning
+        print(report.describe())
+
+        with session.transaction() as g:        # later edits, transactional
+            g.add_edge("n12", "n3", "bornIn")
+        session.commit()                        # ONE incremental pass
+        session.repair()                        # fix what the edit broke
+
     quality = repair_quality(workload.clean, workload.dirty, repaired,
                              workload.ground_truth)
-    print(report.describe())
     print(quality.describe())
 
+Batch repairing (`RepairConfig.fast().batched()`) applies independent
+violations under one merged maintenance pass; `SessionEvents` streams
+progress; `RepairConfig.naive()` / `RepairConfig.baseline()` switch the
+backend.  The legacy one-shot helpers (``repair_graph``, ``RepairEngine``)
+remain as deprecation shims over the session — see ``docs/MIGRATION.md``.
+
 The most frequently used names are re-exported here; each subpackage
-(`repro.graph`, `repro.matching`, `repro.rules`, `repro.analysis`,
-`repro.repair`, `repro.errors`, `repro.datasets`, `repro.baselines`,
-`repro.metrics`, `repro.experiments`) exposes its full API.
+(`repro.api`, `repro.graph`, `repro.matching`, `repro.rules`,
+`repro.analysis`, `repro.repair`, `repro.errors`, `repro.datasets`,
+`repro.baselines`, `repro.metrics`, `repro.experiments`) exposes its full
+API.
 """
 
 from repro.analysis import analyze_redundancy, analyze_termination, check_consistency
+from repro.api import (
+    CommitResult,
+    MaintenanceEvent,
+    RepairConfig,
+    Repairer,
+    RepairSession,
+    SessionEvents,
+    open_session,
+    repair_copy,
+)
 from repro.datasets import build_workload, generate_rules, load_dataset
 from repro.errors import ErrorInjector, ErrorProfile, inject_errors
 from repro.graph import PropertyGraph
@@ -54,10 +83,19 @@ from repro.rules import (
     social_rules,
 )
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
     "__version__",
+    # session API (primary entry point)
+    "RepairSession",
+    "open_session",
+    "repair_copy",
+    "RepairConfig",
+    "Repairer",
+    "SessionEvents",
+    "MaintenanceEvent",
+    "CommitResult",
     # graph
     "PropertyGraph",
     # matching
@@ -82,7 +120,7 @@ __all__ = [
     "check_consistency",
     "analyze_termination",
     "analyze_redundancy",
-    # repair
+    # repair (legacy one-shot facade)
     "RepairEngine",
     "EngineConfig",
     "RepairReport",

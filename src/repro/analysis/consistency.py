@@ -106,13 +106,13 @@ def _sufficient_conditions(rules: RuleSet,
 def _exact_check(rules: RuleSet, base: ConsistencyReport,
                  max_repairs_per_witness: int) -> ConsistencyReport:
     """Bounded chase on every rule's canonical witness graph."""
-    from repro.repair.engine import EngineConfig, RepairEngine
+    from repro.repair.fast import FastRepairConfig, FastRepairer
 
     non_converging: list[str] = []
     for rule in rules:
         witness = witness_for_rule(rule)
-        engine = RepairEngine(EngineConfig.fast(max_repairs=max_repairs_per_witness))
-        report = engine.repair(witness, rules)
+        repairer = FastRepairer(FastRepairConfig(max_repairs=max_repairs_per_witness))
+        report = repairer.repair(witness, rules)
         if not report.reached_fixpoint:
             non_converging.append(rule.name)
 

@@ -63,7 +63,7 @@ def is_rule_redundant(rule: GraphRepairingRule, rules: RuleSet,
                       max_repairs: int = 100) -> ImplicationResult:
     """Witness-based redundancy check of one rule against the rest of the set."""
     from repro.repair.detector import detect_violations
-    from repro.repair.engine import EngineConfig, RepairEngine
+    from repro.repair.fast import FastRepairConfig, FastRepairer
 
     others = RuleSet((other for other in rules if other.name != rule.name),
                      name=f"{rules.name}-minus-{rule.name}")
@@ -76,8 +76,8 @@ def is_rule_redundant(rule: GraphRepairingRule, rules: RuleSet,
                                  remaining_violations_after_others=remaining,
                                  repairs_by_others=0)
 
-    engine = RepairEngine(EngineConfig.fast(max_repairs=max_repairs))
-    report = engine.repair(witness, others)
+    repairer = FastRepairer(FastRepairConfig(max_repairs=max_repairs))
+    report = repairer.repair(witness, others)
     remaining = len(detect_violations(witness, single))
     return ImplicationResult(rule_name=rule.name,
                              redundant=remaining == 0,

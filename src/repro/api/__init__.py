@@ -1,0 +1,44 @@
+"""``repro.api`` — the transactional, backend-pluggable public API.
+
+The package centres on :class:`RepairSession`: open it once over a graph and
+a rule set, keep matcher state alive across successive edits, stage / commit /
+roll back transactions with batched delta maintenance, and stream progress
+through :class:`SessionEvents`.  Behind the session sits the
+:class:`Repairer` protocol (plan/apply/maintain lifecycle) with three bundled
+backends — fast, naive, greedy — selected by the unified, builder-style
+:class:`RepairConfig`.
+
+See ``docs/MIGRATION.md`` for the mapping from the legacy one-shot entry
+points (``repair_graph`` / ``RepairEngine`` / per-algorithm configs).
+"""
+
+from repro.api.backend import (
+    FastBackend,
+    GreedyBackend,
+    NaiveBackend,
+    Repairer,
+    available_backends,
+    build_backend,
+    register_backend,
+)
+from repro.api.config import BACKENDS, RepairConfig
+from repro.api.events import CommitResult, MaintenanceEvent, SessionEvents
+from repro.api.session import RepairSession, open_session, repair_copy
+
+__all__ = [
+    "RepairSession",
+    "open_session",
+    "repair_copy",
+    "RepairConfig",
+    "BACKENDS",
+    "Repairer",
+    "FastBackend",
+    "NaiveBackend",
+    "GreedyBackend",
+    "build_backend",
+    "register_backend",
+    "available_backends",
+    "SessionEvents",
+    "MaintenanceEvent",
+    "CommitResult",
+]

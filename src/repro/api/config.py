@@ -1,0 +1,238 @@
+"""The unified repair configuration.
+
+One builder-style :class:`RepairConfig` subsumes the three legacy config
+dataclasses (:class:`~repro.repair.engine.EngineConfig`,
+:class:`~repro.repair.fast.FastRepairConfig`,
+:class:`~repro.matching.matcher.MatcherConfig`, plus
+:class:`~repro.repair.naive.NaiveRepairConfig`): every knob of every legacy
+surface maps to exactly one field here, and the ``from_*`` / ``to_*``
+converters are the single translation layer the deprecation shims go through
+— a regression test asserts the mapping covers every legacy field, so the
+old cost/ordering-knob duplication drift cannot silently return.
+
+Usage::
+
+    config = RepairConfig.fast()                       # preset
+    config = RepairConfig.naive(max_rounds=20)         # preset + overrides
+    config = (RepairConfig.fast()                      # builder chain
+              .batched(max_batch=16)
+              .with_budget(max_repairs=500)
+              .with_options(check_consistency=True))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.matching.matcher import MatcherConfig
+from repro.repair.config import RepairKnobs
+from repro.repair.cost import CostModel
+from repro.repair.engine import EngineConfig
+from repro.repair.fast import FastRepairConfig
+from repro.repair.naive import NaiveRepairConfig
+
+#: Names accepted by :attr:`RepairConfig.backend` (and the session registry).
+BACKENDS = ("fast", "naive", "greedy")
+
+
+@dataclass
+class RepairConfig(RepairKnobs):
+    """Every knob of a repair session / run, in one builder-style dataclass.
+
+    Inherits the shared cost/ordering/budget knobs
+    (``cost_model`` / ``max_repairs`` / ``match_limit_per_rule``) from
+    :class:`~repro.repair.config.RepairKnobs`.
+
+    Backend selection and optimisation switches:
+
+    * ``backend`` — ``"fast"`` (incremental GRR repair), ``"naive"``
+      (full re-detection per round), or ``"greedy"`` (the deletion baseline);
+    * ``use_candidate_index`` / ``use_decomposition`` / ``use_incremental`` —
+      the paper's three optimisations (E5 ablation); a fast backend with
+      ``use_incremental=False`` degrades to the naive loop with an optimised
+      matcher, exactly as the legacy engine did;
+    * ``batch_repairs`` / ``max_batch`` — drain the violation queue in
+      batches of region-independent violations maintained under one merged
+      incremental pass (fast backend only).
+
+    Remaining fields carry the legacy surfaces' knobs: ``max_rounds`` and
+    ``raise_on_budget`` (naive loop), ``match_limit`` and ``time_budget``
+    (raw matcher), ``max_deletions`` (greedy baseline), and the
+    ``check_consistency`` / ``require_consistency`` static-analysis gate.
+    """
+
+    backend: str = "fast"
+    use_candidate_index: bool = True
+    use_decomposition: bool = True
+    use_incremental: bool = True
+    batch_repairs: bool = False
+    max_batch: int | None = None
+    max_rounds: int = 100
+    raise_on_budget: bool = False
+    match_limit: int | None = None
+    time_budget: float | None = None
+    max_deletions: int | None = None
+    check_consistency: bool = False
+    require_consistency: bool = False
+
+    # ------------------------------------------------------------------
+    # presets
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def fast(cls, **overrides) -> "RepairConfig":
+        """The paper's efficient configuration (all optimisations on)."""
+        return cls(backend="fast").with_options(**overrides)
+
+    @classmethod
+    def naive(cls, **overrides) -> "RepairConfig":
+        """The naive fixpoint loop (unoptimised matcher, full re-detection)."""
+        return cls(backend="naive", use_candidate_index=False,
+                   use_decomposition=False,
+                   use_incremental=False).with_options(**overrides)
+
+    @classmethod
+    def baseline(cls, **overrides) -> "RepairConfig":
+        """The greedy-deletion baseline (denial-constraint-style repair)."""
+        return cls(backend="greedy").with_options(**overrides)
+
+    @classmethod
+    def ablation(cls, disable: str) -> "RepairConfig":
+        """The E5 ablation variants, by the name of the *disabled* part."""
+        return cls.from_engine_config(EngineConfig.ablation(disable))
+
+    # ------------------------------------------------------------------
+    # builder
+    # ------------------------------------------------------------------
+
+    def with_options(self, **overrides) -> "RepairConfig":
+        """A copy with the given fields replaced (the generic builder step)."""
+        return replace(self, **overrides) if overrides else self
+
+    def with_cost_model(self, cost_model: CostModel) -> "RepairConfig":
+        return replace(self, cost_model=cost_model)
+
+    def with_budget(self, max_repairs: int | None = None,
+                    max_rounds: int | None = None,
+                    time_budget: float | None = None) -> "RepairConfig":
+        """A copy with the given budgets set (omitted ones keep their value)."""
+        config = self
+        if max_repairs is not None:
+            config = replace(config, max_repairs=max_repairs)
+        if max_rounds is not None:
+            config = replace(config, max_rounds=max_rounds)
+        if time_budget is not None:
+            config = replace(config, time_budget=time_budget)
+        return config
+
+    def batched(self, enabled: bool = True,
+                max_batch: int | None = None) -> "RepairConfig":
+        """A copy with batched queue draining toggled.
+
+        An omitted ``max_batch`` keeps the current cap (same contract as
+        :meth:`with_budget`).
+        """
+        config = replace(self, batch_repairs=enabled)
+        if max_batch is not None:
+            config = replace(config, max_batch=max_batch)
+        return config
+
+    # ------------------------------------------------------------------
+    # legacy conversions (the deprecation shims' translation layer)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_legacy(cls, config) -> "RepairConfig":
+        """Convert any legacy config object to a :class:`RepairConfig`."""
+        if isinstance(config, cls):
+            return config
+        if isinstance(config, EngineConfig):
+            return cls.from_engine_config(config)
+        if isinstance(config, FastRepairConfig):
+            return cls.from_fast_config(config)
+        if isinstance(config, NaiveRepairConfig):
+            return cls.from_naive_config(config)
+        if isinstance(config, MatcherConfig):
+            return cls.from_matcher_config(config)
+        raise TypeError(f"cannot convert {type(config).__name__} to RepairConfig")
+
+    @classmethod
+    def from_engine_config(cls, config: EngineConfig) -> "RepairConfig":
+        return cls(backend=config.method,
+                   use_candidate_index=config.use_candidate_index,
+                   use_decomposition=config.use_decomposition,
+                   use_incremental=config.use_incremental,
+                   cost_model=config.cost_model,
+                   max_repairs=config.max_repairs,
+                   max_rounds=config.max_rounds,
+                   match_limit_per_rule=config.match_limit_per_rule,
+                   check_consistency=config.check_consistency,
+                   require_consistency=config.require_consistency)
+
+    @classmethod
+    def from_fast_config(cls, config: FastRepairConfig) -> "RepairConfig":
+        return cls(backend="fast",
+                   use_candidate_index=config.use_candidate_index,
+                   use_decomposition=config.use_decomposition,
+                   batch_repairs=config.batch_repairs,
+                   max_batch=config.max_batch,
+                   cost_model=config.cost_model,
+                   max_repairs=config.max_repairs,
+                   match_limit_per_rule=config.match_limit_per_rule)
+
+    @classmethod
+    def from_naive_config(cls, config: NaiveRepairConfig) -> "RepairConfig":
+        matcher = config.matcher_config
+        return cls(backend="naive",
+                   use_candidate_index=matcher.use_candidate_index,
+                   use_decomposition=matcher.use_decomposition,
+                   use_incremental=False,
+                   match_limit=matcher.match_limit,
+                   time_budget=matcher.time_budget,
+                   cost_model=config.cost_model,
+                   max_repairs=config.max_repairs,
+                   max_rounds=config.max_rounds,
+                   raise_on_budget=config.raise_on_budget,
+                   match_limit_per_rule=config.match_limit_per_rule)
+
+    @classmethod
+    def from_matcher_config(cls, config: MatcherConfig) -> "RepairConfig":
+        return cls(use_candidate_index=config.use_candidate_index,
+                   use_decomposition=config.use_decomposition,
+                   match_limit=config.match_limit,
+                   time_budget=config.time_budget)
+
+    def to_engine_config(self) -> EngineConfig:
+        return EngineConfig(method=self.backend,
+                            use_candidate_index=self.use_candidate_index,
+                            use_decomposition=self.use_decomposition,
+                            use_incremental=self.use_incremental,
+                            cost_model=self.cost_model,
+                            max_repairs=self.max_repairs,
+                            max_rounds=self.max_rounds,
+                            match_limit_per_rule=self.match_limit_per_rule,
+                            check_consistency=self.check_consistency,
+                            require_consistency=self.require_consistency)
+
+    def to_fast_config(self) -> FastRepairConfig:
+        return FastRepairConfig(use_candidate_index=self.use_candidate_index,
+                                use_decomposition=self.use_decomposition,
+                                batch_repairs=self.batch_repairs,
+                                max_batch=self.max_batch,
+                                cost_model=self.cost_model,
+                                max_repairs=self.max_repairs,
+                                match_limit_per_rule=self.match_limit_per_rule)
+
+    def to_naive_config(self) -> NaiveRepairConfig:
+        return NaiveRepairConfig(matcher_config=self.to_matcher_config(),
+                                 cost_model=self.cost_model,
+                                 max_repairs=self.max_repairs,
+                                 max_rounds=self.max_rounds,
+                                 raise_on_budget=self.raise_on_budget,
+                                 match_limit_per_rule=self.match_limit_per_rule)
+
+    def to_matcher_config(self) -> MatcherConfig:
+        return MatcherConfig(use_candidate_index=self.use_candidate_index,
+                             use_decomposition=self.use_decomposition,
+                             match_limit=self.match_limit,
+                             time_budget=self.time_budget)

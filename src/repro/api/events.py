@@ -1,0 +1,46 @@
+"""Session-level event surface.
+
+``SessionEvents`` is the api-level name of the repair layer's
+:class:`~repro.repair.events.RepairEvents` hook bundle; it is accepted by
+:class:`~repro.api.RepairSession` and by every backend, and the same object
+can be handed straight to the low-level repairers.  ``CommitResult`` is what
+:meth:`RepairSession.commit` returns: the merged staged delta plus the single
+maintenance pass that folded it into the persistent matcher state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.delta import GraphDelta
+from repro.repair.events import MaintenanceEvent, RepairEvents
+
+#: The session's progress-hook bundle (``on_violation`` /
+#: ``on_repair_applied`` / ``on_maintenance``), shared with the repair layer.
+SessionEvents = RepairEvents
+
+
+@dataclass
+class CommitResult:
+    """Outcome of committing a session's staged edits.
+
+    ``delta`` is the merged delta of every staged transaction;
+    ``maintenance`` describes the single incremental pass (``passes == 0``
+    when nothing was staged).  ``discovered`` is the number of new violations
+    the commit queued.
+    """
+
+    delta: GraphDelta = field(default_factory=GraphDelta)
+    maintenance: MaintenanceEvent = field(
+        default_factory=lambda: MaintenanceEvent(source="commit", passes=0))
+
+    @property
+    def discovered(self) -> int:
+        return self.maintenance.discovered
+
+    @property
+    def changes(self) -> int:
+        return len(self.delta)
+
+
+__all__ = ["SessionEvents", "RepairEvents", "MaintenanceEvent", "CommitResult"]

@@ -1,0 +1,346 @@
+"""The transactional repair session — the library's primary entry point.
+
+A :class:`RepairSession` is opened **once** over a
+:class:`~repro.graph.PropertyGraph` and a :class:`~repro.rules.RuleSet`; the
+expensive repair state — candidate index, enumerated match stores, compiled
+search plans, the violation queue — is built at open time and *persists*
+across every subsequent call.  That is the usage shape a long-lived service
+needs: the graph keeps receiving edits, and each edit is reconciled
+incrementally instead of re-matching the world.
+
+Three interaction styles compose:
+
+**Repairing.**  :meth:`repair` drives the pending violations to a fixpoint
+with the configured backend and returns the session's cumulative
+:class:`~repro.repair.report.RepairReport`.  With
+``RepairConfig.fast().batched()`` the queue drains in batches of
+region-independent violations whose deltas are maintained under **one**
+merged incremental pass per batch.
+
+**Transactions.**  External edits are staged — :meth:`stage` (a mutator
+callable or a recorded :class:`~repro.graph.GraphDelta`) or the
+:meth:`transaction` context manager — and land on the graph immediately, but
+the matcher state is *not* reconciled until :meth:`commit`, which merges all
+staged deltas and folds them in under a single maintenance pass (batched
+delta maintenance).  :meth:`rollback` discards staged work instead, using the
+delta-inverse machinery to restore the exact pre-stage graph (ids, labels,
+properties).  :meth:`apply` is stage-and-commit in one step.
+
+**Streaming.**  A :class:`~repro.api.SessionEvents` bundle
+(``on_violation`` / ``on_repair_applied`` / ``on_maintenance``) streams
+progress while any of the above runs.
+
+Example::
+
+    from repro.api import RepairConfig, RepairSession
+
+    with RepairSession(graph, rules, config=RepairConfig.fast()) as session:
+        report = session.repair()              # initial cleaning
+        with session.transaction() as g:       # edits arrive later
+            g.add_edge(alice, berlin, "bornIn")
+            g.remove_edge(stale_edge_id)
+        session.commit()                       # ONE maintenance pass
+        session.repair()                       # fix what the edits broke
+
+(``commit().discovered`` counts the violations the fast backend queued; the
+re-detection backends report 0 there because they find work at the next
+``repair()`` instead — call ``repair()`` after committing regardless of it.)
+"""
+
+from __future__ import annotations
+
+import warnings
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.exceptions import InconsistentRuleSetError, SessionStateError
+from repro.graph.delta import GraphDelta, apply_inverse, recording, replay_delta
+from repro.graph.property_graph import PropertyGraph
+from repro.matching.vf2 import MatchingStats
+from repro.repair.report import RepairReport
+from repro.repair.violation import Violation
+from repro.rules.grr import GraphRepairingRule, RuleSet
+from repro.api.backend import Repairer, build_backend
+from repro.api.config import RepairConfig
+from repro.api.events import CommitResult, MaintenanceEvent, SessionEvents
+
+
+def _consistency_gate(rules: RuleSet, require: bool) -> None:
+    """Static rule-set analysis before any repairing (config-gated)."""
+    from repro.analysis.consistency import ConsistencyVerdict, check_consistency
+
+    result = check_consistency(rules)
+    if result.verdict is ConsistencyVerdict.INCONSISTENT:
+        message = ("rule set failed the consistency check: "
+                   + "; ".join(result.reasons))
+        if require:
+            raise InconsistentRuleSetError(message, evidence=result)
+        warnings.warn(message, stacklevel=4)
+
+
+class RepairSession:
+    """A long-lived, transactional repair session over one graph + rule set.
+
+    The session repairs **in place**: pass ``graph.copy()`` to keep the
+    original.  Use as a context manager (or call :meth:`close`) so the
+    backend detaches its index listener from the graph's change feed.
+    """
+
+    def __init__(self, graph: PropertyGraph,
+                 rules: RuleSet | list[GraphRepairingRule],
+                 config: RepairConfig | None = None,
+                 events: SessionEvents | None = None) -> None:
+        self.graph = graph
+        self.rules = rules if isinstance(rules, RuleSet) else RuleSet(rules)
+        self.config = RepairConfig.from_legacy(config) if config is not None \
+            else RepairConfig.fast()
+        self.events = events
+        if self.config.check_consistency or self.config.require_consistency:
+            _consistency_gate(self.rules, self.config.require_consistency)
+        self.backend: Repairer = build_backend(self.config, events=events)
+        self.backend.bind(graph, self.rules)
+        self._staged: list[GraphDelta] = []
+        self._report: RepairReport | None = None
+        self._in_transaction = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach the backend from the graph; the session becomes inert.
+
+        Staged, uncommitted edits are left on the graph untouched — call
+        :meth:`rollback` first to discard them.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.backend.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "RepairSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise SessionStateError("the session is closed")
+
+    def _require_no_transaction(self, operation: str) -> None:
+        if self._in_transaction:
+            raise SessionStateError(
+                f"{operation}() is illegal inside an open transaction(): the "
+                "transaction's edits are still being recorded — exit the "
+                "transaction block first")
+
+    # ------------------------------------------------------------------
+    # repairing
+    # ------------------------------------------------------------------
+
+    def repair(self) -> RepairReport:
+        """Drive every pending violation to a fixpoint (in place).
+
+        Returns the session's **cumulative** report (counters, provenance,
+        and matcher statistics accumulate across calls).  Raises
+        :class:`~repro.exceptions.SessionStateError` while staged edits are
+        pending — commit or roll them back first, so the report always
+        describes a reconciled graph.
+        """
+        self._require_open()
+        self._require_no_transaction("repair")
+        if self._staged:
+            raise SessionStateError(
+                f"{len(self._staged)} staged transaction(s) pending; "
+                "commit() or rollback() before repairing")
+        report = self.backend.run()
+        if self.backend.cumulative_report:
+            self._report = report
+        elif self._report is None:
+            self._report = report
+        else:
+            self._report.absorb(report)
+        return self._report
+
+    def violations(self) -> list[Violation]:
+        """The currently pending violations, in processing order.
+
+        The fast backend answers from its persistent stores, which reflect
+        the last *reconciled* state — staged-but-uncommitted edits appear
+        only after :meth:`commit`.  The re-detection backends (naive,
+        greedy) have no stores and re-detect over the live graph, staged
+        edits included.  Commit or roll back staged work first when the
+        distinction matters.  Illegal inside an open :meth:`transaction`
+        (the graph is mid-edit there).
+        """
+        self._require_open()
+        self._require_no_transaction("violations")
+        return self.backend.plan()
+
+    @property
+    def report(self) -> RepairReport | None:
+        """The cumulative report of every :meth:`repair` call so far."""
+        return self._report
+
+    @property
+    def stats(self) -> MatchingStats:
+        """Aggregated matcher counters of the backend's lifetime (including
+        ``maintenance_passes`` — the batching win is visible here)."""
+        return self.backend.stats()
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+
+    def stage(self, edit: Callable[[PropertyGraph], object] | GraphDelta) -> GraphDelta:
+        """Stage one transaction of edits.
+
+        ``edit`` is either a callable receiving the graph (its mutations are
+        recorded) or a previously recorded :class:`GraphDelta` (replayed onto
+        the graph).  The edits land on the graph immediately; the matcher
+        state is reconciled only at :meth:`commit`, where all staged deltas
+        are merged and maintained under **one** incremental pass.  Returns
+        the recorded delta of this transaction.
+        """
+        staged_before = len(self._staged)
+        with self.transaction() as graph:
+            if isinstance(edit, GraphDelta):
+                replay_delta(graph, edit)
+            else:
+                edit(graph)
+        if len(self._staged) > staged_before:
+            return self._staged[-1]
+        return GraphDelta()
+
+    @contextmanager
+    def transaction(self) -> Iterator[PropertyGraph]:
+        """Context-manager form of :meth:`stage` (the one transaction
+        implementation — :meth:`stage` delegates here).
+
+        Yields the graph for direct mutation; on normal exit the recorded
+        delta joins the staged set, on exception the partial edits —
+        including a partially applied delta replay — are inverse-applied
+        (the transaction never happened) and the exception propagates.
+        Transactions do not nest: two overlapping recorders would capture the
+        inner edits twice, so nested entry raises
+        :class:`~repro.exceptions.SessionStateError`.
+        """
+        self._require_open()
+        if self._in_transaction:
+            raise SessionStateError(
+                "transactions do not nest; finish the open transaction() / "
+                "stage() before starting another")
+        self._in_transaction = True
+        try:
+            with recording(self.graph) as recorder:
+                yield self.graph
+        except BaseException:
+            # recording() has already detached the listener, so the undo
+            # mutations below are not themselves recorded
+            apply_inverse(self.graph, recorder.delta)
+            raise
+        finally:
+            self._in_transaction = False
+        delta = recorder.drain()
+        if delta:
+            self._staged.append(delta)
+
+    @property
+    def staged(self) -> int:
+        """Number of staged, uncommitted transactions."""
+        return len(self._staged)
+
+    def _merge_staged(self) -> GraphDelta:
+        merged = GraphDelta()
+        for delta in self._staged:
+            merged.extend(delta.changes)
+        self._staged.clear()
+        return merged
+
+    def commit(self) -> CommitResult:
+        """Reconcile all staged edits under one merged maintenance pass.
+
+        With the fast backend, newly created violations join the pending
+        queue (streamed through ``on_violation``) — including re-created
+        instances of previously repaired violations — and are repaired by
+        the next :meth:`repair` call.  Backends without incremental state
+        (naive, greedy) have nothing to reconcile: their commit reports zero
+        passes and the next ``repair()`` re-detects from scratch.
+        Committing with nothing staged is always a no-op (``passes == 0``).
+        """
+        self._require_open()
+        self._require_no_transaction("commit")
+        merged = self._merge_staged()
+        if not merged:
+            return CommitResult(delta=merged,
+                                maintenance=MaintenanceEvent(source="commit",
+                                                             passes=0))
+        event = self.backend.maintain(merged, source="commit")
+        return CommitResult(delta=merged, maintenance=event)
+
+    def rollback(self) -> GraphDelta:
+        """Discard every staged transaction.
+
+        The staged deltas are inverse-applied (newest first), restoring the
+        graph element-for-element — same ids, labels, properties — to its
+        state before the first uncommitted :meth:`stage`.  The matcher state
+        was never told about the staged edits, so nothing else needs
+        repairing.  Returns the inverse delta that was applied.
+        """
+        self._require_open()
+        self._require_no_transaction("rollback")
+        merged = self._merge_staged()
+        if not merged:
+            return GraphDelta()
+        return apply_inverse(self.graph, merged)
+
+    def apply(self, edit: Callable[[PropertyGraph], object] | GraphDelta) -> CommitResult:
+        """Stage one transaction and commit it immediately."""
+        self.stage(edit)
+        return self.commit()
+
+
+def repair_copy(graph: PropertyGraph,
+                rules: RuleSet | list[GraphRepairingRule],
+                config: RepairConfig | None = None,
+                events: SessionEvents | None = None) -> tuple[PropertyGraph, RepairReport]:
+    """One-shot convenience: repair a copy of ``graph`` through a short-lived
+    session; returns ``(repaired copy, report)``.
+
+    The non-deprecated replacement for the ``repair_graph`` shim, and the
+    idiom every harness/benchmark call site shares.  For anything long-lived
+    (successive edits, transactions, streaming) open a
+    :class:`RepairSession` directly.
+    """
+    repaired = graph.copy(name=f"{graph.name}-repaired")
+    with RepairSession(repaired, rules, config=config, events=events) as session:
+        report = session.repair()
+    return repaired, report
+
+
+def open_session(graph: PropertyGraph,
+                 rules: RuleSet | list[GraphRepairingRule],
+                 backend: str = "fast",
+                 events: SessionEvents | None = None,
+                 **config_overrides) -> RepairSession:
+    """Convenience constructor: ``open_session(graph, rules, "fast", ...)``.
+
+    ``backend`` picks the config preset (``"fast"`` / ``"naive"`` /
+    ``"greedy"``); keyword overrides are applied on top of it.
+    """
+    presets = {"fast": RepairConfig.fast, "naive": RepairConfig.naive,
+               "greedy": RepairConfig.baseline,
+               "greedy-delete": RepairConfig.baseline}
+    try:
+        preset = presets[backend]
+    except KeyError:
+        raise ValueError(f"unknown backend {backend!r}; "
+                         f"available: {sorted(set(presets))}") from None
+    return RepairSession(graph, rules, config=preset(**config_overrides),
+                         events=events)

@@ -45,8 +45,10 @@ class GreedyDeleteBaseline:
     def __init__(self, config: GreedyConfig | None = None) -> None:
         self.config = config or GreedyConfig()
 
-    def _edge_to_delete(self, graph: PropertyGraph, violation) -> str | None:
-        """Pick the edge this baseline deletes for one violation."""
+    def edge_to_delete(self, graph: PropertyGraph, violation) -> str | None:
+        """Pick the edge this baseline deletes for one violation (public:
+        also used by the session's greedy backend for single-violation
+        ``apply``)."""
         for edge_id in sorted(violation.match.edge_bindings.values()):
             if graph.has_edge(edge_id):
                 return edge_id
@@ -64,45 +66,73 @@ class GreedyDeleteBaseline:
                 return witnesses[0].id
         return None
 
-    def repair(self, graph: PropertyGraph,
-               rules: RuleSet) -> tuple[PropertyGraph, BaselineReport]:
-        """Repair a copy of ``graph`` by greedy deletion."""
+    def repair_in_place(self, graph: PropertyGraph, rules: RuleSet,
+                        events=None) -> BaselineReport:
+        """Repair ``graph`` in place by greedy deletion.
+
+        This is the core loop shared by the copying :meth:`repair` entry point
+        and the ``"greedy"`` backend of :class:`~repro.api.RepairSession`.
+        Optional ``events`` hooks (``on_violation`` per detected violation,
+        ``on_repair_applied`` per deletion) stream progress.
+        """
         started = time.perf_counter()
-        repaired = graph.copy(name=f"{graph.name}-greedy-repaired")
         deletions = 0
         violations_seen = 0
+        # 0 when the loop terminated on an empty detection (violation-free
+        # graph proven); None when it ended on budget / lack of progress
+        remaining: int | None = None
+        on_violation = getattr(events, "on_violation", None)
+        on_repair_applied = getattr(events, "on_repair_applied", None)
+        streamed_keys: set[tuple] = set()
 
         for _round in range(self.config.max_rounds):
-            matcher = Matcher(repaired, MatcherConfig.optimized())
-            detection = ViolationDetector(repaired, rules, matcher=matcher).detect()
+            matcher = Matcher(graph, MatcherConfig.optimized())
+            detection = ViolationDetector(graph, rules, matcher=matcher).detect()
             matcher.close()
             if not detection.violations:
+                remaining = 0
                 break
             violations_seen += len(detection.violations)
             progressed = False
             for violation in detection.violations:
+                # stream each violation identity once, even when a skipped
+                # violation is re-detected next round (same contract as the
+                # fast and naive backends)
+                if on_violation is not None and \
+                        violation.key() not in streamed_keys:
+                    streamed_keys.add(violation.key())
+                    on_violation(violation)
                 if self.config.max_deletions is not None and \
                         deletions >= self.config.max_deletions:
                     break
-                if not violation.match.is_valid(repaired):
+                if not violation.match.is_valid(graph):
                     continue
-                edge_id = self._edge_to_delete(repaired, violation)
+                edge_id = self.edge_to_delete(graph, violation)
                 if edge_id is None:
                     continue
-                repaired.remove_edge(edge_id)
+                graph.remove_edge(edge_id)
                 deletions += 1
                 progressed = True
+                if on_repair_applied is not None:
+                    on_repair_applied(violation, None)
             if not progressed:
                 break
             if self.config.max_deletions is not None and \
                     deletions >= self.config.max_deletions:
                 break
 
-        report = BaselineReport(
+        return BaselineReport(
             method=self.name,
             elapsed_seconds=time.perf_counter() - started,
             violations_detected=violations_seen,
             changes_applied=deletions,
-            details={"deleted_edges": deletions},
+            details={"deleted_edges": deletions,
+                     "remaining_violations": remaining},
         )
+
+    def repair(self, graph: PropertyGraph,
+               rules: RuleSet) -> tuple[PropertyGraph, BaselineReport]:
+        """Repair a copy of ``graph`` by greedy deletion."""
+        repaired = graph.copy(name=f"{graph.name}-greedy-repaired")
+        report = self.repair_in_place(repaired, rules)
         return repaired, report

@@ -144,6 +144,12 @@ class RepairBudgetExceeded(RepairError):
         self.iterations = iterations
 
 
+class SessionStateError(RepairError):
+    """A :class:`~repro.api.RepairSession` operation is illegal in the
+    session's current state (e.g. repairing with uncommitted staged edits,
+    or using a closed session)."""
+
+
 # ---------------------------------------------------------------------------
 # Experiment / dataset layer
 # ---------------------------------------------------------------------------

@@ -13,11 +13,11 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.api import RepairConfig, repair_copy
 from repro.baselines import DetectOnlyBaseline, FDRelationalBaseline, GreedyDeleteBaseline
 from repro.datasets.registry import Workload
 from repro.graph.property_graph import PropertyGraph
 from repro.metrics.quality import repair_quality
-from repro.repair.engine import EngineConfig, RepairEngine
 from repro.rules.grr import RuleSet
 
 
@@ -42,11 +42,10 @@ class MethodResult:
 MethodRunner = Callable[[PropertyGraph, RuleSet], MethodResult]
 
 
-def _run_engine(method_label: str, config: EngineConfig,
-                graph: PropertyGraph, rules: RuleSet) -> MethodResult:
-    engine = RepairEngine(config)
+def _run_session(method_label: str, config: RepairConfig,
+                 graph: PropertyGraph, rules: RuleSet) -> MethodResult:
     started = time.perf_counter()
-    repaired, report = engine.repair_copy(graph, rules)
+    repaired, report = repair_copy(graph, rules, config=config)
     elapsed = time.perf_counter() - started
     return MethodResult(
         method=method_label,
@@ -61,11 +60,11 @@ def _run_engine(method_label: str, config: EngineConfig,
 
 
 def run_grr_fast(graph: PropertyGraph, rules: RuleSet) -> MethodResult:
-    return _run_engine("grr-fast", EngineConfig.fast(), graph, rules)
+    return _run_session("grr-fast", RepairConfig.fast(), graph, rules)
 
 
 def run_grr_naive(graph: PropertyGraph, rules: RuleSet) -> MethodResult:
-    return _run_engine("grr-naive", EngineConfig.naive(), graph, rules)
+    return _run_session("grr-naive", RepairConfig.naive(), graph, rules)
 
 
 def run_ablation(variant: str) -> MethodRunner:
@@ -74,7 +73,7 @@ def run_ablation(variant: str) -> MethodRunner:
 
     def runner(graph: PropertyGraph, rules: RuleSet) -> MethodResult:
         label = "grr-fast" if variant == "none" else f"grr-fast-no-{variant}"
-        return _run_engine(label, EngineConfig.ablation(variant), graph, rules)
+        return _run_session(label, RepairConfig.ablation(variant), graph, rules)
 
     return runner
 

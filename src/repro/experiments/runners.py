@@ -15,6 +15,7 @@ from typing import Any, Sequence
 from repro.analysis.consistency import check_consistency
 from repro.analysis.dependency import build_dependency_graph
 from repro.analysis.termination import analyze_termination
+from repro.api import RepairConfig, repair_copy
 from repro.datasets.registry import build_workload, load_dataset
 from repro.datasets.rulegen import RuleGenConfig, generate_rules
 from repro.errors.injector import inject_errors
@@ -24,7 +25,6 @@ from repro.matching.matcher import Matcher, MatcherConfig
 from repro.matching.pattern import Pattern, PatternEdge, PatternNode
 from repro.metrics.quality import repair_quality
 from repro.repair.detector import detect_violations
-from repro.repair.engine import EngineConfig, RepairEngine
 from repro.rules.library import MOVIES
 
 
@@ -106,11 +106,10 @@ def run_e3_rule_count(rule_counts: Sequence[int] | None = None,
         rules = generate_rules(instance.clean,
                                RuleGenConfig(num_rules=count, seed=seed),
                                name=f"generated-{count}")
-        for method_label, engine_config in (("grr-fast", EngineConfig.fast()),
-                                            ("grr-naive", EngineConfig.naive())):
-            engine = RepairEngine(engine_config)
+        for method_label, session_config in (("grr-fast", RepairConfig.fast()),
+                                             ("grr-naive", RepairConfig.naive())):
             started = time.perf_counter()
-            _repaired, report = engine.repair_copy(dirty, rules)
+            _repaired, report = repair_copy(dirty, rules, config=session_config)
             elapsed = time.perf_counter() - started
             rows.append({
                 "domain": domain,
@@ -318,8 +317,8 @@ def run_e8_semantics(domains: Sequence[str] | None = None,
     for domain in domains:
         workload = build_workload(domain, scale=scale, error_rate=error_rate, seed=seed)
         detection = detect_violations(workload.dirty, workload.rules)
-        engine = RepairEngine(EngineConfig.fast())
-        repaired, report = engine.repair_copy(workload.dirty, workload.rules)
+        repaired, report = repair_copy(workload.dirty, workload.rules,
+                                       config=RepairConfig.fast())
         remaining = detect_violations(repaired, workload.rules)
         quality = repair_quality(workload.clean, workload.dirty, repaired,
                                  workload.ground_truth)

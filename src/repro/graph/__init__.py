@@ -1,7 +1,15 @@
 """Property-graph substrate: data model, change tracking, I/O, statistics,
 generators, isomorphism, and edit distance (system S1 in DESIGN.md)."""
 
-from repro.graph.delta import ChangeKind, ChangeRecorder, GraphChange, GraphDelta
+from repro.graph.delta import (
+    ChangeKind,
+    ChangeRecorder,
+    GraphChange,
+    GraphDelta,
+    apply_inverse,
+    recording,
+    replay_delta,
+)
 from repro.graph.edit_distance import (
     EditCosts,
     EditDistanceResult,
@@ -48,6 +56,9 @@ __all__ = [
     "GraphDelta",
     "ChangeKind",
     "ChangeRecorder",
+    "apply_inverse",
+    "replay_delta",
+    "recording",
     "EditCosts",
     "EditDistanceResult",
     "labeled_edit_distance",

@@ -13,6 +13,7 @@ re-examined for new or destroyed pattern matches.
 from __future__ import annotations
 
 import enum
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator
 
@@ -183,6 +184,155 @@ class GraphDelta:
         for change in self.changes:
             counts[change.kind.value] = counts.get(change.kind.value, 0) + 1
         return counts
+
+
+@contextmanager
+def recording(graph) -> Iterator["ChangeRecorder"]:
+    """Attach a :class:`ChangeRecorder` to ``graph`` for the block's duration.
+
+    The one listener-lifecycle implementation shared by delta inversion,
+    delta replay, and ad-hoc mutation capture::
+
+        with recording(graph) as recorder:
+            ... mutate graph ...
+        delta = recorder.drain()
+    """
+    recorder = ChangeRecorder()
+    graph.add_listener(recorder)
+    try:
+        yield recorder
+    finally:
+        graph.remove_listener(recorder)
+
+
+def _restore_properties(update, element_id: str, before: dict, after: dict) -> None:
+    """Drive one element's properties from ``after`` back to ``before`` using
+    the graph's own update mutation (so listeners stay in sync)."""
+    update(element_id, properties=before,
+           remove_keys=[key for key in after if key not in before])
+
+
+def _invert_change(graph, change: GraphChange) -> None:
+    """Apply the inverse of one elementary change to ``graph``.
+
+    Relies on the state snapshots the graph embeds in change details
+    (labels, properties, removed-edge specs); a change constructed by hand
+    without them cannot be inverted.
+    """
+    kind = change.kind
+    details = change.details
+    try:
+        if kind is ChangeKind.ADD_NODE:
+            graph.remove_node(change.node_id)
+        elif kind is ChangeKind.ADD_EDGE:
+            graph.remove_edge(change.edge_id)
+        elif kind is ChangeKind.REMOVE_EDGE:
+            graph.add_edge(details["source"], details["target"], details["label"],
+                           details["properties"], edge_id=change.edge_id)
+        elif kind is ChangeKind.REMOVE_NODE:
+            graph.add_node(details["label"], details["properties"],
+                           node_id=change.node_id)
+            for spec in details["removed_edge_specs"]:
+                graph.add_edge(spec["source"], spec["target"], spec["label"],
+                               spec["properties"], edge_id=spec["id"])
+        elif kind is ChangeKind.UPDATE_NODE:
+            _restore_properties(graph.update_node, change.node_id,
+                                details["before"], details["after"])
+        elif kind is ChangeKind.UPDATE_EDGE:
+            _restore_properties(graph.update_edge, change.edge_id,
+                                details["before"], details["after"])
+        elif kind is ChangeKind.RELABEL_NODE:
+            graph.relabel_node(change.node_id, details["before"])
+        elif kind is ChangeKind.RELABEL_EDGE:
+            graph.relabel_edge(change.edge_id, details["before"])
+        elif kind is ChangeKind.MERGE_NODES:
+            for edge_id in details["added_edges"]:
+                graph.remove_edge(edge_id)
+            keep = graph.node(change.node_id)
+            _restore_properties(graph.update_node, change.node_id,
+                                details["keep_properties_before"],
+                                dict(keep.properties))
+            graph.add_node(details["merged_label"], details["merged_properties"],
+                           node_id=details["merged"])
+            for spec in details["removed_edge_specs"]:
+                graph.add_edge(spec["source"], spec["target"], spec["label"],
+                               spec["properties"], edge_id=spec["id"])
+        else:  # pragma: no cover - exhaustive over ChangeKind
+            raise ValueError(f"unknown change kind {kind!r}")
+    except KeyError as exc:
+        if type(exc) is not KeyError:
+            raise  # a graph error (NodeNotFound etc.), not a missing snapshot
+        raise ValueError(
+            f"change {kind.value!r} lacks the detail snapshot {exc} needed to "
+            "invert it (was it recorded by a PropertyGraph mutation?)") from None
+
+
+def apply_inverse(graph, delta: GraphDelta) -> GraphDelta:
+    """Undo every change of ``delta`` on ``graph``, newest first.
+
+    The inverse mutations run through the graph's ordinary mutation API, so
+    change listeners (candidate index, recorders) observe them like any other
+    edit.  Returns the delta of the inverse mutations.  After this call the
+    graph is element-for-element identical (same ids, labels, properties) to
+    its state before ``delta`` was applied — the machinery behind
+    :meth:`repro.api.RepairSession.rollback`.
+    """
+    with recording(graph) as recorder:
+        for change in reversed(delta.changes):
+            _invert_change(graph, change)
+    return recorder.drain()
+
+
+def replay_delta(graph, delta: GraphDelta) -> GraphDelta:
+    """Re-apply a recorded ``delta`` to ``graph`` (oldest change first).
+
+    Additions, removals, updates, and relabels replay exactly (ids included).
+    ``MERGE_NODES`` replays *semantically* — the merge is re-executed, so
+    redirected-edge ids may differ from the original run.  Returns the delta
+    recorded while replaying.
+    """
+    with recording(graph) as recorder:
+        for change in delta.changes:
+            kind = change.kind
+            details = change.details
+            try:
+                if kind is ChangeKind.ADD_NODE:
+                    graph.add_node(details["label"], details["properties"],
+                                   node_id=change.node_id)
+                elif kind is ChangeKind.ADD_EDGE:
+                    graph.add_edge(details["source"], details["target"],
+                                   details["label"], details["properties"],
+                                   edge_id=change.edge_id)
+                elif kind is ChangeKind.REMOVE_NODE:
+                    graph.remove_node(change.node_id)
+                elif kind is ChangeKind.REMOVE_EDGE:
+                    graph.remove_edge(change.edge_id)
+                elif kind is ChangeKind.UPDATE_NODE:
+                    _restore_properties(graph.update_node, change.node_id,
+                                        details["after"], details["before"])
+                elif kind is ChangeKind.UPDATE_EDGE:
+                    _restore_properties(graph.update_edge, change.edge_id,
+                                        details["after"], details["before"])
+                elif kind is ChangeKind.RELABEL_NODE:
+                    graph.relabel_node(change.node_id, details["after"])
+                elif kind is ChangeKind.RELABEL_EDGE:
+                    graph.relabel_edge(change.edge_id, details["after"])
+                elif kind is ChangeKind.MERGE_NODES:
+                    graph.merge_nodes(
+                        change.node_id, details["merged"],
+                        prefer_kept_properties=details.get(
+                            "prefer_kept_properties", True),
+                        drop_duplicate_edges=details.get(
+                            "drop_duplicate_edges", True))
+                else:  # pragma: no cover - exhaustive over ChangeKind
+                    raise ValueError(f"unknown change kind {kind!r}")
+            except KeyError as exc:
+                if type(exc) is not KeyError:
+                    raise  # a graph error, not a missing snapshot
+                raise ValueError(
+                    f"change {kind.value!r} lacks the detail snapshot {exc} "
+                    "needed to replay it") from None
+    return recorder.drain()
 
 
 class ChangeRecorder:

@@ -35,6 +35,17 @@ from repro.graph.elements import Edge, EdgeId, Label, Node, NodeId, Properties, 
 from repro.utils.ids import IdGenerator
 
 
+def _edge_spec(edge: Edge) -> dict[str, Any]:
+    """Full snapshot of one edge, rich enough to recreate it exactly.
+
+    Stored in change details of subtractive mutations so that
+    :func:`repro.graph.delta.apply_inverse` can restore removed structure
+    (same ids, labels, and properties) during a session rollback.
+    """
+    return {"id": edge.id, "source": edge.source, "target": edge.target,
+            "label": edge.label, "properties": dict(edge.properties)}
+
+
 class PropertyGraph:
     """A directed, labelled property multigraph."""
 
@@ -297,7 +308,9 @@ class PropertyGraph:
         self._in_edges[node_id] = {}
         self._nodes_by_label.setdefault(label, set()).add(node_id)
         self._emit(GraphChange(kind=ChangeKind.ADD_NODE, node_id=node_id,
-                               touched_nodes=(node_id,)))
+                               touched_nodes=(node_id,),
+                               details={"label": label,
+                                        "properties": dict(node.properties)}))
         return node
 
     def add_edge(self, source: NodeId, target: NodeId, label: Label,
@@ -320,7 +333,10 @@ class PropertyGraph:
         self._in_edges[target][edge_id] = None
         self._edges_by_label.setdefault(label, set()).add(edge_id)
         self._emit(GraphChange(kind=ChangeKind.ADD_EDGE, edge_id=edge_id,
-                               touched_nodes=(source, target)))
+                               touched_nodes=(source, target),
+                               details={"label": label, "source": source,
+                                        "target": target,
+                                        "properties": dict(edge.properties)}))
         return edge
 
     def remove_edge(self, edge_id: EdgeId) -> Edge:
@@ -330,7 +346,8 @@ class PropertyGraph:
         self._emit(GraphChange(kind=ChangeKind.REMOVE_EDGE, edge_id=edge_id,
                                touched_nodes=(edge.source, edge.target),
                                details={"label": edge.label, "source": edge.source,
-                                        "target": edge.target}))
+                                        "target": edge.target,
+                                        "properties": dict(edge.properties)}))
         return edge
 
     def remove_node(self, node_id: NodeId) -> Node:
@@ -338,10 +355,12 @@ class PropertyGraph:
         node = self.node(node_id)
         incident = self.incident_edges(node_id)
         removed_edges = []
+        removed_specs = []
         touched: set[NodeId] = {node_id}
         for edge in incident:
             touched.add(edge.source)
             touched.add(edge.target)
+            removed_specs.append(_edge_spec(edge))
             self._detach_edge(edge)
             removed_edges.append(edge.id)
         del self._nodes[node_id]
@@ -352,7 +371,9 @@ class PropertyGraph:
         self._emit(GraphChange(kind=ChangeKind.REMOVE_NODE, node_id=node_id,
                                touched_nodes=tuple(touched),
                                details={"label": node.label,
-                                        "removed_edges": tuple(removed_edges)}))
+                                        "properties": dict(node.properties),
+                                        "removed_edges": tuple(removed_edges),
+                                        "removed_edge_specs": tuple(removed_specs)}))
         return node
 
     def update_node(self, node_id: NodeId, properties: Mapping[str, Any] | None = None,
@@ -429,9 +450,12 @@ class PropertyGraph:
             raise GraphMutationError("cannot merge a node into itself")
         keep = self.node(keep_id)
         merge = self.node(merge_id)
+        keep_properties_before = dict(keep.properties)
+        merged_properties = dict(merge.properties)
 
         added_edges: list[EdgeId] = []
         removed_edges: list[EdgeId] = []
+        removed_specs: list[dict[str, Any]] = []
         touched: set[NodeId] = {keep_id, merge_id}
 
         for edge in list(self.incident_edges(merge_id)):
@@ -439,6 +463,7 @@ class PropertyGraph:
             touched.add(edge.target)
             new_source = keep_id if edge.source == merge_id else edge.source
             new_target = keep_id if edge.target == merge_id else edge.target
+            removed_specs.append(_edge_spec(edge))
             self._detach_edge(edge)
             removed_edges.append(edge.id)
             if drop_duplicate_edges and self._has_equivalent_edge(new_source, new_target, edge.label):
@@ -469,8 +494,13 @@ class PropertyGraph:
                                touched_nodes=tuple(touched),
                                details={"merged": merge_id,
                                         "merged_label": merge.label,
+                                        "merged_properties": merged_properties,
+                                        "keep_properties_before": keep_properties_before,
+                                        "prefer_kept_properties": prefer_kept_properties,
+                                        "drop_duplicate_edges": drop_duplicate_edges,
                                         "added_edges": tuple(added_edges),
-                                        "removed_edges": tuple(removed_edges)}))
+                                        "removed_edges": tuple(removed_edges),
+                                        "removed_edge_specs": tuple(removed_specs)}))
         return keep
 
     # ------------------------------------------------------------------

@@ -166,6 +166,10 @@ class IncrementalMatcher:
         self.candidate_index = candidate_index
         self.use_decomposition = use_decomposition
         self._stores: dict[str, MatchStore] = {}
+        # pre-filtered registration-time subset: stores whose rule has
+        # incompleteness semantics, so the subtractive-delta recheck never
+        # iterates (or even label-checks) the other stores
+        self._incompleteness_stores: dict[str, MatchStore] = {}
         self._engine = VF2Matcher(graph=graph, candidate_index=candidate_index,
                                   use_decomposition=use_decomposition)
         # cached pattern_requirements per (pattern, variable) for seed pruning;
@@ -183,10 +187,20 @@ class IncrementalMatcher:
     # ------------------------------------------------------------------
 
     def register(self, pattern: Pattern, enumerate_now: bool = True,
-                 limit: int | None = None) -> MatchStore:
-        """Register a pattern and (by default) enumerate its initial matches."""
+                 limit: int | None = None, incompleteness: bool = False) -> MatchStore:
+        """Register a pattern and (by default) enumerate its initial matches.
+
+        ``incompleteness=True`` marks the pattern as the evidence of an
+        incompleteness-semantics rule: its store is additionally kept in a
+        pre-filtered list (:meth:`incompleteness_stores`) that the repairers'
+        post-delta recheck iterates instead of scanning every store.
+        """
         store = MatchStore(pattern=pattern)
         self._stores[pattern.name] = store
+        if incompleteness:
+            self._incompleteness_stores[pattern.name] = store
+        else:
+            self._incompleteness_stores.pop(pattern.name, None)
         if enumerate_now:
             for match in self._engine.iter_matches(pattern, limit=limit):
                 store.add(match)
@@ -197,6 +211,11 @@ class IncrementalMatcher:
 
     def stores(self) -> list[MatchStore]:
         return list(self._stores.values())
+
+    def incompleteness_stores(self) -> list[MatchStore]:
+        """Only the stores registered with ``incompleteness=True`` (the
+        subtractive-delta recheck set)."""
+        return list(self._incompleteness_stores.values())
 
     def total_matches(self) -> int:
         return sum(len(store) for store in self._stores.values())
@@ -214,6 +233,7 @@ class IncrementalMatcher:
         """
         if not delta:
             return {}
+        self._engine.stats.maintenance_passes += 1
         target_stores = ([self._stores[name] for name in patterns]
                          if patterns is not None else list(self._stores.values()))
         updates: dict[str, IncrementalUpdate] = {}
@@ -350,4 +370,6 @@ class IncrementalMatcher:
         for match in self._engine.iter_matches(store.pattern):
             fresh.add(match)
         self._stores[pattern_name] = fresh
+        if pattern_name in self._incompleteness_stores:
+            self._incompleteness_stores[pattern_name] = fresh
         return fresh

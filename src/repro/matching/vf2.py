@@ -51,12 +51,18 @@ class MatchingStats:
     nodes_tried: int = 0
     backtracks: int = 0
     matches_found: int = 0
+    # incremental-maintenance passes driven through this engine (bumped by
+    # IncrementalMatcher.apply_delta): the counter the batched-repair benchmark
+    # asserts on — batching N independent repairs must need fewer passes than
+    # N one-at-a-time repairs
+    maintenance_passes: int = 0
     elapsed_seconds: float = 0.0
 
     def merge(self, other: "MatchingStats") -> None:
         self.nodes_tried += other.nodes_tried
         self.backtracks += other.backtracks
         self.matches_found += other.matches_found
+        self.maintenance_passes += other.maintenance_passes
         self.elapsed_seconds += other.elapsed_seconds
 
     def as_dict(self) -> dict:
@@ -64,6 +70,7 @@ class MatchingStats:
             "nodes_tried": self.nodes_tried,
             "backtracks": self.backtracks,
             "matches_found": self.matches_found,
+            "maintenance_passes": self.maintenance_passes,
             "elapsed_seconds": self.elapsed_seconds,
         }
 

@@ -1,11 +1,13 @@
 """Repair algorithms: detection, planning, execution, provenance, and the
 naive / fast repairers behind the engine facade (system S5 in DESIGN.md)."""
 
+from repro.repair.config import RepairKnobs
 from repro.repair.cost import DEFAULT_COST_MODEL, CostModel
 from repro.repair.detector import DetectionResult, ViolationDetector, detect_violations
 from repro.repair.engine import EngineConfig, RepairEngine, repair_graph
+from repro.repair.events import MaintenanceEvent, RepairEvents
 from repro.repair.executor import ExecutionOutcome, RepairExecutor
-from repro.repair.fast import FastRepairConfig, FastRepairer
+from repro.repair.fast import FastRepairConfig, FastRepairCore, FastRepairer
 from repro.repair.naive import NaiveRepairConfig, NaiveRepairer
 from repro.repair.provenance import RepairAction, RepairLog
 from repro.repair.report import RepairReport
@@ -14,6 +16,10 @@ from repro.repair.violation import Violation, ViolationStatus
 __all__ = [
     "Violation",
     "ViolationStatus",
+    "RepairKnobs",
+    "RepairEvents",
+    "MaintenanceEvent",
+    "FastRepairCore",
     "ViolationDetector",
     "DetectionResult",
     "detect_violations",

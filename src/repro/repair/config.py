@@ -1,0 +1,38 @@
+"""Shared repair-configuration knobs.
+
+``RepairKnobs`` declares — exactly once — the cost/ordering/budget knobs that
+every repair configuration needs.  :class:`~repro.repair.fast.FastRepairConfig`,
+:class:`~repro.repair.naive.NaiveRepairConfig`,
+:class:`~repro.repair.engine.EngineConfig`, and the api-level
+:class:`~repro.api.RepairConfig` all inherit from it, so adding a knob here
+reaches every surface without the per-config re-declaration drift the old
+three-config split suffered from (each used to copy ``cost_model`` /
+``max_repairs`` / ``match_limit_per_rule`` by hand).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.repair.cost import DEFAULT_COST_MODEL, CostModel
+
+
+@dataclass
+class RepairKnobs:
+    """Cost/ordering/budget knobs shared by every repair configuration.
+
+    ``cost_model`` orders pending violations (cheapest first within a
+    priority tier); ``max_repairs`` caps the number of repairs applied
+    (None = unbounded); ``match_limit_per_rule`` caps match enumeration per
+    rule pattern during detection (None = unbounded).
+
+    The fields are keyword-only so that inheriting configs keep their own
+    declared fields first positionally — legacy positional construction like
+    ``EngineConfig("naive")`` still means ``method="naive"``.
+    """
+
+    _: dataclasses.KW_ONLY
+    cost_model: CostModel = DEFAULT_COST_MODEL
+    max_repairs: int | None = None
+    match_limit_per_rule: int | None = None

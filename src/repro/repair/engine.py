@@ -1,29 +1,37 @@
-"""The repair engine facade.
+"""The legacy repair engine facade (deprecation shim).
 
-:class:`RepairEngine` is the entry point most users need: pick a method
-(``"fast"`` by default, ``"naive"`` for the baseline), optionally run the
-rule-set consistency analysis first, and repair a graph either in place or on
-a copy.  The engine is also where the ablation variants used by experiment E5
-are materialised from a single :class:`EngineConfig`.
+:class:`RepairEngine` predates the session API: pick a method (``"fast"`` or
+``"naive"``), optionally run the rule-set consistency analysis first, and
+repair a graph either in place or on a copy.  Since the ``repro.api``
+redesign it is a thin shim: every call opens a short-lived
+:class:`~repro.api.RepairSession` with the equivalent
+:class:`~repro.api.RepairConfig` and drives it to completion, so both entry
+points share one code path.  New code should use the session directly —
+see ``docs/MIGRATION.md``.
+
+:class:`EngineConfig` remains the configuration object of this facade (and of
+the E5 ablation variants); it inherits the shared cost/ordering knobs from
+:class:`~repro.repair.config.RepairKnobs` and converts losslessly to the
+api-level config via :meth:`EngineConfig.to_repair_config`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import warnings
 from dataclasses import dataclass, field, replace
 
-from repro.exceptions import InconsistentRuleSetError
 from repro.graph.property_graph import PropertyGraph
-from repro.matching.matcher import MatcherConfig
-from repro.repair.cost import DEFAULT_COST_MODEL, CostModel
-from repro.repair.fast import FastRepairConfig, FastRepairer
-from repro.repair.naive import NaiveRepairConfig, NaiveRepairer
+from repro.repair.config import RepairKnobs
 from repro.repair.report import RepairReport
 from repro.rules.grr import RuleSet
 
+_DEPRECATION = ("%s is deprecated; open a repro.api.RepairSession (see "
+                "docs/MIGRATION.md) for long-lived, transactional repairing")
+
 
 @dataclass
-class EngineConfig:
+class EngineConfig(RepairKnobs):
     """Configuration of a repair run.
 
     ``method`` is ``"fast"`` or ``"naive"``.  The three ``use_*`` flags select
@@ -36,13 +44,14 @@ class EngineConfig:
     """
 
     method: str = "fast"
+    # keyword-only below: the shared knobs moved to the RepairKnobs base, so
+    # trailing positional binding would silently mean something new — force
+    # an immediate TypeError instead
+    __: dataclasses.KW_ONLY
     use_candidate_index: bool = True
     use_decomposition: bool = True
     use_incremental: bool = True
-    cost_model: CostModel = DEFAULT_COST_MODEL
-    max_repairs: int | None = None
     max_rounds: int = 100
-    match_limit_per_rule: int | None = None
     check_consistency: bool = False
     require_consistency: bool = False
 
@@ -73,76 +82,62 @@ class EngineConfig:
                        use_decomposition=True, use_incremental=False)
         raise ValueError(f"unknown ablation target {disable!r}")
 
+    def to_repair_config(self):
+        """The equivalent api-level :class:`~repro.api.RepairConfig`."""
+        from repro.api.config import RepairConfig
+
+        return RepairConfig.from_engine_config(self)
+
 
 @dataclass
 class RepairEngine:
-    """Repairs graphs with a rule set according to an :class:`EngineConfig`."""
+    """Repairs graphs with a rule set according to an :class:`EngineConfig`.
+
+    Deprecated facade: each call is routed through a short-lived
+    :class:`~repro.api.RepairSession`.
+    """
 
     config: EngineConfig = field(default_factory=EngineConfig)
 
     def repair(self, graph: PropertyGraph, rules: RuleSet) -> RepairReport:
         """Repair ``graph`` **in place** and return the report."""
-        if self.config.check_consistency or self.config.require_consistency:
-            self._check_rules(rules)
-        repairer = self._build_repairer()
-        return repairer.repair(graph, rules)
+        warnings.warn(_DEPRECATION % "RepairEngine", DeprecationWarning,
+                      stacklevel=2)
+        return self._repair(graph, rules)
 
     def repair_copy(self, graph: PropertyGraph,
                     rules: RuleSet) -> tuple[PropertyGraph, RepairReport]:
         """Repair a copy of ``graph``; returns ``(repaired copy, report)``."""
+        warnings.warn(_DEPRECATION % "RepairEngine", DeprecationWarning,
+                      stacklevel=2)
         clone = graph.copy(name=f"{graph.name}-repaired")
-        report = self.repair(clone, rules)
+        report = self._repair(clone, rules)
         return clone, report
 
-    # ------------------------------------------------------------------
-    # internals
-    # ------------------------------------------------------------------
+    def _repair(self, graph: PropertyGraph, rules: RuleSet) -> RepairReport:
+        from repro.api.session import RepairSession
 
-    def _build_repairer(self):
-        config = self.config
-        if config.method == "naive" or not config.use_incremental:
-            matcher_config = MatcherConfig(
-                use_candidate_index=config.use_candidate_index,
-                use_decomposition=config.use_decomposition)
-            return NaiveRepairer(NaiveRepairConfig(
-                matcher_config=matcher_config,
-                cost_model=config.cost_model,
-                max_rounds=config.max_rounds,
-                max_repairs=config.max_repairs,
-                match_limit_per_rule=config.match_limit_per_rule))
-        if config.method == "fast":
-            return FastRepairer(FastRepairConfig(
-                use_candidate_index=config.use_candidate_index,
-                use_decomposition=config.use_decomposition,
-                cost_model=config.cost_model,
-                max_repairs=config.max_repairs,
-                match_limit_per_rule=config.match_limit_per_rule))
-        raise ValueError(f"unknown repair method {self.config.method!r}")
-
-    def _check_rules(self, rules: RuleSet) -> None:
-        from repro.analysis.consistency import ConsistencyVerdict, check_consistency
-
-        result = check_consistency(rules)
-        if result.verdict is ConsistencyVerdict.INCONSISTENT:
-            message = ("rule set failed the consistency check: "
-                       + "; ".join(result.reasons))
-            if self.config.require_consistency:
-                raise InconsistentRuleSetError(message, evidence=result)
-            warnings.warn(message, stacklevel=3)
+        with RepairSession(graph, rules,
+                           config=self.config.to_repair_config()) as session:
+            return session.repair()
 
 
 def repair_graph(graph: PropertyGraph, rules: RuleSet, method: str = "fast",
                  in_place: bool = False,
                  **config_overrides) -> tuple[PropertyGraph, RepairReport]:
-    """Convenience one-call repair.
+    """Convenience one-call repair (deprecated shim over the session API).
 
     Returns ``(repaired graph, report)``; with ``in_place=False`` (default)
     the input graph is left untouched.
     """
+    warnings.warn(_DEPRECATION % "repair_graph", DeprecationWarning,
+                  stacklevel=2)
+    from repro.api.session import RepairSession
+
     base = EngineConfig.fast() if method == "fast" else EngineConfig.naive()
-    config = replace(base, **config_overrides)
-    engine = RepairEngine(config)
-    if in_place:
-        report = engine.repair(graph, rules)
-        return graph, report
-    return engine.repair_copy(graph, rules)
+    config = replace(base, method=method, **config_overrides)
+    target = graph if in_place else graph.copy(name=f"{graph.name}-repaired")
+    with RepairSession(target, rules,
+                       config=config.to_repair_config()) as session:
+        report = session.repair()
+    return target, report

@@ -14,7 +14,24 @@ its per-round full re-matching:
 * repairs that *delete* structure additionally re-check stored evidence
   matches of incompleteness rules in the affected region, because deleting a
   previously-present extension can turn an existing match into a new
-  violation.
+  violation.  (The maintainer keeps a pre-filtered list of incompleteness
+  stores, so this recheck never touches the other rules' stores at all.)
+
+The state behind the algorithm — index, match stores, violation queue,
+extension prober — lives in :class:`FastRepairCore`, which is shared between
+the one-shot :class:`FastRepairer` facade and the long-lived
+:class:`~repro.api.RepairSession`: a session keeps one core alive across many
+``repair()`` / ``commit()`` calls, which is what makes its repairs
+incremental *across* invocations, not just within one.
+
+With ``batch_repairs=True`` the core drains the queue in *batches* of
+mutually independent violations (no shared bound nodes): every repair in a
+batch is validated against the live graph and applied, their deltas are
+merged, and **one** incremental-maintenance pass covers the whole batch —
+amortising seeded-search startup across independent repairs (the ROADMAP
+"batch deltas across repairs" item).  Because independence is defined by
+region disjointness, a batch of non-overlapping violations produces the same
+fixpoint as applying them one at a time.
 
 The three optimisations can be toggled independently for the ablation
 experiment (E5); turning incremental maintenance off is equivalent to running
@@ -30,19 +47,23 @@ rule sets it guarantees the run ends and reports the leftover violations and
 
 from __future__ import annotations
 
+import dataclasses
 import heapq
 import itertools
 import time
-from dataclasses import dataclass, field
+from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Mapping
 
+from repro.graph.delta import GraphDelta
 from repro.graph.property_graph import PropertyGraph
 from repro.matching.incremental import IncrementalMatcher
 from repro.matching.index import CandidateIndex
 from repro.matching.pattern import Pattern
-from repro.matching.vf2 import VF2Matcher
-from repro.repair.cost import DEFAULT_COST_MODEL, CostModel
-from repro.repair.executor import RepairExecutor
+from repro.matching.vf2 import MatchingStats, VF2Matcher
+from repro.repair.config import RepairKnobs
+from repro.repair.events import MaintenanceEvent
+from repro.repair.executor import ExecutionOutcome, RepairExecutor
 from repro.repair.report import RepairReport
 from repro.repair.violation import Violation, ViolationStatus, sort_key
 from repro.rules.grr import GraphRepairingRule, RuleSet
@@ -50,14 +71,23 @@ from repro.rules.semantics import Semantics
 
 
 @dataclass
-class FastRepairConfig:
-    """Optimisation switches and budgets of the fast algorithm."""
+class FastRepairConfig(RepairKnobs):
+    """Optimisation switches and budgets of the fast algorithm.
+
+    Inherits the shared cost/ordering/budget knobs from
+    :class:`~repro.repair.config.RepairKnobs`.  ``batch_repairs`` switches the
+    queue drain to batched mode (independent violations repaired under one
+    merged maintenance pass); ``max_batch`` caps the batch size (None =
+    unbounded).
+    """
 
     use_candidate_index: bool = True
+    # keyword-only below (see EngineConfig): the shared knobs moved to the
+    # base, so trailing positional binding would silently change meaning
+    __: dataclasses.KW_ONLY
     use_decomposition: bool = True
-    cost_model: CostModel = DEFAULT_COST_MODEL
-    max_repairs: int | None = None
-    match_limit_per_rule: int | None = None
+    batch_repairs: bool = False
+    max_batch: int | None = None
 
 
 class _ExtensionChecker:
@@ -84,145 +114,409 @@ class _ExtensionChecker:
         return self._engine.exists(pattern, seed=seed)
 
 
-class FastRepairer:
-    """Queue-driven repair with incremental match maintenance."""
+class FastRepairCore:
+    """Persistent state and lifecycle of the fast algorithm.
 
-    def __init__(self, config: FastRepairConfig | None = None) -> None:
+    Exposes the unified ``plan`` / ``apply`` / ``maintain`` lifecycle the
+    :class:`~repro.api.Repairer` protocol names:
+
+    * construction binds the core to one graph + rule set, builds the
+      candidate index, enumerates initial matches, and seeds the violation
+      queue (the *plan*);
+    * :meth:`validate` + :meth:`execute` apply one queued violation;
+    * :meth:`maintain` folds one :class:`GraphDelta` (a repair's, or a
+      session's committed staged edits) into the match stores and requeues
+      newly discovered violations;
+    * :meth:`drain` runs the standard repair loop (sequential or batched) and
+      :meth:`finalize` settles the report.
+
+    The core stays usable after ``drain`` — a :class:`~repro.api.RepairSession`
+    keeps calling ``maintain``/``drain`` as new edits arrive.  ``close`` only
+    detaches the candidate index from the graph's change feed.
+    """
+
+    def __init__(self, graph: PropertyGraph, rules: RuleSet,
+                 config: FastRepairConfig | None = None, events=None) -> None:
+        self.graph = graph
+        self.rules = rules
         self.config = config or FastRepairConfig()
-
-    def repair(self, graph: PropertyGraph, rules: RuleSet) -> RepairReport:
-        """Repair ``graph`` in place; returns the :class:`RepairReport`."""
-        config = self.config
-        report = RepairReport(method="fast", graph_name=graph.name,
-                              rule_set_name=rules.name,
-                              initial_nodes=graph.num_nodes,
-                              initial_edges=graph.num_edges)
+        self._on_violation = getattr(events, "on_violation", None)
+        self._on_repair_applied = getattr(events, "on_repair_applied", None)
+        self._on_maintenance = getattr(events, "on_maintenance", None)
+        self.report = RepairReport(
+            method="fast", graph_name=graph.name, rule_set_name=rules.name,
+            initial_nodes=graph.num_nodes, initial_edges=graph.num_edges)
         started = time.perf_counter()
+        # work time only: a long-lived session may sit idle between calls, so
+        # wall-clock is accumulated around construction / drains / maintains,
+        # never measured across the core's lifetime
+        self._elapsed = 0.0
+        self._timing_depth = 0
+        # repairs applied when the current drain started: max_repairs caps
+        # each drain (each session repair() call), matching the per-call
+        # budget semantics of the naive and greedy backends
+        self._drain_baseline = 0
+        # valid remaining-violation count from the last full scan; None while
+        # stores may have changed since (keeps no-op repair() calls O(1))
+        self._remaining_cache: int | None = None
+        self._closed = False
 
-        index: CandidateIndex | None = None
+        config = self.config
+        self.index: CandidateIndex | None = None
         if config.use_candidate_index:
-            with report.timings.measure("index-build"):
-                index = CandidateIndex(graph)
-            index.attach()
+            with self.report.timings.measure("index-build"):
+                self.index = CandidateIndex(graph)
+            self.index.attach()
 
-        incremental = IncrementalMatcher(graph, candidate_index=index,
-                                         use_decomposition=config.use_decomposition)
-        checker = _ExtensionChecker(graph, index, config.use_decomposition)
-        executor = RepairExecutor(graph, cost_model=config.cost_model)
+        self.incremental = IncrementalMatcher(
+            graph, candidate_index=self.index,
+            use_decomposition=config.use_decomposition)
+        self.checker = _ExtensionChecker(graph, self.index, config.use_decomposition)
+        self.executor = RepairExecutor(graph, cost_model=config.cost_model)
 
-        rules_by_pattern: dict[str, GraphRepairingRule] = {}
-        with report.timings.measure("initial-detection"):
+        self.rules_by_pattern: dict[str, GraphRepairingRule] = {}
+        self._queue: list[tuple[tuple, int, Violation]] = []
+        self._counter = itertools.count()
+        self._queued_keys: set[tuple] = set()
+        self._processed_keys: set[tuple] = set()
+
+        with self.report.timings.measure("initial-detection"):
             for rule in rules:
-                rules_by_pattern[rule.pattern.name] = rule
-                incremental.register(rule.pattern, enumerate_now=True,
-                                     limit=config.match_limit_per_rule)
-
-        # Priority queue of pending violations.
-        queue: list[tuple[tuple, int, Violation]] = []
-        counter = itertools.count()
-        queued_keys: set[tuple] = set()
-        processed_keys: set[tuple] = set()
-
-        def push(violation: Violation) -> None:
-            key = violation.key()
-            if key in queued_keys or key in processed_keys:
-                return
-            cost = config.cost_model.estimate(graph, violation.rule, violation.match)
-            sequence = next(counter)
-            heapq.heappush(queue, (sort_key(violation, cost=cost, sequence=sequence),
-                                   sequence, violation))
-            queued_keys.add(key)
-            report.violations_detected += 1
-
-        with report.timings.measure("initial-detection"):
-            for store in incremental.stores():
-                rule = rules_by_pattern[store.pattern.name]
+                self.rules_by_pattern[rule.pattern.name] = rule
+                self.incremental.register(
+                    rule.pattern, enumerate_now=True,
+                    limit=config.match_limit_per_rule,
+                    incompleteness=rule.semantics is Semantics.INCOMPLETENESS)
+            for store in self.incremental.stores():
+                rule = self.rules_by_pattern[store.pattern.name]
                 for match in store:
-                    if rule.is_violation(checker, match):
-                        push(Violation(rule=rule, match=match))
+                    if rule.is_violation(self.checker, match):
+                        self.push(Violation(rule=rule, match=match))
+        self._elapsed += time.perf_counter() - started
 
-        # Main loop.
-        while queue:
-            if config.max_repairs is not None and report.repairs_applied >= config.max_repairs:
-                break
-            _, _, violation = heapq.heappop(queue)
-            key = violation.key()
-            queued_keys.discard(key)
-            if key in processed_keys:
-                continue
+    # ------------------------------------------------------------------
+    # queue
+    # ------------------------------------------------------------------
 
-            with report.timings.measure("validation"):
-                still_valid = (violation.match.is_valid(graph)
-                               and violation.rule.is_violation(checker, violation.match))
-            if not still_valid:
-                violation.status = ViolationStatus.OBSOLETE
-                report.repairs_obsolete += 1
-                processed_keys.add(key)
-                continue
+    def push(self, violation: Violation, requeue: bool = False) -> bool:
+        """Queue a violation unless its identity was already queued/handled.
 
-            with report.timings.measure("execution"):
-                outcome = executor.apply(violation.rule, violation.match)
-            processed_keys.add(key)
-            if not outcome.applied:
-                violation.status = ViolationStatus.FAILED
-                report.repairs_failed += 1
-                continue
-            violation.status = ViolationStatus.REPAIRED
-            report.repairs_applied += 1
+        ``requeue=True`` forgets that the identity was handled before — used
+        when an *external* (committed) edit re-creates a violation that an
+        earlier repair had already addressed, which must become repairable
+        again.  Repair-driven maintenance never requeues, preserving the
+        handle-each-instance-once termination guarantee within a drain.
+        """
+        key = violation.key()
+        if requeue:
+            self._processed_keys.discard(key)
+        if key in self._queued_keys or key in self._processed_keys:
+            return False
+        cost = self.config.cost_model.estimate(self.graph, violation.rule,
+                                               violation.match)
+        sequence = next(self._counter)
+        self._push_entry((sort_key(violation, cost=cost, sequence=sequence),
+                          sequence, violation))
+        self.report.violations_detected += 1
+        if self._on_violation is not None:
+            self._on_violation(violation)
+        return True
 
-            delta = outcome.delta
-            if not delta:
-                continue
+    def _push_entry(self, entry: tuple[tuple, int, Violation]) -> None:
+        """(Re-)insert a fully formed queue entry without re-counting it as a
+        new detection (no counter bump, no ``on_violation`` event)."""
+        heapq.heappush(self._queue, entry)
+        self._queued_keys.add(entry[2].key())
 
-            # Incrementally maintain the match stores and harvest new violations.
-            with report.timings.measure("incremental-maintenance"):
-                updates = incremental.apply_delta(delta)
+    def has_pending(self) -> bool:
+        return bool(self._queue)
+
+    def pending(self) -> list[Violation]:
+        """Snapshot of the queued violations in processing order."""
+        return [entry[2] for entry in sorted(self._queue)
+                if entry[2].key() not in self._processed_keys]
+
+    def _pop_entry(self) -> tuple[tuple, int, Violation] | None:
+        """Next queue entry whose identity was not handled yet."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            key = entry[2].key()
+            self._queued_keys.discard(key)
+            if key not in self._processed_keys:
+                return entry
+        return None
+
+    def _pop(self) -> Violation | None:
+        """Next queued violation whose identity was not handled yet."""
+        entry = self._pop_entry()
+        return entry[2] if entry is not None else None
+
+    # ------------------------------------------------------------------
+    # plan / apply / maintain lifecycle pieces
+    # ------------------------------------------------------------------
+
+    def validate(self, violation: Violation) -> bool:
+        """Re-check a violation against the current graph; obsolete ones are
+        retired (counted, status set) and ``False`` is returned."""
+        with self._timed(), self.report.timings.measure("validation"):
+            still_valid = (violation.match.is_valid(self.graph)
+                           and violation.rule.is_violation(self.checker,
+                                                           violation.match))
+        if not still_valid:
+            violation.status = ViolationStatus.OBSOLETE
+            self.report.repairs_obsolete += 1
+            self._processed_keys.add(violation.key())
+        return still_valid
+
+    def execute(self, violation: Violation) -> ExecutionOutcome:
+        """Apply one violation's repair (no maintenance); updates counters."""
+        with self._timed(), self.report.timings.measure("execution"):
+            outcome = self.executor.apply(violation.rule, violation.match)
+        self._processed_keys.add(violation.key())
+        if outcome.delta:
+            # even a failed repair may have mutated the graph (partial
+            # repairs are kept, not rolled back)
+            self._remaining_cache = None
+        if not outcome.applied:
+            violation.status = ViolationStatus.FAILED
+            self.report.repairs_failed += 1
+            return outcome
+        violation.status = ViolationStatus.REPAIRED
+        self.report.repairs_applied += 1
+        if self._on_repair_applied is not None:
+            self._on_repair_applied(violation, outcome)
+        return outcome
+
+    def maintain(self, delta: GraphDelta, source: str = "repair") -> MaintenanceEvent:
+        """Fold one delta into the match stores; queue newly found violations.
+
+        One call is one incremental-maintenance pass, whatever the delta size
+        — batching independent repairs' deltas into a single call is exactly
+        how the batched mode amortises maintenance.  A ``"commit"``-sourced
+        delta comes from *external* edits, which may legitimately re-create a
+        violation an earlier repair already handled — those are requeued;
+        repair-driven deltas never requeue (termination guarantee).
+        """
+        event = MaintenanceEvent(source=source, delta_changes=len(delta))
+        if not delta:
+            event.passes = 0
+            return event
+        self._remaining_cache = None
+        requeue = source == "commit"
+
+        with self._timed():
+            with self.report.timings.measure("incremental-maintenance"):
+                updates = self.incremental.apply_delta(delta)
             for pattern_name, update in updates.items():
-                rule = rules_by_pattern[pattern_name]
-                report.seeded_searches += update.seeded_searches
+                rule = self.rules_by_pattern[pattern_name]
+                self.report.seeded_searches += update.seeded_searches
+                event.seeded_searches += update.seeded_searches
+                event.invalidated += len(update.invalidated)
                 for match in update.discovered:
-                    if rule.is_violation(checker, match):
-                        push(Violation(rule=rule, match=match))
+                    if rule.is_violation(self.checker, match):
+                        if self.push(Violation(rule=rule, match=match),
+                                     requeue=requeue):
+                            event.discovered += 1
 
-            # Deletions can turn existing incompleteness matches into violations:
-            # their required extension may just have disappeared.  The stores'
-            # inverted element→match index narrows the recheck to the matches
-            # actually overlapping the delta.
+            # Deletions can turn existing incompleteness matches into
+            # violations: their required extension may just have disappeared.
+            # The maintainer's pre-filtered incompleteness-store list plus the
+            # stores' inverted element→match index narrow the recheck to
+            # exactly the incompleteness-rule matches overlapping the delta.
             if delta.has_subtractive_effect:
                 touched = delta.touched_nodes
                 removed_edges = delta.removed_edge_ids
-                with report.timings.measure("incompleteness-recheck"):
-                    for store in incremental.stores():
-                        rule = rules_by_pattern[store.pattern.name]
-                        if rule.semantics is not Semantics.INCOMPLETENESS:
-                            continue
-                        for match in store.matches_touching(node_ids=touched,
-                                                            edge_ids=removed_edges):
-                            if rule.is_violation(checker, match):
-                                push(Violation(rule=rule, match=match))
+                with self.report.timings.measure("incompleteness-recheck"):
+                    for store in self.incremental.incompleteness_stores():
+                        rule = self.rules_by_pattern[store.pattern.name]
+                        for match in store.matches_touching(
+                                node_ids=touched, edge_ids=removed_edges):
+                            event.rechecked += 1
+                            if rule.is_violation(self.checker, match):
+                                if self.push(Violation(rule=rule, match=match),
+                                             requeue=requeue):
+                                    event.discovered += 1
+        if self._on_maintenance is not None:
+            self._on_maintenance(event)
+        return event
 
-        # Final accounting: anything left in the stores that still violates its rule.
-        with report.timings.measure("final-check"):
+    # ------------------------------------------------------------------
+    # drains
+    # ------------------------------------------------------------------
+
+    def _budget_left(self) -> bool:
+        max_repairs = self.config.max_repairs
+        if max_repairs is None:
+            return True
+        return self.report.repairs_applied - self._drain_baseline < max_repairs
+
+    @contextmanager
+    def _timed(self):
+        """Accumulate wall-clock into the report's work time (re-entrant:
+        nested sections — maintain inside drain — are counted once)."""
+        if self._timing_depth:
+            self._timing_depth += 1
+            try:
+                yield
+            finally:
+                self._timing_depth -= 1
+            return
+        self._timing_depth = 1
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._timing_depth = 0
+            self._elapsed += time.perf_counter() - started
+
+    def drain(self) -> None:
+        """Process the queue to exhaustion (or budget), per the config's mode.
+
+        ``max_repairs`` budgets each drain call independently — a session
+        that exhausted the budget once can repair again on its next call.
+        """
+        self._drain_baseline = self.report.repairs_applied
+        with self._timed():
+            if self.config.batch_repairs:
+                self._drain_batched()
+            else:
+                self._drain_sequential()
+
+    def _drain_sequential(self) -> None:
+        while self._queue and self._budget_left():
+            violation = self._pop()
+            if violation is None:
+                break
+            if not self.validate(violation):
+                continue
+            outcome = self.execute(violation)
+            if outcome.applied and outcome.delta:
+                self.maintain(outcome.delta, source="repair")
+
+    def _drain_batched(self) -> None:
+        while self._queue and self._budget_left():
+            batch = self._pop_independent_batch()
+            if not batch:
+                break
+            merged = GraphDelta()
+            for entry in batch:
+                violation = entry[2]
+                if not self._budget_left():
+                    # over budget mid-batch: restore the untouched remainder
+                    # verbatim (no re-count, no duplicate events)
+                    self._push_entry(entry)
+                    continue
+                if not self.validate(violation):
+                    continue
+                outcome = self.execute(violation)
+                if outcome.applied and outcome.delta:
+                    merged.extend(outcome.delta.changes)
+            if merged:
+                self.maintain(merged, source="repair-batch")
+
+    def _pop_independent_batch(self) -> list[tuple[tuple, int, Violation]]:
+        """Pop a maximal prefix (in priority order) of region-independent
+        queue entries; conflicting entries are restored for the next batch
+        (verbatim — deferral is not a re-detection).
+
+        Independence = disjoint bound-node sets.  Because every edge a match
+        binds (edge variable or witness) has both endpoints among its bound
+        nodes, node-disjoint matches share no structure, so their repairs
+        cannot invalidate one another and their deltas can be maintained as
+        one merged pass.
+        """
+        max_batch = self.config.max_batch
+        batch: list[tuple[tuple, int, Violation]] = []
+        region: set[str] = set()
+        deferred: list[tuple[tuple, int, Violation]] = []
+        while self._queue:
+            if max_batch is not None and len(batch) >= max_batch:
+                break
+            entry = self._pop_entry()
+            if entry is None:
+                break
+            nodes = entry[2].match.bound_node_ids()
+            if batch and region & nodes:
+                deferred.append(entry)
+                continue
+            batch.append(entry)
+            region |= nodes
+        for entry in deferred:
+            self._push_entry(entry)
+        return batch
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+
+    def count_remaining(self) -> int:
+        """Stored matches that still violate their rule (the fixpoint check).
+
+        The count is cached between calls and invalidated by applied repairs
+        and maintenance passes, so a no-op ``repair()`` on an already-settled
+        session does not pay a full store rescan.
+        """
+        if self._remaining_cache is not None:
+            return self._remaining_cache
+        with self._timed(), self.report.timings.measure("final-check"):
             remaining = 0
-            for store in incremental.stores():
-                rule = rules_by_pattern[store.pattern.name]
+            for store in self.incremental.stores():
+                rule = self.rules_by_pattern[store.pattern.name]
                 for match in store:
-                    if not match.is_valid(graph):
+                    if not match.is_valid(self.graph):
                         continue
-                    if rule.is_violation(checker, match):
+                    if rule.is_violation(self.checker, match):
                         remaining += 1
-            report.remaining_violations = remaining
-            report.reached_fixpoint = remaining == 0 and not queue
+        self._remaining_cache = remaining
+        return remaining
 
-        if index is not None:
-            index.detach()
-
+    def finalize(self) -> RepairReport:
+        """Settle the report against the current state; the core stays usable."""
+        report = self.report
+        report.remaining_violations = self.count_remaining()
+        report.reached_fixpoint = (report.remaining_violations == 0
+                                   and not self._queue)
         report.rounds = 1
-        report.matching_stats.merge(incremental.stats)
-        report.matching_stats.merge(checker.stats)
-        report.matches_enumerated = incremental.total_matches()
-        report.log = executor.log
-        report.elapsed_seconds = time.perf_counter() - started
-        report.final_nodes = graph.num_nodes
-        report.final_edges = graph.num_edges
+        report.matching_stats = self.stats
+        report.matches_enumerated = self.incremental.total_matches()
+        report.log = self.executor.log
+        # accumulated work time, not core lifetime: a session core may sit
+        # idle between calls and that idle time is not repair time
+        report.elapsed_seconds = self._elapsed
+        report.final_nodes = self.graph.num_nodes
+        report.final_edges = self.graph.num_edges
         return report
+
+    @property
+    def stats(self) -> MatchingStats:
+        """Live aggregated matcher counters (maintenance + extension probes)."""
+        stats = MatchingStats()
+        stats.merge(self.incremental.stats)
+        stats.merge(self.checker.stats)
+        return stats
+
+    def close(self) -> None:
+        """Detach the candidate index from the graph's change feed."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.index is not None:
+            self.index.detach()
+
+
+class FastRepairer:
+    """Queue-driven repair with incremental match maintenance (one-shot facade
+    over :class:`FastRepairCore`)."""
+
+    def __init__(self, config: FastRepairConfig | None = None, events=None) -> None:
+        self.config = config or FastRepairConfig()
+        self.events = events
+
+    def repair(self, graph: PropertyGraph, rules: RuleSet) -> RepairReport:
+        """Repair ``graph`` in place; returns the :class:`RepairReport`."""
+        core = FastRepairCore(graph, rules, config=self.config, events=self.events)
+        try:
+            core.drain()
+            return core.finalize()
+        finally:
+            core.close()

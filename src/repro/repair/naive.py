@@ -17,14 +17,16 @@ produce the same repair quality in E1/E4 — only the runtime differs.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 
 from repro.exceptions import RepairBudgetExceeded
 from repro.graph.property_graph import PropertyGraph
 from repro.matching.matcher import Matcher, MatcherConfig
-from repro.repair.cost import DEFAULT_COST_MODEL, CostModel
+from repro.repair.config import RepairKnobs
 from repro.repair.detector import ViolationDetector
+from repro.repair.events import MaintenanceEvent
 from repro.repair.executor import RepairExecutor
 from repro.repair.report import RepairReport
 from repro.repair.violation import Violation, ViolationStatus, sort_key
@@ -32,22 +34,27 @@ from repro.rules.grr import RuleSet
 
 
 @dataclass
-class NaiveRepairConfig:
-    """Budgets and matching configuration of the naive algorithm."""
+class NaiveRepairConfig(RepairKnobs):
+    """Budgets and matching configuration of the naive algorithm.
+
+    Inherits the shared cost/ordering/budget knobs from
+    :class:`~repro.repair.config.RepairKnobs`.
+    """
 
     matcher_config: MatcherConfig = field(default_factory=MatcherConfig.naive)
-    cost_model: CostModel = DEFAULT_COST_MODEL
+    # keyword-only below (see EngineConfig): the shared knobs moved to the
+    # base, so trailing positional binding would silently change meaning
+    __: dataclasses.KW_ONLY
     max_rounds: int = 100
-    max_repairs: int | None = None
     raise_on_budget: bool = False
-    match_limit_per_rule: int | None = None
 
 
 class NaiveRepairer:
     """Fixpoint repair with full re-detection every round."""
 
-    def __init__(self, config: NaiveRepairConfig | None = None) -> None:
+    def __init__(self, config: NaiveRepairConfig | None = None, events=None) -> None:
         self.config = config or NaiveRepairConfig()
+        self.events = events
 
     def repair(self, graph: PropertyGraph, rules: RuleSet) -> RepairReport:
         """Repair ``graph`` in place; returns the :class:`RepairReport`."""
@@ -60,6 +67,9 @@ class NaiveRepairer:
         executor = RepairExecutor(graph, cost_model=config.cost_model)
         seen_violations: set[tuple] = set()
         failed_keys: set[tuple] = set()
+        on_violation = getattr(self.events, "on_violation", None)
+        on_repair_applied = getattr(self.events, "on_repair_applied", None)
+        on_maintenance = getattr(self.events, "on_maintenance", None)
 
         for round_index in range(config.max_rounds):
             report.rounds = round_index + 1
@@ -69,10 +79,21 @@ class NaiveRepairer:
             with report.timings.measure("detection"):
                 detection = detector.detect()
             report.matches_enumerated += detection.matches_enumerated
+            newly_detected = 0
             for violation in detection:
                 if violation.key() not in seen_violations:
                     seen_violations.add(violation.key())
                     report.violations_detected += 1
+                    newly_detected += 1
+                    if on_violation is not None:
+                        on_violation(violation)
+            if on_maintenance is not None:
+                # discovered counts *new* violation identities only, matching
+                # the fast backend's newly-queued semantics; passes=0 because
+                # a full re-detection is not an incremental maintenance pass
+                on_maintenance(MaintenanceEvent(source="detection",
+                                                discovered=newly_detected,
+                                                passes=0))
 
             pending = [violation for violation in detection
                        if violation.key() not in failed_keys]
@@ -107,6 +128,8 @@ class NaiveRepairer:
                     violation.status = ViolationStatus.REPAIRED
                     report.repairs_applied += 1
                     applied_this_round += 1
+                    if on_repair_applied is not None:
+                        on_repair_applied(violation, outcome)
                 else:
                     violation.status = ViolationStatus.FAILED
                     report.repairs_failed += 1

@@ -45,6 +45,35 @@ class RepairReport:
     timings: TimingBreakdown = field(default_factory=TimingBreakdown)
 
     # ------------------------------------------------------------------
+    # accumulation
+    # ------------------------------------------------------------------
+
+    def absorb(self, other: "RepairReport") -> "RepairReport":
+        """Fold another run's report into this one (cumulative session view).
+
+        Counts, stats, timings, provenance, and elapsed time accumulate;
+        terminal state (remaining violations, fixpoint, final sizes, method)
+        is taken from ``other``, the most recent run.  Returns ``self``.
+        """
+        self.method = other.method
+        self.rounds += other.rounds
+        self.violations_detected += other.violations_detected
+        self.repairs_applied += other.repairs_applied
+        self.repairs_failed += other.repairs_failed
+        self.repairs_obsolete += other.repairs_obsolete
+        self.remaining_violations = other.remaining_violations
+        self.reached_fixpoint = other.reached_fixpoint
+        self.matches_enumerated += other.matches_enumerated
+        self.seeded_searches += other.seeded_searches
+        self.matching_stats.merge(other.matching_stats)
+        self.elapsed_seconds += other.elapsed_seconds
+        self.final_nodes = other.final_nodes
+        self.final_edges = other.final_edges
+        self.log.actions.extend(other.log.actions)
+        self.timings = self.timings.merge(other.timings)
+        return self
+
+    # ------------------------------------------------------------------
     # aggregate views
     # ------------------------------------------------------------------
 
@@ -77,6 +106,7 @@ class RepairReport:
             "seeded_searches": self.seeded_searches,
             "nodes_tried": self.matching_stats.nodes_tried,
             "backtracks": self.matching_stats.backtracks,
+            "maintenance_passes": self.matching_stats.maintenance_passes,
             "elapsed_seconds": self.elapsed_seconds,
             "total_changes": self.total_changes(),
             "initial_nodes": self.initial_nodes,

@@ -1,8 +1,19 @@
-"""Unit tests for change records and graph deltas."""
+"""Unit tests for change records, graph deltas, and delta inversion/replay."""
 
 from __future__ import annotations
 
-from repro.graph import ChangeKind, ChangeRecorder, GraphChange, GraphDelta, PropertyGraph
+import pytest
+
+from repro.graph import (
+    ChangeKind,
+    ChangeRecorder,
+    GraphChange,
+    GraphDelta,
+    PropertyGraph,
+    apply_inverse,
+    recording,
+    replay_delta,
+)
 
 
 class TestGraphChange:
@@ -84,3 +95,109 @@ class TestChangeRecorder:
         assert delta.added_edge_ids == {edge.id}
         assert delta.removed_edge_ids == {edge.id}
         assert delta.touched_nodes == {a.id, b.id}
+
+
+def _mutation_playground():
+    """A small graph plus ids handy for exercising every mutation kind."""
+    graph = PropertyGraph("playground")
+    a = graph.add_node("Person", {"name": "Ada", "age": 36})
+    b = graph.add_node("Person", {"name": "Ada"})
+    c = graph.add_node("City", {"name": "London"})
+    e1 = graph.add_edge(a.id, c.id, "bornIn", {"confidence": 1.0})
+    e2 = graph.add_edge(b.id, c.id, "bornIn", {"confidence": 0.4})
+    return graph, a, b, c, e1, e2
+
+
+def _record(graph, mutate):
+    with recording(graph) as recorder:
+        mutate(graph)
+    return recorder.drain()
+
+
+def _exactly_equal(graph, other) -> bool:
+    """Structural equality plus id-for-id equality (rollback is exact)."""
+    return (graph.structurally_equal(other)
+            and sorted(graph.node_ids()) == sorted(other.node_ids())
+            and sorted(graph.edge_ids()) == sorted(other.edge_ids()))
+
+
+class TestApplyInverse:
+    @pytest.mark.parametrize("mutate", [
+        lambda g: g.add_node("Country", {"name": "UK"}),
+        lambda g: g.add_edge("n0", "n2", "livesIn", {"since": 2001}),
+        lambda g: g.remove_edge("e0"),
+        lambda g: g.remove_node("n0"),
+        lambda g: g.update_node("n0", {"age": 37, "alive": False},
+                                remove_keys=("name",)),
+        lambda g: g.update_edge("e0", {"confidence": 0.2}),
+        lambda g: g.relabel_node("n2", "Capital"),
+        lambda g: g.relabel_edge("e1", "birthPlace"),
+        lambda g: g.merge_nodes("n0", "n1"),
+    ], ids=["add_node", "add_edge", "remove_edge", "remove_node",
+            "update_node", "update_edge", "relabel_node", "relabel_edge",
+            "merge_nodes"])
+    def test_every_mutation_kind_inverts_exactly(self, mutate):
+        graph, *_ = _mutation_playground()
+        snapshot = graph.copy()
+        delta = _record(graph, mutate)
+        assert delta
+        apply_inverse(graph, delta)
+        assert _exactly_equal(graph, snapshot)
+
+    def test_compound_mutation_sequence_inverts_exactly(self):
+        graph, a, b, c, e1, e2 = _mutation_playground()
+        snapshot = graph.copy()
+
+        def mutate(g):
+            d = g.add_node("Country", {"name": "UK"})
+            g.add_edge(c.id, d.id, "inCountry")
+            g.update_node(a.id, {"age": 40})
+            g.merge_nodes(a.id, b.id)
+            g.remove_edge(e1.id)
+            g.remove_node(d.id)
+            g.relabel_node(c.id, "Capital")
+
+        delta = _record(graph, mutate)
+        inverse = apply_inverse(graph, delta)
+        assert _exactly_equal(graph, snapshot)
+        assert inverse  # the inverse mutations were themselves recorded
+
+    def test_inverse_mutations_reach_listeners(self):
+        graph, a, b, c, e1, e2 = _mutation_playground()
+        delta = _record(graph, lambda g: g.remove_edge(e1.id))
+        observed = _record(graph, lambda g: apply_inverse(g, delta))
+        assert observed.added_edge_ids == {e1.id}
+
+    def test_handmade_change_without_snapshot_is_rejected(self):
+        graph, *_ = _mutation_playground()
+        bare = GraphDelta([GraphChange(kind=ChangeKind.REMOVE_EDGE, edge_id="e9")])
+        with pytest.raises(ValueError, match="snapshot"):
+            apply_inverse(graph, bare)
+
+
+class TestReplayDelta:
+    def test_replay_reproduces_mutated_graph(self):
+        graph, a, b, c, e1, e2 = _mutation_playground()
+        baseline = graph.copy()
+
+        def mutate(g):
+            d = g.add_node("Country", {"name": "UK"})
+            g.add_edge(c.id, d.id, "inCountry")
+            g.remove_edge(e2.id)
+            g.update_node(a.id, {"age": 41})
+            g.relabel_edge(e1.id, "birthPlace")
+
+        delta = _record(graph, mutate)
+        twin = baseline.copy()
+        replay_delta(twin, delta)
+        assert twin.structurally_equal(graph)
+
+    def test_replay_then_inverse_round_trips(self):
+        graph, a, b, c, e1, e2 = _mutation_playground()
+        baseline = graph.copy()
+        delta = _record(graph, lambda g: (g.remove_node(b.id),
+                                          g.update_edge(e1.id, {"confidence": 0.9})))
+        twin = baseline.copy()
+        replayed = replay_delta(twin, delta)
+        apply_inverse(twin, replayed)
+        assert _exactly_equal(twin, baseline)
