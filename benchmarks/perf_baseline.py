@@ -11,6 +11,12 @@ Measures, for each of the three dataset domains (``kg``, ``movies``,
 * ``naive_seconds`` — end-to-end naive repair (full re-detection per round);
 * ``batched_seconds`` — the fast session with **batched** queue draining
   (independent violations repaired under one merged incremental pass);
+* ``sharded_seconds`` — (kg domain only: the ``sharded-kg`` scenario) the
+  sharded multi-process backend at 4 workers through the real spawn pool,
+  measured once per invocation (process startup dominates repeats) and
+  compared against ``batched_seconds``; excluded from the regression gate's
+  timing keys because pool startup is host-load dependent, but its
+  deterministic work counters are tracked;
 
 plus the deterministic work counters (repairs applied, violations detected,
 matches enumerated, nodes tried, and the incremental ``maintenance_passes``
@@ -58,11 +64,20 @@ MODES: dict[str, dict[str, Any]] = {
              "error_rate": 0.05, "seed": 0, "repeats": 3},
 }
 
+# sharded_seconds is deliberately NOT a gated timing key: spawn-pool startup
+# varies with host load, and on single-core hosts the scenario measures
+# overhead, not speedup (see docs/PARALLEL.md "when sharding wins").
 TIMING_KEYS = ("match_seconds", "fast_seconds", "naive_seconds",
                "batched_seconds")
 COUNTER_KEYS = ("matches", "fast_repairs_applied", "fast_violations_detected",
                 "naive_repairs_applied", "fast_maintenance_passes",
-                "batched_maintenance_passes")
+                "batched_maintenance_passes", "sharded_repairs_applied",
+                "sharded_accepted", "sharded_rejected")
+
+#: the sharded scenario runs only where fan-out has enough work to mean
+#: anything: the kg domain at each mode's scale, 4 workers
+SHARDED_DOMAIN = "kg"
+SHARDED_WORKERS = 4
 
 
 def _best_of(repeats: int, func) -> tuple[float, Any]:
@@ -101,7 +116,12 @@ def measure_domain(domain: str, scale: int, error_rate: float, seed: int,
     batched_seconds, batched_report = _best_of(
         repeats, run_session(RepairConfig.fast().batched()))
 
+    sharded: dict[str, Any] = {}
+    if domain == SHARDED_DOMAIN:
+        sharded = measure_sharded(workload)
+
     return {
+        **sharded,
         "scale": scale,
         "nodes": workload.dirty.num_nodes,
         "edges": workload.dirty.num_edges,
@@ -120,6 +140,30 @@ def measure_domain(domain: str, scale: int, error_rate: float, seed: int,
         "batched_maintenance_passes":
             batched_report.matching_stats.maintenance_passes,
         "batched_reached_fixpoint": batched_report.reached_fixpoint,
+    }
+
+
+def measure_sharded(workload) -> dict[str, Any]:
+    """The ``sharded-<domain>`` scenario: one end-to-end repair through the
+    multi-process backend (real spawn pool), plus fan-out diagnostics."""
+    from repro.api import RepairSession
+
+    graph = workload.dirty.copy(name=f"{workload.dirty.name}-sharded")
+    config = RepairConfig.sharded(workers=SHARDED_WORKERS)
+    started = time.perf_counter()
+    with RepairSession(graph, workload.rules, config=config) as session:
+        report = session.repair()
+        fanout = session.backend.last_fanout
+    elapsed = time.perf_counter() - started
+    return {
+        "sharded_seconds": round(elapsed, 4),
+        "sharded_workers": SHARDED_WORKERS,
+        "sharded_shards": fanout.shards,
+        "sharded_repairs_applied": report.repairs_applied,
+        "sharded_accepted": fanout.accepted,
+        "sharded_rejected": fanout.rejected,
+        "sharded_halo_fraction": round(fanout.halo_fraction, 3),
+        "sharded_reached_fixpoint": report.reached_fixpoint,
     }
 
 
@@ -176,6 +220,13 @@ def format_results(results: dict[str, Any]) -> str:
                      f"{row['batched_seconds']:>9.4f} "
                      f"{row['matches']:>8} {row['fast_repairs_applied']:>8} "
                      f"{passes:>11}")
+        if "sharded_seconds" in row:
+            lines.append(
+                f"{'':8} sharded-{domain}@{row['scale']}: "
+                f"{row['sharded_seconds']:.4f}s @ {row['sharded_workers']} workers "
+                f"({row['sharded_shards']} shards, "
+                f"{row['sharded_accepted']} merged + {row['sharded_rejected']} deferred, "
+                f"vs batched {row['batched_seconds']:.4f}s)")
     return "\n".join(lines)
 
 

@@ -36,14 +36,16 @@ incrementally for as long as the graph lives::
 Batch repairing (`RepairConfig.fast().batched()`) applies independent
 violations under one merged maintenance pass; `SessionEvents` streams
 progress; `RepairConfig.naive()` / `RepairConfig.baseline()` switch the
-backend.  The legacy one-shot helpers (``repair_graph``, ``RepairEngine``)
-remain as deprecation shims over the session — see ``docs/MIGRATION.md``.
+backend; `RepairConfig.sharded(workers=N)` fans a repair pass out over
+worker processes with deterministic delta merging (``docs/PARALLEL.md``).
+The legacy one-shot helpers (``repair_graph``, ``RepairEngine``) remain as
+deprecation shims over the session — see ``docs/MIGRATION.md``.
 
 The most frequently used names are re-exported here; each subpackage
 (`repro.api`, `repro.graph`, `repro.matching`, `repro.rules`,
-`repro.analysis`, `repro.repair`, `repro.errors`, `repro.datasets`,
-`repro.baselines`, `repro.metrics`, `repro.experiments`) exposes its full
-API.
+`repro.analysis`, `repro.repair`, `repro.parallel`, `repro.errors`,
+`repro.datasets`, `repro.baselines`, `repro.metrics`, `repro.experiments`)
+exposes its full API.
 """
 
 from repro.analysis import analyze_redundancy, analyze_termination, check_consistency

@@ -265,14 +265,40 @@ _BACKENDS: dict[str, type] = {
     "greedy-delete": GreedyBackend,
 }
 
+# Backends resolved on first use, keeping heavyweight subsystems out of the
+# import graph of ``repro.api`` (repro.parallel imports this module, so a
+# module-level import here would be circular).
+_LAZY_BACKENDS: dict[str, tuple[str, str]] = {
+    "sharded": ("repro.parallel.backend", "ShardedRepairer"),
+}
+
 
 def register_backend(name: str, factory: type) -> None:
     """Register a custom :class:`Repairer` implementation under ``name``."""
+    _LAZY_BACKENDS.pop(name, None)
     _BACKENDS[name] = factory
 
 
 def available_backends() -> list[str]:
-    return sorted(_BACKENDS)
+    return sorted(set(_BACKENDS) | set(_LAZY_BACKENDS))
+
+
+def _resolve_backend(name: str) -> type:
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        pass
+    try:
+        module_name, attribute = _LAZY_BACKENDS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown repair method {name!r}; available: {available_backends()}"
+        ) from None
+    import importlib
+
+    factory = getattr(importlib.import_module(module_name), attribute)
+    _BACKENDS[name] = factory
+    return factory
 
 
 def build_backend(config, events=None):
@@ -284,10 +310,4 @@ def build_backend(config, events=None):
     name = config.backend
     if name == "fast" and not config.use_incremental:
         return NaiveBackend(config, events=events)
-    try:
-        factory = _BACKENDS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown repair method {name!r}; available: {available_backends()}"
-        ) from None
-    return factory(config, events=events)
+    return _resolve_backend(name)(config, events=events)

@@ -32,7 +32,7 @@ from repro.repair.fast import FastRepairConfig
 from repro.repair.naive import NaiveRepairConfig
 
 #: Names accepted by :attr:`RepairConfig.backend` (and the session registry).
-BACKENDS = ("fast", "naive", "greedy")
+BACKENDS = ("fast", "naive", "greedy", "sharded")
 
 
 @dataclass
@@ -53,7 +53,10 @@ class RepairConfig(RepairKnobs):
       matcher, exactly as the legacy engine did;
     * ``batch_repairs`` / ``max_batch`` — drain the violation queue in
       batches of region-independent violations maintained under one merged
-      incremental pass (fast backend only).
+      incremental pass (fast backend only);
+    * ``workers`` / ``shard_count`` / ``shard_radius`` / ``parallel_inline``
+      / ``min_partition_nodes`` — the ``"sharded"`` backend's fan-out knobs
+      (see :meth:`sharded` and :mod:`repro.parallel`).
 
     Remaining fields carry the legacy surfaces' knobs: ``max_rounds`` and
     ``raise_on_budget`` (naive loop), ``match_limit`` and ``time_budget``
@@ -67,6 +70,19 @@ class RepairConfig(RepairKnobs):
     use_incremental: bool = True
     batch_repairs: bool = False
     max_batch: int | None = None
+    # -- "sharded" backend knobs ---------------------------------------
+    #: worker processes for the fan-out; <=1 degrades to the plain fast drain
+    workers: int = 1
+    #: shards to cut (default: one per worker)
+    shard_count: int | None = None
+    #: halo depth in hops (default: derived from the rule set's pattern reach)
+    shard_radius: int | None = None
+    #: run shard tasks inline (same serialized path, no processes) — for
+    #: tests and for hosts where process pools are unavailable
+    parallel_inline: bool = False
+    #: below this many nodes the fan-out is skipped (partition overhead
+    #: would dominate any conceivable win)
+    min_partition_nodes: int = 64
     max_rounds: int = 100
     raise_on_budget: bool = False
     match_limit: int | None = None
@@ -95,6 +111,17 @@ class RepairConfig(RepairKnobs):
     def baseline(cls, **overrides) -> "RepairConfig":
         """The greedy-deletion baseline (denial-constraint-style repair)."""
         return cls(backend="greedy").with_options(**overrides)
+
+    @classmethod
+    def sharded(cls, workers: int = 4, **overrides) -> "RepairConfig":
+        """The sharded multi-process backend (:mod:`repro.parallel`).
+
+        All of the fast backend's optimisations stay on; one repair pass
+        fans out over ``workers`` shard processes and fans back in under a
+        single incremental-maintenance pass.  ``workers=1`` degrades to the
+        plain fast drain.
+        """
+        return cls(backend="sharded", workers=workers).with_options(**overrides)
 
     @classmethod
     def ablation(cls, disable: str) -> "RepairConfig":

@@ -336,7 +336,8 @@ def open_session(graph: PropertyGraph,
     """
     presets = {"fast": RepairConfig.fast, "naive": RepairConfig.naive,
                "greedy": RepairConfig.baseline,
-               "greedy-delete": RepairConfig.baseline}
+               "greedy-delete": RepairConfig.baseline,
+               "sharded": RepairConfig.sharded}
     try:
         preset = presets[backend]
     except KeyError:

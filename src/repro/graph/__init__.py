@@ -7,6 +7,7 @@ from repro.graph.delta import (
     GraphChange,
     GraphDelta,
     apply_inverse,
+    rebase_delta,
     recording,
     replay_delta,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "ChangeRecorder",
     "apply_inverse",
     "replay_delta",
+    "rebase_delta",
     "recording",
     "EditCosts",
     "EditDistanceResult",

@@ -15,7 +15,7 @@ from __future__ import annotations
 import enum
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.graph.elements import EdgeId, NodeId
 
@@ -172,6 +172,77 @@ class GraphDelta:
     @property
     def has_subtractive_effect(self) -> bool:
         return any(change.is_subtractive for change in self.changes)
+
+    @property
+    def created_node_ids(self) -> list[NodeId]:
+        """Node ids this delta brings into existence, in creation order.
+
+        Unlike :attr:`added_node_ids` this is an ordered list (the order the
+        reservation scheme pairs fresh ids against) and it includes ids that
+        a later change of the same delta removes again.
+        """
+        return [change.node_id for change in self.changes
+                if change.kind is ChangeKind.ADD_NODE and change.node_id is not None]
+
+    @property
+    def created_edge_ids(self) -> list[EdgeId]:
+        """Edge ids this delta brings into existence, in creation order
+        (``ADD_EDGE`` edges plus the replacement edges of ``MERGE_NODES``)."""
+        created: list[EdgeId] = []
+        for change in self.changes:
+            if change.kind is ChangeKind.ADD_EDGE and change.edge_id is not None:
+                created.append(change.edge_id)
+            elif change.kind is ChangeKind.MERGE_NODES:
+                created.extend(change.details.get("added_edges", ()))
+        return created
+
+    def remap_ids(self, node_ids: Mapping[NodeId, NodeId] | None = None,
+                  edge_ids: Mapping[EdgeId, EdgeId] | None = None) -> "GraphDelta":
+        """A copy of the delta with element ids consistently rewritten.
+
+        Every occurrence of a mapped id — the change's own ``node_id`` /
+        ``edge_id``, ``touched_nodes``, and the id-bearing detail snapshots
+        (``source`` / ``target`` / ``merged`` / ``added_edges`` /
+        ``removed_edges`` / ``removed_edge_specs``) — is replaced; unmapped
+        ids pass through untouched.  This is how a delta recorded in one id
+        space (a shard's namespaced working copy, a replica's log) is rebased
+        onto another graph's reserved ids before being replayed there.
+        """
+        node_map = dict(node_ids or {})
+        edge_map = dict(edge_ids or {})
+        if not node_map and not edge_map:
+            return GraphDelta(list(self.changes))
+
+        def n(value):
+            return node_map.get(value, value)
+
+        def e(value):
+            return edge_map.get(value, value)
+
+        def rewrite_details(details: dict[str, Any]) -> dict[str, Any]:
+            rewritten = dict(details)
+            for key, mapper in (("source", n), ("target", n), ("merged", n)):
+                if key in rewritten:
+                    rewritten[key] = mapper(rewritten[key])
+            for key in ("added_edges", "removed_edges"):
+                if key in rewritten:
+                    rewritten[key] = tuple(e(eid) for eid in rewritten[key])
+            if "removed_edge_specs" in rewritten:
+                rewritten["removed_edge_specs"] = tuple(
+                    {**spec, "id": e(spec["id"]), "source": n(spec["source"]),
+                     "target": n(spec["target"])}
+                    for spec in rewritten["removed_edge_specs"])
+            return rewritten
+
+        remapped = GraphDelta()
+        for change in self.changes:
+            remapped.record(GraphChange(
+                kind=change.kind,
+                node_id=n(change.node_id) if change.node_id is not None else None,
+                edge_id=e(change.edge_id) if change.edge_id is not None else None,
+                touched_nodes=tuple(n(node_id) for node_id in change.touched_nodes),
+                details=rewrite_details(change.details)))
+        return remapped
 
     def merged_with(self, other: "GraphDelta") -> "GraphDelta":
         merged = GraphDelta(list(self.changes))
@@ -333,6 +404,35 @@ def replay_delta(graph, delta: GraphDelta) -> GraphDelta:
                     f"change {kind.value!r} lacks the detail snapshot {exc} "
                     "needed to replay it") from None
     return recorder.drain()
+
+
+def rebase_delta(delta: GraphDelta, graph,
+                 node_allocator: Callable[[int], list[str]] | None = None,
+                 edge_allocator: Callable[[int], list[str]] | None = None,
+                 ) -> tuple[GraphDelta, dict[str, str], dict[str, str]]:
+    """Rewrite a foreign delta's created ids onto ids reserved from ``graph``.
+
+    The id-space reservation scheme behind delta shipping: every node/edge id
+    the delta *creates* is paired, in creation order, with a fresh id reserved
+    from the target graph's generators (or from the given allocator hooks —
+    any ``allocator(count) -> ids`` callable, e.g. a replicated id service).
+    Reserved ids can never be handed out by the target graph again, so
+    replaying the rebased delta cannot collide with primary-graph ids however
+    many other deltas land in between.
+
+    Returns ``(rebased delta, node id map, edge id map)``; the maps translate
+    original created ids to their reserved replacements so a coordinator can
+    chain references across a sequence of deltas.
+    """
+    node_allocator = node_allocator or graph.reserve_node_ids
+    edge_allocator = edge_allocator or graph.reserve_edge_ids
+    created_nodes = delta.created_node_ids
+    created_edges = delta.created_edge_ids
+    node_map = dict(zip(created_nodes, node_allocator(len(created_nodes)))) \
+        if created_nodes else {}
+    edge_map = dict(zip(created_edges, edge_allocator(len(created_edges)))) \
+        if created_edges else {}
+    return delta.remap_ids(node_ids=node_map, edge_ids=edge_map), node_map, edge_map
 
 
 class ChangeRecorder:

@@ -52,14 +52,21 @@ def graph_to_dict(graph: PropertyGraph) -> dict[str, Any]:
     }
 
 
-def graph_from_dict(document: dict[str, Any]) -> PropertyGraph:
-    """Rebuild a :class:`PropertyGraph` from :func:`graph_to_dict` output."""
+def graph_from_dict(document: dict[str, Any],
+                    id_namespace: str | None = None) -> PropertyGraph:
+    """Rebuild a :class:`PropertyGraph` from :func:`graph_to_dict` output.
+
+    ``id_namespace`` seeds the rebuilt graph's id generators with a disjoint
+    prefix — the spawn-safe shard codec in :mod:`repro.parallel.worker` uses
+    it so ids created inside a worker can never collide with the primary's.
+    """
     if not isinstance(document, dict):
         raise SerializationError("graph document must be a JSON object")
     if document.get("format") != "repro-property-graph":
         raise SerializationError(
             f"unexpected document format {document.get('format')!r}")
-    graph = PropertyGraph(name=document.get("name", "graph"))
+    graph = PropertyGraph(name=document.get("name", "graph"),
+                          id_namespace=id_namespace)
     for node_doc in document.get("nodes", []):
         try:
             graph.add_node(node_doc["label"], node_doc.get("properties", {}),

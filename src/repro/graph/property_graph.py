@@ -49,8 +49,9 @@ def _edge_spec(edge: Edge) -> dict[str, Any]:
 class PropertyGraph:
     """A directed, labelled property multigraph."""
 
-    def __init__(self, name: str = "graph") -> None:
+    def __init__(self, name: str = "graph", *, id_namespace: str | None = None) -> None:
         self.name = name
+        self.id_namespace = id_namespace
         self._nodes: dict[NodeId, Node] = {}
         self._edges: dict[EdgeId, Edge] = {}
         # adjacency: node id -> incident edge ids (split by direction).  Stored
@@ -59,12 +60,25 @@ class PropertyGraph:
         # every backtracking step.
         self._out_edges: dict[NodeId, dict[EdgeId, None]] = {}
         self._in_edges: dict[NodeId, dict[EdgeId, None]] = {}
+        # per-label adjacency buckets: (node id, edge label) -> edge ids, same
+        # insertion-ordered-dict representation.  The matcher's label probes
+        # (_candidates_for / _has_witness) and shard extraction read these so
+        # that a label lookup touches only the matching-label edges instead of
+        # scanning the node's full adjacency.  Kept exactly in sync by every
+        # mutation that attaches, detaches, or relabels an edge.
+        self._out_by_label: dict[tuple[NodeId, Label], dict[EdgeId, None]] = {}
+        self._in_by_label: dict[tuple[NodeId, Label], dict[EdgeId, None]] = {}
         # label indexes
         self._nodes_by_label: dict[Label, set[NodeId]] = {}
         self._edges_by_label: dict[Label, set[EdgeId]] = {}
         self._listeners: list[ChangeListener] = []
-        self._node_ids = IdGenerator(prefix="n")
-        self._edge_ids = IdGenerator(prefix="e")
+        # An id namespace prefixes every generated id ("s0:n7" instead of
+        # "n7"), giving disjoint graphs — e.g. per-shard working copies in
+        # repro.parallel — id spaces that can never collide with the primary
+        # graph's or each other's.
+        prefix = f"{id_namespace}:" if id_namespace else ""
+        self._node_ids = IdGenerator(prefix=f"{prefix}n")
+        self._edge_ids = IdGenerator(prefix=f"{prefix}e")
 
     # ------------------------------------------------------------------
     # listeners
@@ -259,19 +273,24 @@ class PropertyGraph:
         """All edges from ``source`` to ``target`` (optionally restricted to a label)."""
         self._require_node(source)
         self._require_node(target)
-        # Probe whichever endpoint has the smaller adjacency list.
-        out_bucket = self._out_edges.get(source, ())
-        in_bucket = self._in_edges.get(target, ())
+        # Probe whichever endpoint has the smaller adjacency list, using the
+        # per-label buckets when a label narrows the probe.
+        if label is None:
+            out_bucket = self._out_edges.get(source, ())
+            in_bucket = self._in_edges.get(target, ())
+        else:
+            out_bucket = self._out_by_label.get((source, label), ())
+            in_bucket = self._in_by_label.get((target, label), ())
         found = []
         if len(out_bucket) <= len(in_bucket):
             for edge_id in out_bucket:
                 edge = self._edges[edge_id]
-                if edge.target == target and (label is None or edge.label == label):
+                if edge.target == target:
                     found.append(edge)
         else:
             for edge_id in in_bucket:
                 edge = self._edges[edge_id]
-                if edge.source == source and (label is None or edge.label == label):
+                if edge.source == source:
                     found.append(edge)
         return found
 
@@ -279,11 +298,27 @@ class PropertyGraph:
                          label: Label | None = None) -> bool:
         return bool(self.edges_between(source, target, label))
 
+    def out_edge_ids_with_label(self, node_id: NodeId, label: Label):
+        """Zero-copy view of the outgoing edge ids of ``node_id`` carrying
+        ``label`` (insertion-ordered; same contract as :meth:`out_edge_ids`)."""
+        bucket = self._out_by_label.get((node_id, label))
+        return bucket.keys() if bucket is not None else ()
+
+    def in_edge_ids_with_label(self, node_id: NodeId, label: Label):
+        """Zero-copy view of the incoming edge ids of ``node_id`` carrying
+        ``label`` (see :meth:`out_edge_ids_with_label`)."""
+        bucket = self._in_by_label.get((node_id, label))
+        return bucket.keys() if bucket is not None else ()
+
     def out_edges_with_label(self, node_id: NodeId, label: Label) -> list[Edge]:
-        return [edge for edge in self.out_edges(node_id) if edge.label == label]
+        self._require_node(node_id)
+        return [self._edges[eid]
+                for eid in sorted(self.out_edge_ids_with_label(node_id, label))]
 
     def in_edges_with_label(self, node_id: NodeId, label: Label) -> list[Edge]:
-        return [edge for edge in self.in_edges(node_id) if edge.label == label]
+        self._require_node(node_id)
+        return [self._edges[eid]
+                for eid in sorted(self.in_edge_ids_with_label(node_id, label))]
 
     # ------------------------------------------------------------------
     # mutations
@@ -329,9 +364,7 @@ class PropertyGraph:
         edge = Edge(id=edge_id, source=source, target=target, label=label,
                     properties=dict(properties or {}))
         self._edges[edge_id] = edge
-        self._out_edges[source][edge_id] = None
-        self._in_edges[target][edge_id] = None
-        self._edges_by_label.setdefault(label, set()).add(edge_id)
+        self._attach_edge_to_indexes(edge)
         self._emit(GraphChange(kind=ChangeKind.ADD_EDGE, edge_id=edge_id,
                                touched_nodes=(source, target),
                                details={"label": label, "source": source,
@@ -425,8 +458,12 @@ class PropertyGraph:
         if old_label == new_label:
             return edge
         self._discard_from_index(self._edges_by_label, old_label, edge_id)
+        self._discard_from_label_bucket(self._out_by_label, edge.source, old_label, edge_id)
+        self._discard_from_label_bucket(self._in_by_label, edge.target, old_label, edge_id)
         edge.label = new_label
         self._edges_by_label.setdefault(new_label, set()).add(edge_id)
+        self._out_by_label.setdefault((edge.source, new_label), {})[edge_id] = None
+        self._in_by_label.setdefault((edge.target, new_label), {})[edge_id] = None
         self._emit(GraphChange(kind=ChangeKind.RELABEL_EDGE, edge_id=edge_id,
                                touched_nodes=(edge.source, edge.target),
                                details={"before": old_label, "after": new_label}))
@@ -472,9 +509,7 @@ class PropertyGraph:
                                target=new_target, label=edge.label,
                                properties=dict(edge.properties))
             self._edges[replacement.id] = replacement
-            self._out_edges[new_source][replacement.id] = None
-            self._in_edges[new_target][replacement.id] = None
-            self._edges_by_label.setdefault(replacement.label, set()).add(replacement.id)
+            self._attach_edge_to_indexes(replacement)
             added_edges.append(replacement.id)
 
         if prefer_kept_properties:
@@ -504,6 +539,25 @@ class PropertyGraph:
         return keep
 
     # ------------------------------------------------------------------
+    # id reservation
+    # ------------------------------------------------------------------
+
+    def reserve_node_ids(self, count: int) -> list[str]:
+        """Reserve ``count`` fresh node ids from this graph's generator.
+
+        The ids are guaranteed never to be handed out by a later
+        :meth:`add_node`; a coordinator rewrites a foreign delta's created
+        ids onto a reserved block before replaying it here, so replayed
+        elements can never collide with this graph's id space (see
+        :func:`repro.graph.delta.rebase_delta`).
+        """
+        return self._node_ids.reserve(count)
+
+    def reserve_edge_ids(self, count: int) -> list[str]:
+        """Reserve ``count`` fresh edge ids (see :meth:`reserve_node_ids`)."""
+        return self._edge_ids.reserve(count)
+
+    # ------------------------------------------------------------------
     # bulk / copy / conversion
     # ------------------------------------------------------------------
 
@@ -517,17 +571,33 @@ class PropertyGraph:
                            dict(edge.properties), edge_id=edge.id)
         return clone
 
-    def subgraph(self, node_ids: Iterable[NodeId], name: str | None = None) -> "PropertyGraph":
-        """Induced subgraph on ``node_ids`` (edges with both endpoints inside)."""
+    def subgraph(self, node_ids: Iterable[NodeId], name: str | None = None,
+                 id_namespace: str | None = None) -> "PropertyGraph":
+        """Induced subgraph on ``node_ids`` (edges with both endpoints inside).
+
+        Nodes are inserted in this graph's insertion order and edges are
+        collected from the kept nodes' adjacency (cost proportional to the
+        kept nodes' degrees, not to the whole edge set), so repeated shard
+        extraction is both cheap and deterministic across processes.
+        ``id_namespace`` seeds the subgraph's id generators with a disjoint
+        prefix for ids it creates later (shard-local repairs).
+        """
         keep = set(node_ids)
-        sub = PropertyGraph(name=name or f"{self.name}-sub")
-        for node_id in keep:
-            node = self.node(node_id)
-            sub.add_node(node.label, dict(node.properties), node_id=node.id)
-        for edge in self._edges.values():
-            if edge.source in keep and edge.target in keep:
-                sub.add_edge(edge.source, edge.target, edge.label,
-                             dict(edge.properties), edge_id=edge.id)
+        sub = PropertyGraph(name=name or f"{self.name}-sub",
+                            id_namespace=id_namespace)
+        missing = keep.difference(self._nodes)
+        if missing:
+            raise NodeNotFoundError(sorted(missing)[0])
+        for node_id, node in self._nodes.items():
+            if node_id in keep:
+                sub.add_node(node.label, dict(node.properties), node_id=node_id)
+        edges = self._edges
+        for node_id in sub._nodes:
+            for edge_id in self._out_edges.get(node_id, ()):
+                edge = edges[edge_id]
+                if edge.target in keep:
+                    sub.add_edge(edge.source, edge.target, edge.label,
+                                 dict(edge.properties), edge_id=edge.id)
         return sub
 
     def neighborhood(self, node_ids: Iterable[NodeId], hops: int = 1) -> set[NodeId]:
@@ -611,16 +681,25 @@ class PropertyGraph:
         if node_id not in self._nodes:
             raise NodeNotFoundError(node_id)
 
+    def _attach_edge_to_indexes(self, edge: Edge) -> None:
+        """Register an already-stored edge in every adjacency/label index."""
+        self._out_edges[edge.source][edge.id] = None
+        self._in_edges[edge.target][edge.id] = None
+        self._edges_by_label.setdefault(edge.label, set()).add(edge.id)
+        self._out_by_label.setdefault((edge.source, edge.label), {})[edge.id] = None
+        self._in_by_label.setdefault((edge.target, edge.label), {})[edge.id] = None
+
     def _detach_edge(self, edge: Edge) -> None:
         del self._edges[edge.id]
         self._out_edges[edge.source].pop(edge.id, None)
         self._in_edges[edge.target].pop(edge.id, None)
         self._discard_from_index(self._edges_by_label, edge.label, edge.id)
+        self._discard_from_label_bucket(self._out_by_label, edge.source, edge.label, edge.id)
+        self._discard_from_label_bucket(self._in_by_label, edge.target, edge.label, edge.id)
 
     def _has_equivalent_edge(self, source: NodeId, target: NodeId, label: Label) -> bool:
-        for edge_id in self._out_edges.get(source, ()):
-            edge = self._edges[edge_id]
-            if edge.target == target and edge.label == label:
+        for edge_id in self._out_by_label.get((source, label), ()):
+            if self._edges[edge_id].target == target:
                 return True
         return False
 
@@ -630,5 +709,16 @@ class PropertyGraph:
         if bucket is None:
             return
         bucket.discard(value)
+        if not bucket:
+            del index[key]
+
+    @staticmethod
+    def _discard_from_label_bucket(index: dict[tuple[NodeId, Label], dict[EdgeId, None]],
+                                   node_id: NodeId, label: Label, edge_id: EdgeId) -> None:
+        key = (node_id, label)
+        bucket = index.get(key)
+        if bucket is None:
+            return
+        bucket.pop(edge_id, None)
         if not bucket:
             del index[key]

@@ -310,12 +310,16 @@ class VF2Matcher:
             bound_id = assignment[other]
             if not graph.has_node(bound_id):
                 return (), None
+            # A labelled pattern edge probes the per-label adjacency bucket,
+            # so only matching-label edges are ever iterated below.
             if edge.source == variable:
                 # variable -[label]-> bound : candidates are sources of in-edges
-                edge_ids = graph.in_edge_ids(bound_id)
+                edge_ids = (graph.in_edge_ids(bound_id) if edge.label is None
+                            else graph.in_edge_ids_with_label(bound_id, edge.label))
                 inbound = True
             else:
-                edge_ids = graph.out_edge_ids(bound_id)
+                edge_ids = (graph.out_edge_ids(bound_id) if edge.label is None
+                            else graph.out_edge_ids_with_label(bound_id, edge.label))
                 inbound = False
             size = len(edge_ids)
             if best_edge is None or size < best_size:
@@ -325,14 +329,11 @@ class VF2Matcher:
 
         if best_edge is not None:
             edge_store = graph.edge_store
-            label = best_edge.label
             predicates = best_edge.predicates
             seen: set[str] = set()
             candidates: list[str] = []
             for edge_id in best_ids:
                 witness = edge_store[edge_id]
-                if label is not None and witness.label != label:
-                    continue
                 if predicates and not best_edge.matches(witness):
                     continue
                 candidate = witness.source if best_inbound else witness.target
@@ -373,28 +374,32 @@ class VF2Matcher:
 
     def _has_witness(self, source_id: str, target_id: str, edge: PatternEdge) -> bool:
         """Whether some data edge ``source -> target`` satisfies ``edge``,
-        probing the smaller adjacency side and stopping at the first hit."""
+        probing the smaller adjacency side and stopping at the first hit.
+        Labelled pattern edges probe the per-label buckets, so only
+        matching-label edges are iterated."""
         graph = self.graph
-        out_ids = graph.out_edge_ids(source_id)
-        in_ids = graph.in_edge_ids(target_id)
-        edge_store = graph.edge_store
         label = edge.label
+        if label is None:
+            out_ids = graph.out_edge_ids(source_id)
+            in_ids = graph.in_edge_ids(target_id)
+        else:
+            out_ids = graph.out_edge_ids_with_label(source_id, label)
+            in_ids = graph.in_edge_ids_with_label(target_id, label)
+        edge_store = graph.edge_store
         predicates = edge.predicates
         if len(out_ids) <= len(in_ids):
             for edge_id in out_ids:
                 witness = edge_store[edge_id]
                 if witness.target != target_id:
                     continue
-                if (label is None or witness.label == label) and \
-                        (not predicates or edge.matches(witness)):
+                if not predicates or edge.matches(witness):
                     return True
         else:
             for edge_id in in_ids:
                 witness = edge_store[edge_id]
                 if witness.source != source_id:
                     continue
-                if (label is None or witness.label == label) and \
-                        (not predicates or edge.matches(witness)):
+                if not predicates or edge.matches(witness):
                     return True
         return False
 

@@ -1,0 +1,54 @@
+"""``repro.parallel`` — sharded multi-process repair with deterministic
+delta merging.
+
+The subsystem turns one repair pass into a fan-out/fan-in pipeline behind
+the ``"sharded"`` backend name (select it with
+``RepairConfig.sharded(workers=N)``):
+
+* :mod:`repro.parallel.partition` — rule-radius-aware graph partitioning
+  into core/halo/frontier shards;
+* :mod:`repro.parallel.worker` — the spawn-safe worker protocol (shard
+  payloads, the pool, the inline executor);
+* :mod:`repro.parallel.merge` — deterministic delta merging with id-space
+  reservation and cross-shard conflict detection;
+* :mod:`repro.parallel.backend` — the :class:`ShardedRepairer` that plugs
+  the pipeline into the :class:`repro.api.RepairSession` seam.
+
+See ``docs/PARALLEL.md`` for the architecture and the determinism /
+equivalence guarantees.
+"""
+
+from repro.parallel.backend import FanoutReport, ShardedRepairer
+from repro.parallel.merge import AcceptedRepair, DeltaMerger, MergeOutcome
+from repro.parallel.partition import (
+    Shard,
+    ShardPlan,
+    partition_graph,
+    rule_radius,
+)
+from repro.parallel.worker import (
+    ShardResult,
+    ShardTask,
+    execute_tasks,
+    run_shard_task,
+    shard_from_payload,
+    shard_payload,
+)
+
+__all__ = [
+    "ShardedRepairer",
+    "FanoutReport",
+    "DeltaMerger",
+    "MergeOutcome",
+    "AcceptedRepair",
+    "Shard",
+    "ShardPlan",
+    "partition_graph",
+    "rule_radius",
+    "ShardTask",
+    "ShardResult",
+    "execute_tasks",
+    "run_shard_task",
+    "shard_payload",
+    "shard_from_payload",
+]

@@ -1,0 +1,219 @@
+"""The ``"sharded"`` repair backend: fan-out / fan-in over shard workers.
+
+:class:`ShardedRepairer` implements the :class:`repro.api.Repairer`
+plan/apply/maintain protocol around a persistent primary
+:class:`~repro.repair.fast.FastRepairCore` (exactly like the fast backend),
+but its ``run()`` turns one repair pass into a pipeline:
+
+1. **partition** — cut the primary graph into rule-radius-aware shards
+   (:mod:`repro.parallel.partition`);
+2. **fan-out** — serialize each shard's working copy and repair all of them
+   in a ``multiprocessing`` spawn pool (:mod:`repro.parallel.worker`), each
+   worker applying only the violations its core owns;
+3. **fan-in** — merge the per-shard deltas onto the primary graph with
+   reserved ids and cross-shard conflict detection
+   (:mod:`repro.parallel.merge`), then fold the whole merged delta into the
+   primary core's matcher state under **one** incremental-maintenance pass;
+4. **settle** — drain the primary core sequentially for whatever the fan-out
+   could not own: frontier violations (matches spanning shard cores),
+   conflict-rejected repairs, and cascades discovered by the merge pass.
+
+Determinism: partitioning, shard-local repair, fan-in order, and the settle
+drain are all deterministic for a fixed input, so two runs over the same
+graph produce identical graphs — whatever the pool's scheduling order was.
+On conflict-free partitions the result is also equivalent to the sequential
+fast backend's (the parallel equivalence suite pins this across all three
+dataset generators).
+
+Degradation is graceful and explicit: ``workers <= 1``, a graph smaller than
+``min_partition_nodes``, or a partition that collapses to one shard all skip
+the fan-out entirely and behave exactly like the fast backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.delta import GraphDelta
+from repro.graph.property_graph import PropertyGraph
+from repro.matching.vf2 import MatchingStats
+from repro.parallel.merge import DeltaMerger, MergeOutcome
+from repro.parallel.partition import ShardPlan, partition_graph, rule_radius
+from repro.parallel.worker import (
+    ShardResult,
+    ShardTask,
+    execute_tasks,
+    shard_payload,
+)
+from repro.repair.events import MaintenanceEvent
+from repro.repair.executor import ExecutionOutcome
+from repro.repair.fast import FastRepairCore
+from repro.repair.report import RepairReport
+from repro.repair.violation import Violation, ViolationStatus
+from repro.rules.grr import RuleSet
+
+
+@dataclass
+class FanoutReport:
+    """Diagnostics of the last fan-out (exposed as ``last_fanout`` and
+    surfaced by the parallel example / benchmark)."""
+
+    shards: int = 0
+    radius: int = 0
+    workers: int = 0
+    used_processes: bool = False
+    cut_edges: int = 0
+    halo_fraction: float = 0.0
+    shard_repairs: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    conflicts: list[str] = field(default_factory=list)
+    shard_violations_detected: int = 0
+    shard_elapsed_seconds: float = 0.0
+
+    @property
+    def ran(self) -> bool:
+        return self.shards > 0
+
+
+class ShardedRepairer:
+    """Sharded multi-process repair behind the session's backend seam."""
+
+    name = "sharded"
+    cumulative_report = True
+
+    def __init__(self, config, events=None) -> None:
+        self.config = config
+        self.events = events
+        self.core: FastRepairCore | None = None
+        self.last_fanout = FanoutReport()
+        self._graph: PropertyGraph | None = None
+        self._rules: RuleSet | None = None
+
+    # ------------------------------------------------------------------
+    # Repairer protocol
+    # ------------------------------------------------------------------
+
+    def bind(self, graph: PropertyGraph, rules: RuleSet) -> None:
+        self._graph = graph
+        self._rules = rules
+        self.core = FastRepairCore(graph, rules,
+                                   config=self.config.to_fast_config(),
+                                   events=self.events)
+
+    def plan(self) -> list[Violation]:
+        return self.core.pending()
+
+    def apply(self, violation: Violation) -> ExecutionOutcome:
+        if not self.core.validate(violation):
+            return ExecutionOutcome(applied=False, error="violation is obsolete")
+        return self.core.execute(violation)
+
+    def maintain(self, delta: GraphDelta, source: str = "commit") -> MaintenanceEvent:
+        return self.core.maintain(delta, source=source)
+
+    def stats(self) -> MatchingStats:
+        return self.core.stats
+
+    def close(self) -> None:
+        if self.core is not None:
+            self.core.close()
+
+    # ------------------------------------------------------------------
+    # the fan-out / fan-in run
+    # ------------------------------------------------------------------
+
+    def run(self) -> RepairReport:
+        self.last_fanout = FanoutReport()
+        if self._should_fan_out():
+            self._fan_out()
+        # settle: frontier violations, conflict-rejected repairs, and
+        # anything the merge pass discovered — or the entire workload when
+        # the fan-out was skipped (graceful single-worker degradation)
+        self.core.drain()
+        return self.core.finalize()
+
+    def _should_fan_out(self) -> bool:
+        config = self.config
+        if config.workers <= 1 or (config.shard_count or config.workers) <= 1:
+            return False
+        if config.max_repairs is not None:
+            # max_repairs caps the repairs of one run() call; fanning out
+            # would hand every worker (and the settle drain) an independent
+            # budget and silently multiply the cap — degrade to the single
+            # sequential drain, whose budget accounting is exact
+            return False
+        if self._graph.num_nodes < config.min_partition_nodes:
+            return False
+        return self.core.has_pending()
+
+    def _fan_out(self) -> None:
+        config = self.config
+        shard_count = config.shard_count or config.workers
+        radius = config.shard_radius if config.shard_radius is not None \
+            else rule_radius(self._rules)
+        plan = partition_graph(self._graph, shard_count, radius)
+        if len(plan) <= 1:
+            return
+
+        fanout = self.last_fanout
+        fanout.shards = len(plan)
+        fanout.radius = plan.radius
+        fanout.workers = config.workers
+        fanout.used_processes = not config.parallel_inline
+        fanout.cut_edges = plan.cut_edges
+        fanout.halo_fraction = plan.halo_fraction
+
+        with self.core.report.timings.measure("shard-extraction"):
+            worker_config = self.config.to_fast_config()
+            tasks = [
+                ShardTask(shard_index=shard.index,
+                          graph_payload=shard_payload(shard.extract(self._graph)),
+                          core=frozenset(shard.core),
+                          namespace=shard.namespace,
+                          rules=self._rules,
+                          config=worker_config)
+                for shard in plan.shards
+            ]
+        with self.core.report.timings.measure("shard-fanout"):
+            results = execute_tasks(tasks, workers=config.workers,
+                                    use_processes=not config.parallel_inline)
+        self._fan_in(results)
+
+    def _fan_in(self, results: list[ShardResult]) -> None:
+        fanout = self.last_fanout
+        for result in results:
+            fanout.shard_repairs += result.repairs_applied
+            fanout.shard_violations_detected += result.violations_detected
+            fanout.shard_elapsed_seconds += result.elapsed_seconds
+
+        with self.core.report.timings.measure("shard-merge"):
+            outcome: MergeOutcome = DeltaMerger(self._graph).merge(results)
+        fanout.accepted = outcome.accepted
+        fanout.rejected = outcome.rejected
+        fanout.conflicts = outcome.conflicts
+
+        # the accepted repairs were applied to the primary graph above; count
+        # them in the cumulative report (they are real repairs of this run,
+        # executed by workers instead of the primary executor), retire their
+        # identities so the settle drain skips them instead of miscounting
+        # them as obsolete, and stream them through the session's event hooks
+        on_repair_applied = getattr(self.events, "on_repair_applied", None)
+        for accepted in outcome.accepted_repairs:
+            self.core.report.repairs_applied += 1
+            match = accepted.match
+            if match is None:
+                continue
+            violation = Violation(rule=self._rules.get(accepted.repair.rule_name),
+                                  match=match, status=ViolationStatus.REPAIRED)
+            self.core.mark_handled(violation.key())
+            if on_repair_applied is not None:
+                on_repair_applied(violation,
+                                  ExecutionOutcome(applied=True,
+                                                   delta=accepted.replayed))
+        if outcome.applied_delta:
+            # ONE incremental-maintenance pass over everything the fan-out
+            # changed; "shard-merge" never requeues already-handled
+            # identities (same termination contract as repair-driven
+            # maintenance)
+            self.core.maintain(outcome.applied_delta, source="shard-merge")

@@ -1,0 +1,200 @@
+"""Fan-in: merge per-shard repair deltas onto the primary graph.
+
+Workers repair *working copies*; the primary graph only changes here.  The
+merger walks the shard results in shard order (and each shard's repairs in
+application order — both orders are deterministic), and for every repair:
+
+1. **chains** ids: references to elements created by an earlier repair of
+   the same shard are rewritten to the ids those elements actually received
+   on the primary;
+2. **rebases** the ids the repair itself creates onto ids reserved from the
+   primary graph's generators (:func:`repro.graph.delta.rebase_delta` — the
+   id-space reservation scheme, so replayed ids can never collide with
+   primary ids);
+3. **detects cross-shard conflicts**: every repair carries a *footprint* —
+   the nodes its delta touched plus the nodes its match had bound (the
+   bound nodes are the repair's read set: the evidence witnesses and
+   comparison operands its validity was decided on).  A repair whose
+   footprint intersects the footprint of an accepted repair from a
+   *different* shard is rejected, along with the rest of its shard's
+   repairs (later repairs of the same shard may depend on the rejected
+   one's changes).  Rejected work is not lost — the coordinator's follow-up
+   drain revisits those violations against the true post-merge graph.
+   (Reads *beyond* the bound nodes — a missing-pattern extension probed
+   two or more hops past the evidence variables — are not tracked; see
+   docs/PARALLEL.md for the exact guarantee scope.);
+4. **replays** the rebased delta through the graph's ordinary mutation API,
+   so the candidate index and any other listeners observe the changes like
+   any other edit.  ``MERGE_NODES`` replays semantically (the merge
+   re-executes), so the actually-created replacement-edge ids are read back
+   from the replay recording and patched into the shard's id chain.
+
+The merger only *mutates*; it never tells the matcher.  The coordinator
+folds :attr:`MergeOutcome.applied_delta` — the exact changes the primary
+observed — into the backend's state under **one** incremental-maintenance
+pass, which is what makes the whole fan-out cost a single reconciliation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ReproError
+from repro.graph.delta import (
+    ChangeKind,
+    GraphDelta,
+    apply_inverse,
+    rebase_delta,
+    recording,
+    replay_delta,
+)
+from repro.graph.property_graph import PropertyGraph
+from repro.matching.pattern import Match
+from repro.parallel.worker import ShardResult
+from repro.repair.fast import AppliedRepair
+
+
+@dataclass
+class AcceptedRepair:
+    """One worker repair that landed on the primary graph."""
+
+    repair: AppliedRepair
+    #: the changes the primary actually recorded while this repair replayed
+    #: (ids rebased; MERGE replacement edges re-generated)
+    replayed: GraphDelta
+    #: the repair's match with its bindings translated into the primary's id
+    #: space (a match may bind elements an earlier repair of its shard
+    #: created, whose ids were rebased during the merge)
+    match: Match | None = None
+
+
+@dataclass
+class MergeOutcome:
+    """What the fan-in did to the primary graph."""
+
+    #: every change the primary graph recorded while accepted repairs were
+    #: replayed — the delta the coordinator maintains in one pass
+    applied_delta: GraphDelta = field(default_factory=GraphDelta)
+    #: the accepted repairs in application order, with their replayed deltas
+    accepted_repairs: list[AcceptedRepair] = field(default_factory=list)
+    rejected: int = 0
+    #: one entry per detected conflict (or replay failure), for diagnostics
+    conflicts: list[str] = field(default_factory=list)
+
+    @property
+    def accepted(self) -> int:
+        return len(self.accepted_repairs)
+
+    @property
+    def accepted_rules(self) -> list[str]:
+        return [accepted.repair.rule_name for accepted in self.accepted_repairs]
+
+
+class DeltaMerger:
+    """Deterministic fan-in of shard results onto one primary graph."""
+
+    def __init__(self, graph: PropertyGraph) -> None:
+        self.graph = graph
+
+    def merge(self, results: list[ShardResult]) -> MergeOutcome:
+        outcome = MergeOutcome()
+        footprint_by_shard: dict[int, set[str]] = {}
+
+        for result in results:
+            shard = result.shard_index
+            footprint_here = footprint_by_shard.setdefault(shard, set())
+            footprint_elsewhere: set[str] = set()
+            for other, nodes in footprint_by_shard.items():
+                if other != shard:
+                    footprint_elsewhere |= nodes
+            node_chain: dict[str, str] = {}
+            edge_chain: dict[str, str] = {}
+
+            for position, repair in enumerate(result.repairs):
+                chained = repair.delta.remap_ids(node_ids=node_chain,
+                                                edge_ids=edge_chain)
+                rebased, node_map, edge_map = rebase_delta(chained, self.graph)
+                # footprint = write set (touched nodes) + read set proxy (the
+                # match's bound nodes): rejects both write-write overlap and
+                # a repair whose evidence witnesses another shard mutated
+                footprint = rebased.touched_nodes | set(repair.region)
+                if footprint & footprint_elsewhere:
+                    self._reject_rest(outcome, result, position,
+                                      reason="cross-shard footprint overlap")
+                    break
+                # record the replay ourselves so that a mid-delta failure can
+                # be rolled back — a half-applied repair must not stay on the
+                # graph outside the maintained applied_delta
+                error: Exception | None = None
+                with recording(self.graph) as recorder:
+                    try:
+                        replay_delta(self.graph, rebased)
+                    except (ReproError, ValueError) as exc:
+                        error = exc
+                replayed = recorder.drain()
+                if error is not None:
+                    # a conflict the footprint check could not see (the
+                    # repair's preconditions were consumed by another shard):
+                    # undo the partial changes and leave the violation to the
+                    # follow-up drain
+                    if replayed:
+                        apply_inverse(self.graph, replayed)
+                    self._reject_rest(outcome, result, position,
+                                      reason=f"replay failed: {error}")
+                    break
+                node_chain.update(node_map)
+                edge_chain.update(edge_map)
+                self._chain_merge_edges(chained, replayed, edge_chain)
+                outcome.applied_delta.extend(replayed.changes)
+                outcome.accepted_repairs.append(
+                    AcceptedRepair(repair=repair, replayed=replayed,
+                                   match=self._remap_match(repair.match,
+                                                           node_chain,
+                                                           edge_chain)))
+                footprint_here |= replayed.touched_nodes | set(repair.region)
+        return outcome
+
+    @staticmethod
+    def _remap_match(match: Match | None, node_chain: dict[str, str],
+                     edge_chain: dict[str, str]) -> Match | None:
+        """The match with any shard-created element ids it bound translated
+        to the ids those elements received on the primary (a match never
+        binds its own repair's creations, so the current chains suffice)."""
+        if match is None:
+            return None
+        if not node_chain and not edge_chain:
+            return match
+        return Match(
+            pattern=match.pattern,
+            node_bindings={variable: node_chain.get(node_id, node_id)
+                           for variable, node_id in match.node_bindings.items()},
+            edge_bindings={variable: edge_chain.get(edge_id, edge_id)
+                           for variable, edge_id in match.edge_bindings.items()})
+
+    @staticmethod
+    def _reject_rest(outcome: MergeOutcome, result: ShardResult,
+                     position: int, reason: str) -> None:
+        remainder = len(result.repairs) - position
+        outcome.rejected += remainder
+        outcome.conflicts.append(
+            f"shard {result.shard_index} repair #{position} "
+            f"({result.repairs[position].rule_name}): {reason}; "
+            f"{remainder} repair(s) of this shard deferred to the "
+            "coordinator drain")
+
+    @staticmethod
+    def _chain_merge_edges(chained: GraphDelta, replayed: GraphDelta,
+                           edge_chain: dict[str, str]) -> None:
+        """Patch the id chain with the replacement-edge ids ``MERGE_NODES``
+        actually produced on the primary (semantic replay re-generates them).
+
+        ``replay_delta`` executes the chained changes one-to-one, so the two
+        change lists align positionally.
+        """
+        for original, actual in zip(chained.changes, replayed.changes):
+            if original.kind is not ChangeKind.MERGE_NODES \
+                    or actual.kind is not ChangeKind.MERGE_NODES:
+                continue
+            recorded = original.details.get("added_edges", ())
+            produced = actual.details.get("added_edges", ())
+            edge_chain.update(zip(recorded, produced))

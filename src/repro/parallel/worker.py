@@ -1,0 +1,118 @@
+"""The sharded backend's worker protocol: task/result shapes and executors.
+
+One :class:`ShardTask` is everything a worker process needs to repair one
+shard with no access to the coordinator's memory:
+
+* the shard's working copy as a **plain-dict payload**
+  (:func:`repro.graph.io.graph_to_dict`) rather than a live
+  :class:`~repro.graph.PropertyGraph` — no listeners, no shared indexes,
+  nothing process-specific, safe for the ``spawn`` start method on every
+  platform;
+* the pickled rule set and :class:`~repro.repair.fast.FastRepairConfig`
+  (both are declarative object trees — patterns, predicate dataclasses,
+  cost models — with no callables, by design);
+* the shard's **core** node ids (ownership filter) and id **namespace**.
+
+:func:`run_shard_task` is the importable top-level entry point the pool maps
+over tasks; it rebuilds the graph, runs
+:func:`repro.repair.fast.repair_shard`, and ships back a :class:`ShardResult`
+whose deltas still live in the shard's namespaced id space — translating them
+into the primary graph's id space is the merger's job.
+
+Two executors run the tasks:
+
+* :func:`execute_tasks` with ``use_processes=True`` fans out over a
+  ``multiprocessing`` *spawn* pool (spawn, not fork: deterministic, no
+  inherited locks/listeners, identical semantics on Linux/macOS/Windows);
+* ``use_processes=False`` runs the same serialization round-trip inline —
+  bit-identical results without process startup, used for 1-worker
+  degradation and by the equivalence tests.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+
+from repro.graph.io import graph_from_dict, graph_to_dict
+from repro.graph.property_graph import PropertyGraph
+from repro.repair.fast import AppliedRepair, FastRepairConfig, repair_shard
+from repro.rules.grr import RuleSet
+
+
+@dataclass
+class ShardTask:
+    """One shard's work order (fully self-contained and spawn-safe)."""
+
+    shard_index: int
+    graph_payload: dict
+    core: frozenset[str]
+    namespace: str
+    rules: RuleSet
+    config: FastRepairConfig
+
+
+@dataclass
+class ShardResult:
+    """What one worker ships back to the coordinator.
+
+    ``repairs`` are in shard application order with deltas in the shard's
+    namespaced id space.  The counters summarise the shard-local run (its
+    full :class:`~repro.repair.report.RepairReport` never leaves the worker —
+    logs and timing breakdowns would dominate the result pickle).
+    """
+
+    shard_index: int
+    repairs: list[AppliedRepair] = field(default_factory=list)
+    violations_detected: int = 0
+    repairs_applied: int = 0
+    repairs_failed: int = 0
+    nodes_tried: int = 0
+    elapsed_seconds: float = 0.0
+
+
+def shard_payload(graph: PropertyGraph) -> dict:
+    """Serialise a shard working copy into its spawn-safe payload."""
+    return graph_to_dict(graph)
+
+
+def shard_from_payload(payload: dict, namespace: str) -> PropertyGraph:
+    """Rebuild a worker-side graph from a payload, with namespaced ids."""
+    return graph_from_dict(payload, id_namespace=namespace)
+
+
+def run_shard_task(task: ShardTask) -> ShardResult:
+    """Repair one shard end to end (the pool's map function)."""
+    started = time.perf_counter()
+    graph = shard_from_payload(task.graph_payload, task.namespace)
+    repairs, report = repair_shard(graph, task.rules, config=task.config,
+                                   owned_nodes=task.core)
+    return ShardResult(
+        shard_index=task.shard_index,
+        repairs=repairs,
+        violations_detected=report.violations_detected,
+        repairs_applied=report.repairs_applied,
+        repairs_failed=report.repairs_failed,
+        nodes_tried=report.matching_stats.nodes_tried,
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+def execute_tasks(tasks: list[ShardTask], workers: int,
+                  use_processes: bool = True) -> list[ShardResult]:
+    """Run every task and return results in task order (deterministic fan-in).
+
+    ``pool.map`` preserves input order regardless of completion order, so the
+    merger always sees shard 0's repairs before shard 1's — scheduling jitter
+    cannot change the outcome.  With ``use_processes=False`` (or a single
+    task) the tasks run inline in task order, exercising the identical
+    serialized path without process startup cost.
+    """
+    if not tasks:
+        return []
+    if not use_processes or workers <= 1 or len(tasks) == 1:
+        return [run_shard_task(task) for task in tasks]
+    context = multiprocessing.get_context("spawn")
+    with context.Pool(processes=min(workers, len(tasks))) as pool:
+        return pool.map(run_shard_task, tasks, chunksize=1)

@@ -7,7 +7,13 @@ from repro.repair.detector import DetectionResult, ViolationDetector, detect_vio
 from repro.repair.engine import EngineConfig, RepairEngine, repair_graph
 from repro.repair.events import MaintenanceEvent, RepairEvents
 from repro.repair.executor import ExecutionOutcome, RepairExecutor
-from repro.repair.fast import FastRepairConfig, FastRepairCore, FastRepairer
+from repro.repair.fast import (
+    AppliedRepair,
+    FastRepairConfig,
+    FastRepairCore,
+    FastRepairer,
+    repair_shard,
+)
 from repro.repair.naive import NaiveRepairConfig, NaiveRepairer
 from repro.repair.provenance import RepairAction, RepairLog
 from repro.repair.report import RepairReport
@@ -34,6 +40,8 @@ __all__ = [
     "NaiveRepairConfig",
     "FastRepairer",
     "FastRepairConfig",
+    "AppliedRepair",
+    "repair_shard",
     "RepairEngine",
     "EngineConfig",
     "repair_graph",

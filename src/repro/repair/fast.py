@@ -59,7 +59,7 @@ from repro.graph.delta import GraphDelta
 from repro.graph.property_graph import PropertyGraph
 from repro.matching.incremental import IncrementalMatcher
 from repro.matching.index import CandidateIndex
-from repro.matching.pattern import Pattern
+from repro.matching.pattern import Match, Pattern
 from repro.matching.vf2 import MatchingStats, VF2Matcher
 from repro.repair.config import RepairKnobs
 from repro.repair.events import MaintenanceEvent
@@ -88,6 +88,25 @@ class FastRepairConfig(RepairKnobs):
     use_decomposition: bool = True
     batch_repairs: bool = False
     max_batch: int | None = None
+
+
+@dataclass
+class AppliedRepair:
+    """One successfully applied repair, in the shape the parallel merger needs.
+
+    ``region`` is the set of node ids the violation's match had bound when the
+    repair fired (the independence region); ``delta`` is the full recorded
+    change list; ``match`` is the violation's match, shipped so the
+    coordinator can stream faithful ``on_repair_applied`` events and retire
+    the violation's identity in its own queue.  Collected by
+    :meth:`FastRepairCore.drain` when a ``collector`` is supplied — the unit
+    of work a shard worker ships back to the coordinator.
+    """
+
+    rule_name: str
+    region: frozenset[str]
+    delta: GraphDelta
+    match: "Match | None" = None
 
 
 class _ExtensionChecker:
@@ -231,6 +250,16 @@ class FastRepairCore:
     def has_pending(self) -> bool:
         return bool(self._queue)
 
+    def mark_handled(self, key: tuple) -> None:
+        """Retire a violation identity that was repaired *outside* this core.
+
+        The sharded coordinator calls this for every worker repair it merged:
+        the identity's queue entry (detected at bind time) is skipped by the
+        settle drain instead of being popped, validated, and miscounted as
+        obsolete — the repair was applied, just not by this core's executor.
+        """
+        self._processed_keys.add(key)
+
     def pending(self) -> list[Violation]:
         """Snapshot of the queued violations in processing order."""
         return [entry[2] for entry in sorted(self._queue)
@@ -369,31 +398,61 @@ class FastRepairCore:
             self._timing_depth = 0
             self._elapsed += time.perf_counter() - started
 
-    def drain(self) -> None:
+    def drain(self, accept=None, collector: list[AppliedRepair] | None = None) -> None:
         """Process the queue to exhaustion (or budget), per the config's mode.
 
         ``max_repairs`` budgets each drain call independently — a session
         that exhausted the budget once can repair again on its next call.
+
+        ``accept`` (optional ``violation -> bool``) restricts the drain to
+        the violations it approves; rejected ones are retired unrepaired
+        (status ``SKIPPED``, identity marked handled so this drain never
+        revisits them).  A shard worker passes ownership — *bound nodes all
+        inside my core* — here, leaving frontier violations to the
+        coordinator.  ``collector`` (optional list) receives one
+        :class:`AppliedRepair` per successfully applied repair, in
+        application order.
         """
         self._drain_baseline = self.report.repairs_applied
         with self._timed():
             if self.config.batch_repairs:
-                self._drain_batched()
+                self._drain_batched(accept, collector)
             else:
-                self._drain_sequential()
+                self._drain_sequential(accept, collector)
 
-    def _drain_sequential(self) -> None:
+    def _skip(self, violation: Violation) -> None:
+        """Retire a violation without repairing it (rejected by an ``accept``
+        filter): not an obsoletion, not a failure — just not ours to repair."""
+        violation.status = ViolationStatus.SKIPPED
+        self._processed_keys.add(violation.key())
+
+    def _collect(self, collector: list[AppliedRepair] | None,
+                 violation: Violation, outcome: ExecutionOutcome) -> None:
+        if collector is not None:
+            collector.append(AppliedRepair(
+                rule_name=violation.rule.name,
+                region=frozenset(violation.match.bound_node_ids()),
+                delta=outcome.delta,
+                match=violation.match))
+
+    def _drain_sequential(self, accept=None,
+                          collector: list[AppliedRepair] | None = None) -> None:
         while self._queue and self._budget_left():
             violation = self._pop()
             if violation is None:
                 break
+            if accept is not None and not accept(violation):
+                self._skip(violation)
+                continue
             if not self.validate(violation):
                 continue
             outcome = self.execute(violation)
             if outcome.applied and outcome.delta:
+                self._collect(collector, violation, outcome)
                 self.maintain(outcome.delta, source="repair")
 
-    def _drain_batched(self) -> None:
+    def _drain_batched(self, accept=None,
+                       collector: list[AppliedRepair] | None = None) -> None:
         while self._queue and self._budget_left():
             batch = self._pop_independent_batch()
             if not batch:
@@ -401,6 +460,9 @@ class FastRepairCore:
             merged = GraphDelta()
             for entry in batch:
                 violation = entry[2]
+                if accept is not None and not accept(violation):
+                    self._skip(violation)
+                    continue
                 if not self._budget_left():
                     # over budget mid-batch: restore the untouched remainder
                     # verbatim (no re-count, no duplicate events)
@@ -410,6 +472,7 @@ class FastRepairCore:
                     continue
                 outcome = self.execute(violation)
                 if outcome.applied and outcome.delta:
+                    self._collect(collector, violation, outcome)
                     merged.extend(outcome.delta.changes)
             if merged:
                 self.maintain(merged, source="repair-batch")
@@ -520,3 +583,53 @@ class FastRepairer:
             return core.finalize()
         finally:
             core.close()
+
+
+def repair_shard(graph: PropertyGraph, rules: RuleSet,
+                 config: FastRepairConfig | None = None,
+                 owned_nodes: frozenset[str] | set[str] | None = None,
+                 ) -> tuple[list[AppliedRepair], RepairReport]:
+    """The shard-executable entry point of the fast algorithm.
+
+    Runs one full :class:`FastRepairCore` lifecycle over ``graph`` —
+    typically a shard working copy extracted by
+    :mod:`repro.parallel.partition` — restricted, when ``owned_nodes`` is
+    given, to violations whose matches bind only owned nodes (everything a
+    repair mutates stays within one hop of its bound nodes, so owned repairs
+    cannot reach past the shard's halo).
+
+    Ownership is *priority-safe*: the queue pops in global priority order,
+    and once a still-valid violation is deferred — not owned, or overlapping
+    an earlier deferral — its region is blocked and every later violation
+    touching that region is deferred too.  A deferred higher-priority repair
+    could invalidate (or reshape) an overlapping lower-priority one, so the
+    worker must not pre-empt the coordinator inside such regions; this is
+    what keeps shard-local decisions identical to the sequential drain's.
+
+    Returns the applied repairs in application order plus the core's
+    finalized report; the graph is mutated in place, and the deltas inside
+    the :class:`AppliedRepair` records are what a coordinator replays onto
+    the primary graph.
+    """
+    core = FastRepairCore(graph, rules, config=config)
+    try:
+        collected: list[AppliedRepair] = []
+        accept = None
+        if owned_nodes is not None:
+            owned = frozenset(owned_nodes)
+            blocked: set[str] = set()
+
+            def accept(violation: Violation) -> bool:
+                region = violation.match.bound_node_ids()
+                if region <= owned and not (region & blocked):
+                    return True
+                # only a still-valid match can fire in the sequential order;
+                # stale queue entries must not sterilise their region
+                if violation.match.is_valid(graph):
+                    blocked.update(region)
+                return False
+
+        core.drain(accept=accept, collector=collected)
+        return collected, core.finalize()
+    finally:
+        core.close()

@@ -78,5 +78,13 @@ class Violation:
 
 def sort_key(violation: Violation, cost: float = 0.0, sequence: int = 0) -> tuple:
     """The planner's ordering: higher priority first, then cheaper repairs,
-    then detection order, then a deterministic match key."""
-    return (-violation.priority, cost, sequence, violation.key())
+    then a deterministic match key, then detection order.
+
+    The match key ranks ahead of the detection sequence so that the order of
+    two violations is a function of *what* they are, not of when they were
+    found: a shard worker enumerating a subgraph and the coordinator
+    enumerating the full graph then agree on the processing order of every
+    violation they both see — the property the sharded backend's
+    sequential-equivalence guarantee rests on.
+    """
+    return (-violation.priority, cost, violation.key(), sequence)

@@ -11,6 +11,7 @@ from repro.graph import (
     GraphDelta,
     PropertyGraph,
     apply_inverse,
+    rebase_delta,
     recording,
     replay_delta,
 )
@@ -201,3 +202,75 @@ class TestReplayDelta:
         replayed = replay_delta(twin, delta)
         apply_inverse(twin, replayed)
         assert _exactly_equal(twin, baseline)
+
+
+class TestIdReservation:
+    """The id-space reservation scheme (delta log shipping prerequisite)."""
+
+    def test_reserved_ids_are_never_reissued(self):
+        graph = PropertyGraph("primary")
+        reserved = graph.reserve_node_ids(5) + graph.reserve_edge_ids(5)
+        assert len(set(reserved)) == 10
+        a = graph.add_node("X")
+        b = graph.add_node("X")
+        edge = graph.add_edge(a.id, b.id, "r")
+        assert not {a.id, b.id, edge.id} & set(reserved)
+
+    def test_created_ids_and_remap(self):
+        graph, a, b, c, e1, e2 = _mutation_playground()
+        delta = _record(graph, lambda g: (
+            g.add_node("Country", {"name": "UK"}, node_id="k"),
+            g.add_edge(c.id, "k", "inCountry", edge_id="ck")))
+        assert delta.created_node_ids == ["k"]
+        assert delta.created_edge_ids == ["ck"]
+        remapped = delta.remap_ids(node_ids={"k": "K2"}, edge_ids={"ck": "CK2"})
+        add_node, add_edge = remapped.changes
+        assert add_node.node_id == "K2" and add_node.touched_nodes == ("K2",)
+        assert add_edge.edge_id == "CK2" and add_edge.details["target"] == "K2"
+        # the original delta is untouched
+        assert delta.changes[0].node_id == "k"
+
+    def test_remap_rewrites_merge_and_removal_snapshots(self):
+        graph, a, b, c, e1, e2 = _mutation_playground()
+        delta = _record(graph, lambda g: g.merge_nodes(a.id, b.id,
+                                                       drop_duplicate_edges=False))
+        (merge,) = delta.changes
+        new_edge = merge.details["added_edges"][0]
+        remapped = delta.remap_ids(edge_ids={new_edge: "fresh"})
+        assert remapped.changes[0].details["added_edges"] == ("fresh",)
+        specs = remapped.changes[0].details["removed_edge_specs"]
+        assert all(spec["id"] != "fresh" for spec in specs)
+
+    def test_rebased_replay_never_collides_with_primary_ids(self):
+        """Regression for the reservation scheme: a delta recorded on a
+        working copy whose generated ids *shadow* ids the primary already
+        uses must land on fresh reserved ids when replayed."""
+        primary, a, b, c, e1, e2 = _mutation_playground()
+        # the working copy's generators know nothing about the primary's
+        # id space: its first generated ids would collide with n0/e0
+        working = PropertyGraph("replica")
+        working.add_node("City", {"name": "Paris"})   # gets n0 — taken on primary
+        delta = _record(working, lambda g: (
+            g.add_node("Country", {"name": "FR"}),
+            g.add_edge("n0", "n1", "inCountry")))
+        colliding = set(delta.created_node_ids) & set(primary.node_ids())
+        assert colliding, "the scenario must actually provoke a collision"
+
+        rebased, node_map, edge_map = rebase_delta(delta, primary)
+        assert not set(rebased.created_node_ids) & set(primary.node_ids())
+        assert not set(rebased.created_edge_ids) & set(primary.edge_ids())
+        # the rebased delta replays cleanly; an un-rebased replay would raise
+        before_nodes = primary.num_nodes
+        # the edge endpoint n0 exists on the primary (that is the shadowing),
+        # so replay succeeds and attaches to reserved elements only
+        replay_delta(primary, rebased)
+        assert primary.num_nodes == before_nodes + 1
+        assert node_map[delta.created_node_ids[0]] in primary.node_store
+
+    def test_unrebased_collision_is_detected(self):
+        primary, *_ = _mutation_playground()
+        working = PropertyGraph("replica")
+        working.add_node("City")
+        delta = _record(working, lambda g: g.add_node("Country"))
+        with pytest.raises(Exception):
+            replay_delta(primary, delta)  # id n1 already exists on the primary

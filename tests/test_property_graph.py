@@ -231,6 +231,81 @@ class TestCopySubgraphNeighborhood:
         assert triangle_graph.size() == 6
         assert len(triangle_graph) == 6
 
+    def test_subgraph_iterates_in_insertion_order(self, tiny_kg):
+        keep = set(tiny_kg.node_ids()[2:7])
+        sub = tiny_kg.subgraph(keep)
+        order_in_parent = [nid for nid in tiny_kg.node_ids() if nid in keep]
+        assert sub.node_ids() == order_in_parent
+
+    def test_subgraph_with_namespace_prefixes_new_ids(self, tiny_kg):
+        sub = tiny_kg.subgraph(tiny_kg.node_ids()[:3], id_namespace="s2")
+        node = sub.add_node("Person")
+        edge = sub.add_edge(node.id, sub.node_ids()[0], "knows")
+        assert node.id.startswith("s2:n") and edge.id.startswith("s2:e")
+
+    def test_subgraph_missing_node_raises(self, tiny_kg):
+        with pytest.raises(NodeNotFoundError):
+            tiny_kg.subgraph(["nope"])
+
+
+class TestPerLabelAdjacencyBuckets:
+    """The per-label adjacency index must agree with a filter over the full
+    adjacency after every mutation kind that can move edges around."""
+
+    def _assert_buckets_consistent(self, graph):
+        for node in graph.nodes():
+            for label in {edge.label for edge in graph.out_edges(node.id)} | {None}:
+                if label is None:
+                    continue
+                expected = [e.id for e in graph.out_edges(node.id)
+                            if e.label == label]
+                assert sorted(graph.out_edge_ids_with_label(node.id, label)) \
+                    == sorted(expected)
+            for label in {edge.label for edge in graph.in_edges(node.id)}:
+                expected = [e.id for e in graph.in_edges(node.id)
+                            if e.label == label]
+                assert sorted(graph.in_edge_ids_with_label(node.id, label)) \
+                    == sorted(expected)
+
+    def test_add_and_remove_edge(self, tiny_kg):
+        self._assert_buckets_consistent(tiny_kg)
+        person = tiny_kg.nodes_with_label("Person")[0]
+        city = tiny_kg.nodes_with_label("City")[0]
+        edge = tiny_kg.add_edge(person.id, city.id, "visited")
+        assert list(tiny_kg.out_edge_ids_with_label(person.id, "visited")) \
+            == [edge.id]
+        tiny_kg.remove_edge(edge.id)
+        assert not tiny_kg.out_edge_ids_with_label(person.id, "visited")
+        self._assert_buckets_consistent(tiny_kg)
+
+    def test_relabel_edge_moves_buckets(self, tiny_kg):
+        edge = next(iter(tiny_kg.edges_with_label("livesIn")))
+        tiny_kg.relabel_edge(edge.id, "residesIn")
+        assert edge.id in tiny_kg.out_edge_ids_with_label(edge.source, "residesIn")
+        assert edge.id not in tiny_kg.out_edge_ids_with_label(edge.source, "livesIn")
+        assert edge.id in tiny_kg.in_edge_ids_with_label(edge.target, "residesIn")
+        self._assert_buckets_consistent(tiny_kg)
+
+    def test_remove_node_clears_buckets(self, tiny_kg):
+        person = tiny_kg.nodes_with_label("Person")[0]
+        tiny_kg.remove_node(person.id)
+        self._assert_buckets_consistent(tiny_kg)
+        assert not tiny_kg.out_edge_ids_with_label(person.id, "bornIn")
+
+    def test_merge_nodes_rebuckets_redirected_edges(self, tiny_kg):
+        persons = tiny_kg.nodes_with_label("Person")
+        keep, merge = persons[0], persons[1]
+        tiny_kg.merge_nodes(keep.id, merge.id)
+        self._assert_buckets_consistent(tiny_kg)
+
+    def test_labeled_views_match_list_accessors(self, tiny_kg):
+        for node in tiny_kg.nodes():
+            for edge in tiny_kg.out_edges(node.id):
+                listed = [e.id for e in
+                          tiny_kg.out_edges_with_label(node.id, edge.label)]
+                assert sorted(tiny_kg.out_edge_ids_with_label(node.id, edge.label)) \
+                    == listed
+
 
 class TestNetworkxConversion:
     def test_round_trip_through_networkx(self, tiny_kg):
