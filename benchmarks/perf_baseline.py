@@ -17,6 +17,14 @@ Measures, for each of the three dataset domains (``kg``, ``movies``,
   compared against ``batched_seconds``; excluded from the regression gate's
   timing keys because pool startup is host-load dependent, but its
   deterministic work counters are tracked;
+* the ``service-kg`` scenario (kg domain only) — warm-pool vs cold-spawn
+  repair through ``repro.service``: one sharded tenant driven through
+  repair → (edit → repair) × N on a persistent warm pool and again on the
+  cold per-call pool.  Wall-clock per call is recorded (not gated — spawn
+  cost is host-load dependent); the *overhead counters* are gated:
+  ``service_warm_spawns_after_warmup`` must stay 0 (nothing spawns once the
+  pool is warm — the whole point), and the warm/cold repair counts must
+  agree with each other;
 
 plus the deterministic work counters (repairs applied, violations detected,
 matches enumerated, nodes tried, and the incremental ``maintenance_passes``
@@ -72,7 +80,10 @@ TIMING_KEYS = ("match_seconds", "fast_seconds", "naive_seconds",
 COUNTER_KEYS = ("matches", "fast_repairs_applied", "fast_violations_detected",
                 "naive_repairs_applied", "fast_maintenance_passes",
                 "batched_maintenance_passes", "sharded_repairs_applied",
-                "sharded_accepted", "sharded_rejected")
+                "sharded_accepted", "sharded_rejected",
+                "service_warm_repairs", "service_cold_repairs",
+                "service_warm_spawns_after_warmup", "service_warm_binds",
+                "service_warm_ships")
 
 #: the sharded scenario runs only where fan-out has enough work to mean
 #: anything: the kg domain at each mode's scale, 4 workers
@@ -119,6 +130,7 @@ def measure_domain(domain: str, scale: int, error_rate: float, seed: int,
     sharded: dict[str, Any] = {}
     if domain == SHARDED_DOMAIN:
         sharded = measure_sharded(workload)
+        sharded.update(measure_service(workload))
 
     return {
         **sharded,
@@ -164,6 +176,96 @@ def measure_sharded(workload) -> dict[str, Any]:
         "sharded_rejected": fanout.rejected,
         "sharded_halo_fraction": round(fanout.halo_fraction, 3),
         "sharded_reached_fixpoint": report.reached_fixpoint,
+    }
+
+
+def _service_corrupt(graph, seed: int) -> None:
+    """Deterministic violation-producing edits for the service scenario."""
+    import random
+
+    rng = random.Random(seed)
+    edge_ids = graph.edge_ids()
+    for edge_id in rng.sample(edge_ids, min(10, len(edge_ids))):
+        if graph.has_edge(edge_id):
+            graph.remove_edge(edge_id)
+    edge_ids = graph.edge_ids()
+    for edge_id in rng.sample(edge_ids, min(6, len(edge_ids))):
+        edge = graph.edge(edge_id)
+        graph.add_edge(edge.source, edge.target, edge.label,
+                       dict(edge.properties))
+
+
+#: edit→repair rounds the service scenario drives after the initial repair
+SERVICE_ROUNDS = 3
+
+
+def measure_service(workload) -> dict[str, Any]:
+    """The ``service-kg`` scenario: warm-pool vs cold-spawn repeated repair.
+
+    Both sides run the same drive — initial repair, then
+    ``SERVICE_ROUNDS`` rounds of (commit deterministic edits → repair) —
+    through the sharded backend at ``SHARDED_WORKERS`` with real spawn
+    pools.  Warm keeps one persistent pool with standing shard replicas
+    (deltas shipped between calls); cold spawns a fresh pool and rebuilds
+    every shard per call.  The per-call overhead counters are the gated
+    result: after the first warm call, spawns must be 0.
+    """
+    from repro.api import RepairConfig, RepairSession
+    from repro.service import GraphRepairService
+
+    def drive(repair, apply, after_first=None):
+        seconds = []
+        repairs = 0
+        started = time.perf_counter()
+        repairs += repair().repairs_applied
+        seconds.append(time.perf_counter() - started)
+        if after_first is not None:
+            after_first()
+        for round_index in range(SERVICE_ROUNDS):
+            apply(lambda g, s=round_index: _service_corrupt(g, s))
+            started = time.perf_counter()
+            repairs += repair().repairs_applied
+            seconds.append(time.perf_counter() - started)
+        return seconds, repairs
+
+    # warm: one persistent pool, standing replicas, delta shipping
+    spawns_at_warmup = 0
+
+    def record_warmup():
+        nonlocal spawns_at_warmup
+        spawns_at_warmup = service.pool_stats["spawns"]
+
+    with GraphRepairService() as service:
+        service.serve("bench", workload.dirty.copy(name="bench"),
+                      workload.rules, shards=SHARDED_WORKERS)
+        warm_seconds, warm_repairs = drive(
+            lambda: service.repair("bench"),
+            lambda edit: service.apply("bench", edit),
+            after_first=record_warmup)
+        stats = service.pool_stats
+        spawns_after_warmup = stats["spawns"] - spawns_at_warmup
+
+    # cold: the per-call spawn pool (PR-3 behaviour)
+    cold_graph = workload.dirty.copy(name="bench-cold")
+    with RepairSession(cold_graph, workload.rules,
+                       config=RepairConfig.sharded(
+                           workers=SHARDED_WORKERS)) as session:
+        cold_seconds, cold_repairs = drive(session.repair, session.apply)
+
+    return {
+        "service_workers": SHARDED_WORKERS,
+        "service_rounds": SERVICE_ROUNDS,
+        "service_warm_first_seconds": round(warm_seconds[0], 4),
+        "service_warm_call_seconds": round(
+            sum(warm_seconds[1:]) / max(len(warm_seconds) - 1, 1), 4),
+        "service_cold_call_seconds": round(
+            sum(cold_seconds[1:]) / max(len(cold_seconds) - 1, 1), 4),
+        "service_warm_repairs": warm_repairs,
+        "service_cold_repairs": cold_repairs,
+        "service_warm_spawns_total": stats["spawns"],
+        "service_warm_spawns_after_warmup": spawns_after_warmup,
+        "service_warm_binds": stats["binds"],
+        "service_warm_ships": stats["deltas_shipped"],
     }
 
 
@@ -227,6 +329,16 @@ def format_results(results: dict[str, Any]) -> str:
                 f"({row['sharded_shards']} shards, "
                 f"{row['sharded_accepted']} merged + {row['sharded_rejected']} deferred, "
                 f"vs batched {row['batched_seconds']:.4f}s)")
+        if "service_warm_call_seconds" in row:
+            lines.append(
+                f"{'':8} service-{domain}@{row['scale']}: warm "
+                f"{row['service_warm_call_seconds']:.4f}s/call vs cold "
+                f"{row['service_cold_call_seconds']:.4f}s/call after warm-up "
+                f"({row['service_warm_first_seconds']:.4f}s; "
+                f"{row['service_warm_spawns_total']} spawns total, "
+                f"{row['service_warm_spawns_after_warmup']} after warm-up, "
+                f"{row['service_warm_binds']} binds, "
+                f"{row['service_warm_ships']} ships)")
     return "\n".join(lines)
 
 

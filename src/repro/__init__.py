@@ -37,7 +37,13 @@ Batch repairing (`RepairConfig.fast().batched()`) applies independent
 violations under one merged maintenance pass; `SessionEvents` streams
 progress; `RepairConfig.naive()` / `RepairConfig.baseline()` switch the
 backend; `RepairConfig.sharded(workers=N)` fans a repair pass out over
-worker processes with deterministic delta merging (``docs/PARALLEL.md``).
+worker processes with deterministic delta merging (``docs/PARALLEL.md``),
+and ``warm=True`` keeps those workers and their shard replicas alive across
+repair calls.  Sessions are thread-safe and publish every committed change
+on a replayable changefeed (``session.deltas()`` / ``on_commit``); the
+service layer (``from repro.service import GraphRepairService``) serves
+many named sessions concurrently over a shared warm pool
+(``docs/SERVICE.md``).
 The legacy one-shot helpers (``repair_graph``, ``RepairEngine``) remain as
 deprecation shims over the session — see ``docs/MIGRATION.md``.
 
@@ -51,6 +57,7 @@ exposes its full API.
 from repro.analysis import analyze_redundancy, analyze_termination, check_consistency
 from repro.api import (
     CommitResult,
+    CommittedDelta,
     MaintenanceEvent,
     RepairConfig,
     Repairer,
@@ -98,6 +105,9 @@ __all__ = [
     "SessionEvents",
     "MaintenanceEvent",
     "CommitResult",
+    "CommittedDelta",
+    # service layer (imported from repro.service; heavier, so not eagerly
+    # re-exported here: ``from repro.service import GraphRepairService``)
     # graph
     "PropertyGraph",
     # matching

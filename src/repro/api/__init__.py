@@ -22,7 +22,12 @@ from repro.api.backend import (
     register_backend,
 )
 from repro.api.config import BACKENDS, RepairConfig
-from repro.api.events import CommitResult, MaintenanceEvent, SessionEvents
+from repro.api.events import (
+    CommitResult,
+    CommittedDelta,
+    MaintenanceEvent,
+    SessionEvents,
+)
 from repro.api.session import RepairSession, open_session, repair_copy
 
 __all__ = [
@@ -41,4 +46,5 @@ __all__ = [
     "SessionEvents",
     "MaintenanceEvent",
     "CommitResult",
+    "CommittedDelta",
 ]

@@ -301,13 +301,25 @@ def _resolve_backend(name: str) -> type:
     return factory
 
 
-def build_backend(config, events=None):
+def build_backend(config, events=None, pool=None):
     """Instantiate the backend the config names (without binding it).
 
     Mirrors the legacy engine's degradation rule: a ``"fast"`` backend with
     ``use_incremental=False`` is the naive loop with an optimised matcher.
+
+    ``pool`` is an optional shared :class:`repro.parallel.pool.WorkerPool`
+    for backends that keep workers warm across repair calls (the sharded
+    backend in warm mode); backends that cannot use one reject it, so a
+    misdirected pool fails loudly instead of silently going cold.
     """
     name = config.backend
     if name == "fast" and not config.use_incremental:
+        if pool is not None:
+            raise ValueError("a worker pool requires a pool-capable backend; "
+                             f"{name!r} with use_incremental=False degrades "
+                             "to the naive loop")
         return NaiveBackend(config, events=events)
-    return _resolve_backend(name)(config, events=events)
+    factory = _resolve_backend(name)
+    if pool is not None:
+        return factory(config, events=events, pool=pool)
+    return factory(config, events=events)

@@ -80,6 +80,10 @@ class RepairConfig(RepairKnobs):
     #: run shard tasks inline (same serialized path, no processes) — for
     #: tests and for hosts where process pools are unavailable
     parallel_inline: bool = False
+    #: keep a persistent :class:`repro.parallel.pool.WorkerPool` warm across
+    #: repair calls: shard replicas stand in the workers, committed deltas
+    #: are shipped to them, and nothing is spawned after warm-up
+    warm_pool: bool = False
     #: below this many nodes the fan-out is skipped (partition overhead
     #: would dominate any conceivable win)
     min_partition_nodes: int = 64
@@ -113,15 +117,20 @@ class RepairConfig(RepairKnobs):
         return cls(backend="greedy").with_options(**overrides)
 
     @classmethod
-    def sharded(cls, workers: int = 4, **overrides) -> "RepairConfig":
+    def sharded(cls, workers: int = 4, warm: bool = False,
+                **overrides) -> "RepairConfig":
         """The sharded multi-process backend (:mod:`repro.parallel`).
 
         All of the fast backend's optimisations stay on; one repair pass
         fans out over ``workers`` shard processes and fans back in under a
         single incremental-maintenance pass.  ``workers=1`` degrades to the
-        plain fast drain.
+        plain fast drain.  ``warm=True`` keeps a persistent worker pool with
+        standing shard replicas across repair calls (the long-lived
+        session / service shape): spawn and per-shard re-detection costs are
+        paid once, then committed deltas ship incrementally.
         """
-        return cls(backend="sharded", workers=workers).with_options(**overrides)
+        return cls(backend="sharded", workers=workers,
+                   warm_pool=warm).with_options(**overrides)
 
     @classmethod
     def ablation(cls, disable: str) -> "RepairConfig":

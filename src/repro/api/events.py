@@ -6,13 +6,23 @@
 can be handed straight to the low-level repairers.  ``CommitResult`` is what
 :meth:`RepairSession.commit` returns: the merged staged delta plus the single
 maintenance pass that folded it into the persistent matcher state.
+
+``CommittedDelta`` is one record of a session's **committed-delta
+changefeed** (:meth:`RepairSession.deltas` / :meth:`RepairSession.on_commit`):
+every graph change that survived into the session's committed history — a
+committed transaction or the mutations of a repair run — is published as one
+monotonically sequenced, replayable delta.  The feed is the transport half of
+delta log shipping: replaying the records in sequence order onto a copy of
+the session's opening graph reconstructs the committed state element for
+element, and :func:`repro.graph.delta.rebase_delta` rebases a record onto a
+replica with its own id space.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.graph.delta import GraphDelta
+from repro.graph.delta import GraphDelta, replay_delta
 from repro.repair.events import MaintenanceEvent, RepairEvents
 
 #: The session's progress-hook bundle (``on_violation`` /
@@ -43,4 +53,36 @@ class CommitResult:
         return len(self.delta)
 
 
-__all__ = ["SessionEvents", "RepairEvents", "MaintenanceEvent", "CommitResult"]
+@dataclass(frozen=True)
+class CommittedDelta:
+    """One record of a session's committed-delta changefeed.
+
+    ``sequence`` numbers are assigned under the session lock, start at 1, and
+    increase by exactly 1 per record — a subscriber that has seen sequence
+    ``n`` knows it has the complete history up to ``n``.  ``source`` names
+    what committed the changes: ``"commit"`` (a committed transaction) or
+    ``"repair"`` (the mutations of one :meth:`RepairSession.repair` call).
+    ``delta`` replays exactly — ids included — via
+    :func:`repro.graph.delta.replay_delta`.
+    """
+
+    sequence: int
+    source: str
+    delta: GraphDelta
+
+    def replay_onto(self, graph) -> GraphDelta:
+        """Apply this record to a replica graph (exact, id-preserving replay).
+
+        The replica must be at the committed state the previous record left
+        it in (records are a *log*: apply them in sequence order, each
+        exactly once).  For a replica with its own live id space, rebase
+        first: ``rebase_delta(record.delta, replica)``.
+        """
+        return replay_delta(graph, self.delta)
+
+    def __len__(self) -> int:
+        return len(self.delta)
+
+
+__all__ = ["SessionEvents", "RepairEvents", "MaintenanceEvent", "CommitResult",
+           "CommittedDelta"]

@@ -28,7 +28,21 @@ properties).  :meth:`apply` is stage-and-commit in one step.
 
 **Streaming.**  A :class:`~repro.api.SessionEvents` bundle
 (``on_violation`` / ``on_repair_applied`` / ``on_maintenance``) streams
-progress while any of the above runs.
+progress while any of the above runs.  Separately, the **committed-delta
+changefeed** (:meth:`deltas` / :meth:`on_commit`) publishes every change
+that entered the committed history — committed transactions and repair
+mutations — as monotonically sequenced :class:`~repro.api.CommittedDelta`
+records that replay exactly onto a replica.
+
+**Threading.**  A session is safe to share between threads: every public
+operation takes the session's reentrant lock, so stage/commit/rollback/
+repair calls from N threads serialise into *some* interleaving of complete
+operations (a :meth:`transaction` block holds the lock from entry to exit —
+its edits commit or roll back atomically with respect to other threads).
+The changefeed sequence numbers are assigned under the same lock, so the
+feed is a total order over the committed history.  The *graph* object is
+not independently thread-safe: mutate it through the session (or hold
+:meth:`transaction`), never directly from another thread.
 
 Example::
 
@@ -49,6 +63,7 @@ re-detection backends report 0 there because they find work at the next
 
 from __future__ import annotations
 
+import threading
 import warnings
 from contextlib import contextmanager
 from typing import Callable, Iterator
@@ -62,7 +77,12 @@ from repro.repair.violation import Violation
 from repro.rules.grr import GraphRepairingRule, RuleSet
 from repro.api.backend import Repairer, build_backend
 from repro.api.config import RepairConfig
-from repro.api.events import CommitResult, MaintenanceEvent, SessionEvents
+from repro.api.events import (
+    CommitResult,
+    CommittedDelta,
+    MaintenanceEvent,
+    SessionEvents,
+)
 
 
 def _consistency_gate(rules: RuleSet, require: bool) -> None:
@@ -84,12 +104,23 @@ class RepairSession:
     The session repairs **in place**: pass ``graph.copy()`` to keep the
     original.  Use as a context manager (or call :meth:`close`) so the
     backend detaches its index listener from the graph's change feed.
+
+    **Threading contract.**  Every public operation acquires the session's
+    reentrant lock, so a session may be shared between threads: concurrent
+    stage/commit/rollback/repair calls serialise into complete, atomic
+    operations in *some* order (which order is the scheduler's choice — use
+    external coordination when the order matters).  A :meth:`transaction`
+    block holds the lock from entry to exit.  Changefeed callbacks
+    (:meth:`on_commit`) and :class:`SessionEvents` hooks run on the calling
+    thread while the lock is held — keep them fast and never block in them
+    on another thread that needs this session.
     """
 
     def __init__(self, graph: PropertyGraph,
                  rules: RuleSet | list[GraphRepairingRule],
                  config: RepairConfig | None = None,
-                 events: SessionEvents | None = None) -> None:
+                 events: SessionEvents | None = None,
+                 pool=None) -> None:
         self.graph = graph
         self.rules = rules if isinstance(rules, RuleSet) else RuleSet(rules)
         self.config = RepairConfig.from_legacy(config) if config is not None \
@@ -97,12 +128,16 @@ class RepairSession:
         self.events = events
         if self.config.check_consistency or self.config.require_consistency:
             _consistency_gate(self.rules, self.config.require_consistency)
-        self.backend: Repairer = build_backend(self.config, events=events)
+        self.backend: Repairer = build_backend(self.config, events=events,
+                                               pool=pool)
         self.backend.bind(graph, self.rules)
         self._staged: list[GraphDelta] = []
         self._report: RepairReport | None = None
         self._in_transaction = False
         self._closed = False
+        self._lock = threading.RLock()
+        self._feed: list[CommittedDelta] = []
+        self._feed_subscribers: list[Callable[[CommittedDelta], None]] = []
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -114,10 +149,11 @@ class RepairSession:
         Staged, uncommitted edits are left on the graph untouched — call
         :meth:`rollback` first to discard them.
         """
-        if self._closed:
-            return
-        self._closed = True
-        self.backend.close()
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self.backend.close()
 
     @property
     def closed(self) -> bool:
@@ -153,20 +189,23 @@ class RepairSession:
         pending — commit or roll them back first, so the report always
         describes a reconciled graph.
         """
-        self._require_open()
-        self._require_no_transaction("repair")
-        if self._staged:
-            raise SessionStateError(
-                f"{len(self._staged)} staged transaction(s) pending; "
-                "commit() or rollback() before repairing")
-        report = self.backend.run()
-        if self.backend.cumulative_report:
-            self._report = report
-        elif self._report is None:
-            self._report = report
-        else:
-            self._report.absorb(report)
-        return self._report
+        with self._lock:
+            self._require_open()
+            self._require_no_transaction("repair")
+            if self._staged:
+                raise SessionStateError(
+                    f"{len(self._staged)} staged transaction(s) pending; "
+                    "commit() or rollback() before repairing")
+            with recording(self.graph) as recorder:
+                report = self.backend.run()
+            self._publish("repair", recorder.drain())
+            if self.backend.cumulative_report:
+                self._report = report
+            elif self._report is None:
+                self._report = report
+            else:
+                self._report.absorb(report)
+            return self._report
 
     def violations(self) -> list[Violation]:
         """The currently pending violations, in processing order.
@@ -179,9 +218,10 @@ class RepairSession:
         distinction matters.  Illegal inside an open :meth:`transaction`
         (the graph is mid-edit there).
         """
-        self._require_open()
-        self._require_no_transaction("violations")
-        return self.backend.plan()
+        with self._lock:
+            self._require_open()
+            self._require_no_transaction("violations")
+            return self.backend.plan()
 
     @property
     def report(self) -> RepairReport | None:
@@ -208,15 +248,16 @@ class RepairSession:
         are merged and maintained under **one** incremental pass.  Returns
         the recorded delta of this transaction.
         """
-        staged_before = len(self._staged)
-        with self.transaction() as graph:
-            if isinstance(edit, GraphDelta):
-                replay_delta(graph, edit)
-            else:
-                edit(graph)
-        if len(self._staged) > staged_before:
-            return self._staged[-1]
-        return GraphDelta()
+        with self._lock:
+            staged_before = len(self._staged)
+            with self.transaction() as graph:
+                if isinstance(edit, GraphDelta):
+                    replay_delta(graph, edit)
+                else:
+                    edit(graph)
+            if len(self._staged) > staged_before:
+                return self._staged[-1]
+            return GraphDelta()
 
     @contextmanager
     def transaction(self) -> Iterator[PropertyGraph]:
@@ -229,27 +270,30 @@ class RepairSession:
         (the transaction never happened) and the exception propagates.
         Transactions do not nest: two overlapping recorders would capture the
         inner edits twice, so nested entry raises
-        :class:`~repro.exceptions.SessionStateError`.
+        :class:`~repro.exceptions.SessionStateError`.  The session lock is
+        held for the whole block, so the transaction is atomic with respect
+        to every other thread's session operations.
         """
-        self._require_open()
-        if self._in_transaction:
-            raise SessionStateError(
-                "transactions do not nest; finish the open transaction() / "
-                "stage() before starting another")
-        self._in_transaction = True
-        try:
-            with recording(self.graph) as recorder:
-                yield self.graph
-        except BaseException:
-            # recording() has already detached the listener, so the undo
-            # mutations below are not themselves recorded
-            apply_inverse(self.graph, recorder.delta)
-            raise
-        finally:
-            self._in_transaction = False
-        delta = recorder.drain()
-        if delta:
-            self._staged.append(delta)
+        with self._lock:
+            self._require_open()
+            if self._in_transaction:
+                raise SessionStateError(
+                    "transactions do not nest; finish the open transaction() / "
+                    "stage() before starting another")
+            self._in_transaction = True
+            try:
+                with recording(self.graph) as recorder:
+                    yield self.graph
+            except BaseException:
+                # recording() has already detached the listener, so the undo
+                # mutations below are not themselves recorded
+                apply_inverse(self.graph, recorder.delta)
+                raise
+            finally:
+                self._in_transaction = False
+            delta = recorder.drain()
+            if delta:
+                self._staged.append(delta)
 
     @property
     def staged(self) -> int:
@@ -272,17 +316,20 @@ class RepairSession:
         the next :meth:`repair` call.  Backends without incremental state
         (naive, greedy) have nothing to reconcile: their commit reports zero
         passes and the next ``repair()`` re-detects from scratch.
-        Committing with nothing staged is always a no-op (``passes == 0``).
+        Committing with nothing staged is always a no-op (``passes == 0``,
+        nothing published to the changefeed).
         """
-        self._require_open()
-        self._require_no_transaction("commit")
-        merged = self._merge_staged()
-        if not merged:
-            return CommitResult(delta=merged,
-                                maintenance=MaintenanceEvent(source="commit",
-                                                             passes=0))
-        event = self.backend.maintain(merged, source="commit")
-        return CommitResult(delta=merged, maintenance=event)
+        with self._lock:
+            self._require_open()
+            self._require_no_transaction("commit")
+            merged = self._merge_staged()
+            if not merged:
+                return CommitResult(delta=merged,
+                                    maintenance=MaintenanceEvent(source="commit",
+                                                                 passes=0))
+            event = self.backend.maintain(merged, source="commit")
+            self._publish("commit", merged)
+            return CommitResult(delta=merged, maintenance=event)
 
     def rollback(self) -> GraphDelta:
         """Discard every staged transaction.
@@ -292,18 +339,85 @@ class RepairSession:
         state before the first uncommitted :meth:`stage`.  The matcher state
         was never told about the staged edits, so nothing else needs
         repairing.  Returns the inverse delta that was applied.
+
+        Rolled-back edits never reach the changefeed: records are published
+        at commit, so a subscriber only ever sees the committed history.
         """
-        self._require_open()
-        self._require_no_transaction("rollback")
-        merged = self._merge_staged()
-        if not merged:
-            return GraphDelta()
-        return apply_inverse(self.graph, merged)
+        with self._lock:
+            self._require_open()
+            self._require_no_transaction("rollback")
+            merged = self._merge_staged()
+            if not merged:
+                return GraphDelta()
+            return apply_inverse(self.graph, merged)
 
     def apply(self, edit: Callable[[PropertyGraph], object] | GraphDelta) -> CommitResult:
-        """Stage one transaction and commit it immediately."""
-        self.stage(edit)
-        return self.commit()
+        """Stage one transaction and commit it immediately (atomically: the
+        session lock is held across both steps)."""
+        with self._lock:
+            self.stage(edit)
+            return self.commit()
+
+    # ------------------------------------------------------------------
+    # the committed-delta changefeed
+    # ------------------------------------------------------------------
+
+    def _publish(self, source: str, delta: GraphDelta) -> None:
+        """Append one changefeed record and notify subscribers (lock held).
+
+        Empty deltas are not published: a record always carries at least one
+        change.  Subscriber exceptions propagate to the committing caller —
+        after the record is already in the feed, so :meth:`deltas` readers
+        never miss it.
+        """
+        if not delta:
+            return
+        record = CommittedDelta(sequence=len(self._feed) + 1, source=source,
+                                delta=delta)
+        self._feed.append(record)
+        for subscriber in list(self._feed_subscribers):
+            subscriber(record)
+
+    def deltas(self, after: int = 0) -> list[CommittedDelta]:
+        """The committed-delta changefeed records with ``sequence > after``.
+
+        Sequences start at 1 and are dense, so a subscriber polls with the
+        last sequence it has applied and receives exactly the missing tail.
+        Replaying every record (in order, via
+        :meth:`~repro.api.CommittedDelta.replay_onto`) onto a copy of the
+        graph as it was when the session opened reconstructs the current
+        committed state element for element.
+        """
+        with self._lock:
+            self._require_open()
+            if after < 0:
+                raise ValueError(f"after must be >= 0, got {after}")
+            return self._feed[after:]
+
+    def on_commit(self, callback: Callable[[CommittedDelta], None]) -> Callable[[], None]:
+        """Subscribe ``callback`` to the changefeed; returns an unsubscribe.
+
+        The callback runs on the committing thread, under the session lock,
+        once per published record, in sequence order.  It must not mutate
+        this session's graph (ship the delta to a *replica* instead) and
+        should return quickly — every other thread's session operation waits
+        while it runs.
+        """
+        with self._lock:
+            self._require_open()
+            self._feed_subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            with self._lock:
+                if callback in self._feed_subscribers:
+                    self._feed_subscribers.remove(callback)
+        return unsubscribe
+
+    @property
+    def last_sequence(self) -> int:
+        """Sequence number of the newest changefeed record (0 when empty)."""
+        with self._lock:
+            return len(self._feed)
 
 
 def repair_copy(graph: PropertyGraph,

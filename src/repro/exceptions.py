@@ -151,6 +151,25 @@ class SessionStateError(RepairError):
 
 
 # ---------------------------------------------------------------------------
+# Parallel / service layer
+# ---------------------------------------------------------------------------
+
+
+class WorkerPoolError(RepairError):
+    """A persistent worker pool failed (a worker raised, died, or timed out).
+
+    Raised by :class:`repro.parallel.pool.WorkerPool` after the pool has been
+    shut down — a pool that produced this error holds no live worker
+    processes."""
+
+
+class ServiceError(RepairError):
+    """A :class:`repro.service.GraphRepairService` /
+    :class:`repro.service.SessionManager` operation failed (unknown or
+    duplicate session name, unroutable edit, closed service)."""
+
+
+# ---------------------------------------------------------------------------
 # Experiment / dataset layer
 # ---------------------------------------------------------------------------
 

@@ -227,11 +227,12 @@ class GraphDelta:
             for key in ("added_edges", "removed_edges"):
                 if key in rewritten:
                     rewritten[key] = tuple(e(eid) for eid in rewritten[key])
-            if "removed_edge_specs" in rewritten:
-                rewritten["removed_edge_specs"] = tuple(
-                    {**spec, "id": e(spec["id"]), "source": n(spec["source"]),
-                     "target": n(spec["target"])}
-                    for spec in rewritten["removed_edge_specs"])
+            for key in ("removed_edge_specs", "added_edge_specs"):
+                if key in rewritten:
+                    rewritten[key] = tuple(
+                        {**spec, "id": e(spec["id"]), "source": n(spec["source"]),
+                         "target": n(spec["target"])}
+                        for spec in rewritten[key])
             return rewritten
 
         remapped = GraphDelta()
@@ -354,13 +355,42 @@ def apply_inverse(graph, delta: GraphDelta) -> GraphDelta:
     return recorder.drain()
 
 
+def _replay_merge_exactly(graph, change: GraphChange) -> None:
+    """Replay one ``MERGE_NODES`` change element-for-element.
+
+    The recorded outcome — which edges were removed, which replacement edges
+    were created (and with which ids), and the kept node's merged property
+    map — is re-executed directly instead of re-running ``merge_nodes``.
+    Exactness is what lets a changefeed subscriber reconstruct a replica that
+    is id-identical to the publisher, and what lets a later change of the
+    same log refer to a replacement edge by id.
+    """
+    details = change.details
+    graph.remove_node(details["merged"])  # removes its incident edges too
+    # edges incident to the *kept* node were detached by the merge as well;
+    # remove any the node removal did not already take with it
+    for spec in details["removed_edge_specs"]:
+        if graph.has_edge(spec["id"]):
+            graph.remove_edge(spec["id"])
+    for spec in details["added_edge_specs"]:
+        graph.add_edge(spec["source"], spec["target"], spec["label"],
+                       spec["properties"], edge_id=spec["id"])
+    _restore_properties(graph.update_node, change.node_id,
+                        details["keep_properties_after"],
+                        details["keep_properties_before"])
+
+
 def replay_delta(graph, delta: GraphDelta) -> GraphDelta:
     """Re-apply a recorded ``delta`` to ``graph`` (oldest change first).
 
     Additions, removals, updates, and relabels replay exactly (ids included).
-    ``MERGE_NODES`` replays *semantically* — the merge is re-executed, so
-    redirected-edge ids may differ from the original run.  Returns the delta
-    recorded while replaying.
+    ``MERGE_NODES`` also replays exactly — removed edges, replacement-edge
+    ids, and the merged property map are re-executed from the recorded
+    outcome — when the change carries the full outcome snapshots
+    (``added_edge_specs`` / ``keep_properties_after``); a change recorded
+    without them (e.g. built by hand) falls back to *semantic* replay, where
+    the merge re-executes and redirected-edge ids may differ from the
+    original run.  Returns the delta recorded while replaying.
     """
     with recording(graph) as recorder:
         for change in delta.changes:
@@ -389,12 +419,16 @@ def replay_delta(graph, delta: GraphDelta) -> GraphDelta:
                 elif kind is ChangeKind.RELABEL_EDGE:
                     graph.relabel_edge(change.edge_id, details["after"])
                 elif kind is ChangeKind.MERGE_NODES:
-                    graph.merge_nodes(
-                        change.node_id, details["merged"],
-                        prefer_kept_properties=details.get(
-                            "prefer_kept_properties", True),
-                        drop_duplicate_edges=details.get(
-                            "drop_duplicate_edges", True))
+                    if "added_edge_specs" in details \
+                            and "keep_properties_after" in details:
+                        _replay_merge_exactly(graph, change)
+                    else:
+                        graph.merge_nodes(
+                            change.node_id, details["merged"],
+                            prefer_kept_properties=details.get(
+                                "prefer_kept_properties", True),
+                            drop_duplicate_edges=details.get(
+                                "drop_duplicate_edges", True))
                 else:  # pragma: no cover - exhaustive over ChangeKind
                     raise ValueError(f"unknown change kind {kind!r}")
             except KeyError as exc:

@@ -518,6 +518,8 @@ class PropertyGraph:
         else:
             keep.properties = merge_properties(keep.properties, merge.properties,
                                                overwrite=True)
+        added_specs = tuple(_edge_spec(self._edges[edge_id])
+                            for edge_id in added_edges)
 
         del self._nodes[merge_id]
         del self._out_edges[merge_id]
@@ -531,9 +533,11 @@ class PropertyGraph:
                                         "merged_label": merge.label,
                                         "merged_properties": merged_properties,
                                         "keep_properties_before": keep_properties_before,
+                                        "keep_properties_after": dict(keep.properties),
                                         "prefer_kept_properties": prefer_kept_properties,
                                         "drop_duplicate_edges": drop_duplicate_edges,
                                         "added_edges": tuple(added_edges),
+                                        "added_edge_specs": added_specs,
                                         "removed_edges": tuple(removed_edges),
                                         "removed_edge_specs": tuple(removed_specs)}))
         return keep

@@ -255,38 +255,87 @@ class VF2Matcher:
     def _backtrack(self, profile: _PatternProfile, order: list[str], depth: int,
                    assignment: dict[str, str], used_nodes: set[str],
                    deadline: float | None) -> Iterator[Match]:
-        # Skip over already-seeded variables at the front of the order.
-        while depth < len(order) and order[depth] in assignment:
-            depth += 1
-        if deadline is not None and time.perf_counter() > deadline:
-            raise MatchTimeout(self.time_budget or 0.0)
-        if depth == len(order):
-            yield from self._bind_edge_variables(profile, assignment)
-            return
+        """Depth-first search over the variable order, as an explicit-stack
+        loop.
 
-        variable = order[depth]
-        pattern_node = profile.node_variables[variable]
+        One generator frame drives the whole search (the recursive
+        formulation stacked one generator frame per bound variable, and
+        every yielded match bubbled through all of them — measured at ~40%
+        of matcher time at E2 scale 800).  Each stack entry is one
+        variable's in-progress candidate iteration:
+        ``[depth, variable, candidate_iterator, derived_from, bound_node]``;
+        advancing a frame binds the next viable candidate and pushes the
+        next variable's frame, exhausting it unbinds and pops.  Candidate
+        derivation, constraint checks, counter semantics, and match order
+        are identical to the recursive version (pinned by the matcher and
+        property-based suites).
+        """
+        total = len(order)
         stats = self.stats
         graph_node = self.graph.node
-        candidates, derived_from = self._candidates_for(profile, variable, assignment)
-        for node_id in candidates:
-            if node_id in used_nodes:
-                continue
-            stats.nodes_tried += 1
-            if not pattern_node.matches(graph_node(node_id)):
-                continue
-            if not self._edges_to_bound_satisfied(profile, variable, node_id,
-                                                  assignment, skip=derived_from):
-                continue
-            assignment[variable] = node_id
-            used_nodes.add(node_id)
-            if self._node_comparisons_satisfiable(profile, variable, assignment):
-                yield from self._backtrack(profile, order, depth + 1, assignment,
-                                           used_nodes, deadline)
-            else:
-                stats.backtracks += 1
-            del assignment[variable]
-            used_nodes.discard(node_id)
+        node_variables = profile.node_variables
+        time_budget = deadline is not None
+
+        def open_frame(depth: int) -> list | None:
+            """A fresh frame for the next unbound variable at/after ``depth``
+            — or ``None`` when every variable is bound (a complete node
+            assignment)."""
+            # Skip over already-seeded variables at the front of the order.
+            while depth < total and order[depth] in assignment:
+                depth += 1
+            if time_budget and time.perf_counter() > deadline:
+                raise MatchTimeout(self.time_budget or 0.0)
+            if depth == total:
+                return None
+            variable = order[depth]
+            candidates, derived_from = self._candidates_for(profile, variable,
+                                                            assignment)
+            return [depth, variable, iter(candidates), derived_from, None]
+
+        frame = open_frame(depth)
+        if frame is None:
+            yield from self._bind_edge_variables(profile, assignment)
+            return
+        stack: list[list] = [frame]
+        while stack:
+            frame = stack[-1]
+            _, variable, candidates, derived_from, bound = frame
+            if bound is not None:
+                # back from the subtree under the previous candidate
+                del assignment[variable]
+                used_nodes.discard(bound)
+                frame[4] = None
+            pattern_node = node_variables[variable]
+            advanced = False
+            for node_id in candidates:
+                if node_id in used_nodes:
+                    continue
+                stats.nodes_tried += 1
+                if not pattern_node.matches(graph_node(node_id)):
+                    continue
+                if not self._edges_to_bound_satisfied(profile, variable, node_id,
+                                                      assignment,
+                                                      skip=derived_from):
+                    continue
+                assignment[variable] = node_id
+                used_nodes.add(node_id)
+                if not self._node_comparisons_satisfiable(profile, variable,
+                                                          assignment):
+                    stats.backtracks += 1
+                    del assignment[variable]
+                    used_nodes.discard(node_id)
+                    continue
+                frame[4] = node_id
+                child = open_frame(frame[0] + 1)
+                if child is None:
+                    # complete node assignment: emit, then resume this frame
+                    yield from self._bind_edge_variables(profile, assignment)
+                else:
+                    stack.append(child)
+                advanced = True
+                break
+            if not advanced:
+                stack.pop()
 
     def _candidates_for(self, profile: _PatternProfile, variable: str,
                         assignment: dict[str, str]):

@@ -20,6 +20,8 @@ equivalence guarantees.
 
 from repro.parallel.backend import FanoutReport, ShardedRepairer
 from repro.parallel.merge import AcceptedRepair, DeltaMerger, MergeOutcome
+from repro.parallel.pool import PoolStats, WorkerPool
+from repro.parallel.replica import DeltaProjection, project_delta
 from repro.parallel.partition import (
     Shard,
     ShardPlan,
@@ -29,6 +31,7 @@ from repro.parallel.partition import (
 from repro.parallel.worker import (
     ShardResult,
     ShardTask,
+    ShardWorkerState,
     execute_tasks,
     run_shard_task,
     shard_from_payload,
@@ -38,6 +41,11 @@ from repro.parallel.worker import (
 __all__ = [
     "ShardedRepairer",
     "FanoutReport",
+    "WorkerPool",
+    "PoolStats",
+    "DeltaProjection",
+    "project_delta",
+    "ShardWorkerState",
     "DeltaMerger",
     "MergeOutcome",
     "AcceptedRepair",

@@ -32,13 +32,15 @@ the fan-out entirely and behave exactly like the fast backend.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 
-from repro.graph.delta import GraphDelta
+from repro.graph.delta import GraphDelta, recording
 from repro.graph.property_graph import PropertyGraph
 from repro.matching.vf2 import MatchingStats
 from repro.parallel.merge import DeltaMerger, MergeOutcome
 from repro.parallel.partition import ShardPlan, partition_graph, rule_radius
+from repro.parallel.replica import project_delta
 from repro.parallel.worker import (
     ShardResult,
     ShardTask,
@@ -70,25 +72,85 @@ class FanoutReport:
     conflicts: list[str] = field(default_factory=list)
     shard_violations_detected: int = 0
     shard_elapsed_seconds: float = 0.0
+    # -- warm-pool diagnostics (all zero on the cold path) --------------
+    #: this fan-out went through the persistent pool
+    warm: bool = False
+    #: worker processes spawned during this run (0 after warm-up)
+    pool_spawns: int = 0
+    #: full shard payloads shipped this run (cold binds + staleness rebinds)
+    pool_binds: int = 0
+    #: incremental delta shipments this run
+    pool_ships: int = 0
+    #: shards rebound because a committed delta was not expressible on their
+    #: standing replica
+    stale_rebinds: int = 0
 
     @property
     def ran(self) -> bool:
         return self.shards > 0
 
 
+#: distinguishes pool shard keys of coexisting warm backends (a service
+#: shares one pool between many tenants' backends)
+_BACKEND_SEQUENCE = itertools.count()
+
+
+@dataclass
+class _ReplicaTracker:
+    """Coordinator-side bookkeeping for one standing shard replica."""
+
+    index: int
+    namespace: str
+    key: str
+    core: set[str]
+    #: the replica's current node set (extraction membership + adoptions)
+    nodes: set[str] = field(default_factory=set)
+    bound: bool = False
+    stale: bool = True          # an unbound replica is stale by definition
+    stale_reason: str = "never bound"
+
+
 class ShardedRepairer:
-    """Sharded multi-process repair behind the session's backend seam."""
+    """Sharded multi-process repair behind the session's backend seam.
+
+    Two fan-out modes share the merge/settle machinery:
+
+    * **cold** (default): every ``run()`` spawns a fresh spawn-pool, ships
+      full shard payloads, and throws the workers away — stateless and
+      simple, but spawn + per-shard re-detection dominate repeated calls;
+    * **warm** (``config.warm_pool``): a persistent
+      :class:`~repro.parallel.pool.WorkerPool` holds standing shard replicas
+      across calls; committed deltas (session commits, merged repairs,
+      settle repairs) are projected per shard and shipped
+      (:mod:`repro.parallel.replica`), so worker detection is incremental
+      and nothing is spawned after warm-up.  A shard whose replica cannot
+      express a committed delta is rebound from a fresh extraction.
+
+    The pool may be supplied (a service sharing one pool across tenants) or
+    is created lazily and owned — an owned pool is closed with the backend,
+    so a session ``close()`` never leaks worker processes.
+    """
 
     name = "sharded"
     cumulative_report = True
 
-    def __init__(self, config, events=None) -> None:
+    def __init__(self, config, events=None, pool=None) -> None:
         self.config = config
         self.events = events
         self.core: FastRepairCore | None = None
         self.last_fanout = FanoutReport()
+        self.pool = pool
+        self._owns_pool = False
         self._graph: PropertyGraph | None = None
         self._rules: RuleSet | None = None
+        self._key_prefix = f"b{next(_BACKEND_SEQUENCE)}"
+        self._warm_plan: ShardPlan | None = None
+        self._warm_degraded = False
+        self._replicas: dict[int, _ReplicaTracker] = {}
+        self._unshipped: list[GraphDelta] = []
+        #: pool generation the replicas were bound under; a mismatch means
+        #: the pool restarted (failure recovery) and every replica is gone
+        self._pool_generation = -1
 
     # ------------------------------------------------------------------
     # Repairer protocol
@@ -109,7 +171,22 @@ class ShardedRepairer:
             return ExecutionOutcome(applied=False, error="violation is obsolete")
         return self.core.execute(violation)
 
+    def _track_unshipped(self, delta: GraphDelta) -> None:
+        """Queue a committed primary delta for the standing replicas.
+
+        Only once replicas actually stand (a warm plan exists) and the
+        backend has not permanently degraded — before the first fan-out the
+        binds extract the then-current graph anyway, and a degraded backend
+        will never ship, so accumulating would leak without bound.
+        """
+        if delta and self._warm_plan is not None and not self._warm_degraded:
+            self._unshipped.append(delta)
+
     def maintain(self, delta: GraphDelta, source: str = "commit") -> MaintenanceEvent:
+        if self.config.warm_pool:
+            # committed external edits must reach the standing replicas too;
+            # shipped (projected per shard) before the next warm fan-out
+            self._track_unshipped(delta)
         return self.core.maintain(delta, source=source)
 
     def stats(self) -> MatchingStats:
@@ -118,6 +195,9 @@ class ShardedRepairer:
     def close(self) -> None:
         if self.core is not None:
             self.core.close()
+        if self._owns_pool and self.pool is not None:
+            self.pool.close()
+            self.pool = None
 
     # ------------------------------------------------------------------
     # the fan-out / fan-in run
@@ -125,12 +205,28 @@ class ShardedRepairer:
 
     def run(self) -> RepairReport:
         self.last_fanout = FanoutReport()
+        if self.config.warm_pool:
+            return self._run_warm()
         if self._should_fan_out():
             self._fan_out()
         # settle: frontier violations, conflict-rejected repairs, and
         # anything the merge pass discovered — or the entire workload when
         # the fan-out was skipped (graceful single-worker degradation)
         self.core.drain()
+        return self.core.finalize()
+
+    def _run_warm(self) -> RepairReport:
+        """One warm repair pass: ship → fan out → merge → settle.
+
+        Every primary mutation of this run — merge replays and settle
+        repairs — is recorded and queued for the replicas, so the *next*
+        call's shard detection starts from exactly this call's outcome.
+        """
+        with recording(self._graph) as recorder:
+            if self._should_fan_out_warm():
+                self._fan_out_warm()
+            self.core.drain()
+        self._track_unshipped(recorder.drain())
         return self.core.finalize()
 
     def _should_fan_out(self) -> bool:
@@ -146,6 +242,187 @@ class ShardedRepairer:
         if self._graph.num_nodes < config.min_partition_nodes:
             return False
         return self.core.has_pending()
+
+    # ------------------------------------------------------------------
+    # the warm path
+    # ------------------------------------------------------------------
+
+    def _should_fan_out_warm(self) -> bool:
+        if self._warm_degraded:
+            return False
+        config = self.config
+        if config.workers <= 1 or (config.shard_count or config.workers) <= 1 \
+                or config.max_repairs is not None:
+            # same viability rules as the cold path (see _should_fan_out),
+            # but permanent: the config cannot change over a backend's life
+            self._warm_degraded = True
+            return False
+        if self._warm_plan is None \
+                and self._graph.num_nodes < config.min_partition_nodes:
+            # too small to be worth partitioning; once replicas stand, they
+            # keep serving even if the graph later shrinks below the floor
+            self._warm_degraded = True
+            return False
+        return self.core.has_pending()
+
+    def _ensure_pool(self):
+        if self.pool is None:
+            from repro.parallel.pool import WorkerPool
+
+            self.pool = WorkerPool(self.config.workers,
+                                   inline=self.config.parallel_inline)
+            self._owns_pool = True
+        return self.pool
+
+    def _ensure_warm_plan(self) -> ShardPlan | None:
+        if self._warm_plan is not None:
+            return self._warm_plan
+        config = self.config
+        shard_count = config.shard_count or config.workers
+        radius = config.shard_radius if config.shard_radius is not None \
+            else rule_radius(self._rules)
+        plan = partition_graph(self._graph, shard_count, radius)
+        if len(plan) <= 1:
+            # one shard would just serialise through a worker; stay on the
+            # plain drain for the backend's lifetime
+            self._warm_degraded = True
+            return None
+        self._warm_plan = plan
+        for shard in plan.shards:
+            self._replicas[shard.index] = _ReplicaTracker(
+                index=shard.index, namespace=shard.namespace,
+                key=f"{self._key_prefix}:{shard.index}",
+                core=set(shard.core))
+        return plan
+
+    def _halo_intact(self, tracker: _ReplicaTracker, radius: int,
+                     projection) -> bool:
+        """Whether the replica's node set still covers the core's full
+        ``radius``-neighbourhood on the *current* primary graph.
+
+        Edge additions between two replica members can shorten primary
+        distances, pulling nodes that were beyond the radius at extraction
+        time inside it; such nodes are absent from the replica, so shard
+        decisions about core-bound matches could silently diverge.  Checked
+        against the candidate membership *after* the projection (adoptions
+        and removals applied).
+        """
+        members = (set(tracker.nodes) | projection.adopted_nodes) \
+            - projection.removed_nodes
+        core = {node_id for node_id in tracker.core
+                if self._graph.has_node(node_id)}
+        return self._graph.neighborhood(core, hops=radius) <= members
+
+    def _rebind_payload(self, tracker: _ReplicaTracker,
+                        radius: int) -> tuple[dict, frozenset[str]]:
+        """A fresh working-copy payload for one replica, against the *current*
+        graph: surviving core nodes plus a freshly computed radius halo."""
+        graph = self._graph
+        core = {node_id for node_id in tracker.core if graph.has_node(node_id)}
+        tracker.core = core
+        halo = graph.neighborhood(core, hops=radius) - core
+        tracker.nodes = core | halo
+        working = graph.subgraph(tracker.nodes,
+                                 name=f"{graph.name}-{tracker.namespace}",
+                                 id_namespace=tracker.namespace)
+        return shard_payload(working), frozenset(core)
+
+    def _fan_out_warm(self) -> None:
+        config = self.config
+        pool = self._ensure_pool()
+        plan = self._ensure_warm_plan()
+        if plan is None:
+            return
+
+        fanout = self.last_fanout
+        fanout.warm = True
+        fanout.shards = len(plan)
+        fanout.radius = plan.radius
+        fanout.workers = config.workers
+        fanout.used_processes = not config.parallel_inline
+        fanout.cut_edges = plan.cut_edges
+        fanout.halo_fraction = plan.halo_fraction
+        stats_before = pool.stats.as_dict()
+
+        # 0. a pool restart (failure recovery, or a shared pool another
+        #    tenant's error shut down) discards every standing replica
+        generation = pool.start()
+        if generation != self._pool_generation:
+            if self._pool_generation >= 0:
+                for tracker in self._replicas.values():
+                    tracker.stale = True
+                    tracker.stale_reason = "pool restarted"
+            self._pool_generation = generation
+
+        # 1. bring every standing replica up to the committed state: project
+        #    the accumulated primary deltas per shard, ship the expressible
+        #    ones (one barrier, parallel across workers), rebind the stale
+        #    ones from a fresh extraction
+        pending = GraphDelta()
+        for delta in self._unshipped:
+            pending.extend(delta.changes)
+        self._unshipped.clear()
+        worker_config = self.config.to_fast_config()
+        ships: list[tuple[str, GraphDelta]] = []
+        shipped_by_key: dict[str, "_ReplicaTracker"] = {}
+        with self.core.report.timings.measure("shard-ship"):
+            for tracker in self._replicas.values():
+                if not (tracker.bound and not tracker.stale and pending):
+                    continue
+                projection = project_delta(pending, tracker.nodes)
+                if projection.stale:
+                    tracker.stale = True
+                    tracker.stale_reason = projection.reason
+                    continue
+                if not projection.shipped:
+                    continue
+                if projection.shipped.added_edge_ids \
+                        and not self._halo_intact(tracker, plan.radius,
+                                                  projection):
+                    # new member-member edges can shorten distances and pull
+                    # previously-outside structure inside the rule radius —
+                    # the replica would silently miss it, so rebind instead
+                    tracker.stale = True
+                    tracker.stale_reason = ("added edge shrank distances: "
+                                            "halo no longer covers the "
+                                            "core's radius-neighbourhood")
+                    continue
+                ships.append((tracker.key, projection.shipped))
+                shipped_by_key[tracker.key] = tracker
+                projection.apply_membership(tracker.nodes)
+            for key, applied in pool.ship_all(ships).items():
+                if not applied:  # the worker dropped a diverged replica
+                    tracker = shipped_by_key[key]
+                    tracker.stale = True
+                    tracker.stale_reason = "worker reported divergence"
+        binds: list[tuple] = []
+        for tracker in self._replicas.values():
+            if tracker.stale:
+                if tracker.bound:
+                    fanout.stale_rebinds += 1
+                payload, core = self._rebind_payload(tracker, plan.radius)
+                binds.append((tracker.key, payload, tracker.namespace,
+                              core, self._rules, worker_config))
+        with self.core.report.timings.measure("shard-bind"):
+            pool.bind_all(binds)
+        for tracker in self._replicas.values():
+            tracker.bound = True
+            tracker.stale = False
+            tracker.stale_reason = ""
+
+        # 2. one repair barrier over every shard (propose-then-revert on the
+        #    workers), then the shared fan-in commits the survivors here
+        trackers = sorted(self._replicas.values(), key=lambda t: t.index)
+        with self.core.report.timings.measure("shard-fanout"):
+            results = pool.repair([tracker.key for tracker in trackers])
+        for tracker, result in zip(trackers, results):
+            result.shard_index = tracker.index
+        stats_after = pool.stats.as_dict()
+        fanout.pool_spawns = stats_after["spawns"] - stats_before["spawns"]
+        fanout.pool_binds = stats_after["binds"] - stats_before["binds"]
+        fanout.pool_ships = stats_after["deltas_shipped"] \
+            - stats_before["deltas_shipped"]
+        self._fan_in(results)
 
     def _fan_out(self) -> None:
         config = self.config

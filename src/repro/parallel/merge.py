@@ -186,10 +186,15 @@ class DeltaMerger:
     def _chain_merge_edges(chained: GraphDelta, replayed: GraphDelta,
                            edge_chain: dict[str, str]) -> None:
         """Patch the id chain with the replacement-edge ids ``MERGE_NODES``
-        actually produced on the primary (semantic replay re-generates them).
+        actually produced on the primary.
 
-        ``replay_delta`` executes the chained changes one-to-one, so the two
-        change lists align positionally.
+        With full outcome snapshots (``added_edge_specs``) the replay is
+        *exact*: the rebased replacement-edge ids are created verbatim, the
+        replayed recording contains no ``MERGE_NODES`` changes (the merge is
+        re-executed as its elementary outcome), and there is nothing to patch
+        — this loop finds no pairs.  For snapshot-less merges (hand-built
+        changes) the replay is semantic and one-to-one, the lists align
+        positionally, and the re-generated ids are patched in here.
         """
         for original, actual in zip(chained.changes, replayed.changes):
             if original.kind is not ChangeKind.MERGE_NODES \

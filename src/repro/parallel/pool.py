@@ -1,0 +1,369 @@
+"""The persistent worker pool: warm shard workers across repair calls.
+
+The cold fan-out (:func:`repro.parallel.worker.execute_tasks`) spawns a
+fresh process pool per ``run()`` and ships every shard's full working copy
+each time — spawn cost plus a complete per-shard re-detection dominate the
+fan-out on anything but huge graphs (measured in the ``sharded-kg``
+scenario).  A :class:`WorkerPool` amortises both:
+
+* worker **processes** are spawned once (lazily, at the first bind) and stay
+  alive until :meth:`close` — after warm-up a repair call spawns nothing;
+* each worker holds **standing shard replicas**
+  (:class:`~repro.parallel.worker.ShardWorkerState`): graph, candidate
+  index, match stores, and violation queue survive between calls, and the
+  coordinator ships *committed deltas* instead of full payloads, so shard
+  detection is incremental.
+
+The protocol has three commands, each acknowledged by the worker:
+
+* ``bind(key, ...)`` — build (or rebuild) one standing replica from a full
+  payload; the expensive path, paid once per shard plus once per staleness;
+* ``ship(key, delta)`` — replay one projected committed delta into the
+  replica and its matcher state (one incremental pass).  A worker that
+  cannot replay the delta (replica divergence) drops the replica and
+  answers *stale* instead of failing the pool: the coordinator rebinds;
+* ``repair(key)`` — one propose-then-revert repair pass (see
+  :class:`ShardWorkerState`); returns the proposed repairs.
+
+Shards are pinned to workers round-robin at first bind, so a shard's
+replica state always lives where its commands are routed.  Commands to
+different workers run concurrently; the coordinator dispatches a batch and
+then collects every acknowledgement, so a batch is a deterministic barrier.
+
+Failure behaviour is strict: a worker error (raised exception, dead
+process, reply timeout) raises :class:`~repro.exceptions.WorkerPoolError`
+**after the pool has been shut down** — no orphaned processes outlive a
+failure, which is what lets callers context-manage repairs without leak
+tracking.  ``inline=True`` runs the identical state machine in-process (no
+spawn, same replicas, same replies) for tests and single-CPU hosts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+import traceback
+from dataclasses import dataclass
+
+from repro.exceptions import WorkerPoolError
+from repro.graph.delta import GraphDelta
+from repro.parallel.worker import ShardResult, ShardWorkerState
+
+#: how long the coordinator waits for one reply poll before re-checking
+#: worker liveness (seconds)
+_POLL_INTERVAL = 0.25
+#: hard per-batch reply deadline with live workers (seconds); generous —
+#: a bind does a full shard detection
+_REPLY_TIMEOUT = 600.0
+
+
+@dataclass
+class PoolStats:
+    """Warm-pool overhead counters (deterministic; asserted by the
+    ``service-kg`` benchmark: ``spawns`` must stop growing after warm-up)."""
+
+    #: worker processes spawned over the pool's lifetime
+    spawns: int = 0
+    #: full shard payloads shipped (cold binds + staleness rebinds)
+    binds: int = 0
+    #: incremental committed-delta shipments
+    deltas_shipped: int = 0
+    #: individual shard repair commands executed
+    shard_repairs: int = 0
+    #: pool-level repair barriers (one per coordinator fan-out)
+    repair_calls: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"spawns": self.spawns, "binds": self.binds,
+                "deltas_shipped": self.deltas_shipped,
+                "shard_repairs": self.shard_repairs,
+                "repair_calls": self.repair_calls}
+
+
+def _handle_command(states: dict, message: tuple) -> tuple[str, object]:
+    """Execute one coordinator command against a worker's replica states.
+
+    The one implementation shared by the spawned worker loop and the inline
+    executor — both modes run byte-identical shard logic.  Returns the reply
+    ``(status, payload)``.
+    """
+    command, key = message[0], message[1]
+    if command == "bind":
+        payload, namespace, core, rules, config = message[2:]
+        previous = states.pop(key, None)
+        if previous is not None:
+            previous.close()
+        states[key] = ShardWorkerState(payload, namespace, core, rules, config)
+        return "ok", None
+    if command == "ship":
+        delta = message[2]
+        state = states[key]
+        try:
+            return "ok", state.ship(delta)
+        except Exception as exc:  # divergence: drop the replica, ask to rebind
+            states.pop(key, None)
+            state.close()
+            return "stale", f"{type(exc).__name__}: {exc}"
+    if command == "repair":
+        return "ok", states[key].repair()
+    raise ValueError(f"unknown pool command {command!r}")
+
+
+def _pool_worker_main(task_queue, result_queue) -> None:
+    """Entry point of one spawned pool worker (top-level: spawn-picklable)."""
+    states: dict[str, ShardWorkerState] = {}
+    while True:
+        message = task_queue.get()
+        if message[0] == "stop":
+            break
+        key = message[1]
+        try:
+            status, payload = _handle_command(states, message)
+            result_queue.put((key, status, payload))
+        except BaseException:
+            result_queue.put((key, "error", traceback.format_exc()))
+    for state in states.values():
+        state.close()
+
+
+class WorkerPool:
+    """A persistent pool of warm shard workers (see module docstring).
+
+    Thread safety: every public command serialises on the pool's internal
+    lock, so coordinators on different threads (a service's tenants
+    repairing concurrently) interleave whole *barriers*, never individual
+    replies.  Shard state stays correct because each shard key is pinned to
+    one worker and one owning backend.
+
+    Failure and recovery: a worker error shuts the pool down and raises
+    :class:`WorkerPoolError` to the command that observed it.  The pool is
+    **reopenable**: the next command after a close starts a fresh
+    *generation* of workers (``generation`` increments; all standing
+    replicas are gone, so coordinators that cached binds must rebind when
+    they see the generation change).  A transient worker death therefore
+    fails one repair call, not the pool's owner for good.
+    """
+
+    def __init__(self, workers: int, inline: bool = False) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.inline = inline
+        self.stats = PoolStats()
+        #: bumped at every (re)start; replicas bound under an older
+        #: generation no longer exist
+        self.generation = 0
+        self._lock = threading.RLock()
+        self._context = multiprocessing.get_context("spawn")
+        self._processes: list = []
+        self._task_queues: list = []
+        self._result_queue = None
+        self._assignment: dict[str, int] = {}
+        self._next_worker = 0
+        self._inline_states: dict[str, ShardWorkerState] = {}
+        self._closed = False
+        self._generation_open = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._generation_open
+
+    def start(self) -> int:
+        """Ensure the pool is running (reopening it if closed) and return
+        the current generation — coordinators compare it against the
+        generation their replicas were bound under."""
+        with self._lock:
+            self._ensure_started()
+            return self.generation
+
+    def _ensure_started(self) -> None:
+        if self._closed:
+            # reopen: a fresh generation, no replicas carried over
+            self._closed = False
+        if not self._generation_open:
+            self.generation += 1
+            self._generation_open = True
+        if self.inline or self._processes:
+            return
+        self._result_queue = self._context.Queue()
+        for index in range(self.workers):
+            task_queue = self._context.Queue()
+            process = self._context.Process(
+                target=_pool_worker_main,
+                args=(task_queue, self._result_queue),
+                daemon=True,
+                name=f"repro-pool-worker-{index}")
+            process.start()
+            self._task_queues.append(task_queue)
+            self._processes.append(process)
+            self.stats.spawns += 1
+
+    def close(self) -> None:
+        """Shut the pool down: stop (or terminate) every worker process.
+
+        Idempotent, and unconditional — called from error paths too, so it
+        never assumes the workers are still responsive: a worker that does
+        not exit within the grace period is terminated.  A later command
+        *reopens* the pool with fresh workers (see the class docstring).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for task_queue in self._task_queues:
+                try:
+                    task_queue.put(("stop",))
+                except Exception:
+                    pass
+            for process in self._processes:
+                process.join(timeout=2.0)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=2.0)
+            self._processes.clear()
+            self._task_queues.clear()
+            self._result_queue = None
+            for state in self._inline_states.values():
+                state.close()
+            self._inline_states.clear()
+            self._assignment.clear()
+            self._generation_open = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # command dispatch
+    # ------------------------------------------------------------------
+
+    def _worker_for(self, key: str) -> int:
+        worker = self._assignment.get(key)
+        if worker is None:
+            worker = self._next_worker % self.workers
+            self._assignment[key] = worker
+            self._next_worker += 1
+        return worker
+
+    def _fail(self, message: str) -> "WorkerPoolError":
+        self.close()
+        return WorkerPoolError(message)
+
+    def _dispatch(self, commands: list[tuple]) -> dict[str, tuple[str, object]]:
+        """Send a batch of commands and collect every reply (a barrier).
+
+        Replies are keyed by shard key; an ``error`` reply — or a worker
+        dying / timing out before replying — shuts the pool down and raises.
+        """
+        if not commands:
+            return {}
+        if len({message[1] for message in commands}) != len(commands):
+            raise ValueError("one batch may carry at most one command per "
+                             "shard key (replies are keyed by shard)")
+        # a batch is atomic with respect to other coordinator threads: the
+        # shared result queue must only ever carry one batch's replies
+        with self._lock:
+            return self._dispatch_locked(commands)
+
+    def _dispatch_locked(self, commands: list[tuple]) -> dict[str, tuple[str, object]]:
+        self._ensure_started()
+        if self.inline:
+            replies: dict[str, tuple[str, object]] = {}
+            for message in commands:
+                try:
+                    replies[message[1]] = _handle_command(self._inline_states,
+                                                          message)
+                except WorkerPoolError:
+                    raise
+                except Exception as exc:
+                    raise self._fail(
+                        f"inline worker failed on {message[0]!r} for shard "
+                        f"{message[1]!r}: {exc}") from exc
+            return replies
+        for message in commands:
+            self._task_queues[self._worker_for(message[1])].put(message)
+        replies = {}
+        deadline = time.monotonic() + _REPLY_TIMEOUT
+        while len(replies) < len(commands):
+            try:
+                key, status, payload = self._result_queue.get(
+                    timeout=_POLL_INTERVAL)
+            except Exception:
+                dead = [process.name for process in self._processes
+                        if not process.is_alive()]
+                if dead:
+                    raise self._fail(
+                        f"worker(s) {dead} died without replying") from None
+                if time.monotonic() > deadline:
+                    raise self._fail(
+                        f"timed out waiting for {len(commands) - len(replies)}"
+                        " worker replies") from None
+                continue
+            if status == "error":
+                raise self._fail(
+                    f"worker failed for shard {key!r}:\n{payload}")
+            replies[key] = (status, payload)
+        return replies
+
+    # ------------------------------------------------------------------
+    # the warm protocol
+    # ------------------------------------------------------------------
+
+    def bind(self, key: str, payload: dict, namespace: str,
+             core: frozenset[str], rules, config) -> None:
+        """Build (or rebuild) the standing replica for ``key`` (barrier)."""
+        self.bind_all([(key, payload, namespace, core, rules, config)])
+
+    def bind_all(self, binds: list[tuple]) -> None:
+        """Bind several shards in one barrier (parallel across workers)."""
+        if not binds:
+            return
+        with self._lock:
+            self._dispatch([("bind",) + tuple(bind) for bind in binds])
+            self.stats.binds += len(binds)
+
+    def ship(self, key: str, delta: GraphDelta) -> bool:
+        """Ship one projected committed delta to ``key``'s replica.
+
+        Returns ``True`` when the replica applied it, ``False`` when the
+        worker reported the replica stale (dropped) — rebind before the next
+        repair.
+        """
+        return self.ship_all([(key, delta)])[key]
+
+    def ship_all(self, ships: list[tuple[str, GraphDelta]]) -> dict[str, bool]:
+        """Ship several shards' deltas in one barrier (parallel across
+        workers); returns per-key ``True`` (applied) / ``False`` (replica
+        reported stale — rebind before the next repair)."""
+        if not ships:
+            return {}
+        with self._lock:
+            replies = self._dispatch([("ship", key, delta)
+                                      for key, delta in ships])
+            self.stats.deltas_shipped += len(ships)
+        return {key: replies[key][0] == "ok" for key, _delta in ships}
+
+    def repair(self, keys: list[str]) -> list[ShardResult]:
+        """One repair barrier over ``keys``; results in ``keys`` order."""
+        with self._lock:
+            replies = self._dispatch([("repair", key) for key in keys])
+            self.stats.repair_calls += 1
+            self.stats.shard_repairs += len(keys)
+        results = []
+        for key in keys:
+            status, payload = replies[key]
+            if status != "ok":  # pragma: no cover - repair never replies stale
+                raise self._fail(f"unexpected {status!r} reply for {key!r}")
+            results.append(payload)
+        return results

@@ -35,9 +35,16 @@ import multiprocessing
 import time
 from dataclasses import dataclass, field
 
+from repro.graph.delta import GraphDelta, apply_inverse, recording, replay_delta
 from repro.graph.io import graph_from_dict, graph_to_dict
 from repro.graph.property_graph import PropertyGraph
-from repro.repair.fast import AppliedRepair, FastRepairConfig, repair_shard
+from repro.repair.fast import (
+    AppliedRepair,
+    FastRepairConfig,
+    FastRepairCore,
+    make_ownership_filter,
+    repair_shard,
+)
 from repro.rules.grr import RuleSet
 
 
@@ -97,6 +104,77 @@ def run_shard_task(task: ShardTask) -> ShardResult:
         nodes_tried=report.matching_stats.nodes_tried,
         elapsed_seconds=time.perf_counter() - started,
     )
+
+
+class ShardWorkerState:
+    """One standing shard replica inside a warm pool worker.
+
+    Holds the shard's working copy and a persistent
+    :class:`~repro.repair.fast.FastRepairCore` across repair calls — the
+    expensive bind (graph rebuild, index construction, full initial
+    detection) happens once; afterwards the coordinator ships committed
+    primary deltas (:meth:`ship`) and detection stays incremental.
+
+    :meth:`repair` follows a *propose-then-revert* protocol: the worker
+    drains its owned violations, collects the applied repairs, then rolls
+    every local mutation back so the replica returns to the last state the
+    coordinator synced.  Only the coordinator commits: whatever subset of the
+    proposed repairs survives the cross-shard merge comes back — in primary
+    id space — through the next :meth:`ship`, exactly like any other
+    committed change.  The replica therefore never diverges from the
+    primary's slice, whatever the merge rejected.
+    """
+
+    def __init__(self, payload: dict, namespace: str, core: frozenset[str],
+                 rules: RuleSet, config: FastRepairConfig) -> None:
+        self.graph = shard_from_payload(payload, namespace)
+        self.namespace = namespace
+        self.owned = frozenset(core)
+        self.core_state = FastRepairCore(self.graph, rules, config=config)
+
+    def ship(self, delta: GraphDelta) -> int:
+        """Replay one projected primary delta and fold it into the matcher
+        state (one incremental pass).  Returns the number of changes applied.
+
+        ``source="commit"`` maintenance semantics apply: a committed edit may
+        legitimately re-create a violation identity an earlier call handled,
+        and it must become repairable again.
+        """
+        replayed = replay_delta(self.graph, delta)
+        self.core_state.maintain(replayed, source="commit")
+        return len(replayed)
+
+    def repair(self) -> ShardResult:
+        """One propose-then-revert repair pass over the standing replica."""
+        started = time.perf_counter()
+        report = self.core_state.report
+        baseline = (report.violations_detected, report.repairs_applied,
+                    report.repairs_failed, self.core_state.stats.nodes_tried)
+        collected: list[AppliedRepair] = []
+        with recording(self.graph) as recorder:
+            self.core_state.drain(
+                accept=make_ownership_filter(self.graph, self.owned),
+                collector=collected)
+        mutations = recorder.drain()
+        if mutations:
+            # revert *everything* the drain changed — applied repairs and
+            # partial mutations of failed ones alike — and tell the matcher,
+            # requeuing the violations whose repairs were just undone
+            inverse = apply_inverse(self.graph, mutations)
+            self.core_state.maintain(inverse, source="commit")
+        finalized = self.core_state.finalize()
+        return ShardResult(
+            shard_index=-1,
+            repairs=collected,
+            violations_detected=finalized.violations_detected - baseline[0],
+            repairs_applied=finalized.repairs_applied - baseline[1],
+            repairs_failed=finalized.repairs_failed - baseline[2],
+            nodes_tried=finalized.matching_stats.nodes_tried - baseline[3],
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    def close(self) -> None:
+        self.core_state.close()
 
 
 def execute_tasks(tasks: list[ShardTask], workers: int,

@@ -585,6 +585,32 @@ class FastRepairer:
             core.close()
 
 
+def make_ownership_filter(graph: PropertyGraph, owned: frozenset[str]):
+    """The priority-safe shard ownership ``accept`` filter (one
+    implementation shared by :func:`repair_shard` and the warm pool's
+    standing shard workers).
+
+    Accepts violations whose matches bind owned nodes exclusively.  Once a
+    still-valid violation is deferred — not owned, or overlapping an earlier
+    deferral — its region is blocked and every later violation touching that
+    region defers too: a deferred higher-priority repair could invalidate an
+    overlapping lower-priority one, so the worker must not pre-empt the
+    coordinator inside such regions.  Stale queue entries (matches no longer
+    valid) never sterilise their region.
+    """
+    blocked: set[str] = set()
+
+    def accept(violation: Violation) -> bool:
+        region = violation.match.bound_node_ids()
+        if region <= owned and not (region & blocked):
+            return True
+        if violation.match.is_valid(graph):
+            blocked.update(region)
+        return False
+
+    return accept
+
+
 def repair_shard(graph: PropertyGraph, rules: RuleSet,
                  config: FastRepairConfig | None = None,
                  owned_nodes: frozenset[str] | set[str] | None = None,
@@ -616,19 +642,7 @@ def repair_shard(graph: PropertyGraph, rules: RuleSet,
         collected: list[AppliedRepair] = []
         accept = None
         if owned_nodes is not None:
-            owned = frozenset(owned_nodes)
-            blocked: set[str] = set()
-
-            def accept(violation: Violation) -> bool:
-                region = violation.match.bound_node_ids()
-                if region <= owned and not (region & blocked):
-                    return True
-                # only a still-valid match can fire in the sequential order;
-                # stale queue entries must not sterilise their region
-                if violation.match.is_valid(graph):
-                    blocked.update(region)
-                return False
-
+            accept = make_ownership_filter(graph, frozenset(owned_nodes))
         core.drain(accept=accept, collector=collected)
         return collected, core.finalize()
     finally:

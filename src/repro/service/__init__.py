@@ -1,0 +1,21 @@
+"""``repro.service`` — the concurrent multi-session service API.
+
+The package is the deployment-facing layer above :mod:`repro.api`:
+
+* :class:`SessionManager` — a thread-safe registry of named, long-lived
+  :class:`~repro.api.RepairSession` objects;
+* :class:`GraphRepairService` — the façade a long-running process embeds:
+  many tenants served concurrently, partitioned tenants repaired through a
+  shared persistent :class:`~repro.parallel.pool.WorkerPool` (warm shard
+  replicas, committed-delta shipping), staged edits routed to the owning
+  session, and every tenant's committed history exposed as a subscribable
+  changefeed.
+
+See ``docs/SERVICE.md`` for the threading contract, the session lifecycle,
+the changefeed format, and the warm-pool behaviour.
+"""
+
+from repro.service.manager import SessionManager
+from repro.service.service import GraphRepairService
+
+__all__ = ["GraphRepairService", "SessionManager"]

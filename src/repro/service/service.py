@@ -1,0 +1,238 @@
+"""The managed, multi-session repair service façade.
+
+A :class:`GraphRepairService` is what a long-running deployment embeds: it
+owns many named :class:`~repro.api.RepairSession` objects (one per served
+graph — a *tenant*), a single shared :class:`~repro.parallel.pool.WorkerPool`
+that sharded tenants keep warm across repair calls, and the routing glue
+that turns "here is an edit" into "the owning session staged and committed
+it".
+
+Layering: the service only *composes* the public session API — every
+operation lands on a session exactly as a direct caller's would, so a
+service-mediated workload is replayable through bare sessions (and the
+concurrent-equivalence suite pins that).  Concurrency comes from the
+sessions' own locks: N threads hitting N tenants run fully in parallel;
+N threads hitting one tenant serialise on that tenant's session lock alone.
+
+Example::
+
+    from repro.service import GraphRepairService
+
+    with GraphRepairService() as service:
+        service.serve("kg", kg_graph, kg_rules, shards=4)
+        service.serve("movies", movie_graph, movie_rules)
+        service.stage("kg", lambda g: g.add_edge(a, b, "bornIn"))
+        service.commit("kg")
+        reports = service.repair_all()       # deterministic tenant order
+        feed = service.deltas("kg")          # committed-delta changefeed
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.exceptions import ServiceError
+from repro.graph.delta import GraphDelta
+from repro.graph.property_graph import PropertyGraph
+from repro.repair.report import RepairReport
+from repro.rules.grr import GraphRepairingRule, RuleSet
+from repro.api.config import RepairConfig
+from repro.api.events import CommitResult, CommittedDelta, SessionEvents
+from repro.api.session import RepairSession
+from repro.service.manager import SessionManager
+
+
+class GraphRepairService:
+    """Concurrent multi-session repair over many named, partitioned graphs.
+
+    ``pool_workers`` fixes the shared warm pool's process count; the default
+    ``0`` sizes it to the first sharded tenant's ``workers``.
+    ``inline_pool=True`` runs the pool's state machine in-process (no
+    spawned workers — tests, single-CPU hosts).
+    """
+
+    def __init__(self, pool_workers: int = 0, inline_pool: bool = False) -> None:
+        self.sessions = SessionManager()
+        self._pool = None
+        self._pool_workers = pool_workers
+        self._inline_pool = inline_pool
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # serving tenants
+    # ------------------------------------------------------------------
+
+    def serve(self, name: str, graph: PropertyGraph,
+              rules: RuleSet | list[GraphRepairingRule],
+              config: RepairConfig | None = None,
+              events: SessionEvents | None = None,
+              shards: int = 0) -> RepairSession:
+        """Open a named session over ``graph`` and start serving it.
+
+        ``shards=K`` (with no explicit config) serves the graph partitioned:
+        the session runs the warm sharded backend — K rule-radius-aware
+        shards (:mod:`repro.parallel.partition`) with standing replicas in
+        the shared worker pool, committed deltas shipped to the shards that
+        own the edited nodes, and a deterministic cross-shard settle through
+        the :class:`~repro.parallel.merge.DeltaMerger`.  An explicit sharded
+        ``config`` with ``warm_pool=True`` joins the shared pool likewise.
+
+        The session repairs **in place** (pass ``graph.copy()`` to keep the
+        original), exactly like opening it directly.
+        """
+        self._require_open()
+        if shards:
+            if config is not None:
+                raise ServiceError("pass either shards= or an explicit "
+                                   "config, not both")
+            config = RepairConfig.sharded(workers=shards, warm=True,
+                                          parallel_inline=self._inline_pool)
+        pool = None
+        if config is not None and config.backend == "sharded" \
+                and config.warm_pool:
+            pool = self._ensure_pool(config.workers)
+        return self.sessions.open(name, graph, rules, config=config,
+                                  events=events, pool=pool)
+
+    def _ensure_pool(self, workers: int):
+        from repro.parallel.pool import WorkerPool
+
+        with self._lock:
+            if self._pool is None:
+                self._pool = WorkerPool(self._pool_workers or workers,
+                                        inline=self._inline_pool)
+            return self._pool
+
+    def session(self, name: str) -> RepairSession:
+        """The named tenant's session (the full session API, directly)."""
+        return self.sessions.get(name)
+
+    def graph(self, name: str) -> PropertyGraph:
+        return self.sessions.get(name).graph
+
+    def names(self) -> list[str]:
+        return self.sessions.names()
+
+    def stop_serving(self, name: str) -> None:
+        """Close one tenant's session and release its name."""
+        self.sessions.close_session(name)
+
+    # ------------------------------------------------------------------
+    # staged edits (routed to the owning session)
+    # ------------------------------------------------------------------
+
+    def stage(self, name: str, edit) -> GraphDelta:
+        return self.sessions.get(name).stage(edit)
+
+    def commit(self, name: str) -> CommitResult:
+        return self.sessions.get(name).commit()
+
+    def rollback(self, name: str) -> GraphDelta:
+        return self.sessions.get(name).rollback()
+
+    def apply(self, name: str, edit) -> CommitResult:
+        return self.sessions.get(name).apply(edit)
+
+    def route(self, delta: GraphDelta) -> str:
+        """The tenant that owns every pre-existing node ``delta`` touches.
+
+        A recorded delta (e.g. one hop of a replication log) names the nodes
+        it reads and mutates; the owner is the tenant whose graph holds all
+        of them.  Raises :class:`~repro.exceptions.ServiceError` when no
+        tenant qualifies, or when several do (id spaces overlap — route
+        explicitly by name in that deployment).
+        """
+        referenced = delta.touched_nodes - set(delta.added_node_ids)
+        if not referenced:
+            raise ServiceError("the delta references no pre-existing nodes; "
+                               "route it explicitly by tenant name")
+        owners = [name for name in self.sessions.names()
+                  if all(self.sessions.get(name).graph.has_node(node_id)
+                         for node_id in referenced)]
+        if not owners:
+            raise ServiceError("no served graph holds all nodes the delta "
+                               f"references ({sorted(referenced)[:5]} ...)")
+        if len(owners) > 1:
+            raise ServiceError(f"ambiguous delta: tenants {owners} all hold "
+                               "the referenced nodes; route explicitly")
+        return owners[0]
+
+    def apply_routed(self, delta: GraphDelta) -> tuple[str, CommitResult]:
+        """Route a recorded delta to its owning session and apply it there."""
+        name = self.route(delta)
+        return name, self.apply(name, delta)
+
+    # ------------------------------------------------------------------
+    # repairing
+    # ------------------------------------------------------------------
+
+    def repair(self, name: str) -> RepairReport:
+        return self.sessions.get(name).repair()
+
+    def repair_all(self) -> dict[str, RepairReport]:
+        """Repair every tenant, in sorted-name order (deterministic).
+
+        Each tenant's repair is one ordinary session repair — for sharded
+        tenants that is fan-out over the warm pool, merge, and the
+        deterministic cross-shard settle.  Tenants are independent graphs,
+        so the sequential order only fixes *pool scheduling*, never
+        outcomes; callers wanting wall-clock overlap can repair tenants from
+        their own threads instead.
+        """
+        return {name: self.repair(name) for name in self.sessions.names()}
+
+    # ------------------------------------------------------------------
+    # the changefeed
+    # ------------------------------------------------------------------
+
+    def deltas(self, name: str, after: int = 0) -> list[CommittedDelta]:
+        """The named tenant's committed-delta changefeed (see
+        :meth:`RepairSession.deltas`)."""
+        return self.sessions.get(name).deltas(after=after)
+
+    def subscribe(self, name: str, callback) -> "callable":
+        """Subscribe to one tenant's changefeed; returns the unsubscribe."""
+        return self.sessions.get(name).on_commit(callback)
+
+    # ------------------------------------------------------------------
+    # lifecycle / introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def pool(self):
+        """The shared warm pool, or ``None`` before any sharded tenant."""
+        return self._pool
+
+    @property
+    def pool_stats(self) -> dict[str, int]:
+        """The shared pool's overhead counters (zeros before it exists)."""
+        if self._pool is None:
+            return {"spawns": 0, "binds": 0, "deltas_shipped": 0,
+                    "shard_repairs": 0, "repair_calls": 0}
+        return self._pool.stats.as_dict()
+
+    def close(self) -> None:
+        """Close every session, then the shared pool.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.sessions.close()
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ServiceError("the service is closed")
+
+    def __enter__(self) -> "GraphRepairService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
