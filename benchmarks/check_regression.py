@@ -13,6 +13,12 @@ Deterministic work counters (matches enumerated, repairs applied) are also
 compared: a drift there means the *workload* changed and the timing baseline
 should be re-recorded with ``perf_baseline.py`` — reported as a warning so an
 intentional algorithmic change does not hard-fail the gate on counters alone.
+
+Exception: the counters in ``GATED_COUNTER_KEYS`` (warm-pool spawns after
+warm-up, the scale tier's repair count and ``nodes_tried``) hard-fail on any
+drift.  They are the contract that the hot path does the *same work* — a
+change that moves them must re-record the baseline in the same commit, which
+makes every counter shift a deliberate, reviewed event in the trajectory.
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 from perf_baseline import (  # noqa: E402
     COUNTER_KEYS,
     DEFAULT_OUTPUT,
+    GATED_COUNTER_KEYS,
     TIMING_KEYS,
     latest_entry,
     load_trajectory,
@@ -47,10 +54,14 @@ def compare(baseline_results: dict, current_results: dict,
             continue
         for key in COUNTER_KEYS:
             if key in baseline and baseline[key] != current.get(key):
-                warnings.append(
-                    f"{domain}.{key}: workload drift "
-                    f"(baseline {baseline[key]}, current {current.get(key)}) — "
-                    f"re-record the baseline if intentional")
+                message = (f"{domain}.{key}: counter drift "
+                           f"(baseline {baseline[key]}, "
+                           f"current {current.get(key)}) — "
+                           f"re-record the baseline if intentional")
+                if key in GATED_COUNTER_KEYS:
+                    regressions.append(message)
+                else:
+                    warnings.append(message)
         for key in TIMING_KEYS:
             if key not in baseline or key not in current:
                 continue
@@ -94,7 +105,8 @@ def main(argv: list[str] | None = None) -> int:
     for warning in warnings:
         print(f"WARNING: {warning}")
     if regressions:
-        print(f"\nPERF REGRESSION (> {args.threshold:.0%} slower than baseline):")
+        print(f"\nPERF REGRESSION (timing > {args.threshold:.0%} slower than "
+              f"baseline, or gated-counter drift):")
         for regression in regressions:
             print(f"  {regression}")
         return 1

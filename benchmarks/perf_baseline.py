@@ -25,6 +25,14 @@ Measures, for each of the three dataset domains (``kg``, ``movies``,
   ``service_warm_spawns_after_warmup`` must stay 0 (nothing spawns once the
   pool is warm — the whole point), and the warm/cold repair counts must
   agree with each other;
+* the ``scale-kg`` scenario (kg domain only) — the large-graph tier:
+  kg@1500 in quick mode, kg@4000 in full mode, measured once (matching +
+  fast repair wall-clock, the deterministic work counters, and the
+  ``tracemalloc`` peak of a full repair-a-copy run — the memory-footprint
+  trajectory of the slotted graph core).  The work counters are **hard
+  gates** in ``check_regression.py`` (see ``GATED_COUNTER_KEYS``): a drift
+  means the matcher does different work at scale and the baseline must be
+  re-recorded deliberately;
 
 plus the deterministic work counters (repairs applied, violations detected,
 matches enumerated, nodes tried, and the incremental ``maintenance_passes``
@@ -76,19 +84,35 @@ MODES: dict[str, dict[str, Any]] = {
 # varies with host load, and on single-core hosts the scenario measures
 # overhead, not speedup (see docs/PARALLEL.md "when sharding wins").
 TIMING_KEYS = ("match_seconds", "fast_seconds", "naive_seconds",
-               "batched_seconds")
+               "batched_seconds", "scale_match_seconds", "scale_fast_seconds")
 COUNTER_KEYS = ("matches", "fast_repairs_applied", "fast_violations_detected",
-                "naive_repairs_applied", "fast_maintenance_passes",
+                "fast_nodes_tried", "naive_repairs_applied",
+                "fast_maintenance_passes",
                 "batched_maintenance_passes", "sharded_repairs_applied",
                 "sharded_accepted", "sharded_rejected",
                 "service_warm_repairs", "service_cold_repairs",
                 "service_warm_spawns_after_warmup", "service_warm_binds",
-                "service_warm_ships")
+                "service_warm_ships",
+                "scale_matches", "scale_repairs_applied",
+                "scale_violations_detected", "scale_nodes_tried")
+
+# Deterministic counters that HARD-FAIL the regression gate on any drift
+# (instead of warning): the warm pool must never spawn after warm-up, and the
+# scale tier's work counters are the contract that the matcher does the same
+# work on large graphs — an intentional algorithmic change must re-record the
+# baseline in the same commit.
+GATED_COUNTER_KEYS = ("service_warm_spawns_after_warmup",
+                      "scale_repairs_applied", "scale_nodes_tried")
 
 #: the sharded scenario runs only where fan-out has enough work to mean
 #: anything: the kg domain at each mode's scale, 4 workers
 SHARDED_DOMAIN = "kg"
 SHARDED_WORKERS = 4
+
+#: the scale tier runs the kg domain far past the regular grid: large enough
+#: that per-element overhead and index quality dominate, small enough that a
+#: quick-mode run stays interactive
+SCALE_TIERS = {"quick": 1500, "full": 4000}
 
 
 def _best_of(repeats: int, func) -> tuple[float, Any]:
@@ -269,6 +293,56 @@ def measure_service(workload) -> dict[str, Any]:
     }
 
 
+def measure_scale(mode: str, error_rate: float, seed: int) -> dict[str, Any]:
+    """The ``scale-kg`` scenario: the hot path at 10–20× the regular grid.
+
+    Measured once per invocation (the runs are seconds long; repeat noise is
+    small relative to the signal), untraced for wall-clock, then a second
+    repair-a-copy run under ``tracemalloc`` for the peak-memory trajectory
+    (graph copy + candidate index + match stores + queue — the whole
+    session footprint).
+    """
+    import tracemalloc
+
+    scale = SCALE_TIERS[mode]
+    workload = build_workload(SHARDED_DOMAIN, scale=scale,
+                              error_rate=error_rate, seed=seed)
+
+    matcher = Matcher(workload.dirty, MatcherConfig.optimized(),
+                      maintain_index=False)
+    started = time.perf_counter()
+    matches = sum(len(matcher.find_matches(rule.pattern))
+                  for rule in workload.rules)
+    match_seconds = time.perf_counter() - started
+    matcher.close()
+
+    started = time.perf_counter()
+    _, report = repair_copy(workload.dirty, workload.rules,
+                            config=RepairConfig.fast())
+    fast_seconds = time.perf_counter() - started
+
+    tracemalloc.start()
+    repair_copy(workload.dirty, workload.rules, config=RepairConfig.fast())
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    return {
+        "scale_tier": scale,
+        "scale_nodes": workload.dirty.num_nodes,
+        "scale_edges": workload.dirty.num_edges,
+        "scale_match_seconds": round(match_seconds, 4),
+        "scale_fast_seconds": round(fast_seconds, 4),
+        "scale_matches": matches,
+        "scale_repairs_applied": report.repairs_applied,
+        "scale_violations_detected": report.violations_detected,
+        "scale_nodes_tried": report.matching_stats.nodes_tried,
+        "scale_value_bucket_candidates":
+            report.matching_stats.value_bucket_candidates,
+        "scale_reached_fixpoint": report.reached_fixpoint,
+        "scale_tracemalloc_peak_mb": round(peak / (1024 * 1024), 2),
+    }
+
+
 def measure(mode: str) -> dict[str, Any]:
     """All domains' measurements for one mode."""
     grid = MODES[mode]
@@ -276,6 +350,8 @@ def measure(mode: str) -> dict[str, Any]:
     for domain, scale in grid["scales"].items():
         results[domain] = measure_domain(domain, scale, grid["error_rate"],
                                          grid["seed"], grid["repeats"])
+    results[SHARDED_DOMAIN].update(
+        measure_scale(mode, grid["error_rate"], grid["seed"]))
     return results
 
 
@@ -339,6 +415,16 @@ def format_results(results: dict[str, Any]) -> str:
                 f"{row['service_warm_spawns_after_warmup']} after warm-up, "
                 f"{row['service_warm_binds']} binds, "
                 f"{row['service_warm_ships']} ships)")
+        if "scale_tier" in row:
+            lines.append(
+                f"{'':8} scale-{domain}@{row['scale_tier']}: "
+                f"{row['scale_nodes']} nodes / {row['scale_edges']} edges, "
+                f"match {row['scale_match_seconds']:.4f}s, fast "
+                f"{row['scale_fast_seconds']:.4f}s "
+                f"({row['scale_repairs_applied']} repairs, "
+                f"{row['scale_nodes_tried']} nodes tried, "
+                f"{row['scale_value_bucket_candidates']} via value buckets, "
+                f"peak {row['scale_tracemalloc_peak_mb']:.1f} MiB)")
     return "\n".join(lines)
 
 

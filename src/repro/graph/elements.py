@@ -6,6 +6,16 @@ free-form property dictionary.  The records are plain mutable dataclasses; all
 mutation of a graph's elements should nevertheless go through the
 :class:`~repro.graph.property_graph.PropertyGraph` methods so that change
 events are emitted for the incremental machinery.
+
+Scale notes (the graph core is the per-element cost floor of every layer):
+
+* both records are ``slots=True`` dataclasses — no per-instance ``__dict__``,
+  which at 10⁴–10⁵ elements is the difference between the properties dict
+  dominating memory and the bookkeeping dominating it;
+* :meth:`Node.signature` / :meth:`Edge.signature` cache their frozen value in
+  the ``_signature`` slot; the graph's mutation methods invalidate the cache
+  (:meth:`invalidate_signature`), so isomorphism/dedup sweeps stop re-freezing
+  the full property dict per call.
 """
 
 from __future__ import annotations
@@ -30,7 +40,7 @@ def _freeze_value(value: Any) -> Any:
     return value
 
 
-@dataclass
+@dataclass(slots=True)
 class Node:
     """A node of a property graph.
 
@@ -47,6 +57,8 @@ class Node:
     id: NodeId
     label: Label
     properties: Properties = field(default_factory=dict)
+    # cached frozen signature; None = not computed since the last mutation
+    _signature: tuple | None = field(default=None, repr=False, compare=False)
 
     def get(self, key: str, default: Any = None) -> Any:
         return self.properties.get(key, default)
@@ -58,18 +70,31 @@ class Node:
         return Node(id=self.id, label=self.label, properties=dict(self.properties))
 
     def signature(self) -> tuple:
-        """A hashable summary of label + properties (used by isomorphism & dedup)."""
-        return (
-            self.label,
-            tuple(sorted((k, _freeze_value(v)) for k, v in self.properties.items())),
-        )
+        """A hashable summary of label + properties (used by isomorphism & dedup).
+
+        The frozen tuple is cached until the owning graph mutates this node
+        (see :meth:`invalidate_signature`), so repeated signature sweeps stop
+        re-freezing the property dict on every call.
+        """
+        signature = self._signature
+        if signature is None:
+            signature = (
+                self.label,
+                tuple(sorted((k, _freeze_value(v)) for k, v in self.properties.items())),
+            )
+            self._signature = signature
+        return signature
+
+    def invalidate_signature(self) -> None:
+        """Drop the cached signature (called by every label/property mutation)."""
+        self._signature = None
 
     def __repr__(self) -> str:
         props = f" {self.properties}" if self.properties else ""
         return f"Node({self.id}:{self.label}{props})"
 
 
-@dataclass
+@dataclass(slots=True)
 class Edge:
     """A directed edge of a property graph.
 
@@ -90,6 +115,8 @@ class Edge:
     target: NodeId
     label: Label
     properties: Properties = field(default_factory=dict)
+    # cached frozen signature; None = not computed since the last mutation
+    _signature: tuple | None = field(default=None, repr=False, compare=False)
 
     def get(self, key: str, default: Any = None) -> Any:
         return self.properties.get(key, default)
@@ -115,11 +142,22 @@ class Edge:
         raise ValueError(f"node {node_id!r} is not an endpoint of edge {self.id!r}")
 
     def signature(self) -> tuple:
-        """A hashable summary of label + properties (endpoint-independent)."""
-        return (
-            self.label,
-            tuple(sorted((k, _freeze_value(v)) for k, v in self.properties.items())),
-        )
+        """A hashable summary of label + properties (endpoint-independent).
+
+        Cached until the owning graph mutates this edge (see
+        :meth:`invalidate_signature`)."""
+        signature = self._signature
+        if signature is None:
+            signature = (
+                self.label,
+                tuple(sorted((k, _freeze_value(v)) for k, v in self.properties.items())),
+            )
+            self._signature = signature
+        return signature
+
+    def invalidate_signature(self) -> None:
+        """Drop the cached signature (called by every label/property mutation)."""
+        self._signature = None
 
     def __repr__(self) -> str:
         props = f" {self.properties}" if self.properties else ""

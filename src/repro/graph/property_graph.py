@@ -22,6 +22,7 @@ Conversion to/from :mod:`networkx` is provided for interoperability.
 
 from __future__ import annotations
 
+from sys import intern as _intern
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.exceptions import (
@@ -337,6 +338,11 @@ class PropertyGraph:
             if node_id in self._nodes:
                 raise DuplicateElementError(f"node id {node_id!r} already exists")
             self._node_ids.observe(node_id)
+        # Interned ids and labels: both are compared (and hashed) constantly in
+        # the matcher's inner loops and repeat across elements, so pooling them
+        # turns most comparisons into pointer checks and deduplicates storage.
+        node_id = _intern(node_id)
+        label = _intern(label)
         node = Node(id=node_id, label=label, properties=dict(properties or {}))
         self._nodes[node_id] = node
         self._out_edges[node_id] = {}
@@ -361,7 +367,9 @@ class PropertyGraph:
             if edge_id in self._edges:
                 raise DuplicateElementError(f"edge id {edge_id!r} already exists")
             self._edge_ids.observe(edge_id)
-        edge = Edge(id=edge_id, source=source, target=target, label=label,
+        edge_id = _intern(edge_id)
+        edge = Edge(id=edge_id, source=self._nodes[source].id,
+                    target=self._nodes[target].id, label=_intern(label),
                     properties=dict(properties or {}))
         self._edges[edge_id] = edge
         self._attach_edge_to_indexes(edge)
@@ -418,6 +426,7 @@ class PropertyGraph:
             node.properties.pop(key, None)
         if properties:
             node.properties.update(properties)
+        node.invalidate_signature()
         self._emit(GraphChange(kind=ChangeKind.UPDATE_NODE, node_id=node_id,
                                touched_nodes=(node_id,),
                                details={"before": before, "after": dict(node.properties)}))
@@ -432,6 +441,7 @@ class PropertyGraph:
             edge.properties.pop(key, None)
         if properties:
             edge.properties.update(properties)
+        edge.invalidate_signature()
         self._emit(GraphChange(kind=ChangeKind.UPDATE_EDGE, edge_id=edge_id,
                                touched_nodes=(edge.source, edge.target),
                                details={"before": before, "after": dict(edge.properties)}))
@@ -444,7 +454,9 @@ class PropertyGraph:
         if old_label == new_label:
             return node
         self._discard_from_index(self._nodes_by_label, old_label, node_id)
-        node.label = new_label
+        node.label = _intern(new_label)
+        node.invalidate_signature()
+        new_label = node.label
         self._nodes_by_label.setdefault(new_label, set()).add(node_id)
         self._emit(GraphChange(kind=ChangeKind.RELABEL_NODE, node_id=node_id,
                                touched_nodes=(node_id,),
@@ -460,7 +472,9 @@ class PropertyGraph:
         self._discard_from_index(self._edges_by_label, old_label, edge_id)
         self._discard_from_label_bucket(self._out_by_label, edge.source, old_label, edge_id)
         self._discard_from_label_bucket(self._in_by_label, edge.target, old_label, edge_id)
-        edge.label = new_label
+        edge.label = _intern(new_label)
+        edge.invalidate_signature()
+        new_label = edge.label
         self._edges_by_label.setdefault(new_label, set()).add(edge_id)
         self._out_by_label.setdefault((edge.source, new_label), {})[edge_id] = None
         self._in_by_label.setdefault((edge.target, new_label), {})[edge_id] = None
@@ -518,6 +532,7 @@ class PropertyGraph:
         else:
             keep.properties = merge_properties(keep.properties, merge.properties,
                                                overwrite=True)
+        keep.invalidate_signature()
         added_specs = tuple(_edge_spec(self._edges[edge_id])
                             for edge_id in added_edges)
 

@@ -29,7 +29,12 @@ for a fixed seed.
 One :class:`~repro.matching.vf2.VF2Matcher` instance is shared across the
 initial enumeration and every seeded search, so per-pattern search plans are
 compiled once and :class:`~repro.matching.vf2.MatchingStats` accumulate for
-the whole maintenance lifetime (surfaced in the repair report).
+the whole maintenance lifetime (surfaced in the repair report).  The shared
+engine also means every seeded discovery search goes through the same
+predicate-pushdown candidate derivation as full enumeration: value buckets
+registered at :meth:`IncrementalMatcher.register` time keep pruning
+constant-equality failures out of the thousands of seeded searches a repair
+run performs.
 """
 
 from __future__ import annotations
@@ -194,7 +199,14 @@ class IncrementalMatcher:
         incompleteness-semantics rule: its store is additionally kept in a
         pre-filtered list (:meth:`incompleteness_stores`) that the repairers'
         post-delta recheck iterates instead of scanning every store.
+
+        Registration pre-warms the candidate index's value buckets for the
+        pattern's constant-equality pushdowns, so neither the initial
+        enumeration nor the first seeded discovery pays a lazy bucket build
+        mid-search.
         """
+        if self.candidate_index is not None:
+            self.candidate_index.pushdowns(pattern)
         store = MatchStore(pattern=pattern)
         self._stores[pattern.name] = store
         if incompleteness:

@@ -1,18 +1,29 @@
-"""Candidate index: label and neighbourhood signatures for match pruning.
+"""Candidate index: label, signature, and property-value buckets for pruning.
 
 Subgraph matching cost is dominated by how many data nodes are tried per
 pattern variable.  The :class:`CandidateIndex` keeps, per node:
 
-* the node-label bucket it belongs to, and
+* the node-label bucket it belongs to,
 * its *neighbourhood signature* — how many outgoing / incoming edges it has
-  per edge label.
+  per edge label — and
+* on demand, ``(label, key) -> value -> node ids`` **value buckets** for the
+  property keys that patterns constrain with constant equality
+  (predicate-pushdown: see :func:`variable_pushdowns`).
 
-A pattern variable then only needs to consider data nodes whose label matches
-and whose signature dominates the variable's local requirements (e.g. a
+A pattern variable then only needs to consider data nodes whose label matches,
+whose signature dominates the variable's local requirements (e.g. a
 variable with two outgoing ``actedIn`` pattern edges can only bind nodes with
-at least two outgoing ``actedIn`` data edges).  The index is maintained
-incrementally from the graph's change feed, which is what lets the fast
-repairer keep using it across thousands of repairs without rebuilding.
+at least two outgoing ``actedIn`` data edges), and — when the variable carries
+an equality constraint whose right-hand side is known — whose property value
+sits in the matching bucket.  The index is maintained incrementally from the
+graph's change feed, which is what lets the fast repairer keep using it
+across thousands of repairs without rebuilding.
+
+Value buckets are *complete, not exact*: a bucket is guaranteed to contain
+every node whose property equals the probe value, but may contain extras
+(nodes whose stored value is unhashable and therefore cannot be dict-keyed).
+Callers keep their residual predicate/comparison checks, so false positives
+cost a re-check, never a wrong match.
 
 This is one of the three optimisations ablated in experiment E5.
 """
@@ -20,14 +31,124 @@ This is one of the three optimisations ablated in experiment E5.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Iterable
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
 
 from repro.graph.delta import ChangeKind, GraphChange
 from repro.graph.property_graph import PropertyGraph
 from repro.matching.pattern import Pattern, PatternNode
+from repro.matching.predicates import ComparisonOp, PredicateOp
 
 # Shared empty bucket so ``label_bucket`` misses allocate nothing.
 _EMPTY_BUCKET: frozenset = frozenset()
+
+
+def _is_hashable(value: Any) -> bool:
+    try:
+        hash(value)
+    except TypeError:
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class PushdownSpec:
+    """The constant-equality constraints of one pattern variable.
+
+    ``unary`` — ``(key, value)`` pairs from the variable's unary ``EQ``
+    predicates (always applicable, including in :meth:`CandidateIndex.candidates`).
+    ``literal`` — ``(key, value)`` pairs from single-variable literal ``EQ``
+    comparisons (applicable as matcher-side candidate filters; kept separate
+    so ``candidates()`` stays semantically identical to
+    :func:`naive_candidates`).
+    ``dynamic`` — ``(own key, other variable, other key)`` triples from
+    cross-variable ``EQ`` comparisons: once ``other variable`` is bound, its
+    property value turns the comparison into a constant equality predicate
+    that a value bucket can answer.
+    """
+
+    unary: tuple[tuple[str, Any], ...] = ()
+    literal: tuple[tuple[str, Any], ...] = ()
+    dynamic: tuple[tuple[str, str, str], ...] = ()
+
+
+def variable_pushdowns(pattern: Pattern) -> dict[str, PushdownSpec]:
+    """Per-variable constant-equality pushdown specs of ``pattern``.
+
+    Only node variables participate; edge-variable comparisons are left to
+    the edge-binding phase.  Unhashable constants are skipped — they cannot
+    key a bucket.
+    """
+    node_variables = {node.variable for node in pattern.nodes}
+    unary: dict[str, list[tuple[str, Any]]] = {}
+    literal: dict[str, list[tuple[str, Any]]] = {}
+    dynamic: dict[str, list[tuple[str, str, str]]] = {}
+    for node in pattern.nodes:
+        for predicate in node.predicates:
+            if predicate.op is PredicateOp.EQ and _is_hashable(predicate.value):
+                unary.setdefault(node.variable, []).append(
+                    (predicate.key, predicate.value))
+    for comparison in pattern.comparisons:
+        if comparison.op is not ComparisonOp.EQ:
+            continue
+        left_var, left_key = comparison.left
+        if left_var not in node_variables:
+            continue
+        if comparison.right_literal:
+            if _is_hashable(comparison.right_value):
+                literal.setdefault(left_var, []).append(
+                    (left_key, comparison.right_value))
+            continue
+        if comparison.right is None:
+            continue
+        right_var, right_key = comparison.right
+        if right_var not in node_variables or right_var == left_var:
+            continue
+        dynamic.setdefault(left_var, []).append((left_key, right_var, right_key))
+        dynamic.setdefault(right_var, []).append((right_key, left_var, left_key))
+    specs: dict[str, PushdownSpec] = {}
+    for variable in set(unary) | set(literal) | set(dynamic):
+        specs[variable] = PushdownSpec(
+            unary=tuple(unary.get(variable, ())),
+            literal=tuple(literal.get(variable, ())),
+            dynamic=tuple(dynamic.get(variable, ())),
+        )
+    return specs
+
+
+class _ValueIndex:
+    """One ``(label, key)`` value index: hashable values bucketed by equality,
+    unhashable values pooled (they are re-checked by residual predicates)."""
+
+    __slots__ = ("values", "unhashable")
+
+    def __init__(self) -> None:
+        self.values: dict[Any, set[str]] = {}
+        self.unhashable: set[str] = set()
+
+    def add(self, value: Any, node_id: str) -> None:
+        try:
+            bucket = self.values.get(value)
+        except TypeError:
+            self.unhashable.add(node_id)
+            return
+        if bucket is None:
+            bucket = self.values[value] = set()
+        bucket.add(node_id)
+
+    def discard(self, value: Any, node_id: str) -> None:
+        try:
+            bucket = self.values.get(value)
+        except TypeError:
+            self.unhashable.discard(node_id)
+            return
+        if bucket is not None:
+            bucket.discard(node_id)
+            if not bucket:
+                del self.values[value]
+
+    def equal_to(self, other: "_ValueIndex") -> bool:
+        return self.values == other.values and self.unhashable == other.unhashable
 
 
 class CandidateIndex:
@@ -42,6 +163,13 @@ class CandidateIndex:
         # re-sum the signature counters per probe
         self._out_total: dict[str, int] = {}
         self._in_total: dict[str, int] = {}
+        # value buckets, registered lazily per (label, key) the patterns
+        # constrain with constant equality; _value_keys_by_label is the
+        # maintenance fast path (which keys matter for a given node label)
+        self._value_indexes: dict[tuple[str | None, str], _ValueIndex] = {}
+        self._value_keys_by_label: dict[str | None, set[str]] = {}
+        # per-pattern pushdown specs (strong pattern ref keeps id() stable)
+        self._pushdown_cache: dict[int, tuple[Pattern, dict[str, PushdownSpec]]] = {}
         self._attached = False
         self.rebuild()
 
@@ -67,6 +195,8 @@ class CandidateIndex:
             self._in_signature[edge.target][edge.label] += 1
             self._out_total[edge.source] += 1
             self._in_total[edge.target] += 1
+        for (label, key) in list(self._value_indexes):
+            self._value_indexes[(label, key)] = self._build_value_index(label, key)
 
     def attach(self) -> None:
         """Subscribe to the graph's change feed for incremental maintenance."""
@@ -95,6 +225,7 @@ class CandidateIndex:
             self._in_signature.setdefault(node.id, Counter())
             self._out_total.setdefault(node.id, 0)
             self._in_total.setdefault(node.id, 0)
+            self._value_insert(node.label, node.properties, node.id)
         elif kind is ChangeKind.ADD_EDGE and change.edge_id is not None:
             edge = self._graph.edge(change.edge_id)
             self._out_signature.setdefault(edge.source, Counter())[edge.label] += 1
@@ -114,6 +245,8 @@ class CandidateIndex:
         elif kind is ChangeKind.REMOVE_NODE and change.node_id is not None:
             removed_label = change.details.get("label")
             self._drop_node(change.node_id, removed_label)
+            self._value_discard(removed_label, change.details.get("properties"),
+                                change.node_id)
             self._refresh_nodes(change.touched_nodes)
         elif kind is ChangeKind.RELABEL_NODE and change.node_id is not None:
             before = change.details.get("before")
@@ -126,6 +259,29 @@ class CandidateIndex:
                         del self._by_label[before]
             if after is not None:
                 self._by_label.setdefault(after, set()).add(change.node_id)
+            # Value buckets are label-scoped: move the node's entries from the
+            # old label's indexes to the new label's (the None-label indexes
+            # are unaffected — the node's values did not change).
+            properties = self._graph.node(change.node_id).properties
+            for key in self._value_keys_by_label.get(before, ()):
+                if key in properties:
+                    self._value_indexes[(before, key)].discard(properties[key],
+                                                               change.node_id)
+            for key in self._value_keys_by_label.get(after, ()):
+                if key in properties:
+                    self._value_indexes[(after, key)].add(properties[key],
+                                                          change.node_id)
+        elif kind is ChangeKind.UPDATE_NODE and change.node_id is not None:
+            before = change.details.get("before") or {}
+            after = change.details.get("after") or {}
+            label = self._graph.node(change.node_id).label
+            for scope in (label, None):
+                for key in self._value_keys_by_label.get(scope, ()):
+                    index = self._value_indexes[(scope, key)]
+                    if key in before:
+                        index.discard(before[key], change.node_id)
+                    if key in after:
+                        index.add(after[key], change.node_id)
         elif kind is ChangeKind.RELABEL_EDGE and change.edge_id is not None:
             # Endpoint signatures change label buckets; refresh both endpoints.
             self._refresh_nodes(change.touched_nodes)
@@ -134,8 +290,20 @@ class CandidateIndex:
             merged_label = change.details.get("merged_label")
             if merged is not None:
                 self._drop_node(merged, merged_label)
+                self._value_discard(merged_label,
+                                    change.details.get("merged_properties"),
+                                    merged)
+            keep_id = change.node_id
+            if keep_id is not None and self._graph.has_node(keep_id):
+                keep_label = self._graph.node(keep_id).label
+                self._value_discard(keep_label,
+                                    change.details.get("keep_properties_before"),
+                                    keep_id)
+                self._value_insert(keep_label,
+                                   change.details.get("keep_properties_after") or {},
+                                   keep_id)
             self._refresh_nodes(change.touched_nodes)
-        # UPDATE_NODE / UPDATE_EDGE do not affect labels or signatures.
+        # UPDATE_EDGE does not affect labels, signatures, or value buckets.
 
     def _drop_node(self, node_id: str, label: str | None) -> None:
         if label is not None:
@@ -176,6 +344,119 @@ class CandidateIndex:
         counter[key] -= 1
         if counter[key] <= 0:
             del counter[key]
+
+    # ------------------------------------------------------------------
+    # value buckets
+    # ------------------------------------------------------------------
+
+    def _value_insert(self, label: str | None, properties: Mapping[str, Any],
+                      node_id: str) -> None:
+        """Insert one node's values into every registered index covering it."""
+        for scope in (label, None):
+            for key in self._value_keys_by_label.get(scope, ()):
+                if key in properties:
+                    self._value_indexes[(scope, key)].add(properties[key], node_id)
+
+    def _value_discard(self, label: str | None,
+                       properties: Mapping[str, Any] | None,
+                       node_id: str) -> None:
+        """Remove one node's values from every registered index covering it."""
+        if properties is None:
+            properties = {}
+        for scope in (label, None):
+            for key in self._value_keys_by_label.get(scope, ()):
+                if key in properties:
+                    self._value_indexes[(scope, key)].discard(properties[key],
+                                                              node_id)
+                else:
+                    # no value recorded — make sure no stale entry survives
+                    self._value_indexes[(scope, key)].unhashable.discard(node_id)
+
+    def _build_value_index(self, label: str | None, key: str) -> _ValueIndex:
+        index = _ValueIndex()
+        graph = self._graph
+        if label is None:
+            pool = self._out_signature.keys()
+        else:
+            pool = self._by_label.get(label, _EMPTY_BUCKET)
+        for node_id in pool:
+            properties = graph.node(node_id).properties
+            if key in properties:
+                index.add(properties[key], node_id)
+        return index
+
+    def ensure_value_index(self, label: str | None, key: str) -> None:
+        """Register (and build, once) the value index for ``(label, key)``.
+
+        Registration is O(label bucket); afterwards the index is maintained
+        incrementally with every other bucket.  ``label=None`` indexes all
+        nodes regardless of label (for label-free pattern variables).
+        """
+        pair = (label, key)
+        if pair in self._value_indexes:
+            return
+        self._value_indexes[pair] = self._build_value_index(label, key)
+        self._value_keys_by_label.setdefault(label, set()).add(key)
+
+    def value_bucket(self, label: str | None, key: str, value: Any):
+        """Node ids with ``label`` whose ``key`` property equals ``value``.
+
+        Returns ``None`` when the probe cannot be answered (the pair was never
+        registered, or ``value`` is unhashable) — callers must then fall back
+        to their unfiltered pool.  Otherwise the returned set is **complete**
+        for the equality (it may include unhashable-valued extras that the
+        caller's residual checks reject) and must be treated as read-only: it
+        may be a live internal bucket.
+        """
+        index = self._value_indexes.get((label, key))
+        if index is None:
+            return None
+        try:
+            exact = index.values.get(value)
+        except TypeError:
+            return None
+        fuzzy = index.unhashable
+        if not fuzzy:
+            return exact if exact is not None else _EMPTY_BUCKET
+        if exact is None:
+            return fuzzy
+        return exact | fuzzy
+
+    def pushdowns(self, pattern: Pattern) -> dict[str, PushdownSpec]:
+        """The pattern's constant-equality pushdown specs, cached per pattern.
+
+        First use registers the value indexes every spec can probe, so the
+        matcher's hot path never pays a lazy build mid-search.
+
+        Lifetime contract: like the matcher's per-pattern search profiles,
+        cache entries hold a strong pattern reference and registered value
+        indexes are maintained for the index's lifetime.  An index is
+        expected to serve a fixed rule set (sessions bind one per graph);
+        callers streaming unbounded ad-hoc patterns through one index should
+        rebuild it periodically instead.
+        """
+        cached = self._pushdown_cache.get(id(pattern))
+        if cached is not None and cached[0] is pattern:
+            return cached[1]
+        specs = variable_pushdowns(pattern)
+        for variable, spec in specs.items():
+            label = pattern.node_variable(variable).label
+            for key, _value in spec.unary:
+                self.ensure_value_index(label, key)
+            for key, _value in spec.literal:
+                self.ensure_value_index(label, key)
+            for own_key, _other_var, _other_key in spec.dynamic:
+                self.ensure_value_index(label, own_key)
+        self._pushdown_cache[id(pattern)] = (pattern, specs)
+        return specs
+
+    def check_value_integrity(self) -> bool:
+        """Verify every registered value index exactly matches a rebuild from
+        the graph (test/debug helper; O(registered pairs × label buckets))."""
+        for (label, key), index in self._value_indexes.items():
+            if not index.equal_to(self._build_value_index(label, key)):
+                return False
+        return True
 
     # ------------------------------------------------------------------
     # queries
@@ -232,25 +513,50 @@ class CandidateIndex:
         return True
 
     def candidates(self, pattern: Pattern, variable: str,
-                   apply_predicates: bool = True) -> list[str]:
+                   apply_predicates: bool = True, stats=None,
+                   use_value_buckets: bool = True) -> list[str]:
         """Candidate node ids for one pattern variable.
 
         Filters: label bucket, neighbourhood-signature dominance over the
         variable's local pattern-edge requirements, then (optionally) the
-        variable's unary property predicates.
+        variable's unary property predicates.  When the variable carries a
+        constant ``EQ`` predicate and ``use_value_buckets`` is on, the
+        smallest matching value bucket replaces the label-bucket scan — the
+        result set is identical (value buckets are complete and the residual
+        predicate check still runs), only the iteration shrinks.
+
+        ``stats`` (a :class:`~repro.matching.vf2.MatchingStats`) receives the
+        prune counters: label-bucket size, value-bucket size actually scanned,
+        and predicate survivors.
         """
         pattern_node = pattern.node_variable(variable)
         out_required, in_required = pattern_requirements(pattern, variable)
         check_predicates = apply_predicates and pattern_node.predicates
+        label = pattern_node.label
+        label_pool = self.label_bucket(label)
+        pool = label_pool
+        if stats is not None:
+            stats.label_bucket_candidates += len(label_pool)
+        if use_value_buckets and check_predicates:
+            spec = self.pushdowns(pattern).get(variable)
+            if spec is not None:
+                for key, value in spec.unary:
+                    bucket = self.value_bucket(label, key, value)
+                    if bucket is not None and len(bucket) < len(pool):
+                        pool = bucket
+                if pool is not label_pool and stats is not None:
+                    stats.value_bucket_candidates += len(pool)
         node = self._graph.node
         dominates = self.signature_dominates
         result = []
-        for node_id in self.label_bucket(pattern_node.label):
+        for node_id in pool:
             if not dominates(node_id, out_required, in_required):
                 continue
             if check_predicates and not pattern_node.matches(node(node_id)):
                 continue
             result.append(node_id)
+        if stats is not None:
+            stats.predicate_survivors += len(result)
         return result
 
     def candidate_count_estimate(self, pattern: Pattern, variable: str) -> int:

@@ -20,7 +20,15 @@ Hot-path design (this is the inner loop of every repair run):
   instead of materialising and intersecting full witness sets;
 * candidate order comes from the graph's insertion-ordered adjacency (a
   deterministic tie-break established when the edge was created), so no
-  per-backtrack-step ``sorted()`` is needed.
+  per-backtrack-step ``sorted()`` is needed;
+* constant equality predicates are **pushed down into the candidate index**:
+  the compiled profile records each variable's pushdown spec
+  (:func:`~repro.matching.index.variable_pushdowns` — unary ``EQ``
+  predicates, literal ``EQ`` comparisons, and cross-variable ``EQ``
+  comparisons whose other side is already bound), and candidate derivation
+  intersects the matching ``(label, key, value)`` buckets with the adjacency
+  or label pool, so the search never *visits* a node that fails a constant
+  predicate (``nodes_tried`` counts post-pushdown candidates only).
 
 Two knobs matter for the experiments:
 
@@ -40,8 +48,19 @@ from typing import Iterator, Mapping
 from repro.exceptions import MatchingError, MatchTimeout
 from repro.graph.property_graph import PropertyGraph
 from repro.matching.decomposition import build_search_plan
-from repro.matching.index import CandidateIndex, naive_candidates
+from repro.matching.index import (
+    CandidateIndex,
+    PushdownSpec,
+    naive_candidates,
+    pattern_requirements,
+)
 from repro.matching.pattern import Match, Pattern, PatternEdge
+
+
+# Sentinel returned by ``_pushdown_buckets`` when an applicable constant
+# equality is unsatisfiable (empty bucket / missing compared property):
+# the caller prunes the whole branch instead of deriving candidates.
+_DEAD_BRANCH = object()
 
 
 @dataclass
@@ -56,6 +75,14 @@ class MatchingStats:
     # asserts on — batching N independent repairs must need fewer passes than
     # N one-at-a-time repairs
     maintenance_passes: int = 0
+    # candidate-index prune counters: how many candidates the label buckets
+    # offered at root enumerations, how many survived in the value buckets
+    # actually scanned instead, and how many candidates the index returned
+    # after signature + unary-predicate filtering — together they show where
+    # the pushdown layers cut the search space
+    label_bucket_candidates: int = 0
+    value_bucket_candidates: int = 0
+    predicate_survivors: int = 0
     elapsed_seconds: float = 0.0
 
     def merge(self, other: "MatchingStats") -> None:
@@ -63,6 +90,9 @@ class MatchingStats:
         self.backtracks += other.backtracks
         self.matches_found += other.matches_found
         self.maintenance_passes += other.maintenance_passes
+        self.label_bucket_candidates += other.label_bucket_candidates
+        self.value_bucket_candidates += other.value_bucket_candidates
+        self.predicate_survivors += other.predicate_survivors
         self.elapsed_seconds += other.elapsed_seconds
 
     def as_dict(self) -> dict:
@@ -71,6 +101,9 @@ class MatchingStats:
             "backtracks": self.backtracks,
             "matches_found": self.matches_found,
             "maintenance_passes": self.maintenance_passes,
+            "label_bucket_candidates": self.label_bucket_candidates,
+            "value_bucket_candidates": self.value_bucket_candidates,
+            "predicate_survivors": self.predicate_survivors,
             "elapsed_seconds": self.elapsed_seconds,
         }
 
@@ -93,6 +126,11 @@ class _PatternProfile:
     # variables and evaluated exactly once — when its last variable binds.
     comparisons_by_variable: dict[str, tuple[tuple[object, frozenset], ...]]
     edge_constraints: tuple[PatternEdge, ...]
+    # constant-equality pushdown specs per variable (empty without an index)
+    # and the cached pattern-edge requirements for bucket-derived dominance
+    # pruning — both compiled once per pattern
+    pushdowns: dict[str, PushdownSpec]
+    requirements: dict[str, tuple]
 
 
 @dataclass
@@ -208,6 +246,12 @@ class VF2Matcher:
                 continue
             for variable in variables:
                 by_variable.setdefault(variable, []).append((comparison, variables))
+        pushdowns: dict[str, PushdownSpec] = {}
+        requirements: dict[str, tuple] = {}
+        if self.candidate_index is not None:
+            pushdowns = self.candidate_index.pushdowns(pattern)
+            for variable in pushdowns:
+                requirements[variable] = pattern_requirements(pattern, variable)
         profile = _PatternProfile(
             pattern=pattern,
             base_order=self._base_order(pattern),
@@ -217,6 +261,8 @@ class VF2Matcher:
                                      for variable, items in by_variable.items()},
             edge_constraints=tuple(edge for edge in pattern.edges
                                    if edge.variable is not None),
+            pushdowns=pushdowns,
+            requirements=requirements,
         )
         self._profiles[id(pattern)] = profile
         return profile
@@ -346,6 +392,14 @@ class VF2Matcher:
         constraints are enforced by :meth:`_edges_to_bound_satisfied` — no
         intermediate witness sets are materialised.  Otherwise fall back to
         the index / full scan (sorted once for a deterministic root order).
+
+        Constant-equality pushdown (see the module docstring) intersects the
+        variable's value buckets with whichever pool is chosen: buckets act as
+        membership filters over adjacency-derived candidates, and when the
+        smallest bucket undercuts the smallest adjacency list it *becomes*
+        the candidate source instead.  Buckets are complete for the equality,
+        so no true candidate is ever dropped; the residual predicate /
+        comparison checks still run downstream.
         """
         graph = self.graph
         best_edge: PatternEdge | None = None
@@ -376,7 +430,13 @@ class VF2Matcher:
                 if size == 0:
                     break
 
-        if best_edge is not None:
+        filters = self._pushdown_buckets(profile, variable, assignment)
+        if filters is _DEAD_BRANCH:
+            return (), None
+        filter_pool = min(filters, key=len) if filters else None
+
+        if best_edge is not None and (filter_pool is None
+                                      or best_size <= len(filter_pool)):
             edge_store = graph.edge_store
             predicates = best_edge.predicates
             seen: set[str] = set()
@@ -386,15 +446,79 @@ class VF2Matcher:
                 if predicates and not best_edge.matches(witness):
                     continue
                 candidate = witness.source if best_inbound else witness.target
-                if candidate not in seen:
-                    seen.add(candidate)
-                    candidates.append(candidate)
+                if candidate in seen:
+                    continue
+                seen.add(candidate)
+                if filters and not all(candidate in bucket for bucket in filters):
+                    continue
+                candidates.append(candidate)
             return candidates, best_edge
+
+        if filter_pool is not None:
+            # The value bucket is the candidate source: intersect with the
+            # other buckets, keep signature-dominance pruning, and sort for a
+            # deterministic order.  All join edges (if any) are re-checked by
+            # _edges_to_bound_satisfied, hence derived_from=None.
+            index = self.candidate_index
+            self.stats.value_bucket_candidates += len(filter_pool)
+            required = profile.requirements[variable]
+            dominates = index.signature_dominates
+            others = [bucket for bucket in filters if bucket is not filter_pool]
+            candidates = sorted(
+                candidate for candidate in filter_pool
+                if dominates(candidate, *required)
+                and all(candidate in bucket for bucket in others))
+            return candidates, None
 
         pattern = profile.pattern
         if self.candidate_index is not None:
-            return sorted(self.candidate_index.candidates(pattern, variable)), None
+            return sorted(self.candidate_index.candidates(
+                pattern, variable, stats=self.stats)), None
         return sorted(naive_candidates(graph, pattern, variable)), None
+
+    def _pushdown_buckets(self, profile: _PatternProfile, variable: str,
+                          assignment: dict[str, str]):
+        """The value buckets applicable to ``variable`` right now.
+
+        Returns a list of read-only node-id sets (possibly empty),
+        or the ``_DEAD_BRANCH`` sentinel when some applicable equality can
+        never be satisfied (an empty bucket, or a bound neighbour missing the
+        compared property) — the caller prunes the whole branch.
+        """
+        spec = profile.pushdowns.get(variable)
+        if spec is None:
+            return ()
+        index = self.candidate_index
+        label = profile.node_variables[variable].label
+        graph = self.graph
+        buckets = []
+        for key, value in spec.unary:
+            bucket = index.value_bucket(label, key, value)
+            if bucket is not None:
+                if not bucket:
+                    return _DEAD_BRANCH
+                buckets.append(bucket)
+        for key, value in spec.literal:
+            bucket = index.value_bucket(label, key, value)
+            if bucket is not None:
+                if not bucket:
+                    return _DEAD_BRANCH
+                buckets.append(bucket)
+        for own_key, other_variable, other_key in spec.dynamic:
+            other_id = assignment.get(other_variable)
+            if other_id is None or not graph.has_node(other_id):
+                continue
+            other_properties = graph.node(other_id).properties
+            if other_key not in other_properties:
+                # an EQ comparison against a missing property is always False
+                return _DEAD_BRANCH
+            bucket = index.value_bucket(label, own_key,
+                                        other_properties[other_key])
+            if bucket is not None:
+                if not bucket:
+                    return _DEAD_BRANCH
+                buckets.append(bucket)
+        return buckets
 
     def _edges_to_bound_satisfied(self, profile: _PatternProfile, variable: str,
                                   node_id: str, assignment: dict[str, str],

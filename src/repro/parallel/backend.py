@@ -72,6 +72,12 @@ class FanoutReport:
     conflicts: list[str] = field(default_factory=list)
     shard_violations_detected: int = 0
     shard_elapsed_seconds: float = 0.0
+    # summed worker-side search effort: nodes the shard matchers tried, and
+    # how many candidates their value buckets scanned (predicate pushdown at
+    # work inside the workers — the shards rebuild the same candidate index
+    # from their payloads, so the pushdown travels with them)
+    shard_nodes_tried: int = 0
+    shard_value_bucket_candidates: int = 0
     # -- warm-pool diagnostics (all zero on the cold path) --------------
     #: this fan-out went through the persistent pool
     warm: bool = False
@@ -463,6 +469,8 @@ class ShardedRepairer:
             fanout.shard_repairs += result.repairs_applied
             fanout.shard_violations_detected += result.violations_detected
             fanout.shard_elapsed_seconds += result.elapsed_seconds
+            fanout.shard_nodes_tried += result.nodes_tried
+            fanout.shard_value_bucket_candidates += result.value_bucket_candidates
 
         with self.core.report.timings.measure("shard-merge"):
             outcome: MergeOutcome = DeltaMerger(self._graph).merge(results)

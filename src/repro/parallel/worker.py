@@ -76,6 +76,9 @@ class ShardResult:
     repairs_applied: int = 0
     repairs_failed: int = 0
     nodes_tried: int = 0
+    # candidates the shard's value buckets scanned in place of label buckets
+    # (the predicate-pushdown layer, rebuilt worker-side with the index)
+    value_bucket_candidates: int = 0
     elapsed_seconds: float = 0.0
 
 
@@ -102,6 +105,7 @@ def run_shard_task(task: ShardTask) -> ShardResult:
         repairs_applied=report.repairs_applied,
         repairs_failed=report.repairs_failed,
         nodes_tried=report.matching_stats.nodes_tried,
+        value_bucket_candidates=report.matching_stats.value_bucket_candidates,
         elapsed_seconds=time.perf_counter() - started,
     )
 
@@ -149,7 +153,8 @@ class ShardWorkerState:
         started = time.perf_counter()
         report = self.core_state.report
         baseline = (report.violations_detected, report.repairs_applied,
-                    report.repairs_failed, self.core_state.stats.nodes_tried)
+                    report.repairs_failed, self.core_state.stats.nodes_tried,
+                    self.core_state.stats.value_bucket_candidates)
         collected: list[AppliedRepair] = []
         with recording(self.graph) as recorder:
             self.core_state.drain(
@@ -170,6 +175,8 @@ class ShardWorkerState:
             repairs_applied=finalized.repairs_applied - baseline[1],
             repairs_failed=finalized.repairs_failed - baseline[2],
             nodes_tried=finalized.matching_stats.nodes_tried - baseline[3],
+            value_bucket_candidates=(
+                finalized.matching_stats.value_bucket_candidates - baseline[4]),
             elapsed_seconds=time.perf_counter() - started,
         )
 

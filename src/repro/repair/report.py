@@ -107,6 +107,9 @@ class RepairReport:
             "nodes_tried": self.matching_stats.nodes_tried,
             "backtracks": self.matching_stats.backtracks,
             "maintenance_passes": self.matching_stats.maintenance_passes,
+            "label_bucket_candidates": self.matching_stats.label_bucket_candidates,
+            "value_bucket_candidates": self.matching_stats.value_bucket_candidates,
+            "predicate_survivors": self.matching_stats.predicate_survivors,
             "elapsed_seconds": self.elapsed_seconds,
             "total_changes": self.total_changes(),
             "initial_nodes": self.initial_nodes,
@@ -127,6 +130,9 @@ class RepairReport:
             f"elapsed: {self.elapsed_seconds:.3f}s",
             f"  matching: {self.matching_stats.nodes_tried} nodes tried, "
             f"{self.matching_stats.backtracks} backtracks",
+            f"  index pruning: {self.matching_stats.label_bucket_candidates} label-bucket "
+            f"candidates, {self.matching_stats.value_bucket_candidates} value-bucket, "
+            f"{self.matching_stats.predicate_survivors} predicate survivors",
             f"  graph: {self.initial_nodes}/{self.initial_edges} -> "
             f"{self.final_nodes}/{self.final_edges} (nodes/edges)",
             f"  changes: {self.change_counts()}",

@@ -17,6 +17,8 @@ from __future__ import annotations
 import random
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.datasets.registry import build_workload, load_dataset
 from repro.datasets.rulegen import RuleGenConfig, generate_rules
@@ -100,6 +102,40 @@ class TestInvertedIndexEqualsRecompute:
                     expected = {m.key() for m in oracle.find_matches(store.pattern)}
                     assert {m.key() for m in store} == expected
                     assert store.check_integrity()
+
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           mutation_count=st.integers(min_value=5, max_value=30))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_value_buckets_survive_random_mutations(self, seed, mutation_count):
+        """The incrementally-maintained value buckets must equal an index
+        rebuilt from scratch after any mutation sequence (the value-bucket
+        mirror of the MatchStore integrity property above)."""
+        rng = random.Random(seed)
+        graph = load_dataset("kg", scale=30, seed=seed).clean
+        index = CandidateIndex(graph)
+        index.attach()
+        # register the shapes the pushdown uses: a label-scoped key, the same
+        # key label-free, and a key that is often absent
+        index.ensure_value_index("Person", "name")
+        index.ensure_value_index(None, "name")
+        index.ensure_value_index("City", "population")
+        mutations = 0
+        while mutations < mutation_count:
+            if not _random_mutation(graph, rng):
+                continue
+            mutations += 1
+        assert index.check_value_integrity()
+        # and the probe surface agrees with a from-scratch index
+        fresh = CandidateIndex(graph)
+        fresh.ensure_value_index("Person", "name")
+        for node in graph.nodes_with_label("Person"):
+            name = node.properties.get("name")
+            if name is None:
+                continue
+            assert index.value_bucket("Person", "name", name) == \
+                fresh.value_bucket("Person", "name", name)
+        index.detach()
 
     def test_matches_touching_equals_linear_scan(self, tiny_kg, duplicate_person_pattern):
         graph = tiny_kg.copy()

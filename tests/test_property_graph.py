@@ -356,3 +356,64 @@ class TestChangeEvents:
         assert len(merges) == 1
         assert merges[0].details["merged"] == b.id
         assert merges[0].details["added_edges"]
+
+
+class TestSlottedElementsAndSignatureCache:
+    """The graph core's scale posture: slotted records, interned strings,
+    cached frozen signatures invalidated by every mutation path."""
+
+    def test_elements_have_no_instance_dict(self, empty_graph):
+        node = empty_graph.add_node("Person", {"name": "ada"})
+        other = empty_graph.add_node("Person")
+        edge = empty_graph.add_edge(node.id, other.id, "knows")
+        assert not hasattr(node, "__dict__")
+        assert not hasattr(edge, "__dict__")
+
+    def test_labels_and_ids_are_interned(self, empty_graph):
+        first = empty_graph.add_node("".join(["Per", "son"]))
+        second = empty_graph.add_node("".join(["Pers", "on"]))
+        assert first.label is second.label
+        edge = empty_graph.add_edge(first.id, second.id, "knows")
+        # edge endpoints reuse the node records' id strings
+        assert edge.source is first.id
+        assert edge.target is second.id
+
+    def test_node_signature_cached_and_invalidated(self, empty_graph):
+        node = empty_graph.add_node("Person", {"name": "ada"})
+        before = node.signature()
+        assert node.signature() is before  # cached, not recomputed
+        empty_graph.update_node(node.id, {"name": "eve"})
+        after = node.signature()
+        assert after != before
+        assert dict(after[1])["name"] == "eve"
+        empty_graph.relabel_node(node.id, "Robot")
+        assert node.signature()[0] == "Robot"
+
+    def test_edge_signature_cached_and_invalidated(self, empty_graph):
+        a = empty_graph.add_node("Person")
+        b = empty_graph.add_node("Person")
+        edge = empty_graph.add_edge(a.id, b.id, "knows", {"since": 1})
+        before = edge.signature()
+        assert edge.signature() is before
+        empty_graph.update_edge(edge.id, {"since": 2})
+        assert edge.signature() != before
+        empty_graph.relabel_edge(edge.id, "met")
+        assert edge.signature()[0] == "met"
+
+    def test_merge_invalidates_kept_node_signature(self, empty_graph):
+        keep = empty_graph.add_node("Person", {"name": "ada"})
+        merge = empty_graph.add_node("Person", {"name": "ada", "age": 30})
+        hub = empty_graph.add_node("City")
+        empty_graph.add_edge(keep.id, hub.id, "bornIn")
+        empty_graph.add_edge(merge.id, hub.id, "bornIn")
+        before = keep.signature()
+        empty_graph.merge_nodes(keep.id, merge.id)
+        assert keep.signature() != before
+        assert dict(keep.signature()[1])["age"] == 30
+
+    def test_copies_do_not_share_signature_state(self, empty_graph):
+        node = empty_graph.add_node("Person", {"name": "ada"})
+        node.signature()
+        clone = node.copy()
+        assert clone.signature() == node.signature()
+        assert clone == node
