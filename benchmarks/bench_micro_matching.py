@@ -25,6 +25,7 @@ from __future__ import annotations
 import os
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 
 import pytest
@@ -187,6 +188,120 @@ def test_micro_candidate_index(run_once, save_table):
         # a bucket probe must beat scanning the label bucket per probe —
         # by orders of magnitude in practice; assert a conservative margin
         assert row["bucket_seconds"] < row["scan_seconds"]
+
+
+RANGE_COLUMNS = ("domain", "label_size", "probes", "range_seconds",
+                 "scan_seconds", "speedup")
+
+
+def _measure_range_probe(domain: str) -> dict:
+    """Probe the sorted buckets for ``ge`` cut points vs answering the same
+    range question by scanning the label bucket (the range-pushdown win in
+    isolation)."""
+    workload = build_workload(domain, scale=SCALES[domain], error_rate=0.05,
+                              seed=0)
+    graph = workload.dirty
+    index = CandidateIndex(graph)
+    label, key = _VALUE_PROBE[domain]
+    index.ensure_sorted_index(label, key)
+    values = sorted({node.properties[key]
+                     for node in graph.nodes_with_label(label)
+                     if key in node.properties
+                     and isinstance(node.properties[key], str)})
+    # every 5th distinct value as a cut point keeps the probe count bounded
+    cuts = values[::5] or values
+
+    started = time.perf_counter()
+    range_hits = 0
+    for cut in cuts:
+        range_hits += len(index.range_bucket(label, key, "ge", cut))
+    range_seconds = time.perf_counter() - started
+
+    node = graph.node
+
+    def _ge(value, cut):
+        try:
+            return value >= cut
+        except TypeError:
+            return False
+
+    started = time.perf_counter()
+    scan_hits = 0
+    for cut in cuts:
+        scan_hits += sum(1 for node_id in index.label_bucket(label)
+                         if key in node(node_id).properties
+                         and _ge(node(node_id).properties[key], cut))
+    scan_seconds = time.perf_counter() - started
+    # the probe is complete-not-exact: it may include the fuzzy/unhashable
+    # side pools, never miss a true hit
+    assert range_hits >= scan_hits
+
+    return {
+        "domain": domain,
+        "label_size": len(index.label_bucket(label)),
+        "probes": len(cuts),
+        "range_seconds": range_seconds,
+        "scan_seconds": scan_seconds,
+        "speedup": scan_seconds / range_seconds if range_seconds else float("inf"),
+    }
+
+
+def test_micro_range_probe(run_once, save_table):
+    rows = run_once(lambda: [_measure_range_probe(domain) for domain in DOMAINS])
+    save_table("micro_range_probe", format_table(
+        rows, columns=list(RANGE_COLUMNS),
+        title="Micro — sorted-bucket range probe vs full label-bucket scan"))
+    for row in rows:
+        assert row["range_seconds"] < row["scan_seconds"]
+
+
+PLANNER_COLUMNS = ("domain", "scale", "planned_nodes", "static_nodes",
+                   "planned_seconds", "static_seconds", "plans", "matches")
+
+
+def _measure_planner(domain: str) -> dict:
+    """Full-rule-set enumeration under the cost planner vs the static
+    declaration order, with match-identity asserted."""
+    scale = SCALES[domain]
+    workload = build_workload(domain, scale=scale, error_rate=0.05, seed=0)
+    graph = workload.dirty
+    results = {}
+    for flag in (True, False):
+        matcher = Matcher(
+            graph, replace(MatcherConfig.optimized(), use_cost_planner=flag),
+            maintain_index=False)
+        started = time.perf_counter()
+        keys = set()
+        for rule in workload.rules:
+            keys |= {match.key() for match in matcher.find_matches(rule.pattern)}
+        elapsed = time.perf_counter() - started
+        results[flag] = (keys, elapsed, matcher.stats)
+        matcher.close()
+    planned_keys, planned_seconds, planned_stats = results[True]
+    static_keys, static_seconds, static_stats = results[False]
+    assert planned_keys == static_keys  # perf-only knob: identical matches
+    return {
+        "domain": domain,
+        "scale": scale,
+        "planned_nodes": planned_stats.nodes_tried,
+        "static_nodes": static_stats.nodes_tried,
+        "planned_seconds": planned_seconds,
+        "static_seconds": static_seconds,
+        "plans": planned_stats.planner_plans,
+        "matches": len(planned_keys),
+    }
+
+
+def test_micro_planner(run_once, save_table):
+    rows = run_once(lambda: [_measure_planner(domain) for domain in DOMAINS])
+    save_table("micro_planner", format_table(
+        rows, columns=list(PLANNER_COLUMNS),
+        title="Micro — cost-planned variable order vs static declaration order"))
+    for row in rows:
+        assert row["plans"] > 0
+    # aggregate so one noisy sub-second measurement cannot flip the gate
+    assert sum(row["planned_nodes"] for row in rows) <= \
+        sum(row["static_nodes"] for row in rows)
 
 
 @pytest.mark.skipif(os.environ.get("REPRO_BENCH_CHECK", "") != "1",

@@ -15,8 +15,8 @@ should be re-recorded with ``perf_baseline.py`` — reported as a warning so an
 intentional algorithmic change does not hard-fail the gate on counters alone.
 
 Exception: the counters in ``GATED_COUNTER_KEYS`` (warm-pool spawns after
-warm-up, the scale tier's repair count and ``nodes_tried``) hard-fail on any
-drift.  They are the contract that the hot path does the *same work* — a
+warm-up, the scale tier's repair count, ``nodes_tried``, and the planner's
+plan/replan counts) hard-fail on any drift.  They are the contract that the hot path does the *same work* — a
 change that moves them must re-record the baseline in the same commit, which
 makes every counter shift a deliberate, reviewed event in the trajectory.
 """

@@ -94,15 +94,20 @@ COUNTER_KEYS = ("matches", "fast_repairs_applied", "fast_violations_detected",
                 "service_warm_spawns_after_warmup", "service_warm_binds",
                 "service_warm_ships",
                 "scale_matches", "scale_repairs_applied",
-                "scale_violations_detected", "scale_nodes_tried")
+                "scale_violations_detected", "scale_nodes_tried",
+                "scale_range_bucket_candidates", "scale_planner_plans",
+                "scale_planner_replans")
 
 # Deterministic counters that HARD-FAIL the regression gate on any drift
 # (instead of warning): the warm pool must never spawn after warm-up, and the
 # scale tier's work counters are the contract that the matcher does the same
 # work on large graphs — an intentional algorithmic change must re-record the
-# baseline in the same commit.
+# baseline in the same commit.  The planner counters pin the cost planner's
+# decisions at scale: a plan-count or replan-count drift means the planner
+# reacts differently to the same statistics.
 GATED_COUNTER_KEYS = ("service_warm_spawns_after_warmup",
-                      "scale_repairs_applied", "scale_nodes_tried")
+                      "scale_repairs_applied", "scale_nodes_tried",
+                      "scale_planner_plans", "scale_planner_replans")
 
 #: the sharded scenario runs only where fan-out has enough work to mean
 #: anything: the kg domain at each mode's scale, 4 workers
@@ -338,6 +343,10 @@ def measure_scale(mode: str, error_rate: float, seed: int) -> dict[str, Any]:
         "scale_nodes_tried": report.matching_stats.nodes_tried,
         "scale_value_bucket_candidates":
             report.matching_stats.value_bucket_candidates,
+        "scale_range_bucket_candidates":
+            report.matching_stats.range_bucket_candidates,
+        "scale_planner_plans": report.matching_stats.planner_plans,
+        "scale_planner_replans": report.matching_stats.planner_replans,
         "scale_reached_fixpoint": report.reached_fixpoint,
         "scale_tracemalloc_peak_mb": round(peak / (1024 * 1024), 2),
     }
@@ -424,6 +433,8 @@ def format_results(results: dict[str, Any]) -> str:
                 f"({row['scale_repairs_applied']} repairs, "
                 f"{row['scale_nodes_tried']} nodes tried, "
                 f"{row['scale_value_bucket_candidates']} via value buckets, "
+                f"{row['scale_planner_plans']} plans / "
+                f"{row['scale_planner_replans']} replans, "
                 f"peak {row['scale_tracemalloc_peak_mb']:.1f} MiB)")
     return "\n".join(lines)
 

@@ -51,6 +51,8 @@ class RepairConfig(RepairKnobs):
       the paper's three optimisations (E5 ablation); a fast backend with
       ``use_incremental=False`` degrades to the naive loop with an optimised
       matcher, exactly as the legacy engine did;
+    * ``use_cost_planner`` — the statistics-driven match planner layered on
+      top of decomposition (``ablation("planner")`` disables just it);
     * ``batch_repairs`` / ``max_batch`` — drain the violation queue in
       batches of region-independent violations maintained under one merged
       incremental pass (fast backend only);
@@ -68,6 +70,7 @@ class RepairConfig(RepairKnobs):
     use_candidate_index: bool = True
     use_decomposition: bool = True
     use_incremental: bool = True
+    use_cost_planner: bool = True
     batch_repairs: bool = False
     max_batch: int | None = None
     # -- "sharded" backend knobs ---------------------------------------
@@ -108,8 +111,8 @@ class RepairConfig(RepairKnobs):
     def naive(cls, **overrides) -> "RepairConfig":
         """The naive fixpoint loop (unoptimised matcher, full re-detection)."""
         return cls(backend="naive", use_candidate_index=False,
-                   use_decomposition=False,
-                   use_incremental=False).with_options(**overrides)
+                   use_decomposition=False, use_incremental=False,
+                   use_cost_planner=False).with_options(**overrides)
 
     @classmethod
     def baseline(cls, **overrides) -> "RepairConfig":
@@ -198,6 +201,7 @@ class RepairConfig(RepairKnobs):
                    use_candidate_index=config.use_candidate_index,
                    use_decomposition=config.use_decomposition,
                    use_incremental=config.use_incremental,
+                   use_cost_planner=config.use_cost_planner,
                    cost_model=config.cost_model,
                    max_repairs=config.max_repairs,
                    max_rounds=config.max_rounds,
@@ -210,6 +214,7 @@ class RepairConfig(RepairKnobs):
         return cls(backend="fast",
                    use_candidate_index=config.use_candidate_index,
                    use_decomposition=config.use_decomposition,
+                   use_cost_planner=config.use_cost_planner,
                    batch_repairs=config.batch_repairs,
                    max_batch=config.max_batch,
                    cost_model=config.cost_model,
@@ -222,6 +227,7 @@ class RepairConfig(RepairKnobs):
         return cls(backend="naive",
                    use_candidate_index=matcher.use_candidate_index,
                    use_decomposition=matcher.use_decomposition,
+                   use_cost_planner=matcher.use_cost_planner,
                    use_incremental=False,
                    match_limit=matcher.match_limit,
                    time_budget=matcher.time_budget,
@@ -235,6 +241,7 @@ class RepairConfig(RepairKnobs):
     def from_matcher_config(cls, config: MatcherConfig) -> "RepairConfig":
         return cls(use_candidate_index=config.use_candidate_index,
                    use_decomposition=config.use_decomposition,
+                   use_cost_planner=config.use_cost_planner,
                    match_limit=config.match_limit,
                    time_budget=config.time_budget)
 
@@ -243,6 +250,7 @@ class RepairConfig(RepairKnobs):
                             use_candidate_index=self.use_candidate_index,
                             use_decomposition=self.use_decomposition,
                             use_incremental=self.use_incremental,
+                            use_cost_planner=self.use_cost_planner,
                             cost_model=self.cost_model,
                             max_repairs=self.max_repairs,
                             max_rounds=self.max_rounds,
@@ -253,6 +261,7 @@ class RepairConfig(RepairKnobs):
     def to_fast_config(self) -> FastRepairConfig:
         return FastRepairConfig(use_candidate_index=self.use_candidate_index,
                                 use_decomposition=self.use_decomposition,
+                                use_cost_planner=self.use_cost_planner,
                                 batch_repairs=self.batch_repairs,
                                 max_batch=self.max_batch,
                                 cost_model=self.cost_model,
@@ -270,5 +279,6 @@ class RepairConfig(RepairKnobs):
     def to_matcher_config(self) -> MatcherConfig:
         return MatcherConfig(use_candidate_index=self.use_candidate_index,
                              use_decomposition=self.use_decomposition,
+                             use_cost_planner=self.use_cost_planner,
                              match_limit=self.match_limit,
                              time_budget=self.time_budget)

@@ -163,6 +163,55 @@ def decompose_into_stars(pattern: Pattern, order: list[str] | None = None) -> li
     return stars
 
 
+def plan_connected_order(pattern: Pattern, seeded,
+                         estimate: Callable[[str, set], int],
+                         ) -> tuple[list[str], dict[str, int]]:
+    """Greedy connected variable order driven by live candidate estimates.
+
+    This is the cost-based counterpart of :func:`build_search_plan`'s
+    ordering: instead of a static structural score it consults
+    ``estimate(variable, bound)`` — live bucket cardinalities from the
+    candidate index — and it starts from the ``seeded`` variables (already
+    bound when a seeded incremental search begins) so every later variable
+    joins into the bound set whenever the pattern allows it.
+
+    Ranking for each next pick: most join edges into the bound set first
+    (connectivity beats cardinality — a joined variable enumerates a
+    neighbourhood, not a bucket), then the smaller live estimate, then
+    declaration order for determinism.  With no seeds the first pick has
+    zero joins everywhere, so it degenerates to the min-estimate pivot.
+
+    Returns ``(order, estimates)`` where ``estimates`` records the estimate
+    each non-seeded variable was chosen under — the baseline the planner's
+    drift check compares against.
+    """
+    positions = pattern.variable_positions()
+    order = [variable for variable in pattern.variables if variable in seeded]
+    bound = set(order)
+    estimates: dict[str, int] = {}
+    remaining = [variable for variable in pattern.variables
+                 if variable not in bound]
+    while remaining:
+        best_variable = None
+        best_rank: tuple[int, int, int] | None = None
+        for variable in remaining:
+            joins = 0
+            for edge in pattern.edges_touching(variable):
+                other = edge.target if edge.source == variable else edge.source
+                if other in bound:
+                    joins += 1
+            rank = (-joins, estimate(variable, bound), positions[variable])
+            if best_rank is None or rank < best_rank:
+                best_rank = rank
+                best_variable = variable
+        assert best_variable is not None and best_rank is not None
+        order.append(best_variable)
+        estimates[best_variable] = best_rank[1]
+        bound.add(best_variable)
+        remaining.remove(best_variable)
+    return order, estimates
+
+
 def variables_compatible_with_label(pattern: Pattern, label: str) -> list[str]:
     """Pattern variables a data node with ``label`` could possibly bind.
 

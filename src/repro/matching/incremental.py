@@ -166,17 +166,19 @@ class IncrementalMatcher:
     """Maintains :class:`MatchStore` objects for a set of patterns under deltas."""
 
     def __init__(self, graph: PropertyGraph, candidate_index: CandidateIndex | None = None,
-                 use_decomposition: bool = True) -> None:
+                 use_decomposition: bool = True, use_cost_planner: bool = True) -> None:
         self.graph = graph
         self.candidate_index = candidate_index
         self.use_decomposition = use_decomposition
+        self.use_cost_planner = use_cost_planner
         self._stores: dict[str, MatchStore] = {}
         # pre-filtered registration-time subset: stores whose rule has
         # incompleteness semantics, so the subtractive-delta recheck never
         # iterates (or even label-checks) the other stores
         self._incompleteness_stores: dict[str, MatchStore] = {}
         self._engine = VF2Matcher(graph=graph, candidate_index=candidate_index,
-                                  use_decomposition=use_decomposition)
+                                  use_decomposition=use_decomposition,
+                                  use_cost_planner=use_cost_planner)
         # cached pattern_requirements per (pattern, variable) for seed pruning;
         # the value keeps a strong reference to the pattern so the id() key
         # can never be recycled while the entry is alive

@@ -30,8 +30,10 @@ This is one of the three optimisations ablated in experiment E5.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right, insort
 from collections import Counter
 from dataclasses import dataclass
+from operator import itemgetter
 from typing import Any, Iterable, Mapping
 
 from repro.graph.delta import ChangeKind, GraphChange
@@ -51,9 +53,40 @@ def _is_hashable(value: Any) -> bool:
     return True
 
 
+# first element of a (value, node_id) entry — bisect key for range probes
+_entry_value = itemgetter(0)
+
+# operator name -> mirrored name, for rewriting ``a.x < b.y`` as a probe on
+# ``b``'s side (``b.y > a.x``) once ``a`` is the bound variable
+MIRRORED_RANGE_OP = {"lt": "gt", "le": "ge", "gt": "lt", "ge": "le"}
+
+_RANGE_PREDICATE_OPS = {PredicateOp.LT: "lt", PredicateOp.LE: "le",
+                        PredicateOp.GT: "gt", PredicateOp.GE: "ge"}
+_RANGE_COMPARISON_OPS = {ComparisonOp.LT: "lt", ComparisonOp.LE: "le",
+                         ComparisonOp.GT: "gt", ComparisonOp.GE: "ge"}
+
+
+def _orderable_class(value: Any) -> str | None:
+    """Type class under which ``value`` can live in a sorted array.
+
+    Only real numbers (bool/int/float, excluding NaN) and strings are
+    orderable classes — mixing anything else into a sorted list risks a
+    ``TypeError`` mid-bisect or, worse (``Decimal`` vs ``float``), a silently
+    inconsistent order.  Everything else goes to the fuzzy side pool and is
+    re-checked by residual predicates.
+    """
+    if isinstance(value, (int, float)):
+        if isinstance(value, float) and value != value:  # NaN breaks ordering
+            return None
+        return "num"
+    if isinstance(value, str):
+        return "str"
+    return None
+
+
 @dataclass(frozen=True)
 class PushdownSpec:
-    """The constant-equality constraints of one pattern variable.
+    """The index-answerable constraints of one pattern variable.
 
     ``unary`` — ``(key, value)`` pairs from the variable's unary ``EQ``
     predicates (always applicable, including in :meth:`CandidateIndex.candidates`).
@@ -65,66 +98,125 @@ class PushdownSpec:
     cross-variable ``EQ`` comparisons: once ``other variable`` is bound, its
     property value turns the comparison into a constant equality predicate
     that a value bucket can answer.
+    ``ranges`` — ``(key, op, constant)`` triples from unary ``lt/le/gt/ge``
+    predicates and literal range comparisons; answered by sorted-bucket
+    range probes (``op`` is one of ``"lt"/"le"/"gt"/"ge"``).
+    ``members`` — ``(key, values)`` pairs from unary ``IN`` predicates;
+    answered as a union of equality buckets.  ``NOT_IN`` is not pushable
+    (its complement is not bucket-shaped).
+    ``dynamic_ranges`` — ``(own key, op, other variable, other key)`` from
+    cross-variable range comparisons, already mirrored per orientation: once
+    the other variable binds, its value is the probe constant.
     """
 
     unary: tuple[tuple[str, Any], ...] = ()
     literal: tuple[tuple[str, Any], ...] = ()
     dynamic: tuple[tuple[str, str, str], ...] = ()
+    ranges: tuple[tuple[str, str, Any], ...] = ()
+    members: tuple[tuple[str, tuple], ...] = ()
+    dynamic_ranges: tuple[tuple[str, str, str, str], ...] = ()
 
 
 def variable_pushdowns(pattern: Pattern) -> dict[str, PushdownSpec]:
-    """Per-variable constant-equality pushdown specs of ``pattern``.
+    """Per-variable index-pushdown specs of ``pattern``.
 
     Only node variables participate; edge-variable comparisons are left to
-    the edge-binding phase.  Unhashable constants are skipped — they cannot
-    key a bucket.
+    the edge-binding phase.  Unhashable equality/membership constants are
+    skipped (they cannot key a bucket), as are unorderable range constants
+    (they cannot be bisected) — those constraints stay residual-only.
     """
     node_variables = {node.variable for node in pattern.nodes}
     unary: dict[str, list[tuple[str, Any]]] = {}
     literal: dict[str, list[tuple[str, Any]]] = {}
     dynamic: dict[str, list[tuple[str, str, str]]] = {}
+    ranges: dict[str, list[tuple[str, str, Any]]] = {}
+    members: dict[str, list[tuple[str, tuple]]] = {}
+    dynamic_ranges: dict[str, list[tuple[str, str, str, str]]] = {}
     for node in pattern.nodes:
         for predicate in node.predicates:
             if predicate.op is PredicateOp.EQ and _is_hashable(predicate.value):
                 unary.setdefault(node.variable, []).append(
                     (predicate.key, predicate.value))
+            elif predicate.op in _RANGE_PREDICATE_OPS:
+                if _orderable_class(predicate.value) is not None:
+                    ranges.setdefault(node.variable, []).append(
+                        (predicate.key, _RANGE_PREDICATE_OPS[predicate.op],
+                         predicate.value))
+            elif predicate.op is PredicateOp.IN:
+                try:
+                    values = tuple(predicate.value)
+                except TypeError:
+                    continue
+                if values and all(_is_hashable(value) for value in values):
+                    members.setdefault(node.variable, []).append(
+                        (predicate.key, values))
     for comparison in pattern.comparisons:
-        if comparison.op is not ComparisonOp.EQ:
-            continue
         left_var, left_key = comparison.left
         if left_var not in node_variables:
             continue
         if comparison.right_literal:
-            if _is_hashable(comparison.right_value):
-                literal.setdefault(left_var, []).append(
-                    (left_key, comparison.right_value))
+            if comparison.op is ComparisonOp.EQ:
+                if _is_hashable(comparison.right_value):
+                    literal.setdefault(left_var, []).append(
+                        (left_key, comparison.right_value))
+            elif comparison.op in _RANGE_COMPARISON_OPS:
+                if _orderable_class(comparison.right_value) is not None:
+                    ranges.setdefault(left_var, []).append(
+                        (left_key, _RANGE_COMPARISON_OPS[comparison.op],
+                         comparison.right_value))
             continue
         if comparison.right is None:
             continue
         right_var, right_key = comparison.right
         if right_var not in node_variables or right_var == left_var:
             continue
-        dynamic.setdefault(left_var, []).append((left_key, right_var, right_key))
-        dynamic.setdefault(right_var, []).append((right_key, left_var, left_key))
+        if comparison.op is ComparisonOp.EQ:
+            dynamic.setdefault(left_var, []).append((left_key, right_var, right_key))
+            dynamic.setdefault(right_var, []).append((right_key, left_var, left_key))
+        elif comparison.op in _RANGE_COMPARISON_OPS:
+            op = _RANGE_COMPARISON_OPS[comparison.op]
+            dynamic_ranges.setdefault(left_var, []).append(
+                (left_key, op, right_var, right_key))
+            dynamic_ranges.setdefault(right_var, []).append(
+                (right_key, MIRRORED_RANGE_OP[op], left_var, left_key))
     specs: dict[str, PushdownSpec] = {}
-    for variable in set(unary) | set(literal) | set(dynamic):
+    for variable in (set(unary) | set(literal) | set(dynamic)
+                     | set(ranges) | set(members) | set(dynamic_ranges)):
         specs[variable] = PushdownSpec(
             unary=tuple(unary.get(variable, ())),
             literal=tuple(literal.get(variable, ())),
             dynamic=tuple(dynamic.get(variable, ())),
+            ranges=tuple(ranges.get(variable, ())),
+            members=tuple(members.get(variable, ())),
+            dynamic_ranges=tuple(dynamic_ranges.get(variable, ())),
         )
     return specs
 
 
 class _ValueIndex:
     """One ``(label, key)`` value index: hashable values bucketed by equality,
-    unhashable values pooled (they are re-checked by residual predicates)."""
+    unhashable values pooled (they are re-checked by residual predicates).
 
-    __slots__ = ("values", "unhashable")
+    Range support is opt-in (:meth:`enable_sorted`): once enabled, hashable
+    entries are additionally kept in bisect-ordered ``(value, node_id)``
+    arrays — one per orderable type class (numbers, strings) — so ``lt/le/
+    gt/ge`` probes become O(log n) slices.  Hashable-but-unorderable values
+    (tuples, ``None``, NaN floats, exotic numerics like ``Decimal``) live in
+    the ``fuzzy`` side pool, which every range probe includes; residual
+    predicate checks reject the extras, so probes stay complete, never wrong.
+    """
+
+    __slots__ = ("values", "unhashable", "total", "sorted_enabled",
+                 "numbers", "strings", "fuzzy")
 
     def __init__(self) -> None:
         self.values: dict[Any, set[str]] = {}
         self.unhashable: set[str] = set()
+        self.total = 0  # entries across equality buckets (distinct = len(values))
+        self.sorted_enabled = False
+        self.numbers: list[tuple[Any, str]] = []
+        self.strings: list[tuple[str, str]] = []
+        self.fuzzy: set[str] = set()
 
     def add(self, value: Any, node_id: str) -> None:
         try:
@@ -134,7 +226,12 @@ class _ValueIndex:
             return
         if bucket is None:
             bucket = self.values[value] = set()
+        before = len(bucket)
         bucket.add(node_id)
+        if len(bucket) != before:
+            self.total += 1
+            if self.sorted_enabled:
+                self._sorted_add(value, node_id)
 
     def discard(self, value: Any, node_id: str) -> None:
         try:
@@ -142,13 +239,109 @@ class _ValueIndex:
         except TypeError:
             self.unhashable.discard(node_id)
             return
-        if bucket is not None:
+        if bucket is not None and node_id in bucket:
             bucket.discard(node_id)
+            self.total -= 1
             if not bucket:
                 del self.values[value]
+            if self.sorted_enabled:
+                self._sorted_discard(value, node_id)
+
+    # -- sorted arrays -------------------------------------------------
+
+    def enable_sorted(self) -> None:
+        """Build the sorted arrays from the current equality buckets
+        (idempotent; afterwards add/discard maintain them incrementally)."""
+        if self.sorted_enabled:
+            return
+        self.sorted_enabled = True
+        numbers: list[tuple[Any, str]] = []
+        strings: list[tuple[str, str]] = []
+        fuzzy: set[str] = set()
+        for value, bucket in self.values.items():
+            type_class = _orderable_class(value)
+            if type_class is None:
+                fuzzy.update(bucket)
+            elif type_class == "num":
+                numbers.extend((value, node_id) for node_id in bucket)
+            else:
+                strings.extend((value, node_id) for node_id in bucket)
+        numbers.sort()
+        strings.sort()
+        self.numbers = numbers
+        self.strings = strings
+        self.fuzzy = fuzzy
+
+    def _sorted_add(self, value: Any, node_id: str) -> None:
+        type_class = _orderable_class(value)
+        if type_class is None:
+            self.fuzzy.add(node_id)
+        elif type_class == "num":
+            insort(self.numbers, (value, node_id))
+        else:
+            insort(self.strings, (value, node_id))
+
+    def _sorted_discard(self, value: Any, node_id: str) -> None:
+        type_class = _orderable_class(value)
+        if type_class is None:
+            self.fuzzy.discard(node_id)
+            return
+        array = self.numbers if type_class == "num" else self.strings
+        entry = (value, node_id)
+        position = bisect_left(array, entry)
+        if position < len(array) and array[position] == entry:
+            del array[position]
+
+    def range_ids(self, op: str, constant: Any) -> set[str] | None:
+        """Node ids whose value may satisfy ``value <op> constant``.
+
+        Returns ``None`` when unanswerable (sorting not enabled, or the
+        constant is not orderable).  Otherwise the set is complete for the
+        comparison: the bisected slice of the constant's own type class plus
+        the fuzzy and unhashable side pools.  Values in the *other* type
+        class are correctly absent — comparing them against the constant
+        would raise ``TypeError``, which residual checks treat as ``False``.
+        """
+        if not self.sorted_enabled:
+            return None
+        type_class = _orderable_class(constant)
+        if type_class is None:
+            return None
+        array = self.numbers if type_class == "num" else self.strings
+        if op == "lt":
+            selected = array[:bisect_left(array, constant, key=_entry_value)]
+        elif op == "le":
+            selected = array[:bisect_right(array, constant, key=_entry_value)]
+        elif op == "gt":
+            selected = array[bisect_right(array, constant, key=_entry_value):]
+        else:  # "ge"
+            selected = array[bisect_left(array, constant, key=_entry_value):]
+        result = {node_id for _value, node_id in selected}
+        result.update(self.fuzzy)
+        result.update(self.unhashable)
+        return result
+
+    def member_ids(self, values: Iterable[Any]) -> set[str] | None:
+        """Union of the equality buckets for ``values`` plus the unhashable
+        pool, or ``None`` when any member cannot key a bucket."""
+        result = set(self.unhashable)
+        for value in values:
+            try:
+                bucket = self.values.get(value)
+            except TypeError:
+                return None
+            if bucket:
+                result.update(bucket)
+        return result
 
     def equal_to(self, other: "_ValueIndex") -> bool:
         return self.values == other.values and self.unhashable == other.unhashable
+
+    def sorted_equal_to(self, other: "_ValueIndex") -> bool:
+        """Compare the sorted-array views (both sides must have them built)."""
+        return (self.numbers == other.numbers
+                and self.strings == other.strings
+                and self.fuzzy == other.fuzzy)
 
 
 class CandidateIndex:
@@ -168,9 +361,14 @@ class CandidateIndex:
         # maintenance fast path (which keys matter for a given node label)
         self._value_indexes: dict[tuple[str | None, str], _ValueIndex] = {}
         self._value_keys_by_label: dict[str | None, set[str]] = {}
+        # pairs whose value index must keep sorted arrays (range probes)
+        self._sorted_pairs: set[tuple[str | None, str]] = set()
         # per-pattern pushdown specs (strong pattern ref keeps id() stable)
         self._pushdown_cache: dict[int, tuple[Pattern, dict[str, PushdownSpec]]] = {}
         self._attached = False
+        # bumped on every mutation; the cost planner uses it to skip
+        # re-estimating plans while the graph is unchanged
+        self.version = 0
         self.rebuild()
 
     # ------------------------------------------------------------------
@@ -179,6 +377,7 @@ class CandidateIndex:
 
     def rebuild(self) -> None:
         """Recompute the whole index from the graph (O(|V| + |E|))."""
+        self.version += 1
         self._by_label = {}
         self._out_signature = {}
         self._in_signature = {}
@@ -196,7 +395,10 @@ class CandidateIndex:
             self._out_total[edge.source] += 1
             self._in_total[edge.target] += 1
         for (label, key) in list(self._value_indexes):
-            self._value_indexes[(label, key)] = self._build_value_index(label, key)
+            rebuilt = self._build_value_index(label, key)
+            if (label, key) in self._sorted_pairs:
+                rebuilt.enable_sorted()
+            self._value_indexes[(label, key)] = rebuilt
 
     def attach(self) -> None:
         """Subscribe to the graph's change feed for incremental maintenance."""
@@ -217,6 +419,7 @@ class CandidateIndex:
         re-deriving the affected nodes' signatures from the graph, which the
         graph can answer in time proportional to their degree.
         """
+        self.version += 1
         kind = change.kind
         if kind is ChangeKind.ADD_NODE and change.node_id is not None:
             node = self._graph.node(change.node_id)
@@ -398,6 +601,51 @@ class CandidateIndex:
         self._value_indexes[pair] = self._build_value_index(label, key)
         self._value_keys_by_label.setdefault(label, set()).add(key)
 
+    def ensure_sorted_index(self, label: str | None, key: str) -> None:
+        """Register ``(label, key)`` with range-probe support.
+
+        Upgrades an existing equality-only index in place; the sorted arrays
+        survive :meth:`rebuild` (the pair is remembered).
+        """
+        self.ensure_value_index(label, key)
+        pair = (label, key)
+        if pair not in self._sorted_pairs:
+            self._sorted_pairs.add(pair)
+            self._value_indexes[pair].enable_sorted()
+
+    def range_bucket(self, label: str | None, key: str, op: str, value: Any):
+        """Node ids with ``label`` whose ``key`` property may satisfy
+        ``property <op> value`` (``op`` in ``"lt"/"le"/"gt"/"ge"``).
+
+        Returns ``None`` when unanswerable (pair not registered for sorting,
+        or ``value`` unorderable — including NaN); otherwise a complete set
+        (side-pool extras included, rejected by residual checks).  The
+        returned set is fresh and caller-owned.
+        """
+        index = self._value_indexes.get((label, key))
+        if index is None:
+            return None
+        return index.range_ids(op, value)
+
+    def membership_bucket(self, label: str | None, key: str, values: Iterable[Any]):
+        """Node ids with ``label`` whose ``key`` property may be in ``values``
+        (union of equality buckets plus the unhashable pool), or ``None``
+        when unanswerable.  The returned set is fresh and caller-owned."""
+        index = self._value_indexes.get((label, key))
+        if index is None:
+            return None
+        return index.member_ids(values)
+
+    def value_stats(self, label: str | None, key: str) -> tuple[int, int] | None:
+        """``(total entries, distinct values)`` of a registered value index,
+        or ``None`` — the planner's average-bucket-size statistic for
+        dynamic (bind-time) equality probes."""
+        index = self._value_indexes.get((label, key))
+        if index is None:
+            return None
+        return (index.total + len(index.unhashable),
+                len(index.values) + (1 if index.unhashable else 0))
+
     def value_bucket(self, label: str | None, key: str, value: Any):
         """Node ids with ``label`` whose ``key`` property equals ``value``.
 
@@ -447,6 +695,12 @@ class CandidateIndex:
                 self.ensure_value_index(label, key)
             for own_key, _other_var, _other_key in spec.dynamic:
                 self.ensure_value_index(label, own_key)
+            for key, _values in spec.members:
+                self.ensure_value_index(label, key)
+            for key, _op, _value in spec.ranges:
+                self.ensure_sorted_index(label, key)
+            for own_key, _op, _other_var, _other_key in spec.dynamic_ranges:
+                self.ensure_sorted_index(label, own_key)
         self._pushdown_cache[id(pattern)] = (pattern, specs)
         return specs
 
@@ -455,6 +709,20 @@ class CandidateIndex:
         the graph (test/debug helper; O(registered pairs × label buckets))."""
         for (label, key), index in self._value_indexes.items():
             if not index.equal_to(self._build_value_index(label, key)):
+                return False
+        return True
+
+    def check_sorted_integrity(self) -> bool:
+        """Verify every sorted pair's arrays and side pool exactly match a
+        rebuild from the graph (test/debug helper, mirror of
+        :meth:`check_value_integrity` for the range layer)."""
+        for pair in self._sorted_pairs:
+            index = self._value_indexes[pair]
+            if not index.sorted_enabled:
+                return False
+            rebuilt = self._build_value_index(*pair)
+            rebuilt.enable_sorted()
+            if not index.sorted_equal_to(rebuilt):
                 return False
         return True
 
@@ -540,12 +808,26 @@ class CandidateIndex:
         if use_value_buckets and check_predicates:
             spec = self.pushdowns(pattern).get(variable)
             if spec is not None:
+                pool_is_range = False
                 for key, value in spec.unary:
                     bucket = self.value_bucket(label, key, value)
                     if bucket is not None and len(bucket) < len(pool):
                         pool = bucket
+                for key, values in spec.members:
+                    bucket = self.membership_bucket(label, key, values)
+                    if bucket is not None and len(bucket) < len(pool):
+                        pool = bucket
+                        pool_is_range = True
+                for key, op, value in spec.ranges:
+                    bucket = self.range_bucket(label, key, op, value)
+                    if bucket is not None and len(bucket) < len(pool):
+                        pool = bucket
+                        pool_is_range = True
                 if pool is not label_pool and stats is not None:
-                    stats.value_bucket_candidates += len(pool)
+                    if pool_is_range:
+                        stats.range_bucket_candidates += len(pool)
+                    else:
+                        stats.value_bucket_candidates += len(pool)
         node = self._graph.node
         dominates = self.signature_dominates
         result = []
@@ -562,6 +844,54 @@ class CandidateIndex:
     def candidate_count_estimate(self, pattern: Pattern, variable: str) -> int:
         """Cheap selectivity estimate (label-bucket size) used for ordering."""
         return self.label_count(pattern.node_variable(variable).label)
+
+    def estimated_candidates(self, pattern: Pattern, variable: str,
+                             bound: Iterable[str] = ()) -> int:
+        """Live cardinality estimate for one variable: the smallest bucket
+        any of its pushdowns can answer right now.
+
+        ``bound`` is the set of variables already bound when this one is
+        enumerated — dynamic (cross-variable) pushdowns only apply when their
+        other side is in it, in which case the average equality-bucket size
+        (total entries / distinct values) stands in for the unknown probe.
+        This is the cost planner's per-variable statistic; it never touches
+        actual candidates, so it is O(#pushdowns) dictionary lookups plus
+        O(log n) bisects.
+        """
+        pattern_node = pattern.node_variable(variable)
+        label = pattern_node.label
+        estimate = self.label_count(label)
+        spec = self.pushdowns(pattern).get(variable)
+        if spec is None:
+            return estimate
+        for key, value in spec.unary:
+            bucket = self.value_bucket(label, key, value)
+            if bucket is not None and len(bucket) < estimate:
+                estimate = len(bucket)
+        for key, value in spec.literal:
+            bucket = self.value_bucket(label, key, value)
+            if bucket is not None and len(bucket) < estimate:
+                estimate = len(bucket)
+        for key, values in spec.members:
+            bucket = self.membership_bucket(label, key, values)
+            if bucket is not None and len(bucket) < estimate:
+                estimate = len(bucket)
+        for key, op, value in spec.ranges:
+            bucket = self.range_bucket(label, key, op, value)
+            if bucket is not None and len(bucket) < estimate:
+                estimate = len(bucket)
+        bound_set = bound if isinstance(bound, (set, frozenset)) else set(bound)
+        for own_key, other_var, _other_key in spec.dynamic:
+            if other_var not in bound_set:
+                continue
+            stats = self.value_stats(label, own_key)
+            if stats is None:
+                continue
+            total, distinct = stats
+            average = total // distinct + 1 if distinct else 0
+            if average < estimate:
+                estimate = average
+        return estimate
 
 
 def pattern_requirements(pattern: Pattern, variable: str) -> tuple[Counter, Counter]:

@@ -22,25 +22,30 @@ class MatcherConfig:
     """Configuration of the matching layer.
 
     ``use_candidate_index`` and ``use_decomposition`` are the two matching
-    optimisations ablated in experiment E5; ``match_limit`` caps enumeration
-    per pattern (None = unbounded); ``time_budget`` is an optional per-call
-    wall-clock budget in seconds.
+    optimisations ablated in experiment E5; ``use_cost_planner`` replaces the
+    static decomposition order with a statistics-driven plan (it needs both
+    of the others to act); ``match_limit`` caps enumeration per pattern
+    (None = unbounded); ``time_budget`` is an optional per-call wall-clock
+    budget in seconds.
     """
 
     use_candidate_index: bool = True
     use_decomposition: bool = True
+    use_cost_planner: bool = True
     match_limit: int | None = None
     time_budget: float | None = None
 
     @classmethod
     def naive(cls) -> "MatcherConfig":
         """Everything off — the unoptimised configuration."""
-        return cls(use_candidate_index=False, use_decomposition=False)
+        return cls(use_candidate_index=False, use_decomposition=False,
+                   use_cost_planner=False)
 
     @classmethod
     def optimized(cls) -> "MatcherConfig":
         """Everything on — the paper's efficient configuration."""
-        return cls(use_candidate_index=True, use_decomposition=True)
+        return cls(use_candidate_index=True, use_decomposition=True,
+                   use_cost_planner=True)
 
 
 @dataclass
@@ -61,6 +66,7 @@ class Matcher:
                 self._index.attach()
         engine = VF2Matcher(graph=self.graph, candidate_index=self._index,
                             use_decomposition=self.config.use_decomposition,
+                            use_cost_planner=self.config.use_cost_planner,
                             time_budget=self.config.time_budget)
         engine.stats = self.stats
         self._shared_engine = engine

@@ -178,6 +178,16 @@ class Pattern:
     def edge_variables(self) -> list[str]:
         return [edge.variable for edge in self.edges if edge.variable is not None]
 
+    def variable_positions(self) -> dict[str, int]:
+        """Declaration index per node variable (cached) — the deterministic
+        tie-break used by the cost planner's ordering."""
+        positions = getattr(self, "_variable_positions", None)
+        if positions is None:
+            positions = {node.variable: index
+                         for index, node in enumerate(self.nodes)}
+            self._variable_positions = positions
+        return positions
+
     def node_variable(self, variable: str) -> PatternNode:
         try:
             return self._nodes_by_variable[variable]

@@ -132,12 +132,36 @@ def ge(key: str, value: Any) -> PropertyPredicate:
     return PropertyPredicate(key, PredicateOp.GE, value)
 
 
+def _normalized_members(values) -> tuple:
+    """Materialise a membership list from any iterable, dropping duplicates.
+
+    Unhashable members (lists, dicts) are kept — they are deduplicated by a
+    linear equality scan and later handled by the residual ``in`` check, so a
+    rule author can write ``one_of("tags", [["a"], ["b"]])`` without a
+    ``TypeError`` at index-probe time.
+    """
+    members: list = []
+    seen: set = set()
+    for value in values:
+        try:
+            if value in seen:
+                continue
+            seen.add(value)
+        except TypeError:
+            if any(value == kept for kept in members):
+                continue
+        members.append(value)
+    return tuple(members)
+
+
 def one_of(key: str, values) -> PropertyPredicate:
-    return PropertyPredicate(key, PredicateOp.IN, tuple(values))
+    """The element's ``key`` value is one of ``values`` (any iterable)."""
+    return PropertyPredicate(key, PredicateOp.IN, _normalized_members(values))
 
 
 def not_one_of(key: str, values) -> PropertyPredicate:
-    return PropertyPredicate(key, PredicateOp.NOT_IN, tuple(values))
+    """The element's ``key`` value is none of ``values`` (any iterable)."""
+    return PropertyPredicate(key, PredicateOp.NOT_IN, _normalized_members(values))
 
 
 class ComparisonOp(enum.Enum):

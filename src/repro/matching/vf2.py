@@ -30,13 +30,22 @@ Hot-path design (this is the inner loop of every repair run):
   or label pool, so the search never *visits* a node that fails a constant
   predicate (``nodes_tried`` counts post-pushdown candidates only).
 
-Two knobs matter for the experiments:
+Range and membership predicates (``lt/le/gt/ge``, ``IN``) push down the same
+way through the index's sorted value buckets, including cross-variable range
+comparisons that become constant probes once one side binds.
+
+Three knobs matter for the experiments:
 
 * ``candidate_index`` — with an index, root candidates come from label
   buckets with signature pruning; without it, from a full graph scan
   (ablation E5 / figure E7).
 * ``use_decomposition`` — with decomposition, the search order starts at the
   most selective pivot; without it, declaration order is used.
+* ``use_cost_planner`` — with the planner (and an index), the static
+  decomposition order is replaced per (pattern, seeded set) by a greedy
+  connected order driven by live bucket cardinalities, re-planned when the
+  statistics drift (see ``_planned_order``).  Matches are identical either
+  way; only the search order — and therefore ``nodes_tried`` — changes.
 """
 
 from __future__ import annotations
@@ -47,7 +56,7 @@ from typing import Iterator, Mapping
 
 from repro.exceptions import MatchingError, MatchTimeout
 from repro.graph.property_graph import PropertyGraph
-from repro.matching.decomposition import build_search_plan
+from repro.matching.decomposition import build_search_plan, plan_connected_order
 from repro.matching.index import (
     CandidateIndex,
     PushdownSpec,
@@ -61,6 +70,21 @@ from repro.matching.pattern import Match, Pattern, PatternEdge
 # equality is unsatisfiable (empty bucket / missing compared property):
 # the caller prunes the whole branch instead of deriving candidates.
 _DEAD_BRANCH = object()
+
+# Replan when some variable's live estimate has drifted past this ratio
+# against the estimate its plan was built under (checked only when the
+# index version moved, so unchanged graphs never re-estimate).
+_REPLAN_DRIFT = 2.0
+
+
+def _estimates_drifted(baseline: dict, current: dict) -> bool:
+    for variable, previous in baseline.items():
+        fresh = current.get(variable, previous)
+        low, high = (previous, fresh) if previous <= fresh else (fresh, previous)
+        # +1 smooths zero-sized buckets (0 -> 1 is not a regime change)
+        if high + 1 > _REPLAN_DRIFT * (low + 1):
+            return True
+    return False
 
 
 @dataclass
@@ -82,7 +106,17 @@ class MatchingStats:
     # the pushdown layers cut the search space
     label_bucket_candidates: int = 0
     value_bucket_candidates: int = 0
+    # candidates offered by range/membership probes (the sorted-bucket layer)
+    range_bucket_candidates: int = 0
     predicate_survivors: int = 0
+    # cost-planner observability: plans built, drift-triggered replans, the
+    # latest chosen order per pattern, the estimates each order was chosen
+    # under, and the actual candidates derived per variable while planned
+    planner_plans: int = 0
+    planner_replans: int = 0
+    planner_orders: dict = field(default_factory=dict)
+    planner_estimated: dict = field(default_factory=dict)
+    planner_actual: dict = field(default_factory=dict)
     elapsed_seconds: float = 0.0
 
     def merge(self, other: "MatchingStats") -> None:
@@ -92,7 +126,16 @@ class MatchingStats:
         self.maintenance_passes += other.maintenance_passes
         self.label_bucket_candidates += other.label_bucket_candidates
         self.value_bucket_candidates += other.value_bucket_candidates
+        self.range_bucket_candidates += other.range_bucket_candidates
         self.predicate_survivors += other.predicate_survivors
+        self.planner_plans += other.planner_plans
+        self.planner_replans += other.planner_replans
+        self.planner_orders.update(other.planner_orders)
+        self.planner_estimated.update(other.planner_estimated)
+        for pattern_name, per_variable in other.planner_actual.items():
+            mine = self.planner_actual.setdefault(pattern_name, {})
+            for variable, count in per_variable.items():
+                mine[variable] = mine.get(variable, 0) + count
         self.elapsed_seconds += other.elapsed_seconds
 
     def as_dict(self) -> dict:
@@ -103,9 +146,29 @@ class MatchingStats:
             "maintenance_passes": self.maintenance_passes,
             "label_bucket_candidates": self.label_bucket_candidates,
             "value_bucket_candidates": self.value_bucket_candidates,
+            "range_bucket_candidates": self.range_bucket_candidates,
             "predicate_survivors": self.predicate_survivors,
+            "planner_plans": self.planner_plans,
+            "planner_replans": self.planner_replans,
+            "planner_orders": {name: list(order)
+                               for name, order in self.planner_orders.items()},
+            "planner_estimated": {name: dict(per_variable)
+                                  for name, per_variable in self.planner_estimated.items()},
+            "planner_actual": {name: dict(per_variable)
+                               for name, per_variable in self.planner_actual.items()},
             "elapsed_seconds": self.elapsed_seconds,
         }
+
+
+@dataclass
+class _PlanState:
+    """One cached cost-based plan: the order chosen for a given seeded
+    variable set, the per-variable estimates it was chosen under (the drift
+    baseline), and the index version it was last validated against."""
+
+    order: list[str]
+    estimates: dict[str, int]
+    checked_version: int
 
 
 @dataclass
@@ -131,6 +194,8 @@ class _PatternProfile:
     # pruning — both compiled once per pattern
     pushdowns: dict[str, PushdownSpec]
     requirements: dict[str, tuple]
+    # cost-planner plan cache: frozenset of seeded variables -> _PlanState
+    plans: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -159,6 +224,7 @@ class VF2Matcher:
     graph: PropertyGraph
     candidate_index: CandidateIndex | None = None
     use_decomposition: bool = True
+    use_cost_planner: bool = True
     time_budget: float | None = None
     stats: MatchingStats = field(default_factory=MatchingStats)
     _profiles: dict[int, _PatternProfile] = field(default_factory=dict, repr=False)
@@ -279,12 +345,66 @@ class VF2Matcher:
         return build_search_plan(pattern, selectivity=selectivity).order
 
     def _variable_order(self, profile: _PatternProfile, seed: Mapping[str, str] | None) -> list[str]:
+        if (self.use_cost_planner and self.use_decomposition
+                and self.candidate_index is not None):
+            return self._planned_order(profile, seed)
         order = profile.base_order
         if not seed:
             return order
         seeded = [variable for variable in order if variable in seed]
         rest = [variable for variable in order if variable not in seed]
         return seeded + rest
+
+    # ------------------------------------------------------------------
+    # cost-based planning
+    # ------------------------------------------------------------------
+
+    def _planned_order(self, profile: _PatternProfile, seed: Mapping[str, str] | None) -> list[str]:
+        """The cost-based variable order for this (pattern, seeded set).
+
+        Plans are cached per seeded-variable set and validated against the
+        candidate index's version counter: while the graph is unchanged the
+        cached order is returned with two dict lookups.  When the version
+        moved, the plan's variables are re-estimated (cheap bucket-size
+        lookups); only when some estimate drifted past ``_REPLAN_DRIFT`` is
+        the greedy order rebuilt and ``planner_replans`` bumped.
+        """
+        index = self.candidate_index
+        seeded = frozenset(seed) if seed else frozenset()
+        state = profile.plans.get(seeded)
+        version = index.version
+        if state is not None:
+            if state.checked_version == version:
+                return state.order
+            current = self._order_estimates(profile, state.order, len(seeded))
+            if not _estimates_drifted(state.estimates, current):
+                state.checked_version = version
+                return state.order
+        pattern = profile.pattern
+        order, estimates = plan_connected_order(
+            pattern, seeded,
+            lambda variable, bound: index.estimated_candidates(pattern, variable, bound))
+        if state is None:
+            self.stats.planner_plans += 1
+        else:
+            self.stats.planner_replans += 1
+        profile.plans[seeded] = _PlanState(order, estimates, version)
+        self.stats.planner_orders[pattern.name] = list(order)
+        self.stats.planner_estimated.setdefault(pattern.name, {}).update(estimates)
+        return order
+
+    def _order_estimates(self, profile: _PatternProfile, order: list[str],
+                         seeded_count: int) -> dict[str, int]:
+        """Re-estimate a stored order's variables under the same prefix-bound
+        contexts the plan was built with."""
+        index = self.candidate_index
+        pattern = profile.pattern
+        bound = set(order[:seeded_count])
+        estimates: dict[str, int] = {}
+        for variable in order[seeded_count:]:
+            estimates[variable] = index.estimated_candidates(pattern, variable, bound)
+            bound.add(variable)
+        return estimates
 
     # ------------------------------------------------------------------
     # search internals
@@ -321,6 +441,12 @@ class VF2Matcher:
         graph_node = self.graph.node
         node_variables = profile.node_variables
         time_budget = deadline is not None
+        if (self.use_cost_planner and self.use_decomposition
+                and self.candidate_index is not None):
+            planner_actual = stats.planner_actual.setdefault(
+                profile.pattern.name, {})
+        else:
+            planner_actual = None
 
         def open_frame(depth: int) -> list | None:
             """A fresh frame for the next unbound variable at/after ``depth``
@@ -336,6 +462,9 @@ class VF2Matcher:
             variable = order[depth]
             candidates, derived_from = self._candidates_for(profile, variable,
                                                             assignment)
+            if planner_actual is not None:
+                planner_actual[variable] = (planner_actual.get(variable, 0)
+                                            + len(candidates))
             return [depth, variable, iter(candidates), derived_from, None]
 
         frame = open_frame(depth)
@@ -517,6 +646,38 @@ class VF2Matcher:
             if bucket is not None:
                 if not bucket:
                     return _DEAD_BRANCH
+                buckets.append(bucket)
+        stats = self.stats
+        for key, values in spec.members:
+            bucket = index.membership_bucket(label, key, values)
+            if bucket is not None:
+                if not bucket:
+                    return _DEAD_BRANCH
+                stats.range_bucket_candidates += len(bucket)
+                buckets.append(bucket)
+        for key, op, value in spec.ranges:
+            bucket = index.range_bucket(label, key, op, value)
+            if bucket is not None:
+                if not bucket:
+                    return _DEAD_BRANCH
+                stats.range_bucket_candidates += len(bucket)
+                buckets.append(bucket)
+        for own_key, op, other_variable, other_key in spec.dynamic_ranges:
+            other_id = assignment.get(other_variable)
+            if other_id is None or not graph.has_node(other_id):
+                continue
+            other_properties = graph.node(other_id).properties
+            if other_key not in other_properties:
+                # a range comparison against a missing property is always False
+                return _DEAD_BRANCH
+            bucket = index.range_bucket(label, own_key, op,
+                                        other_properties[other_key])
+            # None = unanswerable (unorderable bound value, e.g. a list or
+            # NaN) — leave it to the residual comparison check
+            if bucket is not None:
+                if not bucket:
+                    return _DEAD_BRANCH
+                stats.range_bucket_candidates += len(bucket)
                 buckets.append(bucket)
         return buckets
 

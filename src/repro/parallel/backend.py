@@ -78,6 +78,12 @@ class FanoutReport:
     # from their payloads, so the pushdown travels with them)
     shard_nodes_tried: int = 0
     shard_value_bucket_candidates: int = 0
+    shard_range_bucket_candidates: int = 0
+    # summed worker-side cost-planner activity (the shards run the same
+    # planner as the sequential core, so these mirror planner_plans /
+    # planner_replans in the coordinator's MatchingStats)
+    shard_planner_plans: int = 0
+    shard_planner_replans: int = 0
     # -- warm-pool diagnostics (all zero on the cold path) --------------
     #: this fan-out went through the persistent pool
     warm: bool = False
@@ -471,6 +477,9 @@ class ShardedRepairer:
             fanout.shard_elapsed_seconds += result.elapsed_seconds
             fanout.shard_nodes_tried += result.nodes_tried
             fanout.shard_value_bucket_candidates += result.value_bucket_candidates
+            fanout.shard_range_bucket_candidates += result.range_bucket_candidates
+            fanout.shard_planner_plans += result.planner_plans
+            fanout.shard_planner_replans += result.planner_replans
 
         with self.core.report.timings.measure("shard-merge"):
             outcome: MergeOutcome = DeltaMerger(self._graph).merge(results)

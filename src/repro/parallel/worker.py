@@ -79,6 +79,11 @@ class ShardResult:
     # candidates the shard's value buckets scanned in place of label buckets
     # (the predicate-pushdown layer, rebuilt worker-side with the index)
     value_bucket_candidates: int = 0
+    # candidates the shard's range/membership probes offered
+    range_bucket_candidates: int = 0
+    # cost-planner activity inside the shard (plans built / drift replans)
+    planner_plans: int = 0
+    planner_replans: int = 0
     elapsed_seconds: float = 0.0
 
 
@@ -106,6 +111,9 @@ def run_shard_task(task: ShardTask) -> ShardResult:
         repairs_failed=report.repairs_failed,
         nodes_tried=report.matching_stats.nodes_tried,
         value_bucket_candidates=report.matching_stats.value_bucket_candidates,
+        range_bucket_candidates=report.matching_stats.range_bucket_candidates,
+        planner_plans=report.matching_stats.planner_plans,
+        planner_replans=report.matching_stats.planner_replans,
         elapsed_seconds=time.perf_counter() - started,
     )
 
@@ -152,9 +160,12 @@ class ShardWorkerState:
         """One propose-then-revert repair pass over the standing replica."""
         started = time.perf_counter()
         report = self.core_state.report
+        stats = self.core_state.stats
         baseline = (report.violations_detected, report.repairs_applied,
-                    report.repairs_failed, self.core_state.stats.nodes_tried,
-                    self.core_state.stats.value_bucket_candidates)
+                    report.repairs_failed, stats.nodes_tried,
+                    stats.value_bucket_candidates,
+                    stats.range_bucket_candidates,
+                    stats.planner_plans, stats.planner_replans)
         collected: list[AppliedRepair] = []
         with recording(self.graph) as recorder:
             self.core_state.drain(
@@ -177,6 +188,11 @@ class ShardWorkerState:
             nodes_tried=finalized.matching_stats.nodes_tried - baseline[3],
             value_bucket_candidates=(
                 finalized.matching_stats.value_bucket_candidates - baseline[4]),
+            range_bucket_candidates=(
+                finalized.matching_stats.range_bucket_candidates - baseline[5]),
+            planner_plans=finalized.matching_stats.planner_plans - baseline[6],
+            planner_replans=(
+                finalized.matching_stats.planner_replans - baseline[7]),
             elapsed_seconds=time.perf_counter() - started,
         )
 

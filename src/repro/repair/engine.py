@@ -34,7 +34,7 @@ _DEPRECATION = ("%s is deprecated; open a repro.api.RepairSession (see "
 class EngineConfig(RepairKnobs):
     """Configuration of a repair run.
 
-    ``method`` is ``"fast"`` or ``"naive"``.  The three ``use_*`` flags select
+    ``method`` is ``"fast"`` or ``"naive"``.  The ``use_*`` flags select
     the optimisations of the fast method (ignored by the naive method, except
     that ``use_candidate_index``/``use_decomposition`` also configure the
     naive method's matcher so that E5's "no incremental maintenance" variant
@@ -51,6 +51,7 @@ class EngineConfig(RepairKnobs):
     use_candidate_index: bool = True
     use_decomposition: bool = True
     use_incremental: bool = True
+    use_cost_planner: bool = True
     max_rounds: int = 100
     check_consistency: bool = False
     require_consistency: bool = False
@@ -62,19 +63,24 @@ class EngineConfig(RepairKnobs):
     @classmethod
     def naive(cls, **overrides) -> "EngineConfig":
         config = cls(method="naive", use_candidate_index=False,
-                     use_decomposition=False, use_incremental=False)
+                     use_decomposition=False, use_incremental=False,
+                     use_cost_planner=False)
         return replace(config, **overrides)
 
     @classmethod
     def ablation(cls, disable: str) -> "EngineConfig":
         """The E5 ablation variants: ``disable`` ∈ {"none", "index",
-        "decomposition", "incremental"}."""
+        "decomposition", "incremental", "planner"}."""
         if disable == "none":
             return cls.fast()
         if disable == "index":
             return cls.fast(use_candidate_index=False)
         if disable == "decomposition":
             return cls.fast(use_decomposition=False)
+        if disable == "planner":
+            # Static decomposition order, everything else optimised: isolates
+            # the cost-based planner's contribution.
+            return cls.fast(use_cost_planner=False)
         if disable == "incremental":
             # No incremental maintenance: the naive loop, but with the
             # optimised matcher so only the maintenance strategy differs.

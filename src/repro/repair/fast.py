@@ -86,6 +86,7 @@ class FastRepairConfig(RepairKnobs):
     # base, so trailing positional binding would silently change meaning
     __: dataclasses.KW_ONLY
     use_decomposition: bool = True
+    use_cost_planner: bool = True
     batch_repairs: bool = False
     max_batch: int | None = None
 
@@ -119,9 +120,10 @@ class _ExtensionChecker:
     """
 
     def __init__(self, graph: PropertyGraph, index: CandidateIndex | None,
-                 use_decomposition: bool) -> None:
+                 use_decomposition: bool, use_cost_planner: bool = True) -> None:
         self._engine = VF2Matcher(graph=graph, candidate_index=index,
-                                  use_decomposition=use_decomposition)
+                                  use_decomposition=use_decomposition,
+                                  use_cost_planner=use_cost_planner)
 
     @property
     def stats(self):
@@ -189,8 +191,10 @@ class FastRepairCore:
 
         self.incremental = IncrementalMatcher(
             graph, candidate_index=self.index,
-            use_decomposition=config.use_decomposition)
-        self.checker = _ExtensionChecker(graph, self.index, config.use_decomposition)
+            use_decomposition=config.use_decomposition,
+            use_cost_planner=config.use_cost_planner)
+        self.checker = _ExtensionChecker(graph, self.index, config.use_decomposition,
+                                         config.use_cost_planner)
         self.executor = RepairExecutor(graph, cost_model=config.cost_model)
 
         self.rules_by_pattern: dict[str, GraphRepairingRule] = {}

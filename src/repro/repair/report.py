@@ -109,7 +109,16 @@ class RepairReport:
             "maintenance_passes": self.matching_stats.maintenance_passes,
             "label_bucket_candidates": self.matching_stats.label_bucket_candidates,
             "value_bucket_candidates": self.matching_stats.value_bucket_candidates,
+            "range_bucket_candidates": self.matching_stats.range_bucket_candidates,
             "predicate_survivors": self.matching_stats.predicate_survivors,
+            "planner_plans": self.matching_stats.planner_plans,
+            "planner_replans": self.matching_stats.planner_replans,
+            "planner_orders": {name: list(order) for name, order
+                               in self.matching_stats.planner_orders.items()},
+            "planner_estimated": {name: dict(per_variable) for name, per_variable
+                                  in self.matching_stats.planner_estimated.items()},
+            "planner_actual": {name: dict(per_variable) for name, per_variable
+                               in self.matching_stats.planner_actual.items()},
             "elapsed_seconds": self.elapsed_seconds,
             "total_changes": self.total_changes(),
             "initial_nodes": self.initial_nodes,
@@ -132,7 +141,11 @@ class RepairReport:
             f"{self.matching_stats.backtracks} backtracks",
             f"  index pruning: {self.matching_stats.label_bucket_candidates} label-bucket "
             f"candidates, {self.matching_stats.value_bucket_candidates} value-bucket, "
+            f"{self.matching_stats.range_bucket_candidates} range/membership, "
             f"{self.matching_stats.predicate_survivors} predicate survivors",
+            f"  planner: {self.matching_stats.planner_plans} plans, "
+            f"{self.matching_stats.planner_replans} replans, orders: "
+            f"{self.matching_stats.planner_orders}",
             f"  graph: {self.initial_nodes}/{self.initial_edges} -> "
             f"{self.final_nodes}/{self.final_edges} (nodes/edges)",
             f"  changes: {self.change_counts()}",

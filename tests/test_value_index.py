@@ -68,11 +68,15 @@ class TestVariablePushdowns:
         assert specs["x"].literal == ()
         assert specs["x"].dynamic == ()
 
-    def test_non_eq_predicates_do_not_compile(self):
+    def test_range_predicates_compile_into_ranges(self):
+        # since the sorted-bucket layer, gt/lt/le/ge compile as range
+        # pushdowns (not equality pushdowns — see test_sorted_index.py)
         pattern = Pattern(nodes=[PatternNode("x", "Person",
                                              predicates=(gt("age", 30),))],
                           name="non-eq")
-        assert variable_pushdowns(pattern) == {}
+        specs = variable_pushdowns(pattern)
+        assert specs["x"].unary == ()
+        assert specs["x"].ranges == (("age", "gt", 30),)
 
     def test_unhashable_constants_are_skipped(self):
         pattern = Pattern(nodes=[PatternNode("x", "Person",
