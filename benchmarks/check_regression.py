@@ -15,10 +15,17 @@ should be re-recorded with ``perf_baseline.py`` — reported as a warning so an
 intentional algorithmic change does not hard-fail the gate on counters alone.
 
 Exception: the counters in ``GATED_COUNTER_KEYS`` (warm-pool spawns after
-warm-up, the scale tier's repair count, ``nodes_tried``, and the planner's
-plan/replan counts) hard-fail on any drift.  They are the contract that the hot path does the *same work* — a
+warm-up, the scale tier's repair count, ``nodes_tried``, the planner's
+plan/replan counts, and the durability scenario's replay counters) hard-fail
+on any drift.  They are the contract that the hot path does the *same work* — a
 change that moves them must re-record the baseline in the same commit, which
 makes every counter shift a deliberate, reviewed event in the trajectory.
+
+Host-awareness: baseline entries record the host fingerprint (hostname +
+core count).  When the baseline was recorded on a *different* host — or
+predates the fingerprint — the wall-clock comparisons are reported but do
+not gate (a different machine's timings are noise, not signal); the
+deterministic counters gate regardless of host.
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ from perf_baseline import (  # noqa: E402
     DEFAULT_OUTPUT,
     GATED_COUNTER_KEYS,
     TIMING_KEYS,
+    host_fingerprint,
     latest_entry,
     load_trajectory,
     measure,
@@ -42,9 +50,25 @@ from perf_baseline import (  # noqa: E402
 DEFAULT_THRESHOLD = 0.25
 
 
+def same_host(baseline_entry: dict) -> bool:
+    """Whether the baseline's host fingerprint matches this machine.
+
+    Entries that predate the fingerprint count as a different host: their
+    timings cannot be attributed to this machine.
+    """
+    fingerprint = host_fingerprint()
+    return all(baseline_entry.get(key) == value
+               for key, value in fingerprint.items())
+
+
 def compare(baseline_results: dict, current_results: dict,
-            threshold: float = DEFAULT_THRESHOLD) -> tuple[list[str], list[str]]:
-    """Return (regressions, warnings) comparing current against baseline."""
+            threshold: float = DEFAULT_THRESHOLD,
+            gate_timings: bool = True) -> tuple[list[str], list[str]]:
+    """Return (regressions, warnings) comparing current against baseline.
+
+    With ``gate_timings=False`` (baseline from a different host) timing
+    overruns are demoted to warnings; counter drift gates as usual.
+    """
     regressions: list[str] = []
     warnings: list[str] = []
     for domain, baseline in baseline_results.items():
@@ -71,9 +95,14 @@ def compare(baseline_results: dict, current_results: dict,
                 continue
             ratio = cur_val / base_val
             if ratio > 1.0 + threshold:
-                regressions.append(
+                message = (
                     f"{domain}.{key}: {base_val:.4f}s -> {cur_val:.4f}s "
                     f"({ratio:.2f}x, threshold {1.0 + threshold:.2f}x)")
+                if gate_timings:
+                    regressions.append(message)
+                else:
+                    warnings.append(f"{message} — not gated: baseline is "
+                                    f"from a different host")
     return regressions, warnings
 
 
@@ -92,10 +121,19 @@ def main(argv: list[str] | None = None) -> int:
               f"record one with perf_baseline.py first")
         return 2
 
+    gate_timings = same_host(baseline)
     current = measure(args.mode)
-    regressions, warnings = compare(baseline["results"], current, args.threshold)
+    regressions, warnings = compare(baseline["results"], current,
+                                    args.threshold, gate_timings=gate_timings)
 
     print(f"baseline: {baseline['label']!r} @ {baseline['timestamp']}")
+    if not gate_timings:
+        fingerprint = host_fingerprint()
+        print(f"NOTE: baseline host "
+              f"{baseline.get('host')!r}/{baseline.get('cpu_count')} cores "
+              f"!= current {fingerprint['host']!r}/"
+              f"{fingerprint['cpu_count']} cores — wall-clock gates skipped, "
+              f"counters still gate")
     for domain, row in current.items():
         base = baseline["results"].get(domain, {})
         deltas = ", ".join(

@@ -33,6 +33,13 @@ Measures, for each of the three dataset domains (``kg``, ``movies``,
   gates** in ``check_regression.py`` (see ``GATED_COUNTER_KEYS``): a drift
   means the matcher does different work at scale and the baseline must be
   re-recorded deliberately;
+* the ``recovery-kg`` scenario (kg domain only) — durable serve through
+  ``repro.durability`` (fsync'd WAL + periodic snapshots) under the same
+  deterministic traffic as the service scenario, then a timed cold restore
+  (``recovery_seconds``, a gated timing key) and the replay counters
+  (committed sequence, records/changes replayed, snapshots written —
+  **hard gates**: identical traffic must produce an identical durable
+  history);
 
 plus the deterministic work counters (repairs applied, violations detected,
 matches enumerated, nodes tried, and the incremental ``maintenance_passes``
@@ -43,7 +50,9 @@ slower" from "the algorithm does more work".
 Each invocation appends one entry to ``BENCH_repair.json`` (the *trajectory*)
 so the perf history of the repo is recorded alongside the code.  The last
 entry for a given mode is the baseline that ``check_regression.py`` compares
-against.
+against.  Entries record the host fingerprint (hostname + core count):
+wall-clock gates only apply when the baseline was recorded on the same
+host, while the deterministic work counters gate everywhere.
 
 Usage::
 
@@ -57,6 +66,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -84,7 +94,8 @@ MODES: dict[str, dict[str, Any]] = {
 # varies with host load, and on single-core hosts the scenario measures
 # overhead, not speedup (see docs/PARALLEL.md "when sharding wins").
 TIMING_KEYS = ("match_seconds", "fast_seconds", "naive_seconds",
-               "batched_seconds", "scale_match_seconds", "scale_fast_seconds")
+               "batched_seconds", "scale_match_seconds", "scale_fast_seconds",
+               "recovery_seconds")
 COUNTER_KEYS = ("matches", "fast_repairs_applied", "fast_violations_detected",
                 "fast_nodes_tried", "naive_repairs_applied",
                 "fast_maintenance_passes",
@@ -96,7 +107,9 @@ COUNTER_KEYS = ("matches", "fast_repairs_applied", "fast_violations_detected",
                 "scale_matches", "scale_repairs_applied",
                 "scale_violations_detected", "scale_nodes_tried",
                 "scale_range_bucket_candidates", "scale_planner_plans",
-                "scale_planner_replans")
+                "scale_planner_replans",
+                "recovery_sequence", "recovery_records_replayed",
+                "recovery_changes_replayed", "recovery_snapshots_written")
 
 # Deterministic counters that HARD-FAIL the regression gate on any drift
 # (instead of warning): the warm pool must never spawn after warm-up, and the
@@ -104,10 +117,23 @@ COUNTER_KEYS = ("matches", "fast_repairs_applied", "fast_violations_detected",
 # work on large graphs — an intentional algorithmic change must re-record the
 # baseline in the same commit.  The planner counters pin the cost planner's
 # decisions at scale: a plan-count or replan-count drift means the planner
-# reacts differently to the same statistics.
+# reacts differently to the same statistics.  The recovery counters pin the
+# durability pipeline: the committed history's length, the snapshot cadence,
+# and the replay tail must all be exactly reproducible — a drift means the
+# WAL records different traffic for the same workload.
 GATED_COUNTER_KEYS = ("service_warm_spawns_after_warmup",
                       "scale_repairs_applied", "scale_nodes_tried",
-                      "scale_planner_plans", "scale_planner_replans")
+                      "scale_planner_plans", "scale_planner_replans",
+                      "recovery_sequence", "recovery_records_replayed",
+                      "recovery_changes_replayed",
+                      "recovery_snapshots_written")
+
+
+def host_fingerprint() -> dict[str, Any]:
+    """What the wall-clock gates are conditioned on: timings recorded on a
+    different machine (or core count) are not comparable, while the
+    deterministic work counters always are."""
+    return {"host": platform.node(), "cpu_count": os.cpu_count()}
 
 #: the sharded scenario runs only where fan-out has enough work to mean
 #: anything: the kg domain at each mode's scale, 4 workers
@@ -160,6 +186,7 @@ def measure_domain(domain: str, scale: int, error_rate: float, seed: int,
     if domain == SHARDED_DOMAIN:
         sharded = measure_sharded(workload)
         sharded.update(measure_service(workload))
+        sharded.update(measure_recovery(workload))
 
     return {
         **sharded,
@@ -226,6 +253,13 @@ def _service_corrupt(graph, seed: int) -> None:
 
 #: edit→repair rounds the service scenario drives after the initial repair
 SERVICE_ROUNDS = 3
+
+#: durability knobs for the ``recovery-kg`` scenario: enough edit→repair
+#: rounds and a small snapshot cadence that the restore path exercises both
+#: a snapshot load and a WAL replay tail (each service call commits one
+#: changefeed record, so 1 + 2×rounds records total)
+RECOVERY_ROUNDS = 8
+RECOVERY_SNAPSHOT_EVERY = 4
 
 
 def measure_service(workload) -> dict[str, Any]:
@@ -295,6 +329,62 @@ def measure_service(workload) -> dict[str, Any]:
         "service_warm_spawns_after_warmup": spawns_after_warmup,
         "service_warm_binds": stats["binds"],
         "service_warm_ships": stats["deltas_shipped"],
+    }
+
+
+def measure_recovery(workload) -> dict[str, Any]:
+    """The ``recovery-kg`` scenario: durable serve → shutdown → cold restore.
+
+    Serves the kg workload durably (fsync'd WAL) and drives the service
+    scenario's deterministic repair → (edit → repair) × ``RECOVERY_ROUNDS``
+    traffic, then closes the service and times a cold
+    :func:`repro.durability.recover` of the tenant from snapshot + WAL
+    (best-of-3 — recovery is read-only, so it repeats cleanly).
+    ``recovery_seconds`` joins the timing gates; the replay counters
+    (committed sequence, records and changes replayed, snapshots written)
+    are **hard gates** — identical traffic must produce an identical
+    durable history, snapshot cadence, and replay tail.
+    """
+    import shutil
+    import tempfile
+
+    from repro.durability import DurabilityConfig, recover
+    from repro.service import GraphRepairService
+
+    root = Path(tempfile.mkdtemp(prefix="repro-recovery-"))
+    try:
+        config = DurabilityConfig(dir=root,
+                                  snapshot_every=RECOVERY_SNAPSHOT_EVERY,
+                                  fsync=True)
+        started = time.perf_counter()
+        with GraphRepairService() as service:
+            service.serve("bench", workload.dirty.copy(name="bench"),
+                          workload.rules, durable=config)
+            service.repair("bench")
+            for round_index in range(RECOVERY_ROUNDS):
+                service.apply("bench",
+                              lambda g, s=round_index: _service_corrupt(g, s))
+                service.repair("bench")
+            live = service.graph("bench")
+            live_nodes, live_edges = live.num_nodes, live.num_edges
+            stats = service.durability("bench").stats()
+        serve_seconds = time.perf_counter() - started
+
+        recovery_seconds, recovered = _best_of(
+            3, lambda: recover("bench", config))
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    return {
+        "recovery_serve_seconds": round(serve_seconds, 4),
+        "recovery_seconds": round(recovery_seconds, 4),
+        "recovery_sequence": recovered.sequence,
+        "recovery_snapshot_sequence": recovered.snapshot_sequence,
+        "recovery_records_replayed": recovered.records_replayed,
+        "recovery_changes_replayed": recovered.changes_replayed,
+        "recovery_snapshots_written": stats["snapshots_written"],
+        "recovery_exact": (recovered.graph.num_nodes == live_nodes
+                           and recovered.graph.num_edges == live_edges),
     }
 
 
@@ -389,6 +479,7 @@ def append_entry(path: Path, mode: str, label: str,
         "mode": mode,
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": platform.python_version(),
+        **host_fingerprint(),
         "results": results,
     }
     trajectory["entries"].append(entry)
@@ -424,6 +515,17 @@ def format_results(results: dict[str, Any]) -> str:
                 f"{row['service_warm_spawns_after_warmup']} after warm-up, "
                 f"{row['service_warm_binds']} binds, "
                 f"{row['service_warm_ships']} ships)")
+        if "recovery_seconds" in row:
+            lines.append(
+                f"{'':8} recovery-{domain}@{row['scale']}: restore "
+                f"{row['recovery_seconds']:.4f}s from snapshot@"
+                f"{row['recovery_snapshot_sequence']} + "
+                f"{row['recovery_records_replayed']} replayed records "
+                f"({row['recovery_changes_replayed']} changes, "
+                f"{row['recovery_snapshots_written']} snapshots, "
+                f"committed seq {row['recovery_sequence']}, "
+                f"durable serve {row['recovery_serve_seconds']:.4f}s, "
+                f"exact={row['recovery_exact']})")
         if "scale_tier" in row:
             lines.append(
                 f"{'':8} scale-{domain}@{row['scale_tier']}: "

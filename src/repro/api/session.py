@@ -394,7 +394,8 @@ class RepairSession:
                 raise ValueError(f"after must be >= 0, got {after}")
             return self._feed[after:]
 
-    def on_commit(self, callback: Callable[[CommittedDelta], None]) -> Callable[[], None]:
+    def on_commit(self, callback: Callable[[CommittedDelta], None],
+                  *, prepend: bool = False) -> Callable[[], None]:
         """Subscribe ``callback`` to the changefeed; returns an unsubscribe.
 
         The callback runs on the committing thread, under the session lock,
@@ -402,10 +403,21 @@ class RepairSession:
         this session's graph (ship the delta to a *replica* instead) and
         should return quickly — every other thread's session operation waits
         while it runs.
+
+        ``prepend=True`` places the callback **ahead** of every subscriber
+        registered so far — the durability hook's slot: a write-ahead log
+        must see (and fsync) the record before any replica-feeding
+        subscriber ships it, and before the committing call returns.  A
+        prepended callback that raises therefore also *prevents* later
+        subscribers from observing the record in that delivery (the record
+        itself is already in :meth:`deltas` either way).
         """
         with self._lock:
             self._require_open()
-            self._feed_subscribers.append(callback)
+            if prepend:
+                self._feed_subscribers.insert(0, callback)
+            else:
+                self._feed_subscribers.append(callback)
 
         def unsubscribe() -> None:
             with self._lock:

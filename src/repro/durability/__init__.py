@@ -1,0 +1,64 @@
+"""repro.durability — the persistence and replication layer.
+
+Everything a served tenant needs to survive its process:
+
+* :mod:`~repro.durability.codec` — the versioned wire format every durable
+  artefact speaks (WAL records, snapshots, replication frames);
+* :mod:`~repro.durability.wal` — the append-only, segmented, checksummed
+  write-ahead log with torn-tail truncation;
+* :mod:`~repro.durability.snapshot` — atomic periodic graph snapshots that
+  bound WAL replay (and allow log truncation);
+* :mod:`~repro.durability.recovery` — :class:`TenantDurability`, the
+  WAL-before-ack commit sink, and :func:`recover`, the snapshot + exact-replay
+  restore path;
+* :mod:`~repro.durability.replication` — the changefeed streamed over a
+  socket to cross-process :class:`ReadReplica` instances serving match
+  traffic.
+
+The service layer wires all of it behind two calls::
+
+    service.serve("kg", graph, rules, durable=DurabilityConfig(dir=root))
+    ...                                   # crash, restart
+    service.restore("kg", rules, durable=DurabilityConfig(dir=root))
+"""
+
+from repro.durability import codec
+from repro.durability.wal import DEFAULT_SEGMENT_BYTES, WriteAheadLog
+from repro.durability.snapshot import (
+    latest_snapshot,
+    list_snapshots,
+    load_snapshot,
+    prune_snapshots,
+    write_snapshot,
+)
+from repro.durability.recovery import (
+    DurabilityConfig,
+    RecoveredTenant,
+    TenantDurability,
+    has_tenant_state,
+    recover,
+)
+from repro.durability.replication import (
+    ChangefeedServer,
+    ReadReplica,
+    replica_match_probe,
+)
+
+__all__ = [
+    "codec",
+    "DEFAULT_SEGMENT_BYTES",
+    "WriteAheadLog",
+    "latest_snapshot",
+    "list_snapshots",
+    "load_snapshot",
+    "prune_snapshots",
+    "write_snapshot",
+    "DurabilityConfig",
+    "RecoveredTenant",
+    "TenantDurability",
+    "has_tenant_state",
+    "recover",
+    "ChangefeedServer",
+    "ReadReplica",
+    "replica_match_probe",
+]

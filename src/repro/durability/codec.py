@@ -1,0 +1,270 @@
+"""The versioned wire codec for committed-delta records and graph snapshots.
+
+Everything the durability layer writes — WAL records, snapshot documents,
+replication messages — is a JSON document produced here.  JSON alone cannot
+round-trip the values a :class:`~repro.graph.delta.GraphChange` carries:
+property maps hold ``NaN``/``±inf`` floats, tuples (which JSON would flatten
+into lists), bytes, sets, dicts with non-string keys, and — because graph
+properties accept any hashable — arbitrary Python objects.  The value codec
+wraps every non-JSON-native value in a single-key *tag object*::
+
+    (1, 2)            -> {"$tuple": [1, 2]}
+    float("nan")      -> {"$float": "nan"}
+    b"\\x00\\x01"       -> {"$bytes": "0001"}
+    {1: "a"}          -> {"$dict": [[1, "a"]]}
+    SomeHashable()    -> {"$pickle": "<base64>"}
+
+JSON-native scalars, lists, and dicts with plain string keys pass through
+untouched (a dict whose keys could be mistaken for a tag is escaped into the
+``$dict`` form).  The pickle fallback makes the codec *total* over graph
+property values; it is what makes the format a **trusted-environment**
+format — see ``docs/DURABILITY.md`` for the security note.
+
+Every top-level document carries ``FORMAT_VERSION``.  Decoders accept any
+version up to their own and raise :class:`~repro.exceptions.DurabilityError`
+beyond it, so an old reader fails loudly on a new log instead of
+misinterpreting it, and a new reader can migrate old versions in place.
+
+The *structural* schema of a change (kind / element ids / detail keys) is
+owned by :meth:`GraphChange.to_payload` — this module only supplies the
+value encoding, keeping the graph layer free of wire-format concerns.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import math
+import pickle
+from typing import Any, Mapping
+
+from repro.exceptions import DurabilityError
+from repro.graph.delta import GraphChange, GraphDelta
+from repro.graph.property_graph import PropertyGraph
+
+#: bumped whenever a document produced by this module changes shape
+FORMAT_VERSION = 1
+
+_FLOAT_TAGS = {"nan": math.nan, "inf": math.inf, "-inf": -math.inf}
+
+
+def encode_value(value: Any) -> Any:
+    """Encode one Python value into a JSON-safe document (see module doc)."""
+    if value is None or value is True or value is False:
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if math.isnan(value):
+            return {"$float": "nan"}
+        if math.isinf(value):
+            return {"$float": "inf" if value > 0 else "-inf"}
+        return value
+    if isinstance(value, str):
+        return value
+    if isinstance(value, tuple):
+        return {"$tuple": [encode_value(item) for item in value]}
+    if isinstance(value, list):
+        return [encode_value(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        tag = "$set" if isinstance(value, set) else "$frozenset"
+        try:  # sort for deterministic output when the members allow it
+            members = sorted(value)
+        except TypeError:
+            members = sorted(value, key=repr)
+        return {tag: [encode_value(item) for item in members]}
+    if isinstance(value, (bytes, bytearray)):
+        return {"$bytes": bytes(value).hex()}
+    if isinstance(value, dict):
+        if all(isinstance(key, str) for key in value) \
+                and not any(key.startswith("$") for key in value):
+            return {key: encode_value(item) for key, item in value.items()}
+        # non-string or tag-shaped keys: escape into an item-list form
+        return {"$dict": [[encode_value(key), encode_value(item)]
+                          for key, item in value.items()]}
+    # the total fallback: any other object (graph properties accept arbitrary
+    # hashables) travels pickled — a trusted-environment escape hatch
+    try:
+        blob = pickle.dumps(value, protocol=pickle.DEFAULT_PROTOCOL)
+    except Exception as exc:
+        raise DurabilityError(
+            f"value of type {type(value).__name__!r} is neither JSON-safe "
+            f"nor picklable: {exc}") from exc
+    return {"$pickle": base64.b64encode(blob).decode("ascii")}
+
+
+def decode_value(document: Any) -> Any:
+    """Invert :func:`encode_value`."""
+    if isinstance(document, list):
+        return [decode_value(item) for item in document]
+    if not isinstance(document, dict):
+        return document
+    if len(document) == 1:
+        (tag, payload), = document.items()
+        if tag == "$tuple":
+            return tuple(decode_value(item) for item in payload)
+        if tag == "$set":
+            return {decode_value(item) for item in payload}
+        if tag == "$frozenset":
+            return frozenset(decode_value(item) for item in payload)
+        if tag == "$float":
+            try:
+                return _FLOAT_TAGS[payload]
+            except KeyError:
+                raise DurabilityError(
+                    f"unknown float tag {payload!r}") from None
+        if tag == "$bytes":
+            return bytes.fromhex(payload)
+        if tag == "$dict":
+            return {decode_value(key): decode_value(item)
+                    for key, item in payload}
+        if tag == "$pickle":
+            return pickle.loads(base64.b64decode(payload))
+        if tag.startswith("$"):
+            raise DurabilityError(f"unknown value tag {tag!r} (written by a "
+                                  "newer codec?)")
+    return {key: decode_value(item) for key, item in document.items()}
+
+
+# ---------------------------------------------------------------------------
+# changes, deltas, changefeed records
+# ---------------------------------------------------------------------------
+
+
+def encode_change(change: GraphChange) -> dict[str, Any]:
+    return change.to_payload(encode_value)
+
+
+def decode_change(document: Mapping[str, Any]) -> GraphChange:
+    try:
+        return GraphChange.from_payload(document, decode_value)
+    except (KeyError, ValueError) as exc:
+        raise DurabilityError(f"undecodable change document: {exc}") from exc
+
+
+def encode_delta(delta: GraphDelta) -> list[dict[str, Any]]:
+    return delta.to_payload(encode_value)
+
+
+def decode_delta(documents: list[Mapping[str, Any]]) -> GraphDelta:
+    return GraphDelta([decode_change(document) for document in documents])
+
+
+def encode_record(sequence: int, source: str, delta: GraphDelta) -> dict[str, Any]:
+    """One changefeed record as a wire document.
+
+    ``sequence`` is the **global** (log) sequence: a session's record
+    sequences restart at 1 per session lifetime, so the durability sink
+    offsets them by the recovered base before writing (see
+    :class:`repro.durability.recovery.TenantDurability`).
+    """
+    return {"v": FORMAT_VERSION, "seq": int(sequence), "source": source,
+            "changes": encode_delta(delta)}
+
+
+def decode_record(document: Mapping[str, Any]) -> tuple[int, str, GraphDelta]:
+    """Invert :func:`encode_record`; returns ``(sequence, source, delta)``."""
+    check_version(document, kind="record")
+    try:
+        return (int(document["seq"]), document["source"],
+                decode_delta(document["changes"]))
+    except (KeyError, TypeError) as exc:
+        raise DurabilityError(f"malformed record document: {exc}") from exc
+
+
+def check_version(document: Mapping[str, Any], kind: str = "document") -> int:
+    """Validate a document's format version; returns it.
+
+    Versions newer than this codec raise — refusing to guess at a future
+    format — while every older version remains readable (migration happens
+    here, per version, as the format evolves).
+    """
+    version = document.get("v")
+    if not isinstance(version, int) or version < 1:
+        raise DurabilityError(f"{kind} carries no format version: "
+                              f"{version!r}")
+    if version > FORMAT_VERSION:
+        raise DurabilityError(
+            f"{kind} has format version {version}, newer than this codec's "
+            f"{FORMAT_VERSION}; upgrade before reading this log")
+    return version
+
+
+# ---------------------------------------------------------------------------
+# graph snapshots
+# ---------------------------------------------------------------------------
+
+
+def encode_graph(graph: PropertyGraph) -> dict[str, Any]:
+    """A full graph snapshot document (element-exact, codec-safe values).
+
+    Unlike :func:`repro.graph.io.graph_to_dict` — whose output feeds plain
+    ``json.dump`` and therefore silently degrades tuples and refuses NaN
+    under strict parsers — every label and property value travels through the
+    value codec, and the graph's **id-generator counters** are captured so a
+    restored graph continues the same fresh-id stream as the original (ids
+    issued-then-removed before the snapshot are invisible in the element
+    lists, but must never be re-issued after recovery).
+    """
+    return {
+        "v": FORMAT_VERSION,
+        "name": graph.name,
+        "id_state": {"node_counter": graph._node_ids.counter,
+                     "edge_counter": graph._edge_ids.counter,
+                     "namespace": graph.id_namespace},
+        "nodes": [{"id": node.id, "label": node.label,
+                   "properties": encode_value(dict(node.properties))}
+                  for node in graph.nodes()],
+        "edges": [{"id": edge.id, "source": edge.source, "target": edge.target,
+                   "label": edge.label,
+                   "properties": encode_value(dict(edge.properties))}
+                  for edge in graph.edges()],
+    }
+
+
+def decode_graph(document: Mapping[str, Any]) -> PropertyGraph:
+    """Invert :func:`encode_graph` (element-for-element, id counters included)."""
+    check_version(document, kind="graph snapshot")
+    id_state = document.get("id_state", {})
+    graph = PropertyGraph(name=document.get("name", "graph"),
+                          id_namespace=id_state.get("namespace"))
+    try:
+        for node_doc in document["nodes"]:
+            graph.add_node(node_doc["label"],
+                           decode_value(node_doc["properties"]),
+                           node_id=node_doc["id"])
+        for edge_doc in document["edges"]:
+            graph.add_edge(edge_doc["source"], edge_doc["target"],
+                           edge_doc["label"],
+                           decode_value(edge_doc["properties"]),
+                           edge_id=edge_doc["id"])
+    except KeyError as exc:
+        raise DurabilityError(f"snapshot element missing key {exc}") from exc
+    graph._node_ids.restore_counter(id_state.get("node_counter", 0))
+    graph._edge_ids.restore_counter(id_state.get("edge_counter", 0))
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# byte-level helpers (shared by the WAL and the replication stream)
+# ---------------------------------------------------------------------------
+
+
+def dumps(document: Mapping[str, Any]) -> bytes:
+    """Serialise one document to compact UTF-8 JSON bytes.
+
+    ``allow_nan=False``: a raw NaN reaching the serialiser means a value
+    bypassed the codec — fail here, at write time, not at some future read.
+    """
+    try:
+        return json.dumps(document, separators=(",", ":"),
+                          allow_nan=False).encode("utf-8")
+    except ValueError as exc:
+        raise DurabilityError(f"document is not codec-clean: {exc}") from exc
+
+
+def loads(payload: bytes) -> Any:
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise DurabilityError(f"undecodable document payload: {exc}") from exc

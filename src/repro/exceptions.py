@@ -170,6 +170,22 @@ class ServiceError(RepairError):
 
 
 # ---------------------------------------------------------------------------
+# Durability layer
+# ---------------------------------------------------------------------------
+
+
+class DurabilityError(ReproError):
+    """A durable-log operation failed: undecodable wire payload, corrupt WAL
+    record or snapshot, unknown format version, or a recovery that cannot
+    proceed (no snapshot and no log)."""
+
+
+class ReplicationError(DurabilityError):
+    """A changefeed-replication operation failed (protocol violation, the
+    primary went away mid-stream, or a replica fell irrecoverably behind)."""
+
+
+# ---------------------------------------------------------------------------
 # Experiment / dataset layer
 # ---------------------------------------------------------------------------
 

@@ -87,6 +87,48 @@ class GraphChange:
     def is_subtractive(self) -> bool:
         return self.kind in SUBTRACTIVE_KINDS
 
+    # ------------------------------------------------------------------
+    # codec hooks
+    # ------------------------------------------------------------------
+
+    def to_payload(self, encode: Callable[[Any], Any]) -> dict[str, Any]:
+        """The change as a plain document, ready for a wire format.
+
+        The *structure* of a change (kind, element ids, touched nodes, the
+        detail keys) is owned here; the *values* inside ``details`` — labels,
+        property maps with arbitrary Python values, edge-spec tuples — are
+        passed through ``encode``, so the wire codec
+        (:mod:`repro.durability.codec`) decides how non-JSON-safe values
+        travel without this module depending on it.
+        """
+        payload: dict[str, Any] = {"kind": self.kind.value}
+        if self.node_id is not None:
+            payload["node"] = self.node_id
+        if self.edge_id is not None:
+            payload["edge"] = self.edge_id
+        if self.touched_nodes:
+            payload["touched"] = list(self.touched_nodes)
+        if self.details:
+            payload["details"] = {key: encode(value)
+                                  for key, value in self.details.items()}
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any],
+                     decode: Callable[[Any], Any]) -> "GraphChange":
+        """Rebuild a change from :meth:`to_payload` output.
+
+        Raises ``ValueError`` on an unknown change kind — the signal a codec
+        turns into a versioning error.
+        """
+        kind = ChangeKind(payload["kind"])
+        return cls(kind=kind,
+                   node_id=payload.get("node"),
+                   edge_id=payload.get("edge"),
+                   touched_nodes=tuple(payload.get("touched", ())),
+                   details={key: decode(value)
+                            for key, value in payload.get("details", {}).items()})
+
 
 ChangeListener = Callable[[GraphChange], None]
 
@@ -244,6 +286,16 @@ class GraphDelta:
                 touched_nodes=tuple(n(node_id) for node_id in change.touched_nodes),
                 details=rewrite_details(change.details)))
         return remapped
+
+    def to_payload(self, encode: Callable[[Any], Any]) -> list[dict[str, Any]]:
+        """Every change as a payload document, in order (see
+        :meth:`GraphChange.to_payload`)."""
+        return [change.to_payload(encode) for change in self.changes]
+
+    @classmethod
+    def from_payload(cls, payload: Iterable[Mapping[str, Any]],
+                     decode: Callable[[Any], Any]) -> "GraphDelta":
+        return cls([GraphChange.from_payload(doc, decode) for doc in payload])
 
     def merged_with(self, other: "GraphDelta") -> "GraphDelta":
         merged = GraphDelta(list(self.changes))

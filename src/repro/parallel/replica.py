@@ -100,6 +100,48 @@ def _adopted_created_nodes(delta: GraphDelta, members: set[str]) -> set[str]:
     return adopted
 
 
+class ReplicaView:
+    """Membership bookkeeping for one standing replica of a node subset.
+
+    The stateful wrapper around :func:`project_delta` that every consumer of
+    a projected feed repeats: track the current member set, project each
+    primary delta against it, fold the membership changes in on success, and
+    flag the view **stale** — rebind from a fresh extraction of the primary
+    (or, for a remote read replica, a fresh snapshot) — when a change cannot
+    be expressed on the slice.  Used by the warm shard coordinator's
+    semantics and by scoped cross-process read replicas
+    (:class:`repro.durability.replication.ReadReplica`).
+    """
+
+    def __init__(self, node_ids: set[str]) -> None:
+        self.node_ids = set(node_ids)
+        self.stale = False
+        self.stale_reason = ""
+
+    def project(self, delta: GraphDelta) -> DeltaProjection:
+        """Project one primary delta; membership updates on success.
+
+        Once stale, every further projection reports stale too (the view no
+        longer tracks the primary) until :meth:`rebind`.
+        """
+        if self.stale:
+            projection = DeltaProjection(stale=True, reason=self.stale_reason)
+            return projection
+        projection = project_delta(delta, self.node_ids)
+        if projection.stale:
+            self.stale = True
+            self.stale_reason = projection.reason
+        else:
+            projection.apply_membership(self.node_ids)
+        return projection
+
+    def rebind(self, node_ids: set[str]) -> None:
+        """Reset the view onto a freshly extracted member set."""
+        self.node_ids = set(node_ids)
+        self.stale = False
+        self.stale_reason = ""
+
+
 def project_delta(delta: GraphDelta, node_ids: set[str]) -> DeltaProjection:
     """Project one primary ``delta`` onto the replica whose current node set
     is ``node_ids``.  The input set is not mutated; apply the returned

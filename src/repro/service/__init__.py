@@ -11,11 +11,18 @@ The package is the deployment-facing layer above :mod:`repro.api`:
   session, and every tenant's committed history exposed as a subscribable
   changefeed.
 
+Durable tenants (``serve(..., durable=DurabilityConfig(dir=...))`` /
+``restore(...)``) persist through :mod:`repro.durability` — write-ahead
+log, periodic snapshots, crash recovery, and cross-process read replicas.
+
 See ``docs/SERVICE.md`` for the threading contract, the session lifecycle,
-the changefeed format, and the warm-pool behaviour.
+the changefeed format, and the warm-pool behaviour, and
+``docs/DURABILITY.md`` for the on-disk formats and the crash-safety
+contract.
 """
 
+from repro.durability import DurabilityConfig
 from repro.service.manager import SessionManager
 from repro.service.service import GraphRepairService
 
-__all__ = ["GraphRepairService", "SessionManager"]
+__all__ = ["DurabilityConfig", "GraphRepairService", "SessionManager"]

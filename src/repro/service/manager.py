@@ -96,7 +96,13 @@ class SessionManager:
         session.close()
 
     def close(self) -> None:
-        """Close every session; the manager becomes inert.  Idempotent."""
+        """Close every session; the manager becomes inert.  Idempotent.
+
+        Every session's close is attempted even when an earlier one raises
+        (a half-closed manager would leak the remaining sessions' backends
+        and their graph-feed listeners); the first failure is re-raised
+        after the sweep.
+        """
         with self._lock:
             if self._closed:
                 return
@@ -104,8 +110,14 @@ class SessionManager:
             sessions = [session for session in self._sessions.values()
                         if session is not None]
             self._sessions.clear()
+        errors: list[BaseException] = []
         for session in sessions:
-            session.close()
+            try:
+                session.close()
+            except BaseException as exc:
+                errors.append(exc)
+        if errors:
+            raise errors[0]
 
     @property
     def closed(self) -> bool:

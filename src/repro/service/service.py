@@ -39,6 +39,13 @@ from repro.rules.grr import GraphRepairingRule, RuleSet
 from repro.api.config import RepairConfig
 from repro.api.events import CommitResult, CommittedDelta, SessionEvents
 from repro.api.session import RepairSession
+from repro.durability import (
+    DurabilityConfig,
+    RecoveredTenant,
+    TenantDurability,
+    has_tenant_state,
+    recover,
+)
 from repro.service.manager import SessionManager
 
 
@@ -58,6 +65,8 @@ class GraphRepairService:
         self._inline_pool = inline_pool
         self._lock = threading.Lock()
         self._closed = False
+        self._durability: dict[str, TenantDurability] = {}
+        self._recoveries: dict[str, RecoveredTenant] = {}
 
     # ------------------------------------------------------------------
     # serving tenants
@@ -67,7 +76,8 @@ class GraphRepairService:
               rules: RuleSet | list[GraphRepairingRule],
               config: RepairConfig | None = None,
               events: SessionEvents | None = None,
-              shards: int = 0) -> RepairSession:
+              shards: int = 0,
+              durable: DurabilityConfig | None = None) -> RepairSession:
         """Open a named session over ``graph`` and start serving it.
 
         ``shards=K`` (with no explicit config) serves the graph partitioned:
@@ -78,10 +88,43 @@ class GraphRepairService:
         the :class:`~repro.parallel.merge.DeltaMerger`.  An explicit sharded
         ``config`` with ``warm_pool=True`` joins the shared pool likewise.
 
+        ``durable=DurabilityConfig(dir=...)`` makes the tenant crash-safe:
+        an opening snapshot is written, and every committed record is
+        appended (and fsync'd) to the tenant's write-ahead log *before* the
+        committing call returns — see :mod:`repro.durability`.  Serving a
+        name that already has durable state under ``dir`` raises; bring it
+        back with :meth:`restore` instead (or point at a fresh directory).
+
         The session repairs **in place** (pass ``graph.copy()`` to keep the
         original), exactly like opening it directly.
         """
         self._require_open()
+        if durable is not None and has_tenant_state(durable, name):
+            raise ServiceError(
+                f"tenant {name!r} already has durable state under "
+                f"{durable.tenant_dir(name)}; restore() it instead of "
+                "serving a fresh graph over it")
+        sink = None
+        if durable is not None:
+            sink = TenantDurability(name, durable)
+            sink.bootstrap(graph)
+        try:
+            session = self._open_session(name, graph, rules, config=config,
+                                         events=events, shards=shards)
+        except BaseException:
+            if sink is not None:
+                sink.close()
+            raise
+        if sink is not None:
+            sink.attach(session)
+            self._durability[name] = sink
+        return session
+
+    def _open_session(self, name: str, graph: PropertyGraph,
+                      rules: RuleSet | list[GraphRepairingRule],
+                      config: RepairConfig | None = None,
+                      events: SessionEvents | None = None,
+                      shards: int = 0) -> RepairSession:
         if shards:
             if config is not None:
                 raise ServiceError("pass either shards= or an explicit "
@@ -94,6 +137,37 @@ class GraphRepairService:
             pool = self._ensure_pool(config.workers)
         return self.sessions.open(name, graph, rules, config=config,
                                   events=events, pool=pool)
+
+    def restore(self, name: str,
+                rules: RuleSet | list[GraphRepairingRule],
+                durable: DurabilityConfig,
+                config: RepairConfig | None = None,
+                events: SessionEvents | None = None,
+                shards: int = 0) -> RepairSession:
+        """Bring a crashed (or cleanly stopped) durable tenant back.
+
+        Recovers the graph from its newest intact snapshot plus exact WAL
+        replay (:func:`repro.durability.recover`), opens a fresh session
+        over it, and re-attaches the durable sink at the recovered global
+        sequence — new commits continue the same log.  The recovery
+        details (restore point, records replayed) stay readable through
+        :meth:`recovery_info`.
+        """
+        self._require_open()
+        recovered = recover(name, durable)
+        sink = TenantDurability(name, durable,
+                                base_sequence=recovered.sequence)
+        try:
+            session = self._open_session(name, recovered.graph, rules,
+                                         config=config, events=events,
+                                         shards=shards)
+        except BaseException:
+            sink.close()
+            raise
+        sink.attach(session)
+        self._durability[name] = sink
+        self._recoveries[name] = recovered
+        return session
 
     def _ensure_pool(self, workers: int):
         from repro.parallel.pool import WorkerPool
@@ -114,9 +188,33 @@ class GraphRepairService:
     def names(self) -> list[str]:
         return self.sessions.names()
 
+    def durability(self, name: str) -> TenantDurability:
+        """The named tenant's durable sink (raises for non-durable tenants)."""
+        sink = self._durability.get(name)
+        if sink is None:
+            raise ServiceError(f"tenant {name!r} is not served durably")
+        return sink
+
+    def recovery_info(self, name: str) -> RecoveredTenant:
+        """The :class:`RecoveredTenant` of the last :meth:`restore` of
+        ``name`` in this service's lifetime (raises if never restored)."""
+        recovered = self._recoveries.get(name)
+        if recovered is None:
+            raise ServiceError(f"tenant {name!r} was not restored here")
+        return recovered
+
     def stop_serving(self, name: str) -> None:
-        """Close one tenant's session and release its name."""
-        self.sessions.close_session(name)
+        """Close one tenant's session (and durable sink), release its name.
+
+        The durable state on disk stays — :meth:`restore` brings the tenant
+        back.  The sink closes even when the session's close raises.
+        """
+        try:
+            self.sessions.close_session(name)
+        finally:
+            sink = self._durability.pop(name, None)
+            if sink is not None:
+                sink.close()
 
     # ------------------------------------------------------------------
     # staged edits (routed to the owning session)
@@ -213,15 +311,36 @@ class GraphRepairService:
         return self._pool.stats.as_dict()
 
     def close(self) -> None:
-        """Close every session, then the shared pool.  Idempotent."""
+        """Close every session, every durable sink, then the shared pool.
+
+        Idempotent — and *complete*: a failing stage never short-circuits
+        the later ones, so the worker pool's child processes are reclaimed
+        even when a session (or sink) close raises.  The first failure is
+        re-raised after everything has been torn down.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-        self.sessions.close()
+        errors: list[BaseException] = []
+        try:
+            self.sessions.close()
+        except BaseException as exc:
+            errors.append(exc)
+        for sink in self._durability.values():
+            try:
+                sink.close()
+            except BaseException as exc:
+                errors.append(exc)
+        self._durability.clear()
         if self._pool is not None:
-            self._pool.close()
+            try:
+                self._pool.close()
+            except BaseException as exc:
+                errors.append(exc)
             self._pool = None
+        if errors:
+            raise errors[0]
 
     @property
     def closed(self) -> bool:

@@ -1,0 +1,104 @@
+"""Shared driver for the crash-recovery tests (NOT a test module).
+
+The SIGKILL smoke test needs the same deterministic edit traffic in two
+places: a child process that gets killed mid-stream, and the parent that
+rebuilds the uninterrupted reference run.  :func:`scripted_edit` is that
+traffic — the ``step``-th edit depends only on ``(seed, step)`` and the
+current graph state, so any two runs that executed the same prefix hold
+identical graphs.
+
+Run as a script (the crash child)::
+
+    python tests/durability_driver.py <durable-root> <seed> <steps>
+
+which serves a deterministic kg workload durably out of ``<durable-root>``
+and applies ``<steps>`` scripted edits; the parent SIGKILLs it somewhere in
+the middle and recovers.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+WORKLOAD_SCALE = 60
+WORKLOAD_SEED = 3
+SNAPSHOT_EVERY = 40
+
+_NODE_LABELS = ("Person", "City", "Country")
+_EDGE_LABELS = ("knows", "livesIn", "bornIn")
+
+
+def scripted_edit(graph, seed: int, step: int) -> None:
+    """Apply the deterministic ``step``-th edit of stream ``seed``.
+
+    Always changes the graph (every step publishes exactly one changefeed
+    record), and every few steps writes a codec-hostile property value so
+    the crash path exercises the tagged value encoding too.
+    """
+    rng = random.Random(f"{seed}:{step}")
+    nodes = sorted(graph.node_ids())
+    edges = sorted(graph.edge_ids())
+    hostile = [float("nan"), ("t", 1), b"\x00\xff", {1: "k"}, {"s", "e", "t"}]
+    value = hostile[step % len(hostile)] if step % 5 == 0 else step
+    action = rng.choice(["add_node", "add_edge", "update", "remove_edge",
+                         "relabel", "remove_node"])
+    # every branch below *guarantees* a real change: a no-op edit publishes
+    # no changefeed record, which would break the step-count == sequence
+    # correspondence the crash test's reference replay relies on
+    if action == "add_edge" and nodes:
+        graph.add_edge(rng.choice(nodes), rng.choice(nodes),
+                       rng.choice(_EDGE_LABELS), {"w": value})
+    elif action == "update" and nodes:
+        graph.update_node(rng.choice(nodes), {"touched": (step, value)})
+    elif action == "remove_edge" and edges:
+        graph.remove_edge(rng.choice(edges))
+    elif action == "relabel" and nodes:
+        target = rng.choice(nodes)
+        current = graph.node(target).label
+        graph.relabel_node(target, rng.choice(
+            [label for label in _NODE_LABELS if label != current] or ["Other"]))
+    elif action == "remove_node" and len(nodes) > 10:
+        graph.remove_node(rng.choice(nodes))
+    else:
+        node = graph.add_node(rng.choice(_NODE_LABELS), {"v": value})
+        if nodes:
+            graph.add_edge(node.id, rng.choice(nodes),
+                           rng.choice(_EDGE_LABELS))
+
+
+def build_crash_workload():
+    from repro.datasets import build_workload
+
+    return build_workload("kg", scale=WORKLOAD_SCALE, error_rate=0.08,
+                          seed=WORKLOAD_SEED)
+
+
+def reference_run(steps: int, seed: int):
+    """The uninterrupted run: the graph after ``steps`` scripted edits."""
+    graph = build_crash_workload().dirty.copy(name="kg")
+    for step in range(steps):
+        scripted_edit(graph, seed, step)
+    return graph
+
+
+def main(root: str, seed: int, steps: int) -> None:
+    from repro.rules.grr import RuleSet
+    from repro.service import DurabilityConfig, GraphRepairService
+
+    workload = build_crash_workload()
+    graph = workload.dirty.copy(name="kg")
+    # fsync=False stays crash-safe against SIGKILL (flushed pages live in
+    # the kernel, not the process) and keeps the child fast enough that the
+    # parent reliably catches it mid-stream
+    config = DurabilityConfig(dir=root, snapshot_every=SNAPSHOT_EVERY,
+                              fsync=False)
+    with GraphRepairService() as service:
+        service.serve("kg", graph, RuleSet([]), durable=config)
+        for step in range(steps):
+            service.apply(
+                "kg", lambda g, step=step: scripted_edit(g, seed, step))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1], int(sys.argv[2]), int(sys.argv[3]))

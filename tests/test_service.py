@@ -297,3 +297,64 @@ class TestConcurrentEquivalence:
         baseline = observed[0]
         # pairs land atomically: every observed count has the same parity
         assert all((count - baseline) % 2 == 0 for count in observed)
+
+
+class TestShutdownHygiene:
+    """Service teardown must reclaim every owned resource — child worker
+    processes above all — even when an individual close step raises."""
+
+    def test_close_reaps_all_worker_processes(self, small_kg_workload):
+        import multiprocessing
+
+        before = {child.pid for child in multiprocessing.active_children()}
+        service = GraphRepairService()
+        service.serve("kg", small_kg_workload.dirty.copy(name="kg"),
+                      small_kg_workload.rules, shards=2)
+        service.repair("kg")  # spawns the warm pool's real processes
+        spawned = [child for child in multiprocessing.active_children()
+                   if child.pid not in before]
+        assert spawned, "the warm pool should have spawned child processes"
+        service.close()
+        service.close()  # idempotent
+        for child in spawned:
+            child.join(timeout=30)
+        leaked = [child for child in multiprocessing.active_children()
+                  if child.pid not in before]
+        assert leaked == [], f"leaked worker processes: {leaked}"
+
+    def test_failing_session_close_does_not_leak_the_pool(
+            self, small_kg_workload, monkeypatch):
+        import multiprocessing
+
+        before = {child.pid for child in multiprocessing.active_children()}
+        service = GraphRepairService()
+        service.serve("kg", small_kg_workload.dirty.copy(name="kg"),
+                      small_kg_workload.rules, shards=2)
+        service.repair("kg")
+        session = service.session("kg")
+        monkeypatch.setattr(session, "close",
+                            lambda: (_ for _ in ()).throw(
+                                RuntimeError("boom")))
+        with pytest.raises(RuntimeError, match="boom"):
+            service.close()
+        assert service.closed and service.pool is None
+        for child in multiprocessing.active_children():
+            if child.pid not in before:
+                child.join(timeout=30)
+        leaked = [child for child in multiprocessing.active_children()
+                  if child.pid not in before]
+        assert leaked == [], f"leaked worker processes: {leaked}"
+
+    def test_manager_close_sweeps_past_a_failing_session(
+            self, small_kg_workload, monkeypatch):
+        manager = SessionManager()
+        first = manager.open("a", small_kg_workload.dirty.copy(),
+                             small_kg_workload.rules)
+        second = manager.open("b", small_kg_workload.dirty.copy(),
+                              small_kg_workload.rules)
+        monkeypatch.setattr(first, "close",
+                            lambda: (_ for _ in ()).throw(
+                                RuntimeError("first")))
+        with pytest.raises(RuntimeError, match="first"):
+            manager.close()
+        assert second.closed, "the sweep must continue past the failure"
