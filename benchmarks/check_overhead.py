@@ -1,0 +1,193 @@
+#!/usr/bin/env python
+"""Telemetry-overhead gate: observing must never change or dominate repair.
+
+Two contracts, checked on the kg fast-repair hot path (kg@800 by default —
+the full-mode grid point):
+
+* **disabled telemetry is free and inert** — with telemetry off (the
+  default), the repair's deterministic work counters are bit-identical to
+  the recorded full-mode baseline in ``BENCH_repair.json`` (instrumentation
+  only observes, it never steers), and wall time stays within
+  ``--baseline-threshold``× of the baseline's ``fast_seconds`` (checked
+  only on the host that recorded the baseline — wall clocks do not travel);
+* **enabled telemetry is cheap and exact** — with telemetry collecting,
+  the same repair produces the *same* work counters, the telemetry counters
+  equal the :class:`~repro.repair.report.RepairReport` exactly, and the
+  best-of-N wall time exceeds the disabled run by at most
+  ``--overhead-threshold`` (default 5%).
+
+Disabled/enabled rounds are interleaved and both sides take the best-of-N
+minimum, so scheduler noise hits both measurements symmetrically.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_overhead.py
+    PYTHONPATH=src python benchmarks/check_overhead.py --scale 200 --repeats 5
+
+Exit status 0 when every gate holds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro import telemetry
+from repro.api import RepairConfig, repair_copy
+from repro.datasets.registry import build_workload
+
+from perf_baseline import (
+    DEFAULT_OUTPUT,
+    host_fingerprint,
+    latest_entry,
+    load_trajectory,
+)
+
+#: (report counter attribute, telemetry counter it must equal)
+COUNTER_PAIRS = (
+    ("repairs_applied", "repro_repairs_applied_total"),
+    ("violations_detected", "repro_violations_detected_total"),
+    ("repairs_failed", "repro_repairs_failed_total"),
+)
+
+#: deterministic work counters compared disabled-vs-enabled-vs-baseline
+WORK_COUNTERS = ("repairs_applied", "violations_detected", "nodes_tried",
+                 "maintenance_passes")
+
+
+def _work_counters(report) -> dict[str, int]:
+    return {"repairs_applied": report.repairs_applied,
+            "violations_detected": report.violations_detected,
+            "nodes_tried": report.matching_stats.nodes_tried,
+            "maintenance_passes": report.matching_stats.maintenance_passes}
+
+
+def measure(workload, repeats: int):
+    """Interleaved best-of-``repeats`` disabled and enabled runs."""
+    disabled_best = enabled_best = float("inf")
+    disabled_report = enabled_report = None
+    registry = None
+    for _ in range(repeats):
+        assert not telemetry.TELEMETRY.enabled
+        started = time.perf_counter()
+        _, disabled_report = repair_copy(workload.dirty, workload.rules,
+                                         config=RepairConfig.fast())
+        disabled_best = min(disabled_best, time.perf_counter() - started)
+
+        with telemetry.collecting() as (run_registry, _tracer):
+            started = time.perf_counter()
+            _, enabled_report = repair_copy(workload.dirty, workload.rules,
+                                            config=RepairConfig.fast())
+            elapsed = time.perf_counter() - started
+        if elapsed < enabled_best:
+            enabled_best = elapsed
+            registry = run_registry
+    return disabled_best, disabled_report, enabled_best, enabled_report, \
+        registry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=int, default=800,
+                        help="kg workload scale (800 = the full-mode grid)")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--overhead-threshold", type=float, default=0.05,
+                        help="max fractional slowdown with telemetry enabled")
+    parser.add_argument("--baseline", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--baseline-mode", default="full",
+                        help="trajectory mode whose kg entry to compare")
+    parser.add_argument("--baseline-threshold", type=float, default=3.0,
+                        help="max disabled wall time as a multiple of the "
+                             "baseline fast_seconds (same host only; 3.0 "
+                             "matches check_regression's smoke threshold)")
+    args = parser.parse_args(argv)
+
+    workload = build_workload("kg", scale=args.scale, error_rate=0.05, seed=0)
+    print(f"kg@{args.scale}: {workload.dirty.num_nodes} nodes / "
+          f"{workload.dirty.num_edges} edges, best of {args.repeats}")
+
+    disabled_s, disabled_report, enabled_s, enabled_report, registry = \
+        measure(workload, args.repeats)
+    overhead = enabled_s / disabled_s - 1.0 if disabled_s else 0.0
+    print(f"disabled {disabled_s:.4f}s | enabled {enabled_s:.4f}s "
+          f"(overhead {overhead:+.1%}, limit "
+          f"{args.overhead_threshold:+.1%})")
+
+    failures: list[str] = []
+
+    # 1. observing must not change the outcome
+    disabled_work = _work_counters(disabled_report)
+    enabled_work = _work_counters(enabled_report)
+    if disabled_work != enabled_work:
+        failures.append("enabling telemetry changed the work counters: "
+                        f"disabled={disabled_work} enabled={enabled_work}")
+
+    # 2. the telemetry counters must equal the report exactly
+    telemetry_snapshot = registry.snapshot()
+    for report_key, metric_name in COUNTER_PAIRS:
+        family = telemetry_snapshot.get(metric_name)
+        observed = family.total() if family else 0.0
+        expected = float(getattr(enabled_report, report_key))
+        if observed != expected:
+            failures.append(f"{metric_name} = {observed} but the report's "
+                            f"{report_key} = {expected}")
+
+    # 3. enabled overhead stays under the threshold
+    if overhead > args.overhead_threshold:
+        failures.append(f"telemetry overhead {overhead:+.1%} exceeds "
+                        f"{args.overhead_threshold:+.1%}")
+
+    # 4. disabled run vs the recorded baseline (counters everywhere,
+    #    wall clock only on the recording host)
+    try:
+        trajectory = load_trajectory(args.baseline)
+    except SystemExit as exc:
+        print(f"[baseline skipped: {exc}]")
+        trajectory = {"entries": []}
+    entry = latest_entry(trajectory, args.baseline_mode)
+    if entry is None:
+        print(f"[no {args.baseline_mode!r} baseline entry — "
+              "baseline gates skipped]")
+    else:
+        base = entry["results"].get("kg", {})
+        if base.get("scale") != args.scale:
+            print(f"[baseline kg scale {base.get('scale')} != {args.scale} — "
+                  "baseline gates skipped]")
+        else:
+            for key, baseline_key in (("repairs_applied",
+                                       "fast_repairs_applied"),
+                                      ("violations_detected",
+                                       "fast_violations_detected"),
+                                      ("nodes_tried", "fast_nodes_tried"),
+                                      ("maintenance_passes",
+                                       "fast_maintenance_passes")):
+                if baseline_key in base \
+                        and disabled_work[key] != base[baseline_key]:
+                    failures.append(
+                        f"disabled {key} = {disabled_work[key]} but the "
+                        f"baseline recorded {base[baseline_key]}")
+            same_host = all(entry.get(key) == value for key, value
+                            in host_fingerprint().items())
+            if same_host and "fast_seconds" in base:
+                limit = base["fast_seconds"] * args.baseline_threshold
+                if disabled_s > limit:
+                    failures.append(
+                        f"disabled wall {disabled_s:.4f}s exceeds "
+                        f"{args.baseline_threshold}x the baseline "
+                        f"{base['fast_seconds']:.4f}s")
+            elif not same_host:
+                print("[different host than the baseline — wall-clock gate "
+                      "skipped, counters still checked]")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("OK: telemetry is free when disabled, exact and cheap when enabled")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -273,6 +273,7 @@ def measure_service(workload) -> dict[str, Any]:
     every shard per call.  The per-call overhead counters are the gated
     result: after the first warm call, spawns must be 0.
     """
+    from repro import telemetry
     from repro.api import RepairConfig, RepairSession
     from repro.service import GraphRepairService
 
@@ -298,15 +299,20 @@ def measure_service(workload) -> dict[str, Any]:
         nonlocal spawns_at_warmup
         spawns_at_warmup = service.pool_stats["spawns"]
 
-    with GraphRepairService() as service:
-        service.serve("bench", workload.dirty.copy(name="bench"),
-                      workload.rules, shards=SHARDED_WORKERS)
-        warm_seconds, warm_repairs = drive(
-            lambda: service.repair("bench"),
-            lambda edit: service.apply("bench", edit),
-            after_first=record_warmup)
-        stats = service.pool_stats
-        spawns_after_warmup = stats["spawns"] - spawns_at_warmup
+    # telemetry collects the warm drive so the trajectory records repair
+    # latency percentiles (informational — not regression-gated; the wall
+    # clocks above stay the gateable measurements)
+    with telemetry.collecting() as (registry, _tracer):
+        with GraphRepairService() as service:
+            service.serve("bench", workload.dirty.copy(name="bench"),
+                          workload.rules, shards=SHARDED_WORKERS)
+            warm_seconds, warm_repairs = drive(
+                lambda: service.repair("bench"),
+                lambda edit: service.apply("bench", edit),
+                after_first=record_warmup)
+            stats = service.pool_stats
+            spawns_after_warmup = stats["spawns"] - spawns_at_warmup
+    repair_family = registry.get("repro_repair_seconds")
 
     # cold: the per-call spawn pool (PR-3 behaviour)
     cold_graph = workload.dirty.copy(name="bench-cold")
@@ -318,6 +324,11 @@ def measure_service(workload) -> dict[str, Any]:
     return {
         "service_workers": SHARDED_WORKERS,
         "service_rounds": SERVICE_ROUNDS,
+        # histogram-estimated warm per-call latency percentiles (bucketed
+        # linear interpolation — see repro.telemetry.quantile_from_buckets)
+        "service_warm_p50_seconds": round(repair_family.quantile(0.50), 4),
+        "service_warm_p95_seconds": round(repair_family.quantile(0.95), 4),
+        "service_warm_p99_seconds": round(repair_family.quantile(0.99), 4),
         "service_warm_first_seconds": round(warm_seconds[0], 4),
         "service_warm_call_seconds": round(
             sum(warm_seconds[1:]) / max(len(warm_seconds) - 1, 1), 4),
@@ -372,12 +383,28 @@ def measure_recovery(workload) -> dict[str, Any]:
 
         recovery_seconds, recovered = _best_of(
             3, lambda: recover("bench", config))
+
+        # one extra (untimed) recovery under telemetry for the per-record
+        # replay-latency percentiles; kept out of the best-of above so the
+        # gated recovery_seconds measures the uninstrumented path
+        from repro import telemetry
+
+        with telemetry.collecting() as (registry, _tracer):
+            recover("bench", config)
+        replay_family = registry.get("repro_recovery_replay_seconds")
     finally:
         shutil.rmtree(root, ignore_errors=True)
 
     return {
         "recovery_serve_seconds": round(serve_seconds, 4),
         "recovery_seconds": round(recovery_seconds, 4),
+        # per-record WAL replay latency percentiles (informational)
+        "recovery_replay_p50_seconds": round(
+            replay_family.quantile(0.50), 6) if replay_family else 0.0,
+        "recovery_replay_p95_seconds": round(
+            replay_family.quantile(0.95), 6) if replay_family else 0.0,
+        "recovery_replay_p99_seconds": round(
+            replay_family.quantile(0.99), 6) if replay_family else 0.0,
         "recovery_sequence": recovered.sequence,
         "recovery_snapshot_sequence": recovered.snapshot_sequence,
         "recovery_records_replayed": recovered.records_replayed,
@@ -514,7 +541,10 @@ def format_results(results: dict[str, Any]) -> str:
                 f"{row['service_warm_spawns_total']} spawns total, "
                 f"{row['service_warm_spawns_after_warmup']} after warm-up, "
                 f"{row['service_warm_binds']} binds, "
-                f"{row['service_warm_ships']} ships)")
+                f"{row['service_warm_ships']} ships; warm p50/p95/p99 "
+                f"{row['service_warm_p50_seconds']:.4f}/"
+                f"{row['service_warm_p95_seconds']:.4f}/"
+                f"{row['service_warm_p99_seconds']:.4f}s)")
         if "recovery_seconds" in row:
             lines.append(
                 f"{'':8} recovery-{domain}@{row['scale']}: restore "
@@ -525,6 +555,8 @@ def format_results(results: dict[str, Any]) -> str:
                 f"{row['recovery_snapshots_written']} snapshots, "
                 f"committed seq {row['recovery_sequence']}, "
                 f"durable serve {row['recovery_serve_seconds']:.4f}s, "
+                f"replay p50/p99 {row['recovery_replay_p50_seconds']:.6f}/"
+                f"{row['recovery_replay_p99_seconds']:.6f}s, "
                 f"exact={row['recovery_exact']})")
         if "scale_tier" in row:
             lines.append(

@@ -19,7 +19,14 @@ Steps:
 4. settle everything with ``repair_all()`` and verify:
    the replica is **element-for-element identical** (ids included) to the
    served kg graph, both tenants reach a violation-free fixpoint, and the
-   warm pool spawned nothing after warm-up.
+   warm pool spawned nothing after warm-up;
+5. show the telemetry surface: the whole run is traced and metered
+   (``start_metrics_server`` turned telemetry on), so the example scrapes
+   its own Prometheus ``/metrics`` endpoint, prints per-tenant repair
+   latency percentiles from the registry, and dumps a Chrome trace of the
+   repair spans to ``service_repair_trace.json`` (load it in
+   ``chrome://tracing`` or https://ui.perfetto.dev — the fan-out shows
+   every shard's repair nested under it).
 
 This is the intended embedding shape for a long-running deployment: the
 service owns the sessions, threads talk to tenants by name, and replication
@@ -31,8 +38,9 @@ from __future__ import annotations
 import json
 import sys
 import threading
+import urllib.request
 
-from repro import build_workload
+from repro import build_workload, telemetry
 from repro.graph.io import graph_to_dict
 from repro.service import GraphRepairService
 
@@ -88,6 +96,11 @@ def main(kg_scale: int = 200, movie_scale: int = 150) -> None:
                       movies.rules)
         print(f"  tenants: {service.names()}  (kg partitioned over the warm pool)")
 
+        # opt into observability: enables telemetry and serves Prometheus
+        # text at /metrics (plus /healthz) on a stdlib daemon thread
+        metrics = service.start_metrics_server()
+        print(f"  metrics endpoint: {metrics.url}/metrics")
+
         # a replica rebuilt purely from the kg changefeed, live
         replica = kg.dirty.copy(name="kg-replica")
         service.subscribe("kg", lambda record: record.replay_onto(replica))
@@ -127,6 +140,40 @@ def main(kg_scale: int = 200, movie_scale: int = 150) -> None:
               f"{stats['deltas_shipped']} deltas shipped, "
               f"{stats['repair_calls']} fan-outs "
               f"(spawns happen once; repairs after warm-up ship deltas)")
+
+        print("\n== telemetry ==")
+        snapshot = service.telemetry_snapshot()
+        repair_seconds = snapshot.get("repro_repair_seconds")
+        for tenant, backend in sorted(repair_seconds.histograms):
+            count = repair_seconds.histograms[(tenant, backend)][2]
+            p50 = repair_seconds.quantile(0.50, tenant=tenant,
+                                          backend=backend)
+            p99 = repair_seconds.quantile(0.99, tenant=tenant,
+                                          backend=backend)
+            print(f"  {tenant:<7} {count} repairs  "
+                  f"p50={p50 * 1000:.2f}ms  p99={p99 * 1000:.2f}ms  "
+                  f"({backend})")
+
+        # the endpoint serves the same registry as Prometheus text
+        with urllib.request.urlopen(f"{metrics.url}/metrics") as response:
+            exposition = response.read().decode()
+        sample = [line for line in exposition.splitlines()
+                  if line.startswith(("repro_repair_seconds_count",
+                                      "repro_pool_spawns_total",
+                                      "repro_feed_sequence{"))]
+        print("  scraped from /metrics:")
+        for line in sample:
+            print(f"    {line}")
+
+        # every span of the run, one Chrome trace: coordinator lane plus
+        # one lane per shard worker under each repair.fanout
+        trace = telemetry.TELEMETRY.tracer.export_chrome()
+        with open("service_repair_trace.json", "w", encoding="utf-8") as fh:
+            json.dump(trace, fh)
+        spans = sum(1 for event in trace["traceEvents"]
+                    if event["ph"] == "X")
+        print(f"  wrote service_repair_trace.json ({spans} spans — open in "
+              "chrome://tracing or ui.perfetto.dev)")
 
 
 if __name__ == "__main__":

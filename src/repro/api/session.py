@@ -68,6 +68,9 @@ import warnings
 from contextlib import contextmanager
 from typing import Callable, Iterator
 
+import time
+
+from repro import telemetry
 from repro.exceptions import InconsistentRuleSetError, SessionStateError
 from repro.graph.delta import GraphDelta, apply_inverse, recording, replay_delta
 from repro.graph.property_graph import PropertyGraph
@@ -138,6 +141,12 @@ class RepairSession:
         self._lock = threading.RLock()
         self._feed: list[CommittedDelta] = []
         self._feed_subscribers: list[Callable[[CommittedDelta], None]] = []
+        if telemetry.TELEMETRY.enabled:
+            # the backend already worked during construction (index build,
+            # initial detection) — count it, so telemetry totals equal the
+            # cumulative stats at every repair boundary
+            self._record_counter_deltas(
+                dict.fromkeys(self._counter_state(), 0.0))
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -196,8 +205,14 @@ class RepairSession:
                 raise SessionStateError(
                     f"{len(self._staged)} staged transaction(s) pending; "
                     "commit() or rollback() before repairing")
-            with recording(self.graph) as recorder:
-                report = self.backend.run()
+            observing = telemetry.TELEMETRY.enabled
+            if observing:
+                before = self._counter_state()
+                started = time.perf_counter()
+            with telemetry.span("session.repair", tenant=self.graph.name,
+                                backend=self.config.backend):
+                with recording(self.graph) as recorder:
+                    report = self.backend.run()
             self._publish("repair", recorder.drain())
             if self.backend.cumulative_report:
                 self._report = report
@@ -205,6 +220,12 @@ class RepairSession:
                 self._report = report
             else:
                 self._report.absorb(report)
+            if observing:
+                telemetry.observe("repro_repair_seconds",
+                                  time.perf_counter() - started,
+                                  tenant=self.graph.name,
+                                  backend=self.config.backend)
+                self._record_counter_deltas(before)
             return self._report
 
     def violations(self) -> list[Violation]:
@@ -233,6 +254,34 @@ class RepairSession:
         """Aggregated matcher counters of the backend's lifetime (including
         ``maintenance_passes`` — the batching win is visible here)."""
         return self.backend.stats()
+
+    # -- telemetry: counters equal the report/stats by construction -----
+
+    def _counter_state(self) -> dict[str, float]:
+        """The cumulative counter values telemetry mirrors (lock held)."""
+        report, stats = self._report, self.backend.stats()
+        return {
+            "repro_violations_detected_total":
+                report.violations_detected if report else 0,
+            "repro_repairs_applied_total":
+                report.repairs_applied if report else 0,
+            "repro_repairs_failed_total":
+                report.repairs_failed if report else 0,
+            "repro_match_nodes_tried_total": stats.nodes_tried,
+            "repro_matches_found_total": stats.matches_found,
+            "repro_maintenance_passes_total": stats.maintenance_passes,
+        }
+
+    def _record_counter_deltas(self, before: dict[str, float]) -> None:
+        """Advance the telemetry counters by exactly what this call added,
+        so their totals always equal the cumulative report/stats — the
+        equivalence the telemetry integration tests pin."""
+        after = self._counter_state()
+        for name, value in after.items():
+            delta = value - before[name]
+            if delta:
+                telemetry.inc(name, delta, tenant=self.graph.name,
+                              backend=self.config.backend)
 
     # ------------------------------------------------------------------
     # transactions
@@ -327,8 +376,20 @@ class RepairSession:
                 return CommitResult(delta=merged,
                                     maintenance=MaintenanceEvent(source="commit",
                                                                  passes=0))
-            event = self.backend.maintain(merged, source="commit")
+            observing = telemetry.TELEMETRY.enabled
+            if observing:
+                before = self._counter_state()
+                started = time.perf_counter()
+            with telemetry.span("session.commit", tenant=self.graph.name,
+                                changes=len(merged.changes)):
+                event = self.backend.maintain(merged, source="commit")
             self._publish("commit", merged)
+            if observing:
+                telemetry.observe("repro_commit_seconds",
+                                  time.perf_counter() - started,
+                                  tenant=self.graph.name,
+                                  backend=self.config.backend)
+                self._record_counter_deltas(before)
             return CommitResult(delta=merged, maintenance=event)
 
     def rollback(self) -> GraphDelta:
@@ -375,6 +436,9 @@ class RepairSession:
         record = CommittedDelta(sequence=len(self._feed) + 1, source=source,
                                 delta=delta)
         self._feed.append(record)
+        if telemetry.TELEMETRY.enabled:
+            telemetry.inc("repro_commits_total", tenant=self.graph.name,
+                          source=source)
         for subscriber in list(self._feed_subscribers):
             subscriber(record)
 

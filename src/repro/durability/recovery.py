@@ -27,11 +27,16 @@ element equal to the crashed tenant's last acknowledged state.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro import telemetry
 from repro.exceptions import DurabilityError
+from repro.telemetry.log import get_logger, warn_swallowed
+
+_log = get_logger("durability")
 from repro.graph.delta import replay_delta
 from repro.graph.property_graph import PropertyGraph
 from repro.durability import codec
@@ -128,16 +133,28 @@ def recover(name: str, config: DurabilityConfig) -> RecoveredTenant:
         snapshot_seq = sequence
         records = 0
         changes = 0
-        for document in wal.records(after=sequence):
-            record_seq, _source, delta = codec.decode_record(document)
-            if record_seq != sequence + 1:
-                raise DurabilityError(
-                    f"gap in tenant {name!r} log: expected sequence "
-                    f"{sequence + 1}, found {record_seq}")
-            replay_delta(graph, delta)
-            sequence = record_seq
-            records += 1
-            changes += len(delta)
+        observing = telemetry.TELEMETRY.enabled
+        with telemetry.span("durability.recover", tenant=name,
+                            snapshot_sequence=snapshot_seq):
+            for document in wal.records(after=sequence):
+                record_seq, _source, delta = codec.decode_record(document)
+                if record_seq != sequence + 1:
+                    raise DurabilityError(
+                        f"gap in tenant {name!r} log: expected sequence "
+                        f"{sequence + 1}, found {record_seq}")
+                if observing:
+                    started = time.perf_counter()
+                replay_delta(graph, delta)
+                if observing:
+                    telemetry.observe("repro_recovery_replay_seconds",
+                                      time.perf_counter() - started,
+                                      tenant=name)
+                    telemetry.inc("repro_recovery_records_total", tenant=name)
+                    telemetry.inc("repro_recovery_changes_total", len(delta),
+                                  tenant=name)
+                sequence = record_seq
+                records += 1
+                changes += len(delta)
     finally:
         wal.close()
     graph.name = name
@@ -213,8 +230,12 @@ class TenantDurability:
         if self._unsubscribe is not None:
             try:
                 self._unsubscribe()
-            except Exception:
-                pass  # the session may already be closed
+            except Exception as exc:
+                # the session may already be closed; the sink is shutting
+                # down either way, so degrade with a breadcrumb, not a raise
+                warn_swallowed(_log, "changefeed-unsubscribe-failed", exc=exc,
+                               tenant=self.name,
+                               sequence=self.global_sequence)
         self._unsubscribe = None
         self._session = None
         self.wal.close()
@@ -232,14 +253,28 @@ class TenantDurability:
         """Global sequence of the newest durable record."""
         return self.wal.last_sequence or self.base_sequence
 
+    @property
+    def last_snapshot_sequence(self) -> int:
+        """Global sequence of the newest snapshot (the recovery floor)."""
+        return self._last_snapshot_seq
+
     def _on_commit(self, record) -> None:
         """Append one committed record durably (runs under the session lock,
         on the committing thread, before the commit returns)."""
         global_seq = self.base_sequence + record.sequence
+        observing = telemetry.TELEMETRY.enabled
+        if observing:
+            started = time.perf_counter()
         self.wal.append(codec.encode_record(global_seq, record.source,
                                             record.delta))
         self.records_appended += 1
         self.changes_appended += len(record.delta)
+        if observing:
+            telemetry.observe("repro_wal_fsync_seconds",
+                              time.perf_counter() - started, tenant=self.name)
+            telemetry.inc("repro_wal_records_total", tenant=self.name)
+            telemetry.inc("repro_wal_changes_total", len(record.delta),
+                          tenant=self.name)
         if global_seq - self._last_snapshot_seq >= self.config.snapshot_every:
             self._snapshot(global_seq)
 
@@ -248,10 +283,21 @@ class TenantDurability:
 
         Called with the session lock held (from inside the commit hook), so
         the graph is exactly the state the record at ``global_seq`` left."""
-        write_snapshot(self.directory, self._session.graph, global_seq,
-                       fsync=self.config.fsync)
+        observing = telemetry.TELEMETRY.enabled
+        if observing:
+            started = time.perf_counter()
+        with telemetry.span("durability.snapshot", tenant=self.name,
+                            sequence=global_seq):
+            write_snapshot(self.directory, self._session.graph, global_seq,
+                           fsync=self.config.fsync)
         self._last_snapshot_seq = global_seq
         self.snapshots_written += 1
+        if observing:
+            telemetry.observe("repro_snapshot_write_seconds",
+                              time.perf_counter() - started, tenant=self.name)
+            telemetry.inc("repro_snapshots_total", tenant=self.name)
+            telemetry.gauge_set("repro_snapshot_sequence", global_seq,
+                                tenant=self.name)
         prune_snapshots(self.directory, keep=self.config.keep_snapshots)
         self.segments_truncated += self.wal.truncate_through(global_seq)
 

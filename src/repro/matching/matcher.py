@@ -8,9 +8,12 @@ the individual machinery.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.telemetry import TELEMETRY as _TELEMETRY
+from repro.telemetry import observe as _observe
 from repro.graph.property_graph import PropertyGraph
 from repro.matching.index import CandidateIndex
 from repro.matching.pattern import Match, Pattern
@@ -103,16 +106,46 @@ class Matcher:
                      limit: int | None = None) -> list[Match]:
         """All matches of ``pattern`` (bounded by the config's match limit)."""
         effective_limit = limit if limit is not None else self.config.match_limit
-        return self._engine().find_matches(pattern, seed=seed, limit=effective_limit)
+        if not _TELEMETRY.enabled:
+            return self._engine().find_matches(pattern, seed=seed,
+                                               limit=effective_limit)
+        started = time.perf_counter()
+        try:
+            return self._engine().find_matches(pattern, seed=seed,
+                                               limit=effective_limit)
+        finally:
+            _observe("repro_match_seconds", time.perf_counter() - started,
+                     phase="find-matches")
 
     def find_one(self, pattern: Pattern, seed: Mapping[str, str] | None = None) -> Match | None:
-        return self._engine().find_one(pattern, seed=seed)
+        if not _TELEMETRY.enabled:
+            return self._engine().find_one(pattern, seed=seed)
+        started = time.perf_counter()
+        try:
+            return self._engine().find_one(pattern, seed=seed)
+        finally:
+            _observe("repro_match_seconds", time.perf_counter() - started,
+                     phase="find-one")
 
     def exists(self, pattern: Pattern, seed: Mapping[str, str] | None = None) -> bool:
-        return self._engine().exists(pattern, seed=seed)
+        if not _TELEMETRY.enabled:
+            return self._engine().exists(pattern, seed=seed)
+        started = time.perf_counter()
+        try:
+            return self._engine().exists(pattern, seed=seed)
+        finally:
+            _observe("repro_match_seconds", time.perf_counter() - started,
+                     phase="exists")
 
     def count(self, pattern: Pattern, limit: int | None = None) -> int:
-        return self._engine().count(pattern, limit=limit)
+        if not _TELEMETRY.enabled:
+            return self._engine().count(pattern, limit=limit)
+        started = time.perf_counter()
+        try:
+            return self._engine().count(pattern, limit=limit)
+        finally:
+            _observe("repro_match_seconds", time.perf_counter() - started,
+                     phase="count")
 
     def exists_extension(self, pattern: Pattern, bindings: Mapping[str, str]) -> bool:
         """Whether ``pattern`` has a match consistent with ``bindings``.

@@ -35,6 +35,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.graph.delta import GraphDelta, recording
 from repro.graph.property_graph import PropertyGraph
 from repro.matching.vf2 import MatchingStats
@@ -53,6 +54,9 @@ from repro.repair.fast import FastRepairCore
 from repro.repair.report import RepairReport
 from repro.repair.violation import Violation, ViolationStatus
 from repro.rules.grr import RuleSet
+from repro.telemetry.log import get_logger, log_event
+
+_log = get_logger("parallel.backend")
 
 
 @dataclass
@@ -412,6 +416,12 @@ class ShardedRepairer:
             if tracker.stale:
                 if tracker.bound:
                     fanout.stale_rebinds += 1
+                    log_event(_log, "warning", "replica-stale-rebind",
+                              tenant=self._graph.name, shard=tracker.key,
+                              reason=tracker.stale_reason)
+                    if telemetry.TELEMETRY.enabled:
+                        telemetry.inc("repro_pool_stale_rebinds_total",
+                                      shard=tracker.key)
                 payload, core = self._rebind_payload(tracker, plan.radius)
                 binds.append((tracker.key, payload, tracker.namespace,
                               core, self._rules, worker_config))
@@ -423,18 +433,24 @@ class ShardedRepairer:
             tracker.stale_reason = ""
 
         # 2. one repair barrier over every shard (propose-then-revert on the
-        #    workers), then the shared fan-in commits the survivors here
+        #    workers), then the shared fan-in commits the survivors here.
+        #    The fan-out span stays open through the fan-in so the workers'
+        #    shipped spans re-parent under it.
         trackers = sorted(self._replicas.values(), key=lambda t: t.index)
-        with self.core.report.timings.measure("shard-fanout"):
-            results = pool.repair([tracker.key for tracker in trackers])
-        for tracker, result in zip(trackers, results):
-            result.shard_index = tracker.index
-        stats_after = pool.stats.as_dict()
-        fanout.pool_spawns = stats_after["spawns"] - stats_before["spawns"]
-        fanout.pool_binds = stats_after["binds"] - stats_before["binds"]
-        fanout.pool_ships = stats_after["deltas_shipped"] \
-            - stats_before["deltas_shipped"]
-        self._fan_in(results)
+        with telemetry.span("repair.fanout", tenant=self._graph.name,
+                            mode="warm", shards=len(trackers)):
+            context = telemetry.current_context()
+            with self.core.report.timings.measure("shard-fanout"):
+                results = pool.repair([tracker.key for tracker in trackers],
+                                      context=context)
+            for tracker, result in zip(trackers, results):
+                result.shard_index = tracker.index
+            stats_after = pool.stats.as_dict()
+            fanout.pool_spawns = stats_after["spawns"] - stats_before["spawns"]
+            fanout.pool_binds = stats_after["binds"] - stats_before["binds"]
+            fanout.pool_ships = stats_after["deltas_shipped"] \
+                - stats_before["deltas_shipped"]
+            self._fan_in(results)
 
     def _fan_out(self) -> None:
         config = self.config
@@ -453,24 +469,38 @@ class ShardedRepairer:
         fanout.cut_edges = plan.cut_edges
         fanout.halo_fraction = plan.halo_fraction
 
-        with self.core.report.timings.measure("shard-extraction"):
-            worker_config = self.config.to_fast_config()
-            tasks = [
-                ShardTask(shard_index=shard.index,
-                          graph_payload=shard_payload(shard.extract(self._graph)),
-                          core=frozenset(shard.core),
-                          namespace=shard.namespace,
-                          rules=self._rules,
-                          config=worker_config)
-                for shard in plan.shards
-            ]
-        with self.core.report.timings.measure("shard-fanout"):
-            results = execute_tasks(tasks, workers=config.workers,
-                                    use_processes=not config.parallel_inline)
-        self._fan_in(results)
+        with telemetry.span("repair.fanout", tenant=self._graph.name,
+                            mode="cold", shards=len(plan)):
+            context = telemetry.current_context()
+            with self.core.report.timings.measure("shard-extraction"):
+                worker_config = self.config.to_fast_config()
+                tasks = [
+                    ShardTask(shard_index=shard.index,
+                              graph_payload=shard_payload(shard.extract(self._graph)),
+                              core=frozenset(shard.core),
+                              namespace=shard.namespace,
+                              rules=self._rules,
+                              config=worker_config,
+                              telemetry_ctx=context)
+                    for shard in plan.shards
+                ]
+            with self.core.report.timings.measure("shard-fanout"):
+                results = execute_tasks(tasks, workers=config.workers,
+                                        use_processes=not config.parallel_inline)
+            self._fan_in(results)
 
     def _fan_in(self, results: list[ShardResult]) -> None:
         fanout = self.last_fanout
+        if telemetry.TELEMETRY.enabled:
+            # fold each worker's shipped registry into the coordinator's
+            # (associative merge — arrival order cannot matter) and re-parent
+            # its span trees under the still-open fan-out span
+            for result in results:
+                if result.telemetry is not None:
+                    telemetry.TELEMETRY.registry.absorb(result.telemetry)
+                if result.spans:
+                    telemetry.TELEMETRY.tracer.attach_remote(
+                        result.spans, process=f"shard-{result.shard_index}")
         for result in results:
             fanout.shard_repairs += result.repairs_applied
             fanout.shard_violations_detected += result.violations_detected

@@ -41,14 +41,19 @@ spawn, same replicas, same replies) for tests and single-CPU hosts.
 from __future__ import annotations
 
 import multiprocessing
+import queue
 import threading
 import time
 import traceback
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.exceptions import WorkerPoolError
 from repro.graph.delta import GraphDelta
 from repro.parallel.worker import ShardResult, ShardWorkerState
+from repro.telemetry.log import get_logger, warn_swallowed
+
+_log = get_logger("parallel.pool")
 
 #: how long the coordinator waits for one reply poll before re-checking
 #: worker liveness (seconds)
@@ -104,9 +109,20 @@ def _handle_command(states: dict, message: tuple) -> tuple[str, object]:
         except Exception as exc:  # divergence: drop the replica, ask to rebind
             states.pop(key, None)
             state.close()
+            warn_swallowed(_log, "replica-ship-diverged", exc=exc, shard=key,
+                           changes=len(delta.changes))
             return "stale", f"{type(exc).__name__}: {exc}"
     if command == "repair":
-        return "ok", states[key].repair()
+        context = message[2] if len(message) > 2 else None
+        if context is None:
+            return "ok", states[key].repair()
+        with telemetry.worker_collection(context, process=f"shard-{key}") \
+                as telemetry_box:
+            with telemetry.span("shard.repair", shard=key, mode="warm"):
+                result = states[key].repair()
+        result.telemetry = telemetry_box["telemetry"]
+        result.spans = telemetry_box["spans"]
+        return "ok", result
     raise ValueError(f"unknown pool command {command!r}")
 
 
@@ -202,6 +218,8 @@ class WorkerPool:
             self._task_queues.append(task_queue)
             self._processes.append(process)
             self.stats.spawns += 1
+            if telemetry.TELEMETRY.enabled:
+                telemetry.inc("repro_pool_spawns_total")
 
     def close(self) -> None:
         """Shut the pool down: stop (or terminate) every worker process.
@@ -215,11 +233,16 @@ class WorkerPool:
             if self._closed:
                 return
             self._closed = True
-            for task_queue in self._task_queues:
+            for index, task_queue in enumerate(self._task_queues):
                 try:
                     task_queue.put(("stop",))
-                except Exception:
-                    pass
+                except Exception as exc:
+                    # the worker will be terminated below regardless; a
+                    # failed stop-enqueue only means the graceful path is
+                    # gone, which is worth a breadcrumb, not a raise
+                    warn_swallowed(_log, "stop-enqueue-failed", exc=exc,
+                                   worker=index,
+                                   generation=self.generation)
             for process in self._processes:
                 process.join(timeout=2.0)
                 if process.is_alive():
@@ -299,7 +322,12 @@ class WorkerPool:
             try:
                 key, status, payload = self._result_queue.get(
                     timeout=_POLL_INTERVAL)
-            except Exception:
+            except Exception as exc:
+                if not isinstance(exc, queue.Empty):
+                    # a broken result queue shows up here; the liveness and
+                    # deadline checks below decide whether it is fatal
+                    warn_swallowed(_log, "result-queue-poll-failed", exc=exc,
+                                   pending=len(commands) - len(replies))
                 dead = [process.name for process in self._processes
                         if not process.is_alive()]
                 if dead:
@@ -332,6 +360,9 @@ class WorkerPool:
         with self._lock:
             self._dispatch([("bind",) + tuple(bind) for bind in binds])
             self.stats.binds += len(binds)
+            if telemetry.TELEMETRY.enabled:
+                for bind in binds:
+                    telemetry.inc("repro_pool_binds_total", shard=bind[0])
 
     def ship(self, key: str, delta: GraphDelta) -> bool:
         """Ship one projected committed delta to ``key``'s replica.
@@ -352,18 +383,37 @@ class WorkerPool:
             replies = self._dispatch([("ship", key, delta)
                                       for key, delta in ships])
             self.stats.deltas_shipped += len(ships)
+            if telemetry.TELEMETRY.enabled:
+                for key, _delta in ships:
+                    telemetry.inc("repro_pool_ships_total", shard=key)
         return {key: replies[key][0] == "ok" for key, _delta in ships}
 
-    def repair(self, keys: list[str]) -> list[ShardResult]:
-        """One repair barrier over ``keys``; results in ``keys`` order."""
+    def repair(self, keys: list[str],
+               context: dict | None = None) -> list[ShardResult]:
+        """One repair barrier over ``keys``; results in ``keys`` order.
+
+        ``context`` is the coordinator's trace context: when given, each
+        worker collects telemetry for its command and ships the registry
+        snapshot and finished spans back on the :class:`ShardResult`.
+        """
         with self._lock:
-            replies = self._dispatch([("repair", key) for key in keys])
+            if context is None:
+                commands = [("repair", key) for key in keys]
+            else:
+                commands = [("repair", key, context) for key in keys]
+            replies = self._dispatch(commands)
             self.stats.repair_calls += 1
             self.stats.shard_repairs += len(keys)
+            if telemetry.TELEMETRY.enabled:
+                for key in keys:
+                    telemetry.inc("repro_pool_shard_repairs_total", shard=key)
         results = []
         for key in keys:
             status, payload = replies[key]
             if status != "ok":  # pragma: no cover - repair never replies stale
                 raise self._fail(f"unexpected {status!r} reply for {key!r}")
+            if telemetry.TELEMETRY.enabled:
+                telemetry.observe("repro_pool_shard_repair_seconds",
+                                  payload.elapsed_seconds, shard=key)
             results.append(payload)
         return results

@@ -58,6 +58,9 @@ class ShardTask:
     namespace: str
     rules: RuleSet
     config: FastRepairConfig
+    #: coordinator trace context (``{"trace_id", "span_id"}``) when telemetry
+    #: is collecting; ``None`` keeps the worker's telemetry path allocation-free
+    telemetry_ctx: dict | None = None
 
 
 @dataclass
@@ -85,6 +88,13 @@ class ShardResult:
     planner_plans: int = 0
     planner_replans: int = 0
     elapsed_seconds: float = 0.0
+    #: worker-side :class:`~repro.telemetry.RegistrySnapshot` (None when
+    #: telemetry was not collecting) — the coordinator absorbs it, so shard
+    #: metrics merge deterministically into the dispatching registry
+    telemetry: object = None
+    #: worker-side finished span trees (plain dicts) — the coordinator
+    #: re-parents them under its open fan-out span
+    spans: list = field(default_factory=list)
 
 
 def shard_payload(graph: PropertyGraph) -> dict:
@@ -99,11 +109,21 @@ def shard_from_payload(payload: dict, namespace: str) -> PropertyGraph:
 
 def run_shard_task(task: ShardTask) -> ShardResult:
     """Repair one shard end to end (the pool's map function)."""
+    from repro import telemetry
+
     started = time.perf_counter()
-    graph = shard_from_payload(task.graph_payload, task.namespace)
-    repairs, report = repair_shard(graph, task.rules, config=task.config,
-                                   owned_nodes=task.core)
+    with telemetry.worker_collection(
+            task.telemetry_ctx,
+            process=f"shard-{task.shard_index}") as telemetry_box:
+        with telemetry.span("shard.repair", shard=task.shard_index,
+                            mode="cold"):
+            graph = shard_from_payload(task.graph_payload, task.namespace)
+            repairs, report = repair_shard(graph, task.rules,
+                                           config=task.config,
+                                           owned_nodes=task.core)
     return ShardResult(
+        telemetry=telemetry_box["telemetry"],
+        spans=telemetry_box["spans"],
         shard_index=task.shard_index,
         repairs=repairs,
         violations_detected=report.violations_detected,

@@ -297,7 +297,9 @@ def _add_path(builder: RuleBuilder, path: _PathParser, missing: bool,
             try:
                 builder.missing_node(variable, label)
             except Exception:
-                pass  # already declared as a missing node on a previous line
+                # silent-ok: already declared as a missing node on a
+                # previous line of the same rule — re-declaring is a no-op
+                pass
         else:
             if variable in declared:
                 continue

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import threading
 
+from repro import telemetry
 from repro.exceptions import ServiceError
 from repro.graph.delta import GraphDelta
 from repro.graph.property_graph import PropertyGraph
@@ -67,6 +68,7 @@ class GraphRepairService:
         self._closed = False
         self._durability: dict[str, TenantDurability] = {}
         self._recoveries: dict[str, RecoveredTenant] = {}
+        self._metrics_server = None
 
     # ------------------------------------------------------------------
     # serving tenants
@@ -258,8 +260,12 @@ class GraphRepairService:
 
     def apply_routed(self, delta: GraphDelta) -> tuple[str, CommitResult]:
         """Route a recorded delta to its owning session and apply it there."""
-        name = self.route(delta)
-        return name, self.apply(name, delta)
+        with telemetry.span("service.apply_routed", changes=len(delta.changes)):
+            name = self.route(delta)
+            result = self.apply(name, delta)
+        if telemetry.TELEMETRY.enabled:
+            telemetry.inc("repro_routed_deltas_total", tenant=name)
+        return name, result
 
     # ------------------------------------------------------------------
     # repairing
@@ -278,7 +284,9 @@ class GraphRepairService:
         outcomes; callers wanting wall-clock overlap can repair tenants from
         their own threads instead.
         """
-        return {name: self.repair(name) for name in self.sessions.names()}
+        names = self.sessions.names()
+        with telemetry.span("service.repair_all", tenants=len(names)):
+            return {name: self.repair(name) for name in names}
 
     # ------------------------------------------------------------------
     # the changefeed
@@ -310,6 +318,74 @@ class GraphRepairService:
                     "shard_repairs": 0, "repair_calls": 0}
         return self._pool.stats.as_dict()
 
+    # ------------------------------------------------------------------
+    # telemetry exposition
+    # ------------------------------------------------------------------
+
+    def telemetry_snapshot(self):
+        """A consistent :class:`~repro.telemetry.RegistrySnapshot` of the
+        process registry, with the service's scrape-time gauges refreshed
+        first: per-tenant changefeed sequence, and — for durable tenants —
+        snapshot sequence and feed-sequence lag (records a crash would
+        replay).  This is what ``/metrics`` renders on every scrape.
+        """
+        for name in self.sessions.names():
+            try:
+                sequence = self.sessions.get(name).last_sequence
+            except Exception:
+                continue  # silent-ok: the tenant closed between list and read
+            telemetry.gauge_set("repro_feed_sequence", sequence, tenant=name)
+            sink = self._durability.get(name)
+            if sink is not None:
+                telemetry.gauge_set("repro_snapshot_sequence",
+                                    sink.last_snapshot_sequence, tenant=name)
+                telemetry.gauge_set(
+                    "repro_snapshot_age_records",
+                    sink.global_sequence - sink.last_snapshot_sequence,
+                    tenant=name)
+                telemetry.gauge_set(
+                    "repro_feed_sequence_lag",
+                    sink.global_sequence - sink.last_snapshot_sequence,
+                    tenant=name)
+            else:
+                telemetry.gauge_set("repro_feed_sequence_lag", 0, tenant=name)
+        return telemetry.TELEMETRY.registry.snapshot()
+
+    def health(self) -> dict:
+        """The ``/healthz`` document: liveness plus per-tenant sequences."""
+        tenants = {}
+        for name in self.sessions.names():
+            try:
+                tenants[name] = self.sessions.get(name).last_sequence
+            except Exception:
+                continue  # silent-ok: the tenant closed between list and read
+        return {"status": "closed" if self._closed else "ok",
+                "tenants": tenants}
+
+    def start_metrics_server(self, host: str = "127.0.0.1", port: int = 0):
+        """Start the opt-in Prometheus endpoint (and enable telemetry).
+
+        Serves ``/metrics`` (text exposition 0.0.4) and ``/healthz`` on a
+        stdlib HTTP daemon thread until :meth:`close`.  ``port=0`` picks a
+        free port — read it back from the returned server's ``.port``.
+        """
+        from repro.telemetry.exposition import TelemetryServer
+
+        self._require_open()
+        if self._metrics_server is not None:
+            raise ServiceError("the metrics server is already running on "
+                               f"{self._metrics_server.url}")
+        telemetry.enable()
+        self._metrics_server = TelemetryServer(self.telemetry_snapshot,
+                                               health_provider=self.health,
+                                               host=host, port=port)
+        return self._metrics_server
+
+    @property
+    def metrics_server(self):
+        """The running telemetry endpoint, or ``None``."""
+        return self._metrics_server
+
     def close(self) -> None:
         """Close every session, every durable sink, then the shared pool.
 
@@ -323,6 +399,12 @@ class GraphRepairService:
                 return
             self._closed = True
         errors: list[BaseException] = []
+        if self._metrics_server is not None:
+            try:
+                self._metrics_server.close()
+            except BaseException as exc:
+                errors.append(exc)
+            self._metrics_server = None
         try:
             self.sessions.close()
         except BaseException as exc:

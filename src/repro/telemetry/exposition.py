@@ -1,0 +1,168 @@
+"""Exposition: Prometheus text rendering and the stdlib-only HTTP endpoint.
+
+:func:`render_prometheus` turns a :class:`~repro.telemetry.metrics
+.RegistrySnapshot` into Prometheus text exposition format 0.0.4 (``# HELP``
+/ ``# TYPE`` headers, cumulative ``_bucket{le=...}`` histogram series,
+``_sum`` / ``_count``).  :class:`TelemetryServer` serves it:
+
+* ``GET /metrics``  → the provider's current snapshot, rendered;
+* ``GET /healthz``  → a small JSON health document (200 while the service
+  answers at all — liveness, not correctness);
+
+on a ``ThreadingHTTPServer`` daemon thread — pure stdlib, opt-in
+(nothing listens unless the embedder starts it), bound to localhost by
+default.  ``port=0`` picks a free port; read it back from ``.port``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+from repro.telemetry.metrics import MetricSnapshot, RegistrySnapshot
+
+__all__ = ["TelemetryServer", "render_prometheus"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _labels_text(labelnames: tuple[str, ...], values: tuple[str, ...],
+                 extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [f'{name}="{_escape_label(value)}"'
+             for name, value in zip(labelnames, values)]
+    pairs.extend(f'{name}="{_escape_label(value)}"' for name, value in extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _format_number(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_family(lines: list[str], metric: MetricSnapshot) -> None:
+    if metric.help:
+        lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+    lines.append(f"# TYPE {metric.name} {metric.kind}")
+    if metric.kind == "histogram":
+        for values in sorted(metric.histograms):
+            counts, total, count = metric.histograms[values]
+            cumulative = 0
+            for bound, bucket_count in zip(metric.buckets, counts):
+                cumulative += bucket_count
+                labels = _labels_text(metric.labelnames, values,
+                                      extra=(("le", _format_number(bound)),))
+                lines.append(f"{metric.name}_bucket{labels} {cumulative}")
+            labels = _labels_text(metric.labelnames, values,
+                                  extra=(("le", "+Inf"),))
+            lines.append(f"{metric.name}_bucket{labels} {count}")
+            plain = _labels_text(metric.labelnames, values)
+            lines.append(f"{metric.name}_sum{plain} {repr(float(total))}")
+            lines.append(f"{metric.name}_count{plain} {count}")
+    else:
+        for values in sorted(metric.samples):
+            labels = _labels_text(metric.labelnames, values)
+            lines.append(f"{metric.name}{labels} "
+                         f"{_format_number(metric.samples[values])}")
+
+
+def render_prometheus(snapshot: RegistrySnapshot) -> str:
+    """The snapshot in Prometheus text exposition format 0.0.4."""
+    lines: list[str] = []
+    for name in sorted(snapshot.metrics):
+        _render_family(lines, snapshot.metrics[name])
+    return "\n".join(lines) + "\n"
+
+
+class TelemetryServer:
+    """The opt-in ``/metrics`` + ``/healthz`` HTTP endpoint (stdlib only).
+
+    ``snapshot_provider`` is called per ``/metrics`` request (so gauges
+    computed at scrape time — snapshot age, feed lag — are current);
+    ``health_provider`` (optional) returns the ``/healthz`` JSON document.
+    """
+
+    def __init__(self, snapshot_provider: Callable[[], RegistrySnapshot],
+                 health_provider: Callable[[], dict] | None = None,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self._snapshot_provider = snapshot_provider
+        self._health_provider = health_provider or (lambda: {"status": "ok"})
+        server = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib handler API)
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
+                    try:
+                        body = render_prometheus(
+                            server._snapshot_provider()).encode("utf-8")
+                    except Exception as exc:
+                        self._fail(exc)
+                        return
+                    self._reply(200, CONTENT_TYPE, body)
+                elif path == "/healthz":
+                    try:
+                        document = server._health_provider()
+                    except Exception as exc:
+                        self._fail(exc)
+                        return
+                    self._reply(200, "application/json",
+                                json.dumps(document, sort_keys=True,
+                                           default=str).encode("utf-8"))
+                else:
+                    self._reply(404, "text/plain", b"not found\n")
+
+            def _fail(self, exc: Exception) -> None:
+                self._reply(500, "text/plain",
+                            f"{type(exc).__name__}: {exc}\n".encode("utf-8"))
+
+            def _reply(self, status: int, content_type: str,
+                       body: bytes) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format: str, *args: object) -> None:
+                pass  # silent-ok: per-request stderr chatter is not telemetry
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="repro-telemetry-http",
+                                        daemon=True)
+        self._thread.start()
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "TelemetryServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

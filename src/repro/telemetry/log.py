@@ -1,0 +1,104 @@
+"""Structured logging for the repro tree: one namespace, key=value events.
+
+Everything logs under the ``"repro"`` stdlib logger hierarchy so embedders
+configure it with ordinary ``logging`` tooling (handlers, levels,
+propagation).  Three conventions:
+
+* :func:`get_logger` — ``get_logger("parallel.pool")`` →
+  ``logging.getLogger("repro.parallel.pool")``;
+* :func:`log_event` — structured records: a short kebab-case event name
+  followed by ``key=value`` pairs (``"replica-stale shard=b0:2
+  tenant=kg reason=..."``), machine-grepable and stable;
+* :func:`warn_swallowed` — the **required** router for degradation paths
+  that would otherwise be ``except Exception: pass``: it emits a
+  warn-level event carrying the exception (``tools/lint_silent_except.py``
+  fails CI on silent handlers in ``src/`` that bypass this module).
+
+Nothing here installs handlers; with none configured, stdlib's
+last-resort handler prints warnings and errors to stderr, which is exactly
+the visibility the previously-silent paths need.  :func:`basic_config`
+is an opt-in convenience for scripts/examples.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["basic_config", "get_logger", "log_event", "tenant_logger",
+           "warn_swallowed"]
+
+ROOT_LOGGER_NAME = "repro"
+
+_LEVELS = {"debug": logging.DEBUG, "info": logging.INFO,
+           "warning": logging.WARNING, "error": logging.ERROR,
+           "critical": logging.CRITICAL}
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """The ``repro.<name>`` stdlib logger (the bare ``repro`` root for "")."""
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}" if name
+                             else ROOT_LOGGER_NAME)
+
+
+def tenant_logger(name: str, tenant: str) -> logging.LoggerAdapter:
+    """A :func:`get_logger` adapter stamping ``tenant=`` on every event."""
+    return _TenantAdapter(get_logger(name), {"tenant": tenant})
+
+
+class _TenantAdapter(logging.LoggerAdapter):
+    def process(self, msg, kwargs):
+        tenant = self.extra.get("tenant")
+        return f"{msg} tenant={_format_value(tenant)}", kwargs
+
+
+def _format_value(value: object) -> str:
+    text = str(value)
+    if " " in text or "=" in text or not text:
+        return repr(text)
+    return text
+
+
+def log_event(logger: logging.Logger | logging.LoggerAdapter,
+              level: int | str, event: str, exc: BaseException | None = None,
+              **fields: object) -> None:
+    """Emit one structured ``event key=value ...`` record.
+
+    ``exc`` appends ``error=<Type: message>`` — the one-line form; pass
+    ``exc_info`` through ``fields``-free keyword logging when a full
+    traceback is wanted instead.
+    """
+    if isinstance(level, str):
+        level = _LEVELS[level]
+    if not logger.isEnabledFor(level):
+        return
+    parts = [event]
+    parts.extend(f"{key}={_format_value(value)}"
+                 for key, value in fields.items())
+    if exc is not None:
+        parts.append(f"error={_format_value(f'{type(exc).__name__}: {exc}')}")
+    logger.log(level, " ".join(parts))
+
+
+def warn_swallowed(logger: logging.Logger | logging.LoggerAdapter,
+                   event: str, exc: BaseException | None = None,
+                   **fields: object) -> None:
+    """The sanctioned replacement for ``except Exception: pass``.
+
+    Degradation stays graceful — nothing is raised — but the swallowed
+    failure becomes a warn-level structured event with enough context
+    (tenant/shard/sequence via ``fields``) to diagnose it after the fact.
+    """
+    log_event(logger, logging.WARNING, event, exc=exc, **fields)
+
+
+def basic_config(level: int | str = logging.INFO) -> None:
+    """Opt-in stderr handler for scripts: timestamped, logger-prefixed."""
+    if isinstance(level, str):
+        level = _LEVELS[level]
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.setLevel(level)
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname)-7s %(name)s %(message)s"))
+        root.addHandler(handler)

@@ -1,0 +1,252 @@
+"""Span tracing: context-manager spans, trace propagation, Chrome export.
+
+A :class:`Tracer` produces a tree of timed :class:`Span` objects.  The
+current span is tracked per thread/task (``contextvars``), so ``with
+tracer.span("repair.match", tenant="kg"):`` nests naturally wherever it
+runs.  Finished *root* spans accumulate on the tracer (bounded ring) and
+export as
+
+* **JSON** — the nested span tree (:func:`spans_to_json`);
+* **Chrome trace_event format** — ``chrome://tracing`` / Perfetto complete
+  events (:func:`spans_to_chrome`).
+
+**Cross-process propagation.**  :meth:`Tracer.current_context` captures the
+ambient ``(trace_id, span_id)`` as a plain dict; a worker process builds its
+tracer with that dict as ``remote_parent`` so its spans carry the dispatch
+site's trace id.  The worker ships its finished spans back (plain dicts,
+:meth:`Tracer.export_finished`), and the coordinator calls
+:meth:`Tracer.attach_remote` while the dispatching fan-out span is still
+open: the worker roots are **re-parented** as children of that span, so one
+exported trace shows the fan-out with every worker's shard repair nested
+under it — across the spawn boundary.
+
+Clocks: span start times are wall-clock (``time.time``) so spans from
+different processes land on one comparable axis; durations are measured
+with ``perf_counter`` for resolution.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "Tracer", "spans_to_chrome", "spans_to_json"]
+
+#: finished root spans kept per tracer (oldest dropped first)
+MAX_FINISHED_ROOTS = 512
+
+_ids = itertools.count(1)
+
+
+def _new_id() -> str:
+    return f"{os.getpid():x}-{next(_ids):x}"
+
+
+@dataclass
+class Span:
+    """One timed operation in a trace tree."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+    #: wall-clock epoch seconds at start (cross-process comparable)
+    start_time: float = 0.0
+    duration: float = 0.0
+    attributes: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+    #: which process produced the span (pid, or a shard key for workers)
+    process: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_time": self.start_time,
+            "duration": self.duration,
+            "attributes": dict(self.attributes),
+            "process": self.process,
+            "children": [child.as_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        return cls(name=data["name"], trace_id=data["trace_id"],
+                   span_id=data["span_id"], parent_id=data.get("parent_id"),
+                   start_time=data.get("start_time", 0.0),
+                   duration=data.get("duration", 0.0),
+                   attributes=dict(data.get("attributes", {})),
+                   process=data.get("process", ""),
+                   children=[cls.from_dict(child)
+                             for child in data.get("children", [])])
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class Tracer:
+    """Collects span trees for one process (see module docstring).
+
+    ``slow_span_seconds`` (when set) warn-logs every span whose duration
+    reaches the threshold through :mod:`repro.telemetry.log` — the
+    "why was that call slow" breadcrumb in an otherwise silent service.
+    """
+
+    def __init__(self, remote_parent: dict | None = None,
+                 slow_span_seconds: float | None = None,
+                 process: str | None = None) -> None:
+        self.remote_parent = remote_parent
+        self.slow_span_seconds = slow_span_seconds
+        self.process = process if process is not None else str(os.getpid())
+        self.finished: list[Span] = []
+        self._lock = threading.Lock()
+        self._current: ContextVar[Span | None] = ContextVar(
+            "repro-telemetry-span", default=None)
+
+    # ------------------------------------------------------------------
+    # producing spans
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attributes: object):
+        """Open one span as a child of the ambient span (or a new root)."""
+        parent = self._current.get()
+        if parent is not None:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        elif self.remote_parent is not None:
+            trace_id = self.remote_parent["trace_id"]
+            parent_id = self.remote_parent["span_id"]
+        else:
+            trace_id, parent_id = _new_id(), None
+        span = Span(name=name, trace_id=trace_id, span_id=_new_id(),
+                    parent_id=parent_id, start_time=time.time(),
+                    attributes=attributes, process=self.process)
+        token = self._current.set(span)
+        started = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.duration = time.perf_counter() - started
+            self._current.reset(token)
+            if parent is not None:
+                parent.children.append(span)
+            else:
+                with self._lock:
+                    self.finished.append(span)
+                    if len(self.finished) > MAX_FINISHED_ROOTS:
+                        del self.finished[:-MAX_FINISHED_ROOTS]
+            if self.slow_span_seconds is not None \
+                    and span.duration >= self.slow_span_seconds:
+                from repro.telemetry.log import get_logger, log_event
+
+                log_event(get_logger("spans"), "warning", "slow-span",
+                          span=name, seconds=round(span.duration, 4),
+                          **attributes)
+
+    def current_context(self) -> dict | None:
+        """The ambient trace context as a picklable dict (None outside any
+        span) — hand it to a worker as its tracer's ``remote_parent``."""
+        span = self._current.get()
+        if span is None:
+            return self.remote_parent
+        return {"trace_id": span.trace_id, "span_id": span.span_id}
+
+    # ------------------------------------------------------------------
+    # shipping spans across the spawn boundary
+    # ------------------------------------------------------------------
+
+    def export_finished(self, drain: bool = True) -> list[dict]:
+        """Finished root spans as plain dicts (the shippable form)."""
+        with self._lock:
+            spans = [span.as_dict() for span in self.finished]
+            if drain:
+                self.finished.clear()
+        return spans
+
+    def attach_remote(self, span_dicts: list[dict],
+                      process: str | None = None) -> list[Span]:
+        """Re-parent shipped worker spans under the ambient span.
+
+        Each shipped root becomes a child of the currently open span (the
+        dispatching fan-out span), inheriting its trace id; with no span
+        open the roots join :attr:`finished` as their own trees.  Returns
+        the re-parented spans.
+        """
+        parent = self._current.get()
+        adopted: list[Span] = []
+        for data in span_dicts:
+            span = Span.from_dict(data)
+            if process is not None:
+                for node in span.walk():
+                    if not node.process:
+                        node.process = process
+            if parent is not None:
+                span.parent_id = parent.span_id
+                old_trace = span.trace_id
+                for node in span.walk():
+                    if node.trace_id == old_trace:
+                        node.trace_id = parent.trace_id
+                parent.children.append(span)
+            else:
+                with self._lock:
+                    self.finished.append(span)
+            adopted.append(span)
+        return adopted
+
+    # ------------------------------------------------------------------
+    # exports
+    # ------------------------------------------------------------------
+
+    def roots(self) -> list[Span]:
+        with self._lock:
+            return list(self.finished)
+
+    def export_json(self) -> list[dict]:
+        return spans_to_json(self.roots())
+
+    def export_chrome(self) -> dict:
+        return spans_to_chrome(self.roots())
+
+
+def spans_to_json(spans: list[Span]) -> list[dict]:
+    """The nested span-tree JSON export."""
+    return [span.as_dict() for span in spans]
+
+
+def spans_to_chrome(spans: list[Span]) -> dict:
+    """Chrome ``trace_event`` export (complete events, microseconds).
+
+    Each distinct ``process`` string gets its own synthetic pid row, so a
+    fan-out renders as the coordinator's lane with one lane per worker —
+    load the file in ``chrome://tracing`` or https://ui.perfetto.dev.
+    """
+    events: list[dict] = []
+    pids: dict[str, int] = {}
+    for root in spans:
+        for span in root.walk():
+            pid = pids.setdefault(span.process or "main", len(pids) + 1)
+            events.append({
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": span.start_time * 1_000_000.0,
+                "dur": max(span.duration, 0.0) * 1_000_000.0,
+                "pid": pid,
+                "tid": 1,
+                "args": {key: repr(value) if not isinstance(
+                    value, (str, int, float, bool, type(None))) else value
+                    for key, value in span.attributes.items()},
+            })
+    metadata = [{"name": "process_name", "ph": "M", "pid": pid, "tid": 1,
+                 "args": {"name": f"repro:{process}"}}
+                for process, pid in pids.items()]
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}

@@ -11,6 +11,9 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.telemetry import TELEMETRY as _TELEMETRY
+from repro.telemetry import observe as _observe
+
 
 @dataclass
 class Stopwatch:
@@ -63,12 +66,20 @@ class TimingBreakdown:
 
     @contextmanager
     def measure(self, name: str):
-        """Context manager adding the elapsed wall time to timer ``name``."""
+        """Context manager adding the elapsed wall time to timer ``name``.
+
+        Every engine phase already runs under ``measure`` — so this is also
+        the telemetry bridge: with telemetry enabled, each measurement is
+        observed into the ``repro_phase_seconds{phase=<name>}`` histogram.
+        """
         start = time.perf_counter()
         try:
             yield
         finally:
-            self.timers[name] = self.timers.get(name, 0.0) + (time.perf_counter() - start)
+            elapsed = time.perf_counter() - start
+            self.timers[name] = self.timers.get(name, 0.0) + elapsed
+            if _TELEMETRY.enabled:
+                _observe("repro_phase_seconds", elapsed, phase=name)
 
     def add(self, name: str, seconds: float) -> None:
         self.timers[name] = self.timers.get(name, 0.0) + seconds

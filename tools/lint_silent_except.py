@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Fail on silent exception swallowing in ``src/``.
+
+The observability contract (docs/OBSERVABILITY.md): a degradation path may
+swallow an exception, but never silently — it must either route the event
+through :mod:`repro.telemetry.log` (``warn_swallowed`` / ``log_event``) or
+carry an explicit ``# silent-ok: <reason>`` marker on the handler.
+
+This linter walks every Python file under the given roots (default:
+``src/``) and flags each ``except`` handler that
+
+* catches ``Exception``, ``BaseException``, or everything (bare except), and
+* has a body consisting only of ``pass`` / ``...`` (no logging, no re-raise,
+  no state change), and
+* has no ``# silent-ok:`` marker on any source line of the handler.
+
+Exit status 0 when clean, 1 with one ``path:line: message`` per finding —
+CI runs it as the observability suite's lint step.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+MARKER = "# silent-ok:"
+
+#: exception names whose silent swallowing is flagged (narrow handlers like
+#: ``except KeyError: pass`` are a deliberate lookup idiom, not a black hole)
+BROAD = {"Exception", "BaseException"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:  # bare except
+        return True
+    names = []
+    if isinstance(handler.type, ast.Tuple):
+        names = [node for node in handler.type.elts]
+    else:
+        names = [handler.type]
+    for node in names:
+        if isinstance(node, ast.Name) and node.id in BROAD:
+            return True
+    return False
+
+
+def _is_silent(handler: ast.ExceptHandler) -> bool:
+    for statement in handler.body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if isinstance(statement, ast.Expr) \
+                and isinstance(statement.value, ast.Constant) \
+                and statement.value.value is Ellipsis:
+            continue
+        return False
+    return True
+
+
+def _has_marker(source_lines: list[str], handler: ast.ExceptHandler) -> bool:
+    end = handler.body[-1].end_lineno or handler.body[-1].lineno
+    for lineno in range(handler.lineno, end + 1):
+        if MARKER in source_lines[lineno - 1]:
+            return True
+    return False
+
+
+def lint_file(path: Path) -> list[str]:
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [f"{path}:{exc.lineno}: syntax error: {exc.msg}"]
+    lines = source.splitlines()
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if _is_broad(node) and _is_silent(node) \
+                and not _has_marker(lines, node):
+            findings.append(
+                f"{path}:{node.lineno}: silent broad except — log it via "
+                "repro.telemetry.log.warn_swallowed() or mark the handler "
+                f"with '{MARKER} <reason>'")
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    roots = [Path(arg) for arg in argv] or [Path("src")]
+    findings: list[str] = []
+    for root in roots:
+        if root.is_file():
+            findings.extend(lint_file(root))
+            continue
+        for path in sorted(root.rglob("*.py")):
+            findings.extend(lint_file(path))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"\n{len(findings)} silent except handler(s) found")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
