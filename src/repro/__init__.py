@@ -43,7 +43,10 @@ repair calls.  Sessions are thread-safe and publish every committed change
 on a replayable changefeed (``session.deltas()`` / ``on_commit``); the
 service layer (``from repro.service import GraphRepairService``) serves
 many named sessions concurrently over a shared warm pool
-(``docs/SERVICE.md``).
+(``docs/SERVICE.md``), and the ingestion front (``from repro.ingest
+import IngestFront, AsyncRepairService``) adds bounded edit queues,
+admission control, a background repair scheduler, and an asyncio facade
+on top (``docs/INGEST.md``).
 The legacy one-shot helpers (``repair_graph``, ``RepairEngine``) remain as
 deprecation shims over the session — see ``docs/MIGRATION.md``.
 
@@ -106,8 +109,9 @@ __all__ = [
     "MaintenanceEvent",
     "CommitResult",
     "CommittedDelta",
-    # service layer (imported from repro.service; heavier, so not eagerly
-    # re-exported here: ``from repro.service import GraphRepairService``)
+    # service + ingest layers (heavier, so not eagerly re-exported here:
+    # ``from repro.service import GraphRepairService`` and
+    # ``from repro.ingest import IngestFront, AsyncRepairService``)
     # graph
     "PropertyGraph",
     # matching

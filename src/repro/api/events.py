@@ -63,12 +63,16 @@ class CommittedDelta:
     what committed the changes: ``"commit"`` (a committed transaction) or
     ``"repair"`` (the mutations of one :meth:`RepairSession.repair` call).
     ``delta`` replays exactly — ids included — via
-    :func:`repro.graph.delta.replay_delta`.
+    :func:`repro.graph.delta.replay_delta`.  ``timestamp`` is the publishing
+    process's ``time.monotonic()`` at commit — what the ingest scheduler's
+    commit→repaired latency histograms subtract from; it is process-local
+    bookkeeping, never persisted or shipped across processes as a clock.
     """
 
     sequence: int
     source: str
     delta: GraphDelta
+    timestamp: float = 0.0
 
     def replay_onto(self, graph) -> GraphDelta:
         """Apply this record to a replica graph (exact, id-preserving replay).

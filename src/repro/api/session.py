@@ -419,6 +419,25 @@ class RepairSession:
             self.stage(edit)
             return self.commit()
 
+    def apply_many(self, edits: "list[Callable[[PropertyGraph], object] | GraphDelta]") -> CommitResult:
+        """Stage each edit as its own transaction, then commit them all
+        under **one** merged maintenance pass.
+
+        Atomic: the session lock is held across the whole batch, so no
+        other thread's stage or commit interleaves, and the changefeed
+        carries a single record for the batch.  This is the coalescing
+        primitive the ingestion scheduler folds queued deltas with —
+        graph state afterwards is element-for-element what applying the
+        edits one ``apply`` at a time would produce.  ``edits`` must be
+        non-empty.
+        """
+        if not edits:
+            raise ValueError("apply_many needs at least one edit")
+        with self._lock:
+            for edit in edits:
+                self.stage(edit)
+            return self.commit()
+
     # ------------------------------------------------------------------
     # the committed-delta changefeed
     # ------------------------------------------------------------------
@@ -434,7 +453,7 @@ class RepairSession:
         if not delta:
             return
         record = CommittedDelta(sequence=len(self._feed) + 1, source=source,
-                                delta=delta)
+                                delta=delta, timestamp=time.monotonic())
         self._feed.append(record)
         if telemetry.TELEMETRY.enabled:
             telemetry.inc("repro_commits_total", tenant=self.graph.name,

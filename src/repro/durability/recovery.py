@@ -99,12 +99,33 @@ class RecoveredTenant:
     records_replayed: int
     #: individual graph changes inside those records
     changes_replayed: int
+    #: global sequence of the newest ``"repair"``-source record in the
+    #: replayed tail (0 when the tail held none)
+    last_repair_sequence: int = 0
+    #: ``"commit"``-source records replayed after that repair — the edits a
+    #: crash left unreconciled, which the ingest scheduler must treat as
+    #: dirty when the tenant is restored
+    pending_commit_records: int = 0
+
+    @property
+    def known_clean(self) -> bool:
+        """True only when the replayed tail *proves* every commit was
+        covered by a later repair.  A tenant whose tail is empty (the
+        snapshot covered everything) is **not** known clean — the snapshot
+        does not record repair coverage, so schedulers seeding from a
+        restore must treat uncertainty as dirty.
+        """
+        return (self.records_replayed > 0
+                and self.last_repair_sequence > 0
+                and self.pending_commit_records == 0)
 
     def as_dict(self) -> dict[str, int]:
         return {"sequence": self.sequence,
                 "snapshot_sequence": self.snapshot_sequence,
                 "records_replayed": self.records_replayed,
-                "changes_replayed": self.changes_replayed}
+                "changes_replayed": self.changes_replayed,
+                "last_repair_sequence": self.last_repair_sequence,
+                "pending_commit_records": self.pending_commit_records}
 
 
 def recover(name: str, config: DurabilityConfig) -> RecoveredTenant:
@@ -133,11 +154,13 @@ def recover(name: str, config: DurabilityConfig) -> RecoveredTenant:
         snapshot_seq = sequence
         records = 0
         changes = 0
+        last_repair_seq = 0
+        pending_commits = 0
         observing = telemetry.TELEMETRY.enabled
         with telemetry.span("durability.recover", tenant=name,
                             snapshot_sequence=snapshot_seq):
             for document in wal.records(after=sequence):
-                record_seq, _source, delta = codec.decode_record(document)
+                record_seq, source, delta = codec.decode_record(document)
                 if record_seq != sequence + 1:
                     raise DurabilityError(
                         f"gap in tenant {name!r} log: expected sequence "
@@ -155,12 +178,19 @@ def recover(name: str, config: DurabilityConfig) -> RecoveredTenant:
                 sequence = record_seq
                 records += 1
                 changes += len(delta)
+                if source == "repair":
+                    last_repair_seq = record_seq
+                    pending_commits = 0
+                else:
+                    pending_commits += 1
     finally:
         wal.close()
     graph.name = name
     return RecoveredTenant(name=name, graph=graph, sequence=sequence,
                            snapshot_sequence=snapshot_seq,
-                           records_replayed=records, changes_replayed=changes)
+                           records_replayed=records, changes_replayed=changes,
+                           last_repair_sequence=last_repair_seq,
+                           pending_commit_records=pending_commits)
 
 
 class TenantDurability:

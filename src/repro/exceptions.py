@@ -170,6 +170,32 @@ class ServiceError(RepairError):
 
 
 # ---------------------------------------------------------------------------
+# Ingestion layer
+# ---------------------------------------------------------------------------
+
+
+class IngestError(RepairError):
+    """An :mod:`repro.ingest` operation failed (unknown tenant, stopped
+    scheduler, submission to a closed front)."""
+
+
+class AdmissionError(IngestError):
+    """A submission was refused by admission control.
+
+    Raised (or used to resolve the submission's ack) when a tenant's edit
+    queue is full under the ``"reject"`` policy, when a ``"block"``-policy
+    submit timed out, when a queued edit was shed under ``"shed-oldest"``,
+    or when the front shut down with the edit still queued.  ``reason`` is
+    one of ``"full"``, ``"timeout"``, ``"shed"``, ``"shutdown"``.
+    """
+
+    def __init__(self, message: str, tenant: str = "", reason: str = "full") -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.reason = reason
+
+
+# ---------------------------------------------------------------------------
 # Durability layer
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,42 @@
+"""``repro.ingest`` — the asynchronous ingestion front.
+
+The layer between edit producers and the
+:class:`~repro.service.GraphRepairService`:
+
+* :class:`IngestFront` — per-tenant bounded edit queues with admission
+  control (block / reject / shed-oldest), a background repair scheduler
+  that coalesces queued deltas into single commits and repairs the
+  dirtiest tenants first (staleness/SLA priority, flood-proof
+  fairness), and read-your-writes via ``wait_for_repair``;
+* :class:`AsyncRepairService` — the asyncio facade multiplexing any
+  number of event-loop clients over the thread-backed front;
+* :class:`TenantQuota` / :class:`IngestConfig` — the admission and
+  scheduling knobs;
+* :class:`SubmitAck` — the per-delta commit acknowledgement;
+* :class:`BufferedFeed` — the bounded changefeed subscriber buffer (a
+  stuck consumer sheds its own oldest records instead of stalling
+  commits).
+
+See ``docs/INGEST.md`` for the scheduling policy, the backpressure
+contract, and the asyncio usage shape.
+"""
+
+from repro.exceptions import AdmissionError, IngestError
+from repro.ingest.aio import AsyncRepairService
+from repro.ingest.config import ADMISSION_POLICIES, IngestConfig, TenantQuota
+from repro.ingest.feed import BufferedFeed
+from repro.ingest.queues import EditQueue, SubmitAck
+from repro.ingest.scheduler import IngestFront
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "AdmissionError",
+    "AsyncRepairService",
+    "BufferedFeed",
+    "EditQueue",
+    "IngestConfig",
+    "IngestError",
+    "IngestFront",
+    "SubmitAck",
+    "TenantQuota",
+]

@@ -1,0 +1,152 @@
+"""``AsyncRepairService`` — the asyncio facade over the ingest front.
+
+The front itself is thread-backed (bounded queues, a scheduler thread);
+this facade multiplexes any number of asyncio clients over it without a
+thread per client:
+
+* ``submit`` runs the (possibly blocking, under the ``block`` admission
+  policy) enqueue step in the default executor, then awaits the
+  commit ack via :meth:`SubmitAck.add_done_callback` bridged onto the
+  event loop with ``call_soon_threadsafe`` — no polling, no extra
+  threads while waiting.
+* ``wait_for_repair`` bridges :meth:`IngestFront.add_repair_waiter` the
+  same way, giving awaitable read-your-writes:
+  ``seq = await svc.submit(t, delta); await svc.wait_for_repair(t, seq)``
+  returns only once the edit's consequences are reconciled.
+
+Admission failures surface as the same
+:class:`~repro.exceptions.AdmissionError` the sync API raises.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.ingest.queues import SubmitAck
+from repro.ingest.scheduler import IngestFront
+
+
+class AsyncRepairService:
+    """Awaitable submission/read-your-writes API over an
+    :class:`~repro.ingest.IngestFront`.
+
+    One instance serves any number of tasks on one event loop.  Closing
+    the facade does **not** close the front (several facades — or sync
+    producers — may share it).
+    """
+
+    def __init__(self, front: IngestFront) -> None:
+        self._front = front
+
+    @property
+    def front(self) -> IngestFront:
+        return self._front
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    async def submit(self, name: str, edit) -> int:
+        """Queue one edit and await its commit; returns the committed
+        changefeed sequence.
+
+        The enqueue step honours the tenant's admission policy (it may
+        block in the executor, reject, or shed) and raises
+        :class:`~repro.exceptions.AdmissionError` exactly as the sync
+        API does — including when *this* edit is later shed by a newer
+        submission before the scheduler commits it.
+        """
+        loop = asyncio.get_running_loop()
+        ack = await loop.run_in_executor(None, self._front.submit, name, edit)
+        return await self._await_ack(loop, ack)
+
+    async def submit_many(self, name: str, edits) -> list[int]:
+        """Queue several edits in order and await all their commits;
+        returns one committed sequence per edit (coalesced edits share
+        one)."""
+        loop = asyncio.get_running_loop()
+        acks = await loop.run_in_executor(None, self._front.submit_many,
+                                          name, list(edits))
+        return list(await asyncio.gather(
+            *(self._await_ack(loop, ack) for ack in acks)))
+
+    # ------------------------------------------------------------------
+    # read-your-writes
+    # ------------------------------------------------------------------
+
+    async def wait_for_repair(self, name: str, sequence: int,
+                              timeout: Optional[float] = None) -> None:
+        """Await the tenant being repaired through ``sequence`` (see
+        :meth:`IngestFront.wait_for_repair`); raises
+        :class:`asyncio.TimeoutError` on timeout."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future[bool] = loop.create_future()
+
+        def _done(satisfied: bool) -> None:
+            try:
+                loop.call_soon_threadsafe(_resolve, satisfied)
+            except RuntimeError:
+                pass  # loop already closed; the waiter was abandoned
+
+        def _resolve(satisfied: bool) -> None:
+            if not future.done():
+                future.set_result(satisfied)
+
+        self._front.add_repair_waiter(name, sequence, _done)
+        satisfied = await asyncio.wait_for(asyncio.shield(future), timeout)
+        if not satisfied:
+            from repro.exceptions import IngestError
+            raise IngestError(
+                f"the ingest front closed before tenant {name!r} was "
+                f"repaired through sequence {sequence}")
+
+    async def submit_and_wait(self, name: str, edit,
+                              timeout: Optional[float] = None) -> int:
+        """Read-your-writes in one call: submit, await the commit, await
+        the repair that reconciles it; returns the committed sequence."""
+        sequence = await self.submit(name, edit)
+        await self.wait_for_repair(name, sequence, timeout=timeout)
+        return sequence
+
+    # ------------------------------------------------------------------
+    # draining
+    # ------------------------------------------------------------------
+
+    async def quiesce(self, timeout: float = 30.0) -> None:
+        """Await the front going fully clean (executor-run
+        :meth:`IngestFront.quiesce`)."""
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._front.quiesce, timeout)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _await_ack(loop: asyncio.AbstractEventLoop,
+                   ack: SubmitAck) -> "asyncio.Future[int]":
+        future: asyncio.Future[int] = loop.create_future()
+
+        def _done(resolved: SubmitAck) -> None:
+            try:
+                loop.call_soon_threadsafe(_transfer, resolved)
+            except RuntimeError:
+                pass  # loop already closed; the submitter went away
+
+        def _transfer(resolved: SubmitAck) -> None:
+            if future.done():
+                return
+            if resolved.error is not None:
+                future.set_exception(resolved.error)
+            else:
+                future.set_result(resolved.sequence)
+
+        ack.add_done_callback(_done)
+        return future
+
+    async def __aenter__(self) -> "AsyncRepairService":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        return None

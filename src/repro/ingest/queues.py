@@ -1,0 +1,204 @@
+"""Per-tenant edit queues and submission acknowledgements.
+
+:class:`SubmitAck` is the handle a producer gets back from ``submit``:
+a one-shot, thread-safe future that resolves to the committed changefeed
+sequence once the scheduler folds the delta into a commit (or fails with
+:class:`~repro.exceptions.AdmissionError` if the delta was shed or the
+front shut down first).  ``add_done_callback`` is the bridge the asyncio
+facade uses to wake event-loop futures without polling.
+
+:class:`EditQueue` is the bounded per-tenant buffer between producers
+and the scheduler.  Admission control lives here: the queue applies its
+tenant's :class:`~repro.ingest.config.TenantQuota` policy the moment the
+bound is hit, so a flooding tenant feels backpressure at *submit* time
+while other tenants' queues stay unaffected.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Optional
+
+from repro.exceptions import AdmissionError
+from repro.graph.delta import GraphDelta
+from repro.ingest.config import TenantQuota
+
+
+class SubmitAck:
+    """A one-shot acknowledgement for a single submitted delta.
+
+    Resolves to the changefeed sequence of the commit that carried the
+    delta.  Thread-safe; ``wait`` may be called from any thread, and
+    callbacks registered via :meth:`add_done_callback` run exactly once —
+    on the resolving thread, or immediately on the registering thread if
+    the ack is already done.
+    """
+
+    __slots__ = ("tenant", "_event", "_sequence", "_error", "_callbacks",
+                 "_lock")
+
+    def __init__(self, tenant: str) -> None:
+        self.tenant = tenant
+        self._event = threading.Event()
+        self._sequence: Optional[int] = None
+        self._error: Optional[BaseException] = None
+        self._callbacks: list[Callable[["SubmitAck"], None]] = []
+        self._lock = threading.Lock()
+
+    # -- producer side -------------------------------------------------
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def sequence(self) -> Optional[int]:
+        """The committed changefeed sequence, or ``None`` until resolved."""
+        return self._sequence
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        """The failure, or ``None`` (also ``None`` before resolution)."""
+        return self._error
+
+    def wait(self, timeout: Optional[float] = None) -> int:
+        """Block until resolved; return the committed sequence.
+
+        Raises the stored error if the submission failed, or
+        :class:`TimeoutError` if ``timeout`` elapses first.
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"submission to tenant {self.tenant!r} not acknowledged "
+                f"within {timeout}s")
+        if self._error is not None:
+            raise self._error
+        assert self._sequence is not None
+        return self._sequence
+
+    def add_done_callback(self, fn: Callable[["SubmitAck"], None]) -> None:
+        """Run ``fn(self)`` once the ack resolves (immediately if done).
+
+        Callback exceptions propagate to the resolving thread's caller —
+        keep callbacks trivial (the asyncio facade only schedules a
+        ``call_soon_threadsafe``).
+        """
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
+
+    # -- resolver side (the scheduler) ---------------------------------
+
+    def _resolve(self, sequence: int) -> None:
+        self._finish(sequence=sequence)
+
+    def _fail(self, error: BaseException) -> None:
+        self._finish(error=error)
+
+    def _finish(self, sequence: Optional[int] = None,
+                error: Optional[BaseException] = None) -> None:
+        with self._lock:
+            if self._event.is_set():
+                return  # one-shot: first resolution wins
+            self._sequence = sequence
+            self._error = error
+            callbacks, self._callbacks = self._callbacks, []
+            self._event.set()
+        for fn in callbacks:
+            fn(self)
+
+
+class EditQueue:
+    """A bounded FIFO of ``(delta, ack)`` entries for one tenant.
+
+    ``put`` applies the tenant's admission policy when the queue is at
+    ``max_pending``; ``drain`` hands batches to the scheduler and frees
+    space (waking blocked producers).  All methods are thread-safe.
+    """
+
+    def __init__(self, tenant: str, quota: TenantQuota) -> None:
+        self.tenant = tenant
+        self.quota = quota
+        self._entries: deque[tuple[GraphDelta, SubmitAck]] = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def put(self, delta: GraphDelta, ack: SubmitAck) -> list[SubmitAck]:
+        """Enqueue one delta, applying the admission policy at the bound.
+
+        Returns the acks of any entries shed to make room (empty unless
+        the policy is ``shed_oldest``); the caller fails and counts them.
+        Raises :class:`~repro.exceptions.AdmissionError` when the policy
+        rejects the submission instead.
+        """
+        quota = self.quota
+        with self._not_full:
+            if self._closed:
+                raise AdmissionError(
+                    f"tenant {self.tenant!r}: the ingest front is shut down",
+                    tenant=self.tenant, reason="shutdown")
+            if len(self._entries) >= quota.max_pending:
+                if quota.policy == "reject":
+                    raise AdmissionError(
+                        f"tenant {self.tenant!r}: queue full "
+                        f"({quota.max_pending} pending)",
+                        tenant=self.tenant, reason="full")
+                if quota.policy == "shed_oldest":
+                    shed: list[SubmitAck] = []
+                    while len(self._entries) >= quota.max_pending:
+                        shed.append(self._entries.popleft()[1])
+                    self._entries.append((delta, ack))
+                    return shed
+                # policy == "block": wait for the scheduler to drain
+                deadline = time.monotonic() + quota.block_timeout
+                while len(self._entries) >= quota.max_pending:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise AdmissionError(
+                            f"tenant {self.tenant!r}: queue still full after "
+                            f"blocking {quota.block_timeout}s",
+                            tenant=self.tenant, reason="timeout")
+                    self._not_full.wait(remaining)
+                    if self._closed:
+                        raise AdmissionError(
+                            f"tenant {self.tenant!r}: the ingest front shut "
+                            "down while the submit was blocked",
+                            tenant=self.tenant, reason="shutdown")
+            self._entries.append((delta, ack))
+            return []
+
+    def drain(self, limit: int) -> list[tuple[GraphDelta, SubmitAck]]:
+        """Pop up to ``limit`` entries in FIFO order, waking producers."""
+        with self._not_full:
+            if not self._entries:
+                return []
+            batch = []
+            while self._entries and len(batch) < limit:
+                batch.append(self._entries.popleft())
+            self._not_full.notify_all()
+            return batch
+
+    def close(self) -> list[SubmitAck]:
+        """Refuse further puts; return the acks still queued (unresolved).
+
+        The caller (the front's shutdown path) fails the returned acks so
+        no producer waits forever.
+        """
+        with self._not_full:
+            self._closed = True
+            leftovers = [ack for _, ack in self._entries]
+            self._entries.clear()
+            self._not_full.notify_all()
+            return leftovers

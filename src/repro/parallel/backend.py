@@ -100,6 +100,12 @@ class FanoutReport:
     #: shards rebound because a committed delta was not expressible on their
     #: standing replica
     stale_rebinds: int = 0
+    #: fraction of the primary graph's nodes owned by a shard core at this
+    #: fan-out (1 - coverage settles at the coordinator) — the trigger
+    #: signal online repartitioning will watch (ROADMAP item 2)
+    ownership_coverage: float = 0.0
+    #: smallest-to-largest owned-core ratio across shards (1.0 = balanced)
+    shard_balance: float = 0.0
 
     @property
     def ran(self) -> bool:
@@ -207,6 +213,33 @@ class ShardedRepairer:
 
     def stats(self) -> MatchingStats:
         return self.core.stats
+
+    def ownership_coverage(self) -> tuple[float, float]:
+        """``(coverage, balance)`` of the standing warm partition.
+
+        *Coverage* is the fraction of the primary graph's current nodes that
+        some shard core owns; nodes created since partitioning are adopted
+        as unowned context and settle at the coordinator, so a long-lived
+        growing tenant's coverage decays toward 0 — the trigger signal for
+        online repartitioning.  *Balance* is the smallest owned core divided
+        by the largest (1.0 = perfectly even shards).  ``(0.0, 0.0)`` before
+        the first warm fan-out or on a degraded/cold backend.
+        """
+        if not self._replicas or self._graph is None:
+            return 0.0, 0.0
+        total = self._graph.num_nodes
+        if total == 0:
+            return 0.0, 0.0
+        core_sizes = []
+        owned = 0
+        for tracker in self._replicas.values():
+            alive = sum(1 for node_id in tracker.core
+                        if self._graph.has_node(node_id))
+            core_sizes.append(alive)
+            owned += alive
+        largest = max(core_sizes)
+        balance = (min(core_sizes) / largest) if largest else 0.0
+        return owned / total, balance
 
     def close(self) -> None:
         if self.core is not None:
@@ -451,6 +484,17 @@ class ShardedRepairer:
             fanout.pool_ships = stats_after["deltas_shipped"] \
                 - stats_before["deltas_shipped"]
             self._fan_in(results)
+        # measured after fan-in so adoption/settlement of this run's created
+        # elements is reflected: coverage decays as repairs/commits grow the
+        # graph past the standing partition
+        coverage, balance = self.ownership_coverage()
+        fanout.ownership_coverage = coverage
+        fanout.shard_balance = balance
+        if telemetry.TELEMETRY.enabled:
+            telemetry.gauge_set("repro_pool_ownership_coverage", coverage,
+                                tenant=self._graph.name)
+            telemetry.gauge_set("repro_pool_shard_balance", balance,
+                                tenant=self._graph.name)
 
     def _fan_out(self) -> None:
         config = self.config

@@ -45,6 +45,7 @@ import queue
 import threading
 import time
 import traceback
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro import telemetry
@@ -78,12 +79,18 @@ class PoolStats:
     shard_repairs: int = 0
     #: pool-level repair barriers (one per coordinator fan-out)
     repair_calls: int = 0
+    #: fair time-slice leases granted (see :meth:`WorkerPool.lease`)
+    leases: int = 0
+    #: total seconds lease holders spent queued behind earlier arrivals
+    lease_wait_seconds: float = 0.0
 
     def as_dict(self) -> dict[str, int]:
         return {"spawns": self.spawns, "binds": self.binds,
                 "deltas_shipped": self.deltas_shipped,
                 "shard_repairs": self.shard_repairs,
-                "repair_calls": self.repair_calls}
+                "repair_calls": self.repair_calls,
+                "leases": self.leases,
+                "lease_wait_seconds": round(self.lease_wait_seconds, 6)}
 
 
 def _handle_command(states: dict, message: tuple) -> tuple[str, object]:
@@ -180,6 +187,11 @@ class WorkerPool:
         self._inline_states: dict[str, ShardWorkerState] = {}
         self._closed = False
         self._generation_open = False
+        # fair FIFO lease queue (see lease()): tickets are granted strictly
+        # in arrival order, independent of the command lock's scheduling
+        self._lease_condition = threading.Condition()
+        self._lease_next_ticket = 0
+        self._lease_serving = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -266,6 +278,44 @@ class WorkerPool:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # fair time slicing
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def lease(self, owner: str = ""):
+        """Hold one fair FIFO time slice of the pool.
+
+        The pool's command lock alone serialises barriers but lets the OS
+        scheduler pick who goes next — a tenant issuing many barriers can
+        barge ahead of one that arrived earlier.  A *lease* is the
+        scheduler-owned slicing layer above it: holders are admitted
+        strictly in arrival order, so wrapping each tenant's repair in
+        ``with pool.lease(tenant):`` guarantees a flooding tenant cannot
+        re-acquire the pool before every earlier-arrived tenant has had its
+        slice.  Purely advisory — commands from non-lease callers still
+        interleave at barrier granularity — and reentrant-free: do not nest
+        leases on one thread.  ``owner`` labels the wait-time histogram.
+        """
+        with self._lease_condition:
+            ticket = self._lease_next_ticket
+            self._lease_next_ticket += 1
+            waited_from = time.monotonic()
+            while self._lease_serving != ticket:
+                self._lease_condition.wait()
+            waited = time.monotonic() - waited_from
+            self.stats.leases += 1
+            self.stats.lease_wait_seconds += waited
+        if telemetry.TELEMETRY.enabled:
+            telemetry.observe("repro_pool_lease_wait_seconds", waited,
+                              tenant=owner)
+        try:
+            yield self
+        finally:
+            with self._lease_condition:
+                self._lease_serving += 1
+                self._lease_condition.notify_all()
 
     # ------------------------------------------------------------------
     # command dispatch

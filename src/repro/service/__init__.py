@@ -23,6 +23,7 @@ contract.
 
 from repro.durability import DurabilityConfig
 from repro.service.manager import SessionManager
-from repro.service.service import GraphRepairService
+from repro.service.service import GraphRepairService, TenantStaleness
 
-__all__ = ["DurabilityConfig", "GraphRepairService", "SessionManager"]
+__all__ = ["DurabilityConfig", "GraphRepairService", "SessionManager",
+           "TenantStaleness"]

@@ -30,6 +30,8 @@ Example::
 from __future__ import annotations
 
 import threading
+import time
+from dataclasses import dataclass
 
 from repro import telemetry
 from repro.exceptions import ServiceError
@@ -50,6 +52,72 @@ from repro.durability import (
 from repro.service.manager import SessionManager
 
 
+@dataclass(frozen=True)
+class TenantStaleness:
+    """One tenant's dirty/staleness accounting at a point in time.
+
+    ``pending_deltas`` counts the committed changefeed records no repair
+    pass has covered yet (0 = fully reconciled); ``seconds_since_repair``
+    is the age of the last service-level repair (measured from ``serve``
+    when the tenant was never repaired).  The ingest scheduler's priority
+    score is computed from exactly these two numbers, and
+    :meth:`GraphRepairService.telemetry_snapshot` refreshes the matching
+    ``repro_tenant_staleness_seconds`` / ``repro_tenant_pending_deltas``
+    gauges from them on every scrape.
+    """
+
+    name: str
+    pending_deltas: int
+    seconds_since_repair: float
+    repaired_through: int
+    last_sequence: int
+    repairs: int
+    recovered_dirty: bool = False
+
+    @property
+    def dirty(self) -> bool:
+        """True when any repair work is owed: unreconciled commits, or a
+        restore whose WAL could not prove the tenant clean (uncertain
+        recovery state counts as dirty, never as clean)."""
+        return self.pending_deltas > 0 or self.recovered_dirty
+
+
+class _TenantActivity:
+    """Per-tenant repair-coverage bookkeeping (internal; lock-free reads
+    are fine — all fields are monotone and independently meaningful)."""
+
+    __slots__ = ("served_at", "last_repair_monotonic", "repaired_through",
+                 "repairs", "recovered_dirty", "unsubscribe")
+
+    def __init__(self) -> None:
+        self.served_at = time.monotonic()
+        self.last_repair_monotonic: float | None = None
+        self.repaired_through = 0
+        self.repairs = 0
+        self.recovered_dirty = False
+        self.unsubscribe = None
+
+    def on_record(self, record) -> None:
+        """Changefeed hook: a published ``"repair"`` record proves every
+        record at or below its sequence is reconciled (sequences are
+        assigned under the session lock the repair held throughout)."""
+        if record.source == "repair":
+            self.repaired_through = max(self.repaired_through,
+                                        record.sequence)
+            self.last_repair_monotonic = time.monotonic()
+            self.repairs += 1
+            self.recovered_dirty = False
+
+    def mark_repaired(self, through_sequence: int) -> None:
+        """A repair pass completed that covered ``through_sequence`` even
+        if it published no record (nothing needed fixing) — the staleness
+        clock resets either way, and any recovered-dirty doubt is settled
+        (the repair drove the *current* graph to a fixpoint)."""
+        self.repaired_through = max(self.repaired_through, through_sequence)
+        self.last_repair_monotonic = time.monotonic()
+        self.recovered_dirty = False
+
+
 class GraphRepairService:
     """Concurrent multi-session repair over many named, partitioned graphs.
 
@@ -68,6 +136,7 @@ class GraphRepairService:
         self._closed = False
         self._durability: dict[str, TenantDurability] = {}
         self._recoveries: dict[str, RecoveredTenant] = {}
+        self._activity: dict[str, _TenantActivity] = {}
         self._metrics_server = None
 
     # ------------------------------------------------------------------
@@ -120,7 +189,20 @@ class GraphRepairService:
         if sink is not None:
             sink.attach(session)
             self._durability[name] = sink
+        self._register_activity(name, session)
         return session
+
+    def _register_activity(self, name: str, session: RepairSession,
+                           recovered_dirty: bool = False) -> None:
+        activity = _TenantActivity()
+        # The restored session's changefeed restarts at 0 (recovered
+        # records were replayed onto the graph, not into the new feed), so
+        # recovered-but-unrepaired state can't show up as pending_deltas.
+        # restore() flags it instead: unless the WAL proved the tenant
+        # clean, it stays dirty until the first post-restore repair.
+        activity.recovered_dirty = recovered_dirty
+        activity.unsubscribe = session.on_commit(activity.on_record)
+        self._activity[name] = activity
 
     def _open_session(self, name: str, graph: PropertyGraph,
                       rules: RuleSet | list[GraphRepairingRule],
@@ -169,6 +251,8 @@ class GraphRepairService:
         sink.attach(session)
         self._durability[name] = sink
         self._recoveries[name] = recovered
+        self._register_activity(name, session,
+                                recovered_dirty=not recovered.known_clean)
         return session
 
     def _ensure_pool(self, workers: int):
@@ -214,6 +298,7 @@ class GraphRepairService:
         try:
             self.sessions.close_session(name)
         finally:
+            self._activity.pop(name, None)
             sink = self._durability.pop(name, None)
             if sink is not None:
                 sink.close()
@@ -272,7 +357,17 @@ class GraphRepairService:
     # ------------------------------------------------------------------
 
     def repair(self, name: str) -> RepairReport:
-        return self.sessions.get(name).repair()
+        session = self.sessions.get(name)
+        seq_before = session.last_sequence
+        report = session.repair()
+        activity = self._activity.get(name)
+        if activity is not None:
+            # A repair that found violations published a "repair" record and
+            # on_record already advanced repaired_through past seq_before; a
+            # no-op repair publishes nothing, so record the proof here: every
+            # commit <= seq_before has now been reconciled.
+            activity.mark_repaired(seq_before)
+        return report
 
     def repair_all(self) -> dict[str, RepairReport]:
         """Repair every tenant, in sorted-name order (deterministic).
@@ -301,6 +396,40 @@ class GraphRepairService:
         """Subscribe to one tenant's changefeed; returns the unsubscribe."""
         return self.sessions.get(name).on_commit(callback)
 
+    def staleness(self) -> dict[str, TenantStaleness]:
+        """Per-tenant dirty/staleness accounting, keyed by tenant name.
+
+        ``pending_deltas`` counts committed changefeed records not yet
+        proven reconciled by a repair (``last_sequence`` minus
+        ``repaired_through``); ``seconds_since_repair`` is the wall time
+        since the tenant's last repair (or since it was served, before its
+        first repair).  The background scheduler orders its work by these
+        numbers, and :meth:`telemetry_snapshot` exports them as gauges.
+        """
+        now = time.monotonic()
+        out: dict[str, TenantStaleness] = {}
+        for name in self.sessions.names():
+            activity = self._activity.get(name)
+            if activity is None:
+                continue
+            try:
+                last_sequence = self.sessions.get(name).last_sequence
+            except Exception:
+                continue  # silent-ok: the tenant closed between list and read
+            anchor = activity.last_repair_monotonic
+            if anchor is None:
+                anchor = activity.served_at
+            out[name] = TenantStaleness(
+                name=name,
+                pending_deltas=max(0, last_sequence - activity.repaired_through),
+                seconds_since_repair=max(0.0, now - anchor),
+                repaired_through=activity.repaired_through,
+                last_sequence=last_sequence,
+                repairs=activity.repairs,
+                recovered_dirty=activity.recovered_dirty,
+            )
+        return out
+
     # ------------------------------------------------------------------
     # lifecycle / introspection
     # ------------------------------------------------------------------
@@ -315,7 +444,8 @@ class GraphRepairService:
         """The shared pool's overhead counters (zeros before it exists)."""
         if self._pool is None:
             return {"spawns": 0, "binds": 0, "deltas_shipped": 0,
-                    "shard_repairs": 0, "repair_calls": 0}
+                    "shard_repairs": 0, "repair_calls": 0,
+                    "leases": 0, "lease_wait_seconds": 0.0}
         return self._pool.stats.as_dict()
 
     # ------------------------------------------------------------------
@@ -349,6 +479,11 @@ class GraphRepairService:
                     tenant=name)
             else:
                 telemetry.gauge_set("repro_feed_sequence_lag", 0, tenant=name)
+        for name, stale in self.staleness().items():
+            telemetry.gauge_set("repro_tenant_staleness_seconds",
+                                stale.seconds_since_repair, tenant=name)
+            telemetry.gauge_set("repro_tenant_pending_deltas",
+                                stale.pending_deltas, tenant=name)
         return telemetry.TELEMETRY.registry.snapshot()
 
     def health(self) -> dict:

@@ -129,6 +129,15 @@ CATALOGUE: dict[str, tuple[str, str, tuple[str, ...]]] = {
         ("shard",)),
     "repro_pool_stale_rebinds_total": (
         "counter", "Standing replicas rebound after staleness", ("shard",)),
+    "repro_pool_ownership_coverage": (
+        "gauge", "Fraction of a warm tenant's nodes owned by their home "
+        "shard (the rest settle at the coordinator)", ("tenant",)),
+    "repro_pool_shard_balance": (
+        "gauge", "Smallest-to-largest owned-core ratio across a warm "
+        "tenant's shards (1.0 = perfectly balanced)", ("tenant",)),
+    "repro_pool_lease_wait_seconds": (
+        "histogram", "Time a coordinator waited for its fair pool lease",
+        ("tenant",)),
     # durability
     "repro_wal_fsync_seconds": (
         "histogram", "WAL append+fsync latency per committed record",
@@ -163,6 +172,33 @@ CATALOGUE: dict[str, tuple[str, str, tuple[str, ...]]] = {
     "repro_routed_deltas_total": (
         "counter", "Recorded deltas applied through apply_routed()",
         ("tenant",)),
+    "repro_tenant_staleness_seconds": (
+        "gauge", "Seconds since the tenant's last service-level repair "
+        "(since serve when never repaired)", ("tenant",)),
+    "repro_tenant_pending_deltas": (
+        "gauge", "Committed changefeed records not yet covered by a repair",
+        ("tenant",)),
+    # ingest front / repair scheduler
+    "repro_ingest_submitted_total": (
+        "counter", "Edits admitted into a tenant's ingest queue", ("tenant",)),
+    "repro_ingest_rejected_total": (
+        "counter", "Submissions refused by admission control "
+        "(reason: full, timeout, shed, shutdown)", ("tenant", "reason")),
+    "repro_ingest_queue_depth": (
+        "gauge", "Edits waiting in a tenant's ingest queue", ("tenant",)),
+    "repro_ingest_coalesced_total": (
+        "counter", "Queued edits coalesced into scheduler commits",
+        ("tenant",)),
+    "repro_ingest_commit_to_repaired_seconds": (
+        "histogram", "Latency from a commit's changefeed publish to the end "
+        "of the repair pass that covered it", ("tenant",)),
+    "repro_scheduler_ticks_total": (
+        "counter", "Scheduling decisions taken by the repair scheduler", ()),
+    "repro_scheduler_repairs_total": (
+        "counter", "Repair passes run by the scheduler", ("tenant",)),
+    "repro_feed_dropped_records_total": (
+        "counter", "Changefeed records dropped by bounded subscriber "
+        "buffers (BufferedFeed overflow)", ("tenant",)),
     "repro_swallowed_errors_total": (
         "counter", "Exceptions degraded gracefully instead of raised",
         ("site",)),

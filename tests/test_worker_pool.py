@@ -293,4 +293,5 @@ class TestPoolProtocol:
     def test_stats_shape(self):
         stats = PoolStats()
         assert set(stats.as_dict()) == {"spawns", "binds", "deltas_shipped",
-                                        "shard_repairs", "repair_calls"}
+                                        "shard_repairs", "repair_calls",
+                                        "leases", "lease_wait_seconds"}
