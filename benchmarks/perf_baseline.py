@@ -40,6 +40,12 @@ Measures, for each of the three dataset domains (``kg``, ``movies``,
   (committed sequence, records/changes replayed, snapshots written —
   **hard gates**: identical traffic must produce an identical durable
   history);
+* the ``chaos-kg`` scenario (kg domain only) — scripted faults
+  (:mod:`repro.testing.faults`) through the supervised pool: a worker
+  crash mid-repair must heal (respawn + rebind + one retry) to the exact
+  sequential result, and persistent errors must trip the circuit breaker
+  into the sequential-drain fallback — the respawn/retry/fallback counters
+  and both equivalence bits are **hard gates**;
 * the ``service-traffic`` scenario (kg domain only) — the ``repro.ingest``
   front under load: a deterministic manual-tick phase whose scheduler
   ticks, admission rejections, and coalesced-delta counts are **hard
@@ -124,7 +130,10 @@ COUNTER_KEYS = ("matches", "fast_repairs_applied", "fast_violations_detected",
                 "recovery_changes_replayed", "recovery_snapshots_written",
                 "traffic_scheduler_ticks", "traffic_admission_rejections",
                 "traffic_coalesced_deltas", "traffic_committed",
-                "traffic_repairs")
+                "traffic_repairs",
+                "chaos_respawns", "chaos_retries", "chaos_worker_deaths",
+                "chaos_repairs_applied", "chaos_fallback_repairs",
+                "chaos_crash_equal", "chaos_fallback_equal")
 
 # Deterministic counters that HARD-FAIL the regression gate on any drift
 # (instead of warning): the warm pool must never spawn after warm-up, and the
@@ -144,7 +153,10 @@ GATED_COUNTER_KEYS = ("service_warm_spawns_after_warmup",
                       "recovery_snapshots_written",
                       "traffic_scheduler_ticks",
                       "traffic_admission_rejections",
-                      "traffic_coalesced_deltas")
+                      "traffic_coalesced_deltas",
+                      "chaos_respawns", "chaos_retries",
+                      "chaos_fallback_repairs",
+                      "chaos_crash_equal", "chaos_fallback_equal")
 
 
 def host_fingerprint() -> dict[str, Any]:
@@ -206,6 +218,7 @@ def measure_domain(domain: str, scale: int, error_rate: float, seed: int,
         sharded.update(measure_service(workload))
         sharded.update(measure_recovery(workload))
         sharded.update(measure_traffic(workload))
+        sharded.update(measure_chaos(workload))
 
     return {
         **sharded,
@@ -598,6 +611,98 @@ def measure_traffic(workload) -> dict[str, Any]:
     return results
 
 
+#: chaos-kg: workers for the supervised inline pools (simulated deaths keep
+#: the scenario deterministic and fast; the real-SIGKILL path is covered by
+#: the tests/test_chaos.py spawn smoke in CI)
+CHAOS_WORKERS = 2
+
+
+def measure_chaos(workload) -> dict[str, Any]:
+    """The ``chaos-kg`` scenario: scripted faults through the supervised pool.
+
+    Two phases over the kg workload, both deterministic (inline pools,
+    simulated worker death — see :mod:`repro.testing.faults`):
+
+    * **crash-heal** — a scripted worker crash on the first shard-repair
+      command: supervision must respawn the worker, rebind its replica, and
+      retry the repair, landing on a graph element-for-element equal to the
+      sequential backend's (``chaos_crash_equal``).  The respawn/retry
+      counters are **hard gates**: the same script must cost the same
+      recovery work on every run;
+    * **fallback** — persistent scripted repair errors defeat the one-retry
+      heal; the pool failure trips a threshold-1 circuit breaker and the
+      repairer degrades to the sequential drain, once for the failure and
+      once more for the open breaker (``chaos_fallback_repairs`` — a hard
+      gate, as is the drain's equivalence, ``chaos_fallback_equal``).
+    """
+    from repro.api import RepairSession
+    from repro.parallel.breaker import CircuitBreaker
+    from repro.parallel.pool import WorkerPool
+    from repro.testing import Fault, FaultPlan
+
+    def warm_config():
+        return RepairConfig.sharded(workers=CHAOS_WORKERS, warm=True,
+                                    parallel_inline=True,
+                                    min_partition_nodes=1)
+
+    # ground truth for both phases: the sequential backend over the same
+    # deterministic drive
+    crash_reference = workload.dirty.copy(name="chaos-crash-ref")
+    with RepairSession(crash_reference, workload.rules,
+                       config=RepairConfig.fast()) as session:
+        session.repair()
+    fallback_reference = workload.dirty.copy(name="chaos-fallback-ref")
+    with RepairSession(fallback_reference, workload.rules,
+                       config=RepairConfig.fast()) as session:
+        session.repair()
+        session.apply(lambda g: _service_corrupt(g, 0))
+        session.repair()
+
+    # -- phase 1: crash mid-repair, transparent heal --------------------
+    plan = FaultPlan(faults=(
+        Fault(site="worker.command", kind="crash", command="repair"),))
+    crash_graph = workload.dirty.copy(name="chaos-crash")
+    started = time.perf_counter()
+    with WorkerPool(CHAOS_WORKERS, inline=True, fault_plan=plan) as pool:
+        with RepairSession(crash_graph, workload.rules, config=warm_config(),
+                           pool=pool) as session:
+            crash_report = session.repair()
+            crash_stats = pool.stats.as_dict()
+            crash_fell_back = session.backend.last_fanout.fallback
+    crash_seconds = time.perf_counter() - started
+
+    # -- phase 2: unhealable errors → breaker-guarded fallback ----------
+    plan = FaultPlan(faults=tuple(
+        Fault(site="worker.command", kind="error", command="repair")
+        for _ in range(2)))
+    breaker = CircuitBreaker(failure_threshold=1, reset_seconds=3600.0)
+    fallback_graph = workload.dirty.copy(name="chaos-fallback")
+    with WorkerPool(CHAOS_WORKERS, inline=True, fault_plan=plan,
+                    breaker=breaker) as pool:
+        with RepairSession(fallback_graph, workload.rules,
+                           config=warm_config(), pool=pool) as session:
+            session.repair()                     # errors defeat the retry
+            session.apply(lambda g: _service_corrupt(g, 0))
+            session.repair()                     # breaker open: drain again
+            fallback_stats = pool.stats.as_dict()
+            breaker_state = breaker.state
+
+    return {
+        "chaos_workers": CHAOS_WORKERS,
+        "chaos_crash_seconds": round(crash_seconds, 4),
+        "chaos_repairs_applied": crash_report.repairs_applied,
+        "chaos_worker_deaths": crash_stats["worker_deaths"],
+        "chaos_respawns": crash_stats["respawns"],
+        "chaos_retries": crash_stats["retries"],
+        "chaos_crash_fell_back": crash_fell_back,
+        "chaos_crash_equal": crash_graph.structurally_equal(crash_reference),
+        "chaos_fallback_repairs": fallback_stats["fallback_repairs"],
+        "chaos_breaker_state": breaker_state,
+        "chaos_fallback_equal":
+            fallback_graph.structurally_equal(fallback_reference),
+    }
+
+
 def measure_scale(mode: str, error_rate: float, seed: int) -> dict[str, Any]:
     """The ``scale-kg`` scenario: the hot path at 10–20× the regular grid.
 
@@ -744,6 +849,17 @@ def format_results(results: dict[str, Any]) -> str:
                 f"commit→repaired p50/p99 "
                 f"{row['traffic_p50_seconds']:.4f}/"
                 f"{row['traffic_p99_seconds']:.4f}s")
+        if "chaos_respawns" in row:
+            lines.append(
+                f"{'':8} chaos-{domain}@{row['scale']}: crash healed in "
+                f"{row['chaos_crash_seconds']:.4f}s "
+                f"({row['chaos_worker_deaths']} deaths, "
+                f"{row['chaos_respawns']} respawns, "
+                f"{row['chaos_retries']} retries, "
+                f"equal={row['chaos_crash_equal']}); "
+                f"{row['chaos_fallback_repairs']} fallbacks, breaker "
+                f"{row['chaos_breaker_state']}, "
+                f"equal={row['chaos_fallback_equal']}")
         if "recovery_seconds" in row:
             lines.append(
                 f"{'':8} recovery-{domain}@{row['scale']}: restore "

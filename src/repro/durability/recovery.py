@@ -73,6 +73,10 @@ class DurabilityConfig:
     fsync: bool = True
     #: snapshots retained after pruning (min 2: corruption fallback)
     keep_snapshots: int = 2
+    #: optional repro.testing.faults.FaultPlan wired into the live WAL
+    #: (chaos tests: ENOSPC / torn-frame injection); recovery never
+    #: injects — it must observe what the faults left behind
+    fault_plan: object = field(default=None, compare=False, repr=False)
 
     def tenant_dir(self, name: str) -> Path:
         return Path(self.dir) / name
@@ -210,7 +214,8 @@ class TenantDurability:
         self.base_sequence = base_sequence
         self.wal = WriteAheadLog(self.directory,
                                  segment_bytes=config.segment_bytes,
-                                 fsync=config.fsync)
+                                 fsync=config.fsync,
+                                 fault_plan=config.fault_plan)
         self._session = None
         self._unsubscribe = None
         snapshots = list_snapshots(self.directory)
@@ -290,13 +295,28 @@ class TenantDurability:
 
     def _on_commit(self, record) -> None:
         """Append one committed record durably (runs under the session lock,
-        on the committing thread, before the commit returns)."""
+        on the committing thread, before the commit returns).
+
+        An append failure — ENOSPC, a torn write, any I/O error — is
+        re-raised as a :class:`DurabilityError` carrying this tenant's name
+        and the failing global sequence.  Because this hook is *prepended*
+        on the changefeed, the error propagates into the committing call
+        itself: the commit fails loudly before its ack could ever resolve,
+        and no later subscriber (replica feeds, the ingest front) observes
+        a record that is not on disk.
+        """
         global_seq = self.base_sequence + record.sequence
         observing = telemetry.TELEMETRY.enabled
         if observing:
             started = time.perf_counter()
-        self.wal.append(codec.encode_record(global_seq, record.source,
-                                            record.delta))
+        try:
+            self.wal.append(codec.encode_record(global_seq, record.source,
+                                                record.delta))
+        except (DurabilityError, OSError) as exc:
+            raise DurabilityError(
+                f"tenant {self.name!r}: durable append of sequence "
+                f"{global_seq} failed — the commit is NOT acknowledged: "
+                f"{exc}", tenant=self.name, sequence=global_seq) from exc
         self.records_appended += 1
         self.changes_appended += len(record.delta)
         if observing:

@@ -37,6 +37,7 @@ snapshot plus the remaining suffix.
 
 from __future__ import annotations
 
+import errno
 import os
 import struct
 import zlib
@@ -45,6 +46,7 @@ from typing import Any, Iterator
 
 from repro.exceptions import DurabilityError
 from repro.durability import codec
+from repro.testing import faults as _faults
 
 MAGIC = b"RWAL1\n"
 _FRAME = struct.Struct("<II")  # payload length, crc32(payload)
@@ -140,11 +142,14 @@ class WriteAheadLog:
 
     def __init__(self, directory: str | Path, *,
                  segment_bytes: int = DEFAULT_SEGMENT_BYTES,
-                 fsync: bool = True) -> None:
+                 fsync: bool = True, fault_plan=None) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.segment_bytes = segment_bytes
         self.fsync = fsync
+        #: optional repro.testing.faults.FaultPlan; fires the "wal.append"
+        #: site before each frame write and "wal.fsync" before each fsync
+        self._fault_plan = fault_plan
         self._handle = None
         self._tail_path: Path | None = None
         self._tail_size = 0
@@ -214,14 +219,69 @@ class WriteAheadLog:
                 f"{self._last_sequence + 1}, got {sequence}")
         payload = codec.dumps(document)
         frame = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
-        handle = self._writer_for(sequence)
-        handle.write(frame)
-        handle.flush()
-        if self.fsync:
-            os.fsync(handle.fileno())
+        try:
+            handle = self._writer_for(sequence)
+            if self._fault_plan is not None:
+                self._inject(self._fault_plan.take("wal.append"), handle,
+                             frame)
+            handle.write(frame)
+            handle.flush()
+            if self.fsync:
+                if self._fault_plan is not None:
+                    self._inject(self._fault_plan.take("wal.fsync"), handle,
+                                 frame)
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            # an I/O failure (ENOSPC, EIO, a yanked disk) must surface as a
+            # loud commit failure, not an anonymous OSError swallowed
+            # somewhere above the ack; the handle position is now suspect,
+            # so force a reopen (and a tail re-scan on recovery)
+            self._seal_broken_tail()
+            raise DurabilityError(
+                f"WAL append failed at sequence {sequence} in "
+                f"{self.directory}: {exc}", sequence=sequence) from exc
         self._tail_size += len(frame)
         self._last_sequence = sequence
         return sequence
+
+    def _seal_broken_tail(self) -> None:
+        """Drop the open handle after a failed write; best-effort truncate
+        the tail back to its last intact length (a partial frame may be on
+        disk).  Failures here stay quiet — the original write error is
+        already on its way up, and the next open's torn-tail recovery
+        re-does this truncation from a clean scan anyway."""
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:  # silent-ok: surfacing the write error instead
+                pass
+            self._handle = None
+        if self._tail_path is None or not self._tail_path.exists():
+            return
+        try:
+            if self._tail_size < self._tail_path.stat().st_size:
+                with self._tail_path.open("rb+") as handle:
+                    handle.truncate(self._tail_size)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+        except OSError:  # silent-ok: next open re-truncates from a scan
+            pass
+
+    def _inject(self, fault, handle, frame: bytes) -> None:
+        """Honour one injected WAL fault (see repro.testing.faults).
+
+        ``torn`` writes (and syncs) a partial frame before raising — the
+        on-disk image a power cut mid-append leaves, which the next open's
+        torn-tail truncation must repair.
+        """
+        if fault is None:
+            return
+        if fault.kind == "torn":
+            handle.write(frame[:max(1, len(frame) // 2)])
+            handle.flush()
+            os.fsync(handle.fileno())
+            raise OSError(errno.EIO, "injected fault: torn WAL frame")
+        _faults.perform(fault)
 
     def _writer_for(self, sequence: int):
         """The open tail handle, rotating to a fresh segment when full."""

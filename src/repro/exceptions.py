@@ -156,11 +156,16 @@ class SessionStateError(RepairError):
 
 
 class WorkerPoolError(RepairError):
-    """A persistent worker pool failed (a worker raised, died, or timed out).
+    """A persistent worker pool failed beyond what supervision could heal.
 
-    Raised by :class:`repro.parallel.pool.WorkerPool` after the pool has been
-    shut down — a pool that produced this error holds no live worker
-    processes."""
+    :class:`repro.parallel.pool.WorkerPool` supervises its workers — a
+    crashed or hung worker is respawned and the in-flight shard command is
+    retried once — so this error only escapes when recovery itself failed
+    (a worker died twice in one barrier, a retry errored again, or no
+    rebinder was available).  It is raised after the pool has been shut
+    down: a pool that produced this error holds no live worker processes,
+    and the caller's circuit breaker should count it as one failure before
+    degrading to the sequential backend."""
 
 
 class ServiceError(RepairError):
@@ -202,8 +207,18 @@ class AdmissionError(IngestError):
 
 class DurabilityError(ReproError):
     """A durable-log operation failed: undecodable wire payload, corrupt WAL
-    record or snapshot, unknown format version, or a recovery that cannot
-    proceed (no snapshot and no log)."""
+    record or snapshot, unknown format version, an I/O failure during an
+    append/fsync (e.g. ENOSPC), or a recovery that cannot proceed (no
+    snapshot and no log).
+
+    ``tenant`` and ``sequence`` carry the failing commit's context when
+    known: a WAL append that dies under a committing call names the tenant
+    and the global sequence whose acknowledgement it prevented."""
+
+    def __init__(self, message: str, tenant: str = "", sequence: int = 0) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        self.sequence = sequence
 
 
 class ReplicationError(DurabilityError):

@@ -76,14 +76,27 @@ class IngestConfig:
     one pass repairs (the rest wait for the next tick, keeping a single
     pass short).  ``default_quota`` applies to tenants registered without
     an explicit :class:`TenantQuota`.
+
+    ``repair_backoff_base`` / ``repair_backoff_max`` govern retry backoff
+    for *failing* repairs: a tenant whose repair raised is skipped by the
+    scheduler for ``base * 2**(failures - 1)`` seconds (capped at ``max``)
+    instead of burning a slot in every tick; the first success resets it.
+    ``repair_backoff_base = 0`` disables backoff.
     """
 
     tick_interval: float = 0.05
     max_repairs_per_tick: int = 4
     default_quota: TenantQuota = field(default_factory=TenantQuota)
+    repair_backoff_base: float = 0.1
+    repair_backoff_max: float = 5.0
 
     def __post_init__(self) -> None:
         if self.tick_interval <= 0:
             raise ValueError("tick_interval must be > 0")
         if self.max_repairs_per_tick < 1:
             raise ValueError("max_repairs_per_tick must be >= 1")
+        if self.repair_backoff_base < 0:
+            raise ValueError("repair_backoff_base must be >= 0")
+        if self.repair_backoff_max < self.repair_backoff_base:
+            raise ValueError(
+                "repair_backoff_max must be >= repair_backoff_base")

@@ -29,7 +29,11 @@ edit/repair API into an ingestion pipeline:
 
 Every per-tenant phase is error-isolated: one tenant's failing commit or
 repair fails *that tenant's* acks and is recorded in :meth:`stats`; the
-scheduler carries on with the others.
+scheduler carries on with the others.  A tenant whose *repairs* keep
+failing additionally backs off exponentially
+(``IngestConfig.repair_backoff_base`` doubling per consecutive failure up
+to ``repair_backoff_max``) so a poisoned tenant stops burning a repair
+slot in every tick; the first successful repair resets the backoff.
 """
 
 from __future__ import annotations
@@ -57,7 +61,8 @@ class _TenantFront:
 
     __slots__ = ("queue", "quota", "force_dirty", "last_served", "inflight",
                  "submitted", "rejected", "shed", "committed", "commits",
-                 "coalesced", "repairs", "latencies", "last_error")
+                 "coalesced", "repairs", "latencies", "last_error",
+                 "consecutive_failures", "backoff_until", "backoffs")
 
     def __init__(self, name: str, quota: TenantQuota) -> None:
         self.queue = EditQueue(name, quota)
@@ -74,6 +79,11 @@ class _TenantFront:
         self.repairs = 0
         self.latencies: list[float] = []
         self.last_error: Optional[str] = None
+        # retry backoff for failing repairs (see IngestConfig): the
+        # scheduler skips this tenant's repairs until backoff_until
+        self.consecutive_failures = 0
+        self.backoff_until = 0.0
+        self.backoffs = 0
 
 
 def _percentile(samples: list[float], q: float) -> float:
@@ -281,6 +291,10 @@ class IngestFront:
                     continue
                 if not stale.dirty and not state.force_dirty:
                     continue
+                if state.backoff_until > now:
+                    # a persistently failing tenant sits out its backoff
+                    # window instead of burning a repair slot every tick
+                    continue
                 score = ((stale.seconds_since_repair / state.quota.sla_seconds)
                          * state.quota.weight
                          + min(stale.pending_deltas, _PENDING_BOOST_CAP)
@@ -303,14 +317,26 @@ class IngestFront:
         try:
             with slice_ctx:
                 self._service.repair(name)
-        except Exception as exc:  # isolate: record, keep serving others
+        except Exception as exc:  # isolate: record, back off, keep serving
+            base = self._config.repair_backoff_base
             with self._lock:
                 state.last_error = f"repair: {exc!r}"
+                state.consecutive_failures += 1
+                if base > 0:
+                    delay = min(self._config.repair_backoff_max,
+                                base * 2 ** (state.consecutive_failures - 1))
+                    state.backoff_until = ((now if now is not None
+                                            else time.monotonic()) + delay)
+                    state.backoffs += 1
+            if base > 0 and telemetry.TELEMETRY.enabled:
+                telemetry.inc("repro_ingest_backoffs_total", tenant=name)
             return False
         with self._lock:
             state.force_dirty = False
             state.last_served = now if now is not None else time.monotonic()
             state.repairs += 1
+            state.consecutive_failures = 0
+            state.backoff_until = 0.0
         if telemetry.TELEMETRY.enabled:
             telemetry.inc("repro_scheduler_repairs_total", tenant=name)
         stale = self._service.staleness().get(name)
@@ -553,6 +579,8 @@ class IngestFront:
                     "latency_p50": round(_percentile(state.latencies, 0.50), 6),
                     "latency_p99": round(_percentile(state.latencies, 0.99), 6),
                     "last_error": state.last_error,
+                    "consecutive_failures": state.consecutive_failures,
+                    "backoffs": state.backoffs,
                 }
             return {"ticks": self._ticks, "running": self.running,
                     "closed": self._closed,

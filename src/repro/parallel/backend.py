@@ -27,7 +27,15 @@ dataset generators).
 
 Degradation is graceful and explicit: ``workers <= 1``, a graph smaller than
 ``min_partition_nodes``, or a partition that collapses to one shard all skip
-the fan-out entirely and behave exactly like the fast backend.
+the fan-out entirely and behave exactly like the fast backend.  The warm
+path additionally degrades *per call* on failures (docs/RESILIENCE.md): a
+pool failure that supervision could not heal records one strike on the
+pool's circuit breaker and this call settles through the sequential drain
+(workers propose-then-revert, so a failed fan-out left the primary graph
+untouched and the drain owns the whole workload); an **open** breaker skips
+the fan-out up front until its half-open probe succeeds.  Correctness under
+fallback is exactly the sharded==sequential equivalence the parallel suite
+pins.
 """
 
 from __future__ import annotations
@@ -36,6 +44,7 @@ import itertools
 from dataclasses import dataclass, field
 
 from repro import telemetry
+from repro.exceptions import WorkerPoolError
 from repro.graph.delta import GraphDelta, recording
 from repro.graph.property_graph import PropertyGraph
 from repro.matching.vf2 import MatchingStats
@@ -106,6 +115,15 @@ class FanoutReport:
     ownership_coverage: float = 0.0
     #: smallest-to-largest owned-core ratio across shards (1.0 = balanced)
     shard_balance: float = 0.0
+    #: workers respawned by pool supervision during this run
+    pool_respawns: int = 0
+    #: shard commands re-driven (rebind + retry) by supervision this run
+    pool_retries: int = 0
+    #: this run degraded to the sequential drain (pool failure beyond
+    #: supervision, or the circuit breaker refusing the fan-out)
+    fallback: bool = False
+    #: why: ``"pool-failure"`` or ``"breaker-open"`` ("" when no fallback)
+    fallback_reason: str = ""
 
     @property
     def ran(self) -> bool:
@@ -270,13 +288,49 @@ class ShardedRepairer:
         Every primary mutation of this run — merge replays and settle
         repairs — is recorded and queued for the replicas, so the *next*
         call's shard detection starts from exactly this call's outcome.
+
+        Failure is degraded, not raised: the fan-out is guarded by the
+        pool's circuit breaker, and a :class:`WorkerPoolError` that escaped
+        supervision falls back to the sequential drain for this call —
+        workers propose-then-revert, so a failed fan-out never left partial
+        mutations on the primary graph, and the drain repairs everything
+        the fan-out would have.
         """
         with recording(self._graph) as recorder:
             if self._should_fan_out_warm():
-                self._fan_out_warm()
+                pool = self._ensure_pool()
+                if not pool.breaker.allow():
+                    self._note_fallback("breaker-open",
+                                        f"circuit breaker {pool.breaker.state}"
+                                        ": warm fan-out refused")
+                else:
+                    try:
+                        self._fan_out_warm()
+                    except WorkerPoolError as exc:
+                        pool.breaker.record_failure()
+                        # the pool shut itself down; the standing replicas
+                        # are gone and queued deltas have nothing to feed —
+                        # the post-failure rebinds extract fresh working
+                        # copies from the then-current graph
+                        self._unshipped.clear()
+                        self._note_fallback("pool-failure", str(exc))
+                    else:
+                        pool.breaker.record_success()
             self.core.drain()
         self._track_unshipped(recorder.drain())
         return self.core.finalize()
+
+    def _note_fallback(self, reason: str, detail: str) -> None:
+        fanout = self.last_fanout
+        fanout.fallback = True
+        fanout.fallback_reason = reason
+        if self.pool is not None:
+            self.pool.stats.fallback_repairs += 1
+        log_event(_log, "warning", "warm-fanout-fallback",
+                  tenant=self._graph.name, reason=reason, detail=detail)
+        if telemetry.TELEMETRY.enabled:
+            telemetry.inc("repro_repair_fallbacks_total",
+                          tenant=self._graph.name, reason=reason)
 
     def _should_fan_out(self) -> bool:
         config = self.config
@@ -376,6 +430,20 @@ class ShardedRepairer:
                                  id_namespace=tracker.namespace)
         return shard_payload(working), frozenset(core)
 
+    def _recovery_rebinder(self, key: str) -> tuple:
+        """Fresh bind arguments for ``key`` — the pool's mid-barrier recovery
+        hook: when a worker dies (or errors) holding an in-flight shard
+        repair, its respawned replacement needs the shard's standing replica
+        rebuilt before the one retry.  Runs on the coordinator thread (which
+        already holds the session lock for this repair call), so reading the
+        primary graph is safe; workers propose-then-revert, so the primary
+        is exactly as it was when the barrier started.
+        """
+        tracker = next(t for t in self._replicas.values() if t.key == key)
+        payload, core = self._rebind_payload(tracker, self._warm_plan.radius)
+        return (payload, tracker.namespace, core, self._rules,
+                self.config.to_fast_config())
+
     def _fan_out_warm(self) -> None:
         config = self.config
         pool = self._ensure_pool()
@@ -394,7 +462,9 @@ class ShardedRepairer:
         stats_before = pool.stats.as_dict()
 
         # 0. a pool restart (failure recovery, or a shared pool another
-        #    tenant's error shut down) discards every standing replica
+        #    tenant's error shut down) discards every standing replica; a
+        #    mid-barrier worker respawn discards only that worker's
+        #    replicas, which the pool reports per shard key
         generation = pool.start()
         if generation != self._pool_generation:
             if self._pool_generation >= 0:
@@ -402,6 +472,14 @@ class ShardedRepairer:
                     tracker.stale = True
                     tracker.stale_reason = "pool restarted"
             self._pool_generation = generation
+        lost = pool.take_lost([tracker.key
+                               for tracker in self._replicas.values()])
+        if lost:
+            for tracker in self._replicas.values():
+                if tracker.key in lost and not tracker.stale:
+                    tracker.stale = True
+                    tracker.stale_reason = ("worker respawned: standing "
+                                            "replica lost")
 
         # 1. bring every standing replica up to the committed state: project
         #    the accumulated primary deltas per shard, ship the expressible
@@ -475,7 +553,8 @@ class ShardedRepairer:
             context = telemetry.current_context()
             with self.core.report.timings.measure("shard-fanout"):
                 results = pool.repair([tracker.key for tracker in trackers],
-                                      context=context)
+                                      context=context,
+                                      rebinder=self._recovery_rebinder)
             for tracker, result in zip(trackers, results):
                 result.shard_index = tracker.index
             stats_after = pool.stats.as_dict()
@@ -483,6 +562,10 @@ class ShardedRepairer:
             fanout.pool_binds = stats_after["binds"] - stats_before["binds"]
             fanout.pool_ships = stats_after["deltas_shipped"] \
                 - stats_before["deltas_shipped"]
+            fanout.pool_respawns = stats_after["respawns"] \
+                - stats_before["respawns"]
+            fanout.pool_retries = stats_after["retries"] \
+                - stats_before["retries"]
             self._fan_in(results)
         # measured after fan-in so adoption/settlement of this run's created
         # elements is reflected: coverage decays as repairs/commits grow the

@@ -445,7 +445,10 @@ class GraphRepairService:
         if self._pool is None:
             return {"spawns": 0, "binds": 0, "deltas_shipped": 0,
                     "shard_repairs": 0, "repair_calls": 0,
-                    "leases": 0, "lease_wait_seconds": 0.0}
+                    "leases": 0, "lease_wait_seconds": 0.0,
+                    "worker_deaths": 0, "respawns": 0,
+                    "command_timeouts": 0, "retries": 0,
+                    "fallback_repairs": 0}
         return self._pool.stats.as_dict()
 
     # ------------------------------------------------------------------
@@ -484,18 +487,41 @@ class GraphRepairService:
                                 stale.seconds_since_repair, tenant=name)
             telemetry.gauge_set("repro_tenant_pending_deltas",
                                 stale.pending_deltas, tenant=name)
+        pool = self._pool
+        if pool is not None:
+            from repro.parallel.breaker import BREAKER_STATE_VALUES
+
+            telemetry.gauge_set("repro_pool_breaker_state",
+                                BREAKER_STATE_VALUES[pool.breaker.state])
         return telemetry.TELEMETRY.registry.snapshot()
 
     def health(self) -> dict:
-        """The ``/healthz`` document: liveness plus per-tenant sequences."""
+        """The ``/healthz`` document: liveness, per-tenant sequences, and —
+        once the shared pool exists — its supervision counters and circuit
+        breaker state, so a probe can see degradation before it can see
+        failures."""
         tenants = {}
         for name in self.sessions.names():
             try:
                 tenants[name] = self.sessions.get(name).last_sequence
             except Exception:
                 continue  # silent-ok: the tenant closed between list and read
-        return {"status": "closed" if self._closed else "ok",
-                "tenants": tenants}
+        document = {"status": "closed" if self._closed else "ok",
+                    "tenants": tenants}
+        pool = self._pool
+        if pool is not None:
+            stats = pool.stats
+            document["pool"] = {
+                "workers": pool.workers,
+                "started": pool.started,
+                "generation": pool.generation,
+                "worker_deaths": stats.worker_deaths,
+                "respawns": stats.respawns,
+                "retries": stats.retries,
+                "fallback_repairs": stats.fallback_repairs,
+                "breaker": pool.breaker.snapshot(),
+            }
+        return document
 
     def start_metrics_server(self, host: str = "127.0.0.1", port: int = 0):
         """Start the opt-in Prometheus endpoint (and enable telemetry).

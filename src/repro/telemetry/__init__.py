@@ -138,6 +138,26 @@ CATALOGUE: dict[str, tuple[str, str, tuple[str, ...]]] = {
     "repro_pool_lease_wait_seconds": (
         "histogram", "Time a coordinator waited for its fair pool lease",
         ("tenant",)),
+    # supervision / resilience (docs/RESILIENCE.md)
+    "repro_pool_worker_deaths_total": (
+        "counter", "Pool workers detected dead or hung by the supervisor "
+        "(reason: crash, timeout, simulated)", ("reason",)),
+    "repro_pool_respawns_total": (
+        "counter", "Dead pool workers replaced by the supervisor", ()),
+    "repro_pool_retries_total": (
+        "counter", "In-flight shard commands re-driven on a respawned "
+        "worker (rebind + one repair retry)", ("shard",)),
+    "repro_pool_recovery_seconds": (
+        "histogram", "Wall time of one supervisor recovery pass "
+        "(reap + respawn + re-drive)", ()),
+    "repro_pool_breaker_state": (
+        "gauge", "Warm fan-out circuit breaker state "
+        "(0=closed, 1=half_open, 2=open)", ()),
+    "repro_pool_breaker_transitions_total": (
+        "counter", "Circuit breaker state transitions", ("state",)),
+    "repro_repair_fallbacks_total": (
+        "counter", "Warm repairs degraded to the sequential drain "
+        "(reason: pool-failure, breaker-open)", ("tenant", "reason")),
     # durability
     "repro_wal_fsync_seconds": (
         "histogram", "WAL append+fsync latency per committed record",
@@ -189,6 +209,9 @@ CATALOGUE: dict[str, tuple[str, str, tuple[str, ...]]] = {
     "repro_ingest_coalesced_total": (
         "counter", "Queued edits coalesced into scheduler commits",
         ("tenant",)),
+    "repro_ingest_backoffs_total": (
+        "counter", "Repair-backoff windows opened for persistently failing "
+        "tenants by the scheduler", ("tenant",)),
     "repro_ingest_commit_to_repaired_seconds": (
         "histogram", "Latency from a commit's changefeed publish to the end "
         "of the repair pass that covered it", ("tenant",)),

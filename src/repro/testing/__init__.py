@@ -1,0 +1,15 @@
+"""Deterministic testing utilities for the repro stack.
+
+`repro.testing` is part of the library proper (not the test suite): it
+holds the fault-injection harness that production modules accept as an
+optional collaborator.  Chaos tests and the ``chaos-kg`` benchmark
+scenario build :class:`~repro.testing.faults.FaultPlan` objects and hand
+them to :class:`~repro.parallel.pool.WorkerPool` /
+:class:`~repro.durability.wal.WriteAheadLog`; with no plan supplied the
+injection points are inert.
+"""
+from __future__ import annotations
+
+from repro.testing.faults import Fault, FaultPlan, InjectedFault
+
+__all__ = ["Fault", "FaultPlan", "InjectedFault"]

@@ -1,0 +1,184 @@
+"""Deterministic fault injection for chaos tests and benchmarks.
+
+A :class:`FaultPlan` is a picklable script of failures.  Production code
+exposes named *injection sites* — a spot where it asks the plan "does a
+fault fire here?" — and the plan decides based on declaration-order
+matching with per-fault hit counters.  Sites currently wired in:
+
+``worker.command``
+    :func:`repro.parallel.pool._pool_worker_main` (and the inline
+    dispatcher) fires this before handling each protocol command, with
+    ``worker`` (index), ``command`` (``bind``/``ship``/``repair``) and
+    ``key`` (shard key) context.
+``worker.stop``
+    Fired when a pool worker receives its stop sentinel — the ``wedge``
+    kind here reproduces a worker that ignores SIGTERM during
+    :meth:`WorkerPool.close`.
+``wal.append`` / ``wal.fsync``
+    :meth:`repro.durability.wal.WriteAheadLog.append` fires these around
+    the frame write and the fsync — ``enospc`` and ``torn`` simulate a
+    full disk and a power cut mid-frame.
+
+Every :class:`Fault` fires exactly once: its ``at`` field counts *matching*
+calls to the site (1-based), so ``Fault("worker.command", "crash", at=3,
+command="repair")`` kills the worker on its third repair command.  Plans
+are pickled into spawned pool workers; each process therefore counts its
+own hits, which makes ``worker=`` filters and per-process ``at`` counting
+deterministic under the spawn start method.
+
+Fault kinds and their effects (see :func:`perform`):
+
+========  ============================================================
+``crash``   ``SIGKILL`` the current process (spawn workers only).
+``hang``    Sleep ``seconds`` (default: effectively forever) — drives
+            the coordinator's reply-deadline path.
+``wedge``   Ignore ``SIGTERM`` *then* hang — defeats the polite half of
+            ``close()`` so only the kill escalation can reap the worker.
+``slow``    Sleep ``seconds`` then continue normally.
+``error``   Raise :class:`InjectedFault` from the site.
+``enospc``  Raise ``OSError(ENOSPC)`` — a full disk during a WAL write.
+``torn``    Handled by the WAL itself: write a partial frame, then raise
+            ``OSError`` — a torn tail for recovery to truncate.
+========  ============================================================
+"""
+from __future__ import annotations
+
+import errno
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Fault", "FaultPlan", "InjectedFault", "FAULT_KINDS", "perform"]
+
+FAULT_KINDS = ("crash", "hang", "wedge", "slow", "error", "enospc", "torn")
+
+#: Sleep used by ``hang``/``wedge`` when no explicit duration is given —
+#: long enough that only an external deadline or kill ends it.
+_FOREVER_SECONDS = 3600.0
+
+
+class InjectedFault(RuntimeError):
+    """Raised from an injection site by a fault of kind ``error``."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scripted failure.
+
+    ``site`` names the injection point; ``kind`` the effect.  ``at`` is the
+    1-based index of the *matching* site hit that triggers the fault
+    (counted per process).  ``worker``/``command``/``key`` narrow which
+    hits match — a ``None`` filter matches everything.  ``seconds``
+    parameterises ``hang``/``slow``/``wedge``.
+    """
+
+    site: str
+    kind: str
+    at: int = 1
+    worker: Optional[int] = None
+    command: Optional[str] = None
+    key: Optional[str] = None
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}")
+        if self.at < 1:
+            raise ValueError(f"at must be >= 1, got {self.at}")
+        if self.seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+
+    def matches(self, site: str, worker: Optional[int], command: Optional[str],
+                key: Optional[str]) -> bool:
+        if self.site != site:
+            return False
+        if self.worker is not None and self.worker != worker:
+            return False
+        if self.command is not None and self.command != command:
+            return False
+        if self.key is not None and self.key != key:
+            return False
+        return True
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic, picklable script of :class:`Fault` declarations.
+
+    :meth:`take` returns the fault (if any) that fires for a site hit and
+    marks it spent; :meth:`fire` additionally performs its effect.  Each
+    fault keeps its own hit counter, so several faults can arm on the
+    same site at different depths (``at=1..N`` fires on hits ``1..N``).
+    When two armed faults would fire on the same hit, declaration order
+    wins.  Counters live on the plan instance: a plan pickled into a
+    spawned worker counts that worker's hits independently.
+    """
+
+    faults: tuple = ()
+    _counts: list = field(default_factory=list, repr=False)
+    _fired: list = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        self.faults = tuple(self.faults)
+        if not self._counts:
+            self._counts = [0] * len(self.faults)
+            self._fired = [False] * len(self.faults)
+
+    def take(self, site: str, *, worker: Optional[int] = None,
+             command: Optional[str] = None,
+             key: Optional[str] = None) -> Optional[Fault]:
+        """Advance matching hit counters; return the first fault that fires."""
+        fired: Optional[Fault] = None
+        for index, fault in enumerate(self.faults):
+            if self._fired[index] or not fault.matches(site, worker, command, key):
+                continue
+            self._counts[index] += 1
+            if fired is None and self._counts[index] >= fault.at:
+                self._fired[index] = True
+                fired = fault
+        return fired
+
+    def fire(self, site: str, *, worker: Optional[int] = None,
+             command: Optional[str] = None,
+             key: Optional[str] = None) -> Optional[Fault]:
+        """Like :meth:`take`, but also :func:`perform` the fault's effect."""
+        fault = self.take(site, worker=worker, command=command, key=key)
+        if fault is not None:
+            perform(fault)
+        return fault
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every declared fault has fired (in this process)."""
+        return all(self._fired)
+
+
+def perform(fault: Fault) -> None:
+    """Execute ``fault``'s effect in the current process.
+
+    ``torn`` is intentionally not handled here — only the WAL knows how to
+    write a partial frame — so sites that cannot honour it treat it as a
+    generic injected ``OSError``.
+    """
+    if fault.kind == "crash":
+        os.kill(os.getpid(), signal.SIGKILL)
+        time.sleep(_FOREVER_SECONDS)  # unreachable; SIGKILL is not deliverable
+    elif fault.kind == "wedge":
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        time.sleep(fault.seconds or _FOREVER_SECONDS)
+    elif fault.kind == "hang":
+        time.sleep(fault.seconds or _FOREVER_SECONDS)
+    elif fault.kind == "slow":
+        time.sleep(fault.seconds)
+    elif fault.kind == "error":
+        raise InjectedFault(
+            f"injected fault at {fault.site!r} (command={fault.command!r}, "
+            f"key={fault.key!r})")
+    elif fault.kind in ("enospc", "torn"):
+        code = errno.ENOSPC if fault.kind == "enospc" else errno.EIO
+        raise OSError(code, f"injected fault at {fault.site!r}: {fault.kind}")
+    else:  # pragma: no cover - __post_init__ validates kinds
+        raise ValueError(f"unknown fault kind {fault.kind!r}")

@@ -294,4 +294,21 @@ class TestPoolProtocol:
         stats = PoolStats()
         assert set(stats.as_dict()) == {"spawns", "binds", "deltas_shipped",
                                         "shard_repairs", "repair_calls",
-                                        "leases", "lease_wait_seconds"}
+                                        "leases", "lease_wait_seconds",
+                                        "worker_deaths", "respawns",
+                                        "command_timeouts", "retries",
+                                        "fallback_repairs"}
+
+    def test_close_escalates_past_wedged_worker(self, small_kg_workload):
+        """A worker that ignores the stop sentinel *and* SIGTERM must not
+        outlive close() — escalation reaches SIGKILL (the zombie-leak fix)."""
+        from repro.testing import Fault, FaultPlan
+
+        plan = FaultPlan(faults=(Fault(site="worker.stop", kind="wedge"),))
+        pool = WorkerPool(workers=2, stop_grace=0.25, fault_plan=plan)
+        payload = shard_payload(small_kg_workload.dirty)
+        pool.bind("k", payload, "s0", frozenset(), small_kg_workload.rules,
+                  RepairConfig.fast().to_fast_config())
+        pool.close()
+        assert pool.closed
+        assert _no_pool_children()
